@@ -1,0 +1,166 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. K vs Kᶜ strategy, on a dependence SC and on an independence SC
+//     (the paper prescribes K for DSCs and Kᶜ for ISCs — Sec. 6.1);
+//  2. the categorical greedy objective: dof-centred excess G − dof vs raw
+//     ΔG (the literal Definition 7), on the FD-as-DSC workload where the
+//     difference matters;
+//  3. exact vs asymptotic τ p-values at small n (the Sec. 4.3 exact-test
+//     threshold);
+//  4. statistic choice (Kendall vs Spearman vs Pearson) under heavy-tailed
+//     contamination — the Sec. 4.3 "Motivation" argument;
+//  5. the permutation fallback vs the raw χ² approximation on a
+//     high-cardinality pair.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "constraints/ic.h"
+#include "datasets/boston.h"
+#include "datasets/errors.h"
+#include "datasets/hosp.h"
+#include "eval/metrics.h"
+#include "eval/scoded_detector.h"
+#include "stats/correlation.h"
+#include "stats/kendall.h"
+
+namespace {
+
+using namespace scoded;
+
+void StrategyPanel(const Table& table, const std::set<size_t>& truth, const char* sc_text) {
+  ApproximateSc asc{ParseConstraint(sc_text).value(), 0.05};
+  for (Strategy strategy : {Strategy::kDirect, Strategy::kComplement}) {
+    DrillDownOptions options;
+    options.strategy = strategy;
+    std::vector<size_t> ranking =
+        RankSuspiciousRecords(table, asc, truth.size(), options).value();
+    PrecisionRecall pr = EvaluateTopK(ranking, truth, truth.size());
+    std::printf("  %-10s %-22s F@%zu = %.3f\n",
+                strategy == Strategy::kDirect ? "K" : "K^c", sc_text, truth.size(), pr.f_score);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace scoded;
+  std::printf("=== Ablation studies ===\n");
+
+  // ---- 1. K vs Kc per SC form -----------------------------------------
+  bench::PrintTitle("ablation 1: K vs K^c strategy (Boston, 30% errors)");
+  Table boston = GenerateBostonData({506, 0x5C0DEDu}).value();
+  {
+    InjectionOptions inject;
+    inject.rate = 0.3;
+    InjectionResult dirty = InjectSortingError(boston, "N", inject).value();
+    std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+    std::printf(" dependence SC (paper default: K):\n");
+    StrategyPanel(dirty.table, truth, "N !_||_ D");
+  }
+  {
+    InjectionOptions inject;
+    inject.rate = 0.3;
+    inject.based_on = "B";
+    InjectionResult dirty = InjectSortingError(boston, "R", inject).value();
+    std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+    std::printf(" independence SC (paper default: K^c):\n");
+    StrategyPanel(dirty.table, truth, "R _||_ B");
+  }
+
+  // ---- 2. greedy objective: excess vs raw G ---------------------------
+  bench::PrintTitle("ablation 2: G objective (HOSP FD-as-DSC, 25% errors)");
+  HospOptions hosp_options;
+  hosp_options.rows = 8000;
+  HospData hosp = GenerateHospData(hosp_options).value();
+  std::set<size_t> truth(hosp.dirty_rows.begin(), hosp.dirty_rows.end());
+  StatisticalConstraint dsc = FdToDsc({{"Zip"}, {"City"}});
+  for (GObjective objective : {GObjective::kExcess, GObjective::kRawG}) {
+    DrillDownOptions options;
+    options.g_objective = objective;
+    std::vector<size_t> ranking =
+        RankSuspiciousRecords(hosp.table, {dsc, 0.05}, truth.size(), options).value();
+    PrecisionRecall pr = EvaluateTopK(ranking, truth, truth.size());
+    std::printf("  %-12s F@%zu = %.3f\n",
+                objective == GObjective::kExcess ? "G - dof" : "raw G", truth.size(), pr.f_score);
+  }
+  std::printf("  (raw G cannot credit deleting a typo'd Zip category, so it\n"
+              "   misses the LHS errors — the motivation for the excess objective)\n");
+
+  // ---- 3. exact vs Gaussian tau p-values ------------------------------
+  bench::PrintTitle("ablation 3: exact vs Gaussian tau null at small n");
+  std::printf("  %-6s %-24s\n", "n", "max |p_exact - p_gauss|");
+  Rng rng(1);
+  for (int n : {8, 12, 20, 30, 45, 60}) {
+    double worst = 0.0;
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<double> x;
+      std::vector<double> y;
+      for (int i = 0; i < n; ++i) {
+        x.push_back(rng.Uniform());
+        y.push_back(rng.Uniform());
+      }
+      KendallResult kr = KendallTau(x, y);
+      double exact = KendallExactPValue(kr.s, kr.n);
+      worst = std::max(worst, std::fabs(exact - kr.p_two_sided));
+    }
+    std::printf("  %-6d %.4f\n", n, worst);
+  }
+  std::printf("  (the gap shrinks toward the NIST n > 60 rule the paper cites)\n");
+
+  // ---- 4. statistic choice: Kendall vs Spearman vs Pearson -------------
+  // (the Sec. 4.3 "Motivation": SCODED defaults to Kendall because it is
+  // the most robust against false positives on contaminated data)
+  bench::PrintTitle("ablation 4: false-violation rate of an ISC at alpha=0.05");
+  {
+    std::printf("  independent heavy-tailed data with 3%% wild outliers, n=200, 400 trials\n");
+    int fp_kendall = 0;
+    int fp_spearman = 0;
+    int fp_pearson = 0;
+    Rng rng(9);
+    const int kTrials = 400;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<double> x;
+      std::vector<double> y;
+      for (int i = 0; i < 200; ++i) {
+        // Heavy tails via a normal ratio; occasional coupled wild outliers
+        // (a shared glitch hitting both gauges) that fool moment-based
+        // statistics but displace few ranks.
+        double xv = rng.Normal() / std::max(0.25, std::fabs(rng.Normal()));
+        double yv = rng.Normal() / std::max(0.25, std::fabs(rng.Normal()));
+        if (rng.Bernoulli(0.03)) {
+          double glitch = rng.Normal(0.0, 60.0);
+          xv += glitch;
+          yv += glitch;
+        }
+        x.push_back(xv);
+        y.push_back(yv);
+      }
+      fp_kendall += KendallTau(x, y).p_two_sided < 0.05 ? 1 : 0;
+      fp_spearman += SpearmanPValue(SpearmanCorrelation(x, y), x.size()) < 0.05 ? 1 : 0;
+      fp_pearson += PearsonPValue(PearsonCorrelation(x, y), x.size()) < 0.05 ? 1 : 0;
+    }
+    std::printf("  %-12s %d / %d false violations\n", "Kendall", fp_kendall, kTrials);
+    std::printf("  %-12s %d / %d false violations\n", "Spearman", fp_spearman, kTrials);
+    std::printf("  %-12s %d / %d false violations\n", "Pearson", fp_pearson, kTrials);
+    std::printf("  (expected ordering: Kendall <= Spearman << Pearson)\n");
+  }
+
+  // ---- 5. permutation fallback on high-cardinality pairs --------------
+  bench::PrintTitle("ablation 5: chi^2 vs permutation p on Zip !_||_ City");
+  {
+    TestOptions raw;
+    raw.allow_exact = false;
+    TestResult chi2 = IndependenceTest(hosp.table, 0, 1, {}, raw).value();
+    TestOptions with_fallback;
+    TestResult perm = IndependenceTest(hosp.table, 0, 1, {}, with_fallback).value();
+    std::printf("  chi^2 approximation:   p = %.4f (dof %.0f vs n %lld — meaningless)\n",
+                chi2.p_value, chi2.dof, static_cast<long long>(chi2.n));
+    std::printf("  permutation fallback:  p = %.4f (dependence correctly detected)\n",
+                perm.p_value);
+  }
+  return 0;
+}

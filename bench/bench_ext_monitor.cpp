@@ -1,0 +1,122 @@
+// Extension bench — streaming SC monitoring (ScMonitor) vs batch re-tests.
+//
+// The Sec. 8 "incremental on-line SCODED" extension: compares the cost of
+// maintaining the violation test under row appends against re-running the
+// batch test after every batch, for both statistic families.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/sc_monitor.h"
+#include "core/violation.h"
+#include "table/table.h"
+
+namespace {
+
+using namespace scoded;
+
+double Ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace scoded;
+  std::printf("=== Extension: streaming monitor vs batch re-testing ===\n");
+
+  // ---- categorical pair: O(1) incremental appends ----------------------
+  {
+    std::printf("\ncategorical pair (G-test), appends + p-value per batch of 100:\n");
+    std::printf("%-10s %-16s %-16s\n", "rows", "monitor(ms)", "batch-retest(ms)");
+    for (size_t total : {2000, 10000, 50000, 200000}) {
+      Rng rng(1);
+      ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+      TableBuilder proto;
+      proto.AddCategorical("x", {});
+      proto.AddCategorical("y", {});
+      ScMonitor monitor = ScMonitor::Create(std::move(proto).Build().value(), asc).value();
+      auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < total; ++i) {
+        std::string x = "a" + std::to_string(rng.UniformInt(0, 5));
+        std::string y = rng.Bernoulli(0.5) ? x + "t" : "b" + std::to_string(rng.UniformInt(0, 5));
+        (void)monitor.AppendCategorical(x, y);
+        if (i % 100 == 99) {
+          (void)monitor.CurrentPValue();
+        }
+      }
+      double monitor_ms = Ms(start);
+
+      // Batch baseline: rebuild the table and re-test after every batch.
+      Rng rng2(1);
+      std::vector<std::string> xs;
+      std::vector<std::string> ys;
+      start = std::chrono::steady_clock::now();
+      double batch_ms;
+      {
+        for (size_t i = 0; i < total; ++i) {
+          std::string x = "a" + std::to_string(rng2.UniformInt(0, 5));
+          std::string y =
+              rng2.Bernoulli(0.5) ? x + "t" : "b" + std::to_string(rng2.UniformInt(0, 5));
+          xs.push_back(x);
+          ys.push_back(y);
+          if (i % 100 == 99) {
+            TableBuilder builder;
+            builder.AddCategorical("x", xs);
+            builder.AddCategorical("y", ys);
+            Table t = std::move(builder).Build().value();
+            (void)DetectViolation(t, asc).value();
+          }
+        }
+        batch_ms = Ms(start);
+      }
+      std::printf("%-10zu %-16.1f %-16.1f\n", total, monitor_ms, batch_ms);
+    }
+  }
+
+  // ---- numeric pair: per-row alarming (the monitoring use case) --------
+  {
+    std::printf("\nnumeric pair (tau), p-value checked after EVERY row (alarm ASAP):\n");
+    std::printf("%-10s %-16s %-16s\n", "rows", "monitor(ms)", "batch-retest(ms)");
+    for (size_t total : {500, 2000, 8000}) {
+      Rng rng(2);
+      ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+      TableBuilder proto;
+      proto.AddNumeric("x", {});
+      proto.AddNumeric("y", {});
+      ScMonitor monitor = ScMonitor::Create(std::move(proto).Build().value(), asc).value();
+      auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < total; ++i) {
+        double v = rng.Normal();
+        (void)monitor.AppendNumeric(v, v + rng.Normal(0.0, 0.5));
+        (void)monitor.CurrentPValue();
+      }
+      double monitor_ms = Ms(start);
+
+      Rng rng2(2);
+      std::vector<double> xs;
+      std::vector<double> ys;
+      start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < total; ++i) {
+        double v = rng2.Normal();
+        xs.push_back(v);
+        ys.push_back(v + rng2.Normal(0.0, 0.5));
+        TableBuilder builder;
+        builder.AddNumeric("x", xs);
+        builder.AddNumeric("y", ys);
+        Table t = std::move(builder).Build().value();
+        (void)DetectViolation(t, asc).value();
+      }
+      double batch_ms = Ms(start);
+      std::printf("%-10zu %-16.1f %-16.1f\n", total, monitor_ms, batch_ms);
+    }
+  }
+  std::printf("\nexpected shape: the categorical monitor's O(1) appends dominate batch\n"
+              "re-testing outright; the tau monitor's O(n) appends beat the\n"
+              "O(n log n)-per-check batch re-test whenever alarms must fire\n"
+              "per row (for sparse check cadences, batch re-testing suffices).\n");
+  return 0;
+}

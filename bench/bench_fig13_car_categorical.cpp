@@ -1,0 +1,60 @@
+// Figure 13 — CAR: categorical error detection with the G-test, for the
+// dependence SC BP ⊥̸ CL and the independence SC SA ⊥ DR, under
+// imputation errors (the panel the paper shows), vs DBoost-Histogram.
+// DCDetect is not applicable: the feasible order DCs over these
+// categorical domains have too many violations (Sec. 6.3).
+//
+// Expected shape: SCODED above DBoost for both SC forms; absolute
+// F-scores are moderate (the paper reports averages of 0.49 vs 0.25).
+
+#include <cstdio>
+#include <set>
+
+#include "baselines/dboost.h"
+#include "bench_util.h"
+#include "datasets/car.h"
+#include "datasets/errors.h"
+#include "eval/scoded_detector.h"
+
+int main() {
+  using namespace scoded;
+  using bench::KSweep;
+  using bench::PrintFScoreSweep;
+  using bench::PrintTitle;
+
+  Table clean = GenerateCarData().value();
+  std::printf("car data: %zu rows; imputation errors at a moderate (20%%) rate\n",
+              clean.NumRows());
+
+  // ---- dependence SC: BP !_||_ CL, errors weaken the dependence -------
+  {
+    InjectionOptions inject;
+    inject.rate = 0.2;
+    InjectionResult dirty = InjectImputationError(clean, "CL", inject).value();
+    std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+    PrintTitle("Figure 13, dependence SC (BP !_||_ CL), imputation error");
+    ScodedDetector scoded({{ParseConstraint("BP !_||_ CL").value(), 0.05}});
+    DboostOptions dboost_options;
+    dboost_options.model = DboostModel::kHistogram;
+    dboost_options.columns = {"BP", "CL"};
+    Dboost dboost(dboost_options);
+    PrintFScoreSweep(dirty.table, truth, {&scoded, &dboost}, KSweep(truth.size()));
+  }
+
+  // ---- independence SC: SA _||_ DR, errors install a dependence -------
+  {
+    InjectionOptions inject;
+    inject.rate = 0.2;
+    inject.based_on = "SA";  // corrupted DR values coupled to SA
+    InjectionResult dirty = InjectImputationError(clean, "DR", inject).value();
+    std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+    PrintTitle("Figure 13, independence SC (SA _||_ DR), imputation error");
+    ScodedDetector scoded({{ParseConstraint("SA _||_ DR").value(), 0.05}});
+    DboostOptions dboost_options;
+    dboost_options.model = DboostModel::kHistogram;
+    dboost_options.columns = {"SA", "DR"};
+    Dboost dboost(dboost_options);
+    PrintFScoreSweep(dirty.table, truth, {&scoded, &dboost}, KSweep(truth.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 14 — scalability of SCODED's drill-down (K strategy on the
+// dependence SC N ⊥̸ D, Boston replicated to size), matching the paper's
+// two sweeps:
+//   (a) runtime vs number of records n at fixed k,
+//   (b) runtime vs k at fixed n.
+// Expected shape: near-linear in k and O(n log n)-ish in n (the segment-
+// tree initialisation dominates; each of the k steps is linear in n).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/drilldown.h"
+#include "datasets/boston.h"
+#include "datasets/hosp.h"
+#include "table/table.h"
+
+namespace {
+
+using namespace scoded;
+
+Table ReplicateRows(const Table& base, size_t target_rows) {
+  std::vector<size_t> rows;
+  rows.reserve(target_rows);
+  for (size_t i = 0; i < target_rows; ++i) {
+    rows.push_back(i % base.NumRows());
+  }
+  return base.Gather(rows);
+}
+
+double TimeDrillDownMs(const Table& table, size_t k) {
+  ApproximateSc asc{ParseConstraint("N !_||_ D").value(), 0.05};
+  DrillDownOptions options;
+  options.strategy = Strategy::kDirect;
+  auto start = std::chrono::steady_clock::now();
+  DrillDownResult result = DrillDown(table, asc, k, options).value();
+  auto end = std::chrono::steady_clock::now();
+  (void)result;
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace scoded;
+  std::printf("=== Figure 14: scalability (K strategy, N !_||_ D) ===\n");
+  BostonOptions options;
+  options.rows = 506;
+  Table base = GenerateBostonData(options).value();
+
+  std::printf("\n(a) runtime vs n (k = 50):\n%-12s %-12s\n", "#records", "time(ms)");
+  for (size_t n : {10000, 50000, 100000, 250000, 500000, 1000000}) {
+    Table big = ReplicateRows(base, n);
+    std::printf("%-12zu %-12.1f\n", n, TimeDrillDownMs(big, 50));
+  }
+
+  std::printf("\n(b) runtime vs k (n = 100000):\n%-12s %-12s\n", "k", "time(ms)");
+  Table fixed = ReplicateRows(base, 100000);
+  for (size_t k : {10, 25, 50, 100, 200, 400}) {
+    std::printf("%-12zu %-12.1f\n", k, TimeDrillDownMs(fixed, k));
+  }
+  // (c) Extension panel: the categorical (G) engine scales in the number
+  // of live contingency cells per step, not records.
+  std::printf("\n(c) categorical engine, runtime vs n (k = 50, Zip !_||_ City):\n%-12s %-12s\n",
+              "#records", "time(ms)");
+  for (size_t n : {20000, 50000, 100000, 200000}) {
+    HospOptions options;
+    options.rows = n;
+    HospData data = GenerateHospData(options).value();
+    ApproximateSc asc{ParseConstraint("Zip !_||_ City").value(), 0.05};
+    DrillDownOptions drill;
+    drill.strategy = Strategy::kDirect;
+    auto start = std::chrono::steady_clock::now();
+    (void)DrillDown(data.table, asc, 50, drill).value();
+    auto end = std::chrono::steady_clock::now();
+    std::printf("%-12zu %-12.1f\n", n,
+                std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::printf("\nexpected shape: ~O(n log n) growth in (a); ~linear growth in (b)\n"
+              "after the fixed O(n log n) initialisation cost; near-linear in (c)\n"
+              "(per-step cost depends on live cells, not records).\n");
+  return 0;
+}

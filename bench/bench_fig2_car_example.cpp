@@ -1,0 +1,61 @@
+// Figures 2 & 5 — the running car example: violation detection on the
+// updated car database and grouped drill-down over the Model×Color cells.
+
+#include <cstdio>
+#include <map>
+
+#include "core/scoded.h"
+#include "table/table.h"
+
+int main() {
+  using namespace scoded;
+  std::printf("=== Figure 2: car database insert example ===\n");
+
+  TableBuilder original;
+  original.AddCategorical("Model", {"BMW X1", "BMW X1", "BMW X1", "BMW X1", "Toyota Prius",
+                                    "Toyota Prius", "Toyota Prius", "Toyota Prius"});
+  original.AddCategorical("Color",
+                          {"White", "Black", "White", "Black", "White", "White", "White", "Black"});
+  Table before = std::move(original).Build().value();
+
+  TableBuilder updated;
+  updated.AddCategorical(
+      "Model", {"BMW X1", "BMW X1", "BMW X1", "BMW X1", "Toyota Prius", "Toyota Prius",
+                "Toyota Prius", "Toyota Prius", "BMW X1", "BMW X1", "BMW X1", "BMW X1",
+                "Toyota Prius", "Toyota Prius", "Toyota Prius", "Toyota Prius"});
+  updated.AddCategorical("Color",
+                         {"White", "Black", "White", "Black", "White", "White", "White", "Black",
+                          "White", "White", "White", "Black", "Black", "Black", "Black", "Black"});
+  Table after = std::move(updated).Build().value();
+
+  ApproximateSc asc{ParseConstraint("Model _||_ Color").value(), 0.4};
+  ViolationReport r_before = DetectViolation(before, asc).value();
+  ViolationReport r_after = DetectViolation(after, asc).value();
+  std::printf("original  (r1-r8):   p = %.4f -> %s\n", r_before.p_value,
+              r_before.violated ? "VIOLATED" : "not violated");
+  std::printf("updated   (r1-r16):  p = %.4f -> %s\n", r_after.p_value,
+              r_after.violated ? "VIOLATED" : "not violated");
+
+  // Figure 5-style group counts on the updated table.
+  std::printf("\ngroup counts (Model x Color, cf. Figure 5):\n");
+  std::map<std::string, int> cells;
+  for (size_t i = 0; i < after.NumRows(); ++i) {
+    ++cells[after.ColumnByName("Model").CategoryAt(i) + " / " +
+            after.ColumnByName("Color").CategoryAt(i)];
+  }
+  for (const auto& [cell, count] : cells) {
+    std::printf("  %-24s %d\n", cell.c_str(), count);
+  }
+
+  Scoded system(after);
+  DrillDownResult top5 = system.DrillDown(asc, 5).value();
+  std::printf("\ntop-5 drill-down (K^c strategy, paper returns r8, r13-r16):\n");
+  for (size_t row : top5.rows) {
+    std::printf("  r%-3zu %-13s %s\n", row + 1,
+                after.ColumnByName("Model").CategoryAt(row).c_str(),
+                after.ColumnByName("Color").CategoryAt(row).c_str());
+  }
+  std::printf("(any mutually-correlated diagonal set is an optimal answer; the paper's\n"
+              " pick is one of them)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 9 — Sensor: SCODED vs DCDetect vs DCDetect+HC vs DBoost, under a
+// single constraint (a) and multiple constraints (b).
+//
+// Errors follow the paper's Sensor pre-processing defect: outlier readings
+// of sensor 8 were removed and mean-imputed, which weakens the dependence
+// between neighbouring sensors while looking perfectly normal to an
+// outlier detector. Expected shape: SCODED clearly ahead of the DC
+// detectors and DBoost in (a); all detectors improve with three
+// constraints in (b), with DCDetect+HC now ahead of plain DCDetect.
+
+#include <cstdio>
+#include <set>
+
+#include "baselines/dboost.h"
+#include "baselines/dcdetect.h"
+#include "bench_util.h"
+#include "datasets/errors.h"
+#include "datasets/sensor.h"
+#include "eval/scoded_detector.h"
+
+int main() {
+  using namespace scoded;
+  using bench::KSweep;
+  using bench::PrintFScoreSweep;
+  using bench::PrintTitle;
+
+  SensorOptions options;
+  options.epochs = 2000;
+  options.idiosyncratic_noise = 1.15;
+  Table clean = GenerateSensorData(options).value();
+  // The Intel Lab defect hits many sensors: mean-imputed readings land in
+  // each of T7, T8, T9 (7% per column). A single pairwise SC can only see
+  // the errors of its own two sensors, so adding constraints genuinely
+  // raises every detector's ceiling — the Fig. 9(a) vs 9(b) contrast.
+  std::set<size_t> truth;
+  Table dirty_table = clean;
+  uint64_t seed = 100;
+  for (const char* column : {"T7", "T8", "T9"}) {
+    InjectionOptions inject;
+    inject.rate = 0.07;
+    inject.seed = seed++;
+    // The Intel Lab pre-processing removed *outlier* readings and imputed
+    // them: the corrupted rows are the most extreme ones, not random ones.
+    inject.based_on = column;
+    InjectionResult step = InjectImputationError(dirty_table, column, inject).value();
+    dirty_table = std::move(step.table);
+    truth.insert(step.dirty_rows.begin(), step.dirty_rows.end());
+  }
+  InjectionResult dirty{std::move(dirty_table), {truth.begin(), truth.end()}};
+  std::printf("sensor data: %zu epochs, %zu rows with mean-imputed readings "
+              "(imputed outliers in T7, T8, T9)\n",
+              clean.NumRows(), truth.size());
+
+  // ---- (a) single constraint: T8 !_||_ T9 ----------------------------
+  PrintTitle("Figure 9(a): single constraint (T8 !_||_ T9)");
+  ScodedDetector scoded_single({{ParseConstraint("T8 !_||_ T9").value(), 0.05}});
+  DcDetect dc_single({MakeOrderDc("T8", "T9")});
+  DcDetectHc hc_single({MakeOrderDc("T8", "T9")});
+  DboostOptions dboost_options;
+  dboost_options.model = DboostModel::kGaussian;
+  dboost_options.columns = {"T7", "T8", "T9"};
+  Dboost dboost(dboost_options);
+  PrintFScoreSweep(dirty.table, truth,
+                   {&scoded_single, &dc_single, &hc_single, &dboost}, KSweep(truth.size()));
+
+  // ---- (b) multiple constraints: all three sensor pairs --------------
+  PrintTitle("Figure 9(b): multiple constraints (T7,T8,T9 pairwise)");
+  ScodedDetector scoded_multi({
+      {ParseConstraint("T7 !_||_ T8").value(), 0.05},
+      {ParseConstraint("T8 !_||_ T9").value(), 0.05},
+      {ParseConstraint("T7 !_||_ T9").value(), 0.05},
+  });
+  std::vector<DenialConstraint> dcs = {MakeOrderDc("T7", "T8"), MakeOrderDc("T8", "T9"),
+                                       MakeOrderDc("T7", "T9")};
+  DcDetect dc_multi(dcs);
+  DcDetectHc hc_multi(dcs);
+  PrintFScoreSweep(dirty.table, truth, {&scoded_multi, &dc_multi, &hc_multi, &dboost},
+                   KSweep(truth.size()));
+
+  std::printf("\nexpected shape: SCODED highest in both panels; DCDetect+HC == DCDetect\n"
+              "with one constraint but ahead of it with three (Sec. 6.3).\n");
+  return 0;
+}

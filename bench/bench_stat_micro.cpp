@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) of the statistical kernels that
+// determine SCODED's throughput: Kendall τ (naive vs O(n log n)), the
+// Algorithm 2 segment-tree benefit initialisation, the G-test, and raw
+// segment-tree vs Fenwick-tree index operations.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "stats/contingency.h"
+#include "stats/kendall.h"
+#include "stats/segment_tree.h"
+
+namespace {
+
+using namespace scoded;
+
+std::pair<std::vector<double>, std::vector<double>> RandomXy(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    x[i] = v;
+    y[i] = v + rng.Normal(0.0, 1.0);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+void BM_KendallTauFast(benchmark::State& state) {
+  auto [x, y] = RandomXy(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTau(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KendallTauFast)->Range(256, 65536)->Complexity(benchmark::oNLogN);
+
+void BM_KendallTauNaive(benchmark::State& state) {
+  auto [x, y] = RandomXy(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KendallTauNaive(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KendallTauNaive)->Range(256, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_TauBenefitsSegmentTree(benchmark::State& state) {
+  auto [x, y] = RandomXy(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTauBenefits(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TauBenefitsSegmentTree)->Range(256, 65536)->Complexity(benchmark::oNLogN);
+
+void BM_TauBenefitsNaive(benchmark::State& state) {
+  auto [x, y] = RandomXy(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeTauBenefitsNaive(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TauBenefitsNaive)->Range(256, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_GStatistic(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<int32_t> x(n);
+  std::vector<int32_t> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<int32_t>(rng.UniformInt(0, 9));
+    y[i] = static_cast<int32_t>(rng.UniformInt(0, 9));
+  }
+  for (auto _ : state) {
+    ContingencyTable ct(x, y, 10, 10);
+    benchmark::DoNotOptimize(ct.GStatistic());
+  }
+}
+BENCHMARK(BM_GStatistic)->Range(1024, 262144);
+
+void BM_SegmentTreeOps(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SegmentTree tree(n);
+  Rng rng(6);
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    tree.Add(pos, 1);
+    benchmark::DoNotOptimize(tree.Sum(0, pos));
+    if (++i % n == 0) {
+      tree.Clear();
+    }
+  }
+}
+BENCHMARK(BM_SegmentTreeOps)->Range(1024, 1048576);
+
+void BM_FenwickTreeOps(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  FenwickTree tree(n);
+  Rng rng(7);
+  for (auto _ : state) {
+    size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    tree.Add(pos, 1);
+    benchmark::DoNotOptimize(tree.Sum(0, pos));
+  }
+}
+BENCHMARK(BM_FenwickTreeOps)->Range(1024, 1048576);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 3 — the constraint roster used throughout Section 6, evaluated on
+// the generated (clean) datasets. Each SC should HOLD on clean data; the
+// corresponding IC (where one exists) is evaluated alongside via its
+// violating-pair count. (The paper's BP ⊥̸ Cl row is the CAR dataset.)
+
+#include <cstdio>
+
+#include "constraints/denial_constraint.h"
+#include "constraints/ic.h"
+#include "core/violation.h"
+#include "datasets/boston.h"
+#include "datasets/car.h"
+#include "datasets/hosp.h"
+#include "datasets/sensor.h"
+
+namespace {
+
+using namespace scoded;
+
+void Row(const Table& table, const char* dataset, const char* sc_text, double alpha,
+         const char* ic_text, int64_t ic_violations) {
+  ApproximateSc asc{ParseConstraint(sc_text).value(), alpha};
+  ViolationReport report = DetectViolation(table, asc).value();
+  std::printf("%-9s %-22s p=%-10.3g %-12s IC: %-34s %lld violating pairs\n", dataset, sc_text,
+              report.p_value, report.violated ? "VIOLATED" : "holds", ic_text,
+              static_cast<long long>(ic_violations));
+}
+
+}  // namespace
+
+int main() {
+  using namespace scoded;
+  std::printf("=== Table 3: constraints used by SCODED and the IC baselines ===\n");
+  std::printf("(clean generated data: every SC should hold)\n\n");
+
+  SensorOptions sensor_options;
+  sensor_options.epochs = 1500;
+  Table sensor = GenerateSensorData(sensor_options).value();
+  int64_t sensor_dc =
+      CountDcViolatingPairs(sensor, MakeOrderDc("T7", "T8")).value();
+  Row(sensor, "Sensor", "T7 !_||_ T8", 0.05, "not(t0.T7>t1.T7 and t0.T8<=t1.T8)", sensor_dc);
+
+  BostonOptions boston_options;
+  boston_options.rows = 506;
+  Table boston = GenerateBostonData(boston_options).value();
+  Row(boston, "Boston", "R _||_ B", 0.05, "(none expressible)", 0);
+  int64_t boston_dc =
+      CountDcViolatingPairs(boston, MakeConditionalOrderDc("C", "TX", "B")).value();
+  Row(boston, "Boston", "TX !_||_ B | C", 0.05, "not(t0.C=t1.C and t0.TX>t1.TX and t0.B<=t1.B)",
+      boston_dc);
+  Row(boston, "Boston", "N _||_ B | TX", 0.05, "(none expressible)", 0);
+
+  Table car = GenerateCarData().value();
+  Row(car, "CAR", "BP !_||_ CL", 0.05, "not(t0.BP>t1.BP and t0.CL<=t1.CL)",
+      CountDcViolatingPairs(car, MakeOrderDc("BP", "CL")).value());
+  Row(car, "CAR", "SA _||_ DR", 0.05, "(none expressible)", 0);
+
+  HospOptions hosp_options;
+  hosp_options.rows = 8000;
+  hosp_options.error_rate = 0.25;
+  HospData hosp = GenerateHospData(hosp_options).value();
+  Row(hosp.table, "HOSP", "Zip !_||_ City", 0.05, "Zip -> City at 25% rate",
+      CountFdViolatingPairs(hosp.table, {{"Zip"}, {"City"}}).value());
+  Row(hosp.table, "HOSP", "Zip !_||_ State", 0.05, "Zip -> State at 25% rate",
+      CountFdViolatingPairs(hosp.table, {{"Zip"}, {"State"}}).value());
+
+  std::printf("\nnote: HOSP rows include the 25%% injected errors, matching the paper's\n"
+              "approximate-FD setting; the DSCs still hold because the dependence survives.\n");
+  return 0;
+}

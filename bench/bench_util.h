@@ -1,0 +1,36 @@
+#ifndef SCODED_BENCH_BENCH_UTIL_H_
+#define SCODED_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harness. Each bench binary
+// regenerates one table/figure of the paper and prints the corresponding
+// rows/series; the sweep machinery itself lives in the library
+// (`eval/comparison.h`) so applications can reuse it.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/comparison.h"
+#include "table/table.h"
+
+namespace scoded::bench {
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Runs every detector once (ranking up to max(ks)) and prints an
+/// F-score@K sweep table: one row per k, one column per detector.
+inline void PrintFScoreSweep(const Table& table, const std::set<size_t>& truth,
+                             const std::vector<ErrorDetector*>& detectors,
+                             const std::vector<size_t>& ks) {
+  std::fputs(CompareDetectors(table, truth, detectors, ks).ToText().c_str(), stdout);
+}
+
+/// Standard k sweep: fractions of the ground-truth size.
+inline std::vector<size_t> KSweep(size_t truth_size) { return StandardKSweep(truth_size); }
+
+}  // namespace scoded::bench
+
+#endif  // SCODED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// Writes the six synthetic evaluation datasets (clean and corrupted
+// variants where applicable) to CSV files, so the `scoded` CLI and any
+// external tooling can be exercised on them directly.
+//
+// Build & run:  ./build/examples/generate_datasets [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "datasets/boston.h"
+#include "datasets/car.h"
+#include "datasets/errors.h"
+#include "datasets/hockey.h"
+#include "datasets/hosp.h"
+#include "datasets/nebraska.h"
+#include "datasets/sensor.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace scoded;
+
+bool Write(const Table& table, const std::string& path) {
+  Status status = csv::WriteFile(table, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error writing %s: %s\n", path.c_str(), status.ToString().c_str());
+    return false;
+  }
+  std::printf("  %-36s %zu rows x %zu cols\n", path.c_str(), table.NumRows(),
+              table.NumColumns());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scoded;
+  std::string dir = argc > 1 ? argv[1] : "/tmp/scoded_datasets";
+  std::string mkdir = "mkdir -p " + dir;
+  if (std::system(mkdir.c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("writing datasets to %s:\n", dir.c_str());
+
+  // SENSOR: clean plus a variant with imputed T8 outliers.
+  SensorOptions sensor_options;
+  sensor_options.epochs = 2000;
+  Table sensor = GenerateSensorData(sensor_options).value();
+  if (!Write(sensor, dir + "/sensor.csv")) {
+    return 1;
+  }
+  InjectionOptions sensor_inject;
+  sensor_inject.rate = 0.1;
+  sensor_inject.based_on = "T8";
+  InjectionResult sensor_dirty = InjectImputationError(sensor, "T8", sensor_inject).value();
+  if (!Write(sensor_dirty.table, dir + "/sensor_dirty.csv")) {
+    return 1;
+  }
+
+  // BOSTON: clean plus a sorting-error variant on N.
+  Table boston = GenerateBostonData().value();
+  if (!Write(boston, dir + "/boston.csv")) {
+    return 1;
+  }
+  InjectionOptions boston_inject;
+  boston_inject.rate = 0.3;
+  InjectionResult boston_dirty = InjectSortingError(boston, "N", boston_inject).value();
+  if (!Write(boston_dirty.table, dir + "/boston_dirty.csv")) {
+    return 1;
+  }
+
+  // HOSP (errors are baked in by the generator).
+  HospOptions hosp_options;
+  hosp_options.rows = 10000;
+  HospData hosp = GenerateHospData(hosp_options).value();
+  if (!Write(hosp.table, dir + "/hospital.csv")) {
+    return 1;
+  }
+
+  // CAR.
+  if (!Write(GenerateCarData().value(), dir + "/car.csv")) {
+    return 1;
+  }
+
+  // HOCKEY (imputed GPM baked in).
+  HockeyData hockey = GenerateHockeyData().value();
+  if (!Write(hockey.table, dir + "/hockey.csv")) {
+    return 1;
+  }
+
+  // NEBRASKA (imputed Wind years and Sea outliers baked in).
+  NebraskaData nebraska = GenerateNebraskaData().value();
+  if (!Write(nebraska.table, dir + "/nebraska.csv")) {
+    return 1;
+  }
+
+  std::printf("\ntry:\n"
+              "  ./build/tools/scoded check  --csv %s/hospital.csv --sc \"Zip !_||_ City\"\n"
+              "  ./build/tools/scoded drill  --csv %s/boston_dirty.csv --sc \"N !_||_ D\" --k 50\n"
+              "  ./build/tools/scoded report --csv %s/nebraska.csv --sc \"Wind !_||_ Weather\" "
+              "--alpha 0.3\n",
+              dir.c_str(), dir.c_str(), dir.c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ML model-construction case study (Sec. 6.2, Figure 7).
+//
+// A data scientist building a Games-prediction model discovers the
+// counter-intuitive SC "Games strongly depends on GPM given DraftYear",
+// applies SCODED, and finds that the top-50 records are dominated by
+// pre-2000 players whose missing GPM was imputed with 0.
+//
+// Build & run:  ./build/examples/hockey_model_construction
+
+#include <cstdio>
+#include <set>
+
+#include "core/scoded.h"
+#include "datasets/hockey.h"
+#include "discovery/association.h"
+
+int main() {
+  using namespace scoded;
+
+  HockeyData data = GenerateHockeyData().value();
+  std::printf("hockey dataset: %zu players, %zu with imputed GPM\n",
+              data.table.NumRows(), data.imputed_rows.size());
+
+  // Exploratory profiling: the association matrix flags GPM !_||_ Games.
+  AssociationMatrix matrix = AssociationMatrix::Compute(data.table).value();
+  std::printf("\nassociation matrix (strength 0-9):\n%s\n", matrix.ToText().c_str());
+
+  Scoded system(data.table);
+  ApproximateSc asc{system.Parse("GPM !_||_ Games | DraftYear").value(), 0.05};
+  ViolationReport report = system.CheckViolation(asc).value();
+  std::printf("SC %s: p = %.3g (dependence %s)\n", asc.sc.ToString().c_str(), report.p_value,
+              report.violated ? "ABSENT -> violated" : "present");
+
+  // Drill down to the top-50 records regardless of significance, exactly
+  // as the case study does, and look for the pattern the analyst found.
+  DrillDownResult top50 = system.DrillDown(asc, 50).value();
+  size_t gpm_zero = 0;
+  size_t pre_2000 = 0;
+  size_t truly_imputed = 0;
+  std::set<size_t> imputed(data.imputed_rows.begin(), data.imputed_rows.end());
+  for (size_t row : top50.rows) {
+    double gpm = data.table.ColumnByName("GPM").NumericAt(row);
+    double year = data.table.ColumnByName("DraftYear").NumericAt(row);
+    gpm_zero += gpm == 0.0 ? 1 : 0;
+    pre_2000 += year <= 2000.0 ? 1 : 0;
+    truly_imputed += imputed.count(row);
+  }
+  std::printf("\ntop-50 drill-down pattern (cf. Figure 7):\n");
+  std::printf("  records with GPM == 0:        %zu / 50\n", gpm_zero);
+  std::printf("  records drafted <= 2000:      %zu / 50\n", pre_2000);
+  std::printf("  records actually imputed:     %zu / 50\n", truly_imputed);
+  std::printf("\nconclusion: the \"strong dependence\" is an imputation artefact —\n"
+              "the provider filled missing pre-2000 GPM values with 0.\n");
+  return 0;
+}

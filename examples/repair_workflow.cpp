@@ -1,0 +1,57 @@
+// Data repairing (the paper's Sec. 8 future-work extension): suggest the
+// top-k cell-value corrections that move a dataset toward satisfying an
+// approximate SC, rather than just flagging whole tuples.
+//
+// A hospital export with typo'd City cells is repaired against the
+// FD-derived DSC Zip ⊥̸ City, and the suggestions are checked against the
+// injected ground truth.
+//
+// Build & run:  ./build/examples/repair_workflow
+
+#include <cstdio>
+#include <set>
+
+#include "constraints/ic.h"
+#include "core/scoded.h"
+#include "datasets/hosp.h"
+#include "repair/cell_repair.h"
+
+int main() {
+  using namespace scoded;
+
+  HospOptions options;
+  options.rows = 4000;
+  options.num_zips = 120;
+  options.error_rate = 0.1;
+  options.lhs_error_fraction = 0.0;  // repairs target the City (RHS) cells
+  HospData data = GenerateHospData(options).value();
+  std::printf("hospital export: %zu rows, %zu typo'd City/State cells\n",
+              data.table.NumRows(), data.dirty_rows.size());
+
+  FunctionalDependency fd{{"Zip"}, {"City"}};
+  double before = FdApproximationRatio(data.table, fd).value();
+  std::printf("FD %s approximation ratio before repair: %.3f\n", fd.ToString().c_str(), before);
+
+  ApproximateSc asc{FdToDsc(fd), 0.05};
+  RepairPlan plan = SuggestCellRepairs(data.table, asc, data.dirty_rows.size()).value();
+  std::printf("\nsuggested %zu repairs (first 8):\n", plan.repairs.size());
+  for (size_t i = 0; i < plan.repairs.size() && i < 8; ++i) {
+    std::printf("  %s  (improvement %.1f)\n", plan.repairs[i].ToString(data.table).c_str(),
+                plan.repairs[i].improvement);
+  }
+
+  std::set<size_t> truth(data.dirty_rows.begin(), data.dirty_rows.end());
+  size_t hits = 0;
+  for (const CellRepair& repair : plan.repairs) {
+    hits += truth.count(repair.row);
+  }
+  std::printf("\nrepair precision: %zu / %zu suggestions touch truly corrupted rows\n", hits,
+              plan.repairs.size());
+
+  Table fixed = ApplyRepairs(data.table, plan.repairs).value();
+  double after = FdApproximationRatio(fixed, fd).value();
+  std::printf("FD approximation ratio after repair: %.3f (was %.3f)\n", after, before);
+  std::printf("dependence statistic: %.1f -> %.1f\n", plan.initial_statistic,
+              plan.final_statistic);
+  return 0;
+}

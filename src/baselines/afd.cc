@@ -1,0 +1,52 @@
+#include "baselines/afd.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "table/group_by.h"
+
+namespace scoded {
+
+Result<std::vector<int64_t>> AfdDetector::ViolationCounts(const Table& table) const {
+  std::vector<int64_t> totals(table.NumRows(), 0);
+  for (const FunctionalDependency& fd : fds_) {
+    std::vector<int> lhs;
+    std::vector<int> rhs;
+    for (const std::string& name : fd.lhs) {
+      SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+      lhs.push_back(index);
+    }
+    for (const std::string& name : fd.rhs) {
+      SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+      rhs.push_back(index);
+    }
+    // Within each LHS group, a record disagrees with every record holding a
+    // different RHS value.
+    GroupByResult lhs_groups = GroupRows(table, lhs);
+    for (const std::vector<size_t>& group : lhs_groups.groups) {
+      if (group.size() < 2) {
+        continue;
+      }
+      GroupByResult rhs_groups = GroupRows(table, rhs, group);
+      for (const std::vector<size_t>& same : rhs_groups.groups) {
+        int64_t disagree = static_cast<int64_t>(group.size() - same.size());
+        for (size_t row : same) {
+          totals[row] += disagree;
+        }
+      }
+    }
+  }
+  return totals;
+}
+
+Result<std::vector<size_t>> AfdDetector::Rank(const Table& table, size_t max_rank) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int64_t> counts, ViolationCounts(table));
+  std::vector<size_t> order(counts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return counts[a] > counts[b]; });
+  order.resize(std::min(max_rank, order.size()));
+  return order;
+}
+
+}  // namespace scoded

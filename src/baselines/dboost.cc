@@ -1,0 +1,329 @@
+#include "baselines/dboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace scoded {
+
+namespace {
+
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+MeanStd FitGaussian(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) {
+    return out;
+  }
+  out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) {
+    ss += (v - out.mean) * (v - out.mean);
+  }
+  out.std = std::sqrt(ss / static_cast<double>(values.size()));
+  return out;
+}
+
+// 1-D Gaussian mixture fit by EM with k-means++-style seeding.
+struct Gmm {
+  std::vector<double> weight;
+  std::vector<double> mean;
+  std::vector<double> std;
+
+  double Density(double x) const {
+    double total = 0.0;
+    for (size_t k = 0; k < weight.size(); ++k) {
+      double s = std::max(std[k], 1e-9);
+      double z = (x - mean[k]) / s;
+      total += weight[k] * NormalPdf(z) / s;
+    }
+    return total;
+  }
+};
+
+Gmm FitGmm(const std::vector<double>& values, int components, int iterations, Rng& rng) {
+  Gmm gmm;
+  size_t n = values.size();
+  int k = std::max(1, components);
+  if (n == 0) {
+    gmm.weight.assign(static_cast<size_t>(k), 1.0 / k);
+    gmm.mean.assign(static_cast<size_t>(k), 0.0);
+    gmm.std.assign(static_cast<size_t>(k), 1.0);
+    return gmm;
+  }
+  MeanStd overall = FitGaussian(values);
+  double spread = std::max(overall.std, 1e-6);
+  gmm.weight.assign(static_cast<size_t>(k), 1.0 / k);
+  gmm.mean.resize(static_cast<size_t>(k));
+  gmm.std.assign(static_cast<size_t>(k), spread);
+  for (int c = 0; c < k; ++c) {
+    gmm.mean[static_cast<size_t>(c)] =
+        values[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+  }
+  std::vector<double> resp(n * static_cast<size_t>(k));
+  for (int iter = 0; iter < iterations; ++iter) {
+    // E step.
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (int c = 0; c < k; ++c) {
+        double s = std::max(gmm.std[static_cast<size_t>(c)], 1e-9);
+        double z = (values[i] - gmm.mean[static_cast<size_t>(c)]) / s;
+        double d = gmm.weight[static_cast<size_t>(c)] * NormalPdf(z) / s;
+        resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)] = d;
+        total += d;
+      }
+      if (total <= 0.0) {
+        for (int c = 0; c < k; ++c) {
+          resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)] = 1.0 / k;
+        }
+      } else {
+        for (int c = 0; c < k; ++c) {
+          resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)] /= total;
+        }
+      }
+    }
+    // M step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0;
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double r = resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)];
+        nk += r;
+        sum += r * values[i];
+      }
+      if (nk < 1e-12) {
+        continue;  // dead component; keep its parameters
+      }
+      double mean = sum / nk;
+      double ss = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double r = resp[i * static_cast<size_t>(k) + static_cast<size_t>(c)];
+        ss += r * (values[i] - mean) * (values[i] - mean);
+      }
+      gmm.weight[static_cast<size_t>(c)] = nk / static_cast<double>(n);
+      gmm.mean[static_cast<size_t>(c)] = mean;
+      gmm.std[static_cast<size_t>(c)] = std::max(std::sqrt(ss / nk), 1e-6 * spread);
+    }
+  }
+  return gmm;
+}
+
+}  // namespace
+
+std::string_view DboostModelToString(DboostModel model) {
+  switch (model) {
+    case DboostModel::kGaussian:
+      return "Gaussian";
+    case DboostModel::kGmm:
+      return "GMM";
+    case DboostModel::kHistogram:
+      return "Histogram";
+    case DboostModel::kPairHistogram:
+      return "PairHistogram";
+  }
+  return "unknown";
+}
+
+Result<std::vector<double>> Dboost::Scores(const Table& table) const {
+  size_t n = table.NumRows();
+  std::vector<double> scores(n, 0.0);
+  Rng rng(options_.seed);
+
+  std::vector<int> columns;
+  if (options_.columns.empty()) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      columns.push_back(static_cast<int>(c));
+    }
+  } else {
+    for (const std::string& name : options_.columns) {
+      SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+      columns.push_back(index);
+    }
+  }
+
+  // Per-column bin assignment shared by the histogram-family models.
+  auto bin_rows = [&](const Column& column) {
+    std::vector<int> bin_of_row(n, -1);
+    if (column.type() == ColumnType::kNumeric) {
+      double lo = 0.0;
+      double hi = 0.0;
+      bool first = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (column.IsNull(i)) {
+          continue;
+        }
+        double v = column.NumericAt(i);
+        lo = first ? v : std::min(lo, v);
+        hi = first ? v : std::max(hi, v);
+        first = false;
+      }
+      double width = (hi - lo) / std::max(1, options_.histogram_bins);
+      for (size_t i = 0; i < n; ++i) {
+        if (column.IsNull(i)) {
+          continue;
+        }
+        bin_of_row[i] = width > 0.0 ? std::min(options_.histogram_bins - 1,
+                                               static_cast<int>((column.NumericAt(i) - lo) / width))
+                                    : 0;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!column.IsNull(i)) {
+          bin_of_row[i] = column.CodeAt(i);
+        }
+      }
+    }
+    return bin_of_row;
+  };
+
+  if (options_.model == DboostModel::kPairHistogram) {
+    // Joint-bin frequencies over every column pair: rare combinations are
+    // suspicious even when both marginals are common.
+    for (size_t a = 0; a < columns.size(); ++a) {
+      std::vector<int> bins_a = bin_rows(table.column(static_cast<size_t>(columns[a])));
+      for (size_t b = a + 1; b < columns.size(); ++b) {
+        std::vector<int> bins_b = bin_rows(table.column(static_cast<size_t>(columns[b])));
+        std::map<std::pair<int, int>, int64_t> joint;
+        int64_t total = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (bins_a[i] >= 0 && bins_b[i] >= 0) {
+            ++joint[{bins_a[i], bins_b[i]}];
+            ++total;
+          }
+        }
+        if (total == 0) {
+          continue;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (bins_a[i] < 0 || bins_b[i] < 0) {
+            continue;
+          }
+          double freq = static_cast<double>(joint[{bins_a[i], bins_b[i]}]) /
+                        static_cast<double>(total);
+          scores[i] = std::max(scores[i], -std::log(std::max(freq, 1e-12)));
+        }
+      }
+    }
+    return scores;
+  }
+
+  for (int col : columns) {
+    const Column& column = table.column(static_cast<size_t>(col));
+    bool numeric = column.type() == ColumnType::kNumeric;
+    if (options_.model != DboostModel::kHistogram && !numeric) {
+      continue;  // Gaussian/GMM only model numeric columns
+    }
+    if (options_.model == DboostModel::kHistogram) {
+      // Bin frequencies; rare bins get high scores.
+      std::vector<int> bin_of_row(n, -1);
+      size_t num_bins = 0;
+      if (numeric) {
+        double lo = 0.0;
+        double hi = 0.0;
+        bool first = true;
+        for (size_t i = 0; i < n; ++i) {
+          if (column.IsNull(i)) {
+            continue;
+          }
+          double v = column.NumericAt(i);
+          lo = first ? v : std::min(lo, v);
+          hi = first ? v : std::max(hi, v);
+          first = false;
+        }
+        double width = (hi - lo) / std::max(1, options_.histogram_bins);
+        num_bins = static_cast<size_t>(std::max(1, options_.histogram_bins));
+        for (size_t i = 0; i < n; ++i) {
+          if (column.IsNull(i)) {
+            continue;
+          }
+          int bin = width > 0.0
+                        ? std::min(options_.histogram_bins - 1,
+                                   static_cast<int>((column.NumericAt(i) - lo) / width))
+                        : 0;
+          bin_of_row[i] = bin;
+        }
+      } else {
+        num_bins = column.NumCategories();
+        for (size_t i = 0; i < n; ++i) {
+          if (!column.IsNull(i)) {
+            bin_of_row[i] = column.CodeAt(i);
+          }
+        }
+      }
+      std::vector<int64_t> counts(std::max<size_t>(num_bins, 1), 0);
+      int64_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (bin_of_row[i] >= 0) {
+          ++counts[static_cast<size_t>(bin_of_row[i])];
+          ++total;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (bin_of_row[i] < 0 || total == 0) {
+          continue;
+        }
+        double freq = static_cast<double>(counts[static_cast<size_t>(bin_of_row[i])]) /
+                      static_cast<double>(total);
+        scores[i] = std::max(scores[i], -std::log(std::max(freq, 1e-12)));
+      }
+      continue;
+    }
+
+    // Numeric values for Gaussian/GMM.
+    std::vector<double> values;
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (!column.IsNull(i)) {
+        values.push_back(column.NumericAt(i));
+        positions.push_back(i);
+      }
+    }
+    if (values.size() < 2) {
+      continue;
+    }
+    if (options_.model == DboostModel::kGaussian) {
+      MeanStd fit = FitGaussian(values);
+      if (fit.std <= 0.0) {
+        continue;
+      }
+      for (size_t i = 0; i < values.size(); ++i) {
+        double z = std::fabs(values[i] - fit.mean) / fit.std;
+        scores[positions[i]] = std::max(scores[positions[i]], z);
+      }
+    } else {
+      Gmm gmm = FitGmm(values, options_.gmm_components, options_.em_iterations, rng);
+      for (size_t i = 0; i < values.size(); ++i) {
+        double density = gmm.Density(values[i]);
+        // Below-threshold densities are outliers; score is -log density so
+        // rarer points rank higher. (The threshold mirrors dBoost's
+        // `n_subpops 3, 0.001` configuration from the paper.)
+        double score = -std::log(std::max(density, 1e-300));
+        if (density >= options_.gmm_threshold) {
+          score *= 0.01;  // de-emphasise points the model finds typical
+        }
+        scores[positions[i]] = std::max(scores[positions[i]], score);
+      }
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<size_t>> Dboost::Rank(const Table& table, size_t max_rank) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<double> scores, Scores(table));
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  order.resize(std::min(max_rank, order.size()));
+  return order;
+}
+
+}  // namespace scoded

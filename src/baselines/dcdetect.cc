@@ -1,0 +1,80 @@
+#include "baselines/dcdetect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scoded {
+
+namespace {
+
+std::vector<size_t> RankByScore(const std::vector<double>& scores, size_t max_rank) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  order.resize(std::min(max_rank, order.size()));
+  return order;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> DcDetect::ViolationCounts(const Table& table) const {
+  std::vector<int64_t> totals(table.NumRows(), 0);
+  for (const DenialConstraint& dc : constraints_) {
+    SCODED_ASSIGN_OR_RETURN(std::vector<int64_t> counts, CountDcViolationsPerRecord(table, dc));
+    for (size_t i = 0; i < counts.size(); ++i) {
+      totals[i] += counts[i];
+    }
+  }
+  return totals;
+}
+
+Result<std::vector<size_t>> DcDetect::Rank(const Table& table, size_t max_rank) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int64_t> counts, ViolationCounts(table));
+  std::vector<double> scores(counts.begin(), counts.end());
+  return RankByScore(scores, max_rank);
+}
+
+Result<std::vector<double>> DcDetectHc::Scores(const Table& table) const {
+  size_t n = table.NumRows();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) {
+    return scores;
+  }
+  // With a single constraint there is nothing to reason about jointly:
+  // HoloClean's inference degenerates and the ranking equals DCDetect's
+  // (the Fig. 9(a) observation).
+  if (constraints_.size() == 1) {
+    SCODED_ASSIGN_OR_RETURN(std::vector<int64_t> counts,
+                            CountDcViolationsPerRecord(table, constraints_[0]));
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = static_cast<double>(counts[i]);
+    }
+    return scores;
+  }
+  // Multiple constraints: blame attribution per constraint (a violating
+  // pair blames the partner with more total conflicts, exonerating the
+  // likely-clean one), normalised per constraint so that constraints with
+  // very different violation scales contribute comparably, then summed.
+  for (const DenialConstraint& dc : constraints_) {
+    SCODED_ASSIGN_OR_RETURN(std::vector<double> blame, AttributeDcViolations(table, dc));
+    double mean = 0.0;
+    for (double b : blame) {
+      mean += b;
+    }
+    mean /= static_cast<double>(n);
+    double scale = std::max(mean, 1e-9);
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] += blame[i] / scale;
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<size_t>> DcDetectHc::Rank(const Table& table, size_t max_rank) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<double> scores, Scores(table));
+  return RankByScore(scores, max_rank);
+}
+
+}  // namespace scoded

@@ -1,0 +1,30 @@
+#ifndef SCODED_BASELINES_DETECTOR_H_
+#define SCODED_BASELINES_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Common interface of every top-k error detector in the evaluation
+/// (SCODED and all baselines): given a dataset, produce a suspicion
+/// ranking of record ids, most suspicious first. Precision/recall@K are
+/// computed from ranking prefixes, exactly as in Sec. 6.1 "Quality
+/// Measurement".
+class ErrorDetector {
+ public:
+  virtual ~ErrorDetector() = default;
+
+  /// Display name used in benchmark tables ("SCODED", "DCDetect", ...).
+  virtual std::string Name() const = 0;
+
+  /// Returns up to `max_rank` record ids, most suspicious first.
+  virtual Result<std::vector<size_t>> Rank(const Table& table, size_t max_rank) = 0;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_BASELINES_DETECTOR_H_

@@ -1,0 +1,36 @@
+#ifndef SCODED_COMMON_CHECK_H_
+#define SCODED_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// Runtime invariant checks. `SCODED_CHECK` is always on; `SCODED_DCHECK`
+/// compiles out in NDEBUG builds. Both abort on failure: they guard
+/// programming errors, not user input (user input goes through Status).
+#define SCODED_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": "  \
+                << #cond << std::endl;                                        \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#define SCODED_CHECK_MSG(cond, msg)                                           \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__ << ": "  \
+                << #cond << " — " << (msg) << std::endl;                      \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define SCODED_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SCODED_DCHECK(cond) SCODED_CHECK(cond)
+#endif
+
+#endif  // SCODED_COMMON_CHECK_H_

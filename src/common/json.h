@@ -1,0 +1,52 @@
+#ifndef SCODED_COMMON_JSON_H_
+#define SCODED_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scoded {
+
+/// Minimal streaming JSON writer (output only) for machine-readable CLI
+/// output and report generation. Produces compact, valid JSON; callers
+/// drive the structure (no DOM). Keys and string values are escaped per
+/// RFC 8259; non-finite doubles serialise as null.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("violated").Bool(true);
+///   json.Key("rows").BeginArray().Int(3).Int(7).EndArray();
+///   json.EndObject();
+///   std::string text = json.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escape(std::string_view value);
+
+  std::string out_;
+  // Whether the next emission at the current nesting level needs a comma.
+  std::string need_comma_stack_ = "0";  // one char per depth: '0' or '1'
+  bool after_key_ = false;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_COMMON_JSON_H_

@@ -1,0 +1,248 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+// Series expansion of P(a, x), effective for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x) (modified Lentz), effective for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double RegularizedGammaP(double a, double x) {
+  SCODED_CHECK(a > 0.0);
+  SCODED_CHECK(x >= 0.0);
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  SCODED_CHECK(a > 0.0);
+  SCODED_CHECK(x >= 0.0);
+  if (x == 0.0) {
+    return 1.0;
+  }
+  if (x < a + 1.0) {
+    return 1.0 - GammaPSeries(a, x);
+  }
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquaredCdf(double x, double dof) {
+  SCODED_CHECK(dof > 0.0);
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double ChiSquaredSf(double x, double dof) {
+  SCODED_CHECK(dof > 0.0);
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+double NormalPdf(double z) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double NormalCdf(double z) {
+  // erfc gives full double precision in both tails.
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double NormalTwoSidedP(double z) {
+  double p = std::erfc(std::fabs(z) / std::sqrt(2.0));
+  return p > 1.0 ? 1.0 : p;
+}
+
+double NormalQuantile(double p) {
+  SCODED_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  double x;
+  if (p < kLow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kLow) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta (modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) {
+    d = kTiny;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    double dm = static_cast<double>(m);
+    double aa = dm * (b - dm) * x / ((qam + 2.0 * dm) * (a + 2.0 * dm));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + 2.0 * dm) * (qap + 2.0 * dm));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SCODED_CHECK(a > 0.0 && b > 0.0);
+  SCODED_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x == 1.0) {
+    return 1.0;
+  }
+  double log_front =
+      LogGamma(a + b) - LogGamma(a) - LogGamma(b) + a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedP(double t, double dof) {
+  SCODED_CHECK(dof > 0.0);
+  double x = dof / (dof + t * t);
+  return RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+}
+
+double Log2Safe(double x) {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  return std::log2(x);
+}
+
+double BinomialCoefficient(int64_t n, int64_t k) {
+  if (k < 0 || k > n) {
+    return 0.0;
+  }
+  if (k == 0 || k == n) {
+    return 1.0;
+  }
+  return std::exp(LogGamma(static_cast<double>(n) + 1.0) -
+                  LogGamma(static_cast<double>(k) + 1.0) -
+                  LogGamma(static_cast<double>(n - k) + 1.0));
+}
+
+}  // namespace scoded

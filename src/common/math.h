@@ -1,0 +1,56 @@
+#ifndef SCODED_COMMON_MATH_H_
+#define SCODED_COMMON_MATH_H_
+
+#include <cstdint>
+
+namespace scoded {
+
+/// Special functions backing the closed-form p-value approximations in the
+/// statistics engine (χ² for the G-test, Gaussian for Kendall's τ).
+/// Implementations follow the standard series / continued-fraction
+/// expansions (Abramowitz & Stegun §6.5, Numerical Recipes §6.2).
+
+/// Natural log of the gamma function.
+double LogGamma(double x);
+
+/// Regularised lower incomplete gamma function P(a, x) = γ(a,x)/Γ(a).
+/// Requires a > 0, x >= 0. Accurate to ~1e-12 across the tested range.
+double RegularizedGammaP(double a, double x);
+
+/// Regularised upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// χ² distribution with `dof` degrees of freedom: CDF and survival
+/// function (upper tail). `dof` must be positive.
+double ChiSquaredCdf(double x, double dof);
+double ChiSquaredSf(double x, double dof);
+
+/// Standard normal distribution: density, CDF, survival, and two-sided
+/// tail probability P(|Z| >= |z|).
+double NormalPdf(double z);
+double NormalCdf(double z);
+double NormalSf(double z);
+double NormalTwoSidedP(double z);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// refined with one Halley step; |error| < 1e-12). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Regularised incomplete beta function I_x(a, b). Requires a, b > 0 and
+/// x in [0, 1]. Continued-fraction evaluation (Numerical Recipes §6.4).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Student's t distribution with `dof` degrees of freedom: two-sided tail
+/// probability P(|T| >= |t|).
+double StudentTTwoSidedP(double t, double dof);
+
+/// log2 that maps 0 -> 0, used in entropy/MI sums where 0·log 0 := 0.
+double Log2Safe(double x);
+
+/// Binomial coefficient as a double (exact for small arguments, otherwise
+/// computed via log-gamma). Returns 0 when k < 0 or k > n.
+double BinomialCoefficient(int64_t n, int64_t k);
+
+}  // namespace scoded
+
+#endif  // SCODED_COMMON_MATH_H_

@@ -1,0 +1,102 @@
+#ifndef SCODED_COMMON_RESULT_H_
+#define SCODED_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace scoded {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+/// This is the library's exception-free analogue of `absl::StatusOr<T>`.
+///
+/// Usage:
+///
+///   Result<Table> table = csv::ReadFile(path);
+///   if (!table.ok()) return table.status();
+///   Use(table.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding an error. `status` must not be OK; an OK
+  /// status is converted to an internal error to preserve the invariant that
+  /// a Result without a value always carries an error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the contained status: OK when a value is present.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the contained value. Aborts the process if `!ok()` — callers
+  /// must check `ok()` first (or use `value_or`).
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      std::cerr << "Result::value() called on error result: " << status_ << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace scoded
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns
+/// the error status from the enclosing function.
+#define SCODED_ASSIGN_OR_RETURN(lhs, expr) \
+  SCODED_ASSIGN_OR_RETURN_IMPL_(SCODED_MACRO_CONCAT_(scoded_result_tmp_, __LINE__), lhs, expr)
+
+#define SCODED_MACRO_CONCAT_INNER_(a, b) a##b
+#define SCODED_MACRO_CONCAT_(a, b) SCODED_MACRO_CONCAT_INNER_(a, b)
+#define SCODED_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#endif  // SCODED_COMMON_RESULT_H_

@@ -1,0 +1,88 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace scoded {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += separator;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<double> ParseDouble(std::string_view input) {
+  std::string_view trimmed = Trim(input);
+  if (trimmed.empty()) {
+    return std::nullopt;
+  }
+  // std::from_chars for double is not universally available; strtod on a
+  // NUL-terminated copy is portable and exact.
+  std::string buffer(trimmed);
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<int64_t> ParseInt(std::string_view input) {
+  std::string_view trimmed = Trim(input);
+  if (trimmed.empty()) {
+    return std::nullopt;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace scoded

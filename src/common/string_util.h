@@ -1,0 +1,35 @@
+#ifndef SCODED_COMMON_STRING_UTIL_H_
+#define SCODED_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scoded {
+
+/// Splits `input` on `delimiter`, keeping empty fields. "a,,b" -> {a,"",b}.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Parses a double; returns nullopt when the whole trimmed string is not a
+/// valid floating-point literal.
+std::optional<double> ParseDouble(std::string_view input);
+
+/// Parses a 64-bit integer; returns nullopt on malformed input.
+std::optional<int64_t> ParseInt(std::string_view input);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view input);
+
+}  // namespace scoded
+
+#endif  // SCODED_COMMON_STRING_UTIL_H_

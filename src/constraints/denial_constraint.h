@@ -1,0 +1,81 @@
+#ifndef SCODED_CONSTRAINTS_DENIAL_CONSTRAINT_H_
+#define SCODED_CONSTRAINTS_DENIAL_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Comparison operators available in denial-constraint predicates.
+enum class CompareOp {
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// One predicate `t<left_tuple>.<left_column> <op> t<right_tuple>.<right_column>`
+/// over a pair of tuples (tuple indices are 0 or 1).
+struct DcPredicate {
+  int left_tuple = 0;
+  std::string left_column;
+  CompareOp op = CompareOp::kEq;
+  int right_tuple = 1;
+  std::string right_column;
+};
+
+/// A denial constraint: ∀ t0, t1 ∈ D, t0 ≠ t1 : ¬(p1 ∧ p2 ∧ ... ∧ pm).
+/// A pair of records *violates* the DC when every predicate holds.
+/// This is the constraint language of the DCDetect baseline (Sec. 6.1,
+/// Table 3).
+struct DenialConstraint {
+  std::vector<DcPredicate> predicates;
+
+  std::string ToString() const;
+};
+
+/// Builders for the two-tuple order/equality DCs used in Table 3, e.g.
+/// ¬(t0.A > t1.A ∧ t0.B <= t1.B):
+DenialConstraint MakeOrderDc(const std::string& a, const std::string& b);
+/// ¬(t0.C = t1.C ∧ t0.A > t1.A ∧ t0.B <= t1.B) — the conditional variant.
+DenialConstraint MakeConditionalOrderDc(const std::string& cond, const std::string& a,
+                                        const std::string& b);
+/// ¬(t0.X = t1.X ∧ t0.Y != t1.Y) — the FD X -> Y as a DC.
+DenialConstraint MakeFdDc(const std::string& lhs, const std::string& rhs);
+
+/// Evaluates whether the ordered pair (r0, r1) violates the DC (all
+/// predicates true). Cells compare as doubles for numeric columns and by
+/// dictionary string equality for categorical ones; order comparisons on
+/// categorical columns compare strings lexicographically. Nulls never
+/// satisfy a predicate.
+Result<bool> PairViolatesDc(const Table& table, const DenialConstraint& dc, size_t r0, size_t r1);
+
+/// For each record, the number of *other* records it forms a violating
+/// pair with (in either orientation). Generic O(n²) evaluation with an
+/// O(n log n) fast path for the FD-shaped DC. This is exactly the record
+/// ranking DCDetect uses.
+Result<std::vector<int64_t>> CountDcViolationsPerRecord(const Table& table,
+                                                        const DenialConstraint& dc);
+
+/// Total number of violating unordered pairs.
+Result<int64_t> CountDcViolatingPairs(const Table& table, const DenialConstraint& dc);
+
+/// HoloClean-style blame attribution: every violating pair {r, s}
+/// contributes c(r)/(c(r)+c(s)) to r's score and the complement to s's,
+/// where c(·) are the raw violation counts — so a record in conflict with
+/// many others absorbs the blame, while its (likely clean) partners are
+/// exonerated. Used by the DCDetect+HC baseline.
+Result<std::vector<double>> AttributeDcViolations(const Table& table,
+                                                  const DenialConstraint& dc);
+
+}  // namespace scoded
+
+#endif  // SCODED_CONSTRAINTS_DENIAL_CONSTRAINT_H_

@@ -1,0 +1,259 @@
+#include "constraints/graphoid.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+constexpr size_t kClosureLimit = 500000;
+
+uint64_t PackTriple(const CiTriple& t) {
+  return (static_cast<uint64_t>(t.x) << 32) | (static_cast<uint64_t>(t.y) << 16) |
+         static_cast<uint64_t>(t.z);
+}
+
+// Enumerates all non-empty proper sub-masks of `mask` (i.e. excluding
+// `mask` itself and 0).
+template <typename Fn>
+void ForEachProperSubmask(uint16_t mask, Fn&& fn) {
+  for (uint16_t sub = static_cast<uint16_t>((mask - 1) & mask); sub != 0;
+       sub = static_cast<uint16_t>((sub - 1) & mask)) {
+    fn(sub);
+  }
+}
+
+// Collects the two oriented readings (A ⊥ B | Z) of a canonical triple.
+struct Oriented {
+  uint16_t a;
+  uint16_t b;
+  uint16_t z;
+};
+
+void Orientations(const CiTriple& t, Oriented out[2]) {
+  out[0] = {t.x, t.y, t.z};
+  out[1] = {t.y, t.x, t.z};
+}
+
+}  // namespace
+
+CiTriple NormalizeTriple(uint16_t x, uint16_t y, uint16_t z) {
+  SCODED_CHECK(x != 0 && y != 0);
+  SCODED_CHECK((x & y) == 0 && (x & z) == 0 && (y & z) == 0);
+  CiTriple t;
+  if (x <= y) {
+    t.x = x;
+    t.y = y;
+  } else {
+    t.x = y;
+    t.y = x;
+  }
+  t.z = z;
+  return t;
+}
+
+std::vector<CiTriple> SemiGraphoidClosure(std::vector<CiTriple> triples, int num_vars) {
+  SCODED_CHECK(num_vars >= 0 && num_vars <= 16);
+  std::unordered_set<uint64_t> seen;
+  std::vector<CiTriple> closure;
+  std::deque<CiTriple> worklist;
+
+  auto add = [&](uint16_t x, uint16_t y, uint16_t z) {
+    if (x == 0 || y == 0) {
+      return;
+    }
+    CiTriple t = NormalizeTriple(x, y, z);
+    if (seen.insert(PackTriple(t)).second) {
+      closure.push_back(t);
+      worklist.push_back(t);
+    }
+  };
+
+  for (const CiTriple& t : triples) {
+    add(t.x, t.y, t.z);
+  }
+
+  while (!worklist.empty()) {
+    if (closure.size() > kClosureLimit) {
+      break;  // safety valve; callers treat the closure as best-effort then
+    }
+    CiTriple t = worklist.front();
+    worklist.pop_front();
+    Oriented oriented[2];
+    Orientations(t, oriented);
+    for (const Oriented& o : oriented) {
+      // Decomposition: (A ⊥ B | Z) and B' ⊂ B gives (A ⊥ B' | Z).
+      ForEachProperSubmask(o.b, [&](uint16_t sub) { add(o.a, sub, o.z); });
+      // Weak union: (A ⊥ B'∪W | Z) gives (A ⊥ B' | Z∪W).
+      ForEachProperSubmask(o.b, [&](uint16_t sub) {
+        uint16_t w = static_cast<uint16_t>(o.b & ~sub);
+        add(o.a, sub, static_cast<uint16_t>(o.z | w));
+      });
+    }
+    // Contraction: (A ⊥ B | Z) & (A ⊥ W | Z∪B) gives (A ⊥ B∪W | Z).
+    // Scan the current closure for partners (both orientations of each).
+    size_t snapshot = closure.size();
+    for (size_t i = 0; i < snapshot; ++i) {
+      CiTriple u = closure[i];
+      Oriented u_oriented[2];
+      Orientations(u, u_oriented);
+      for (const Oriented& a : oriented) {
+        for (const Oriented& b : u_oriented) {
+          if (a.a != b.a) {
+            continue;
+          }
+          // a: (A ⊥ B | Z), b: (A ⊥ W | Z') with Z' = Z ∪ B.
+          if (b.z == static_cast<uint16_t>(a.z | a.b) && (b.b & (a.b | a.z | a.a)) == 0) {
+            add(a.a, static_cast<uint16_t>(a.b | b.b), a.z);
+          }
+          if (a.z == static_cast<uint16_t>(b.z | b.b) && (a.b & (b.b | b.z | b.a)) == 0) {
+            add(b.a, static_cast<uint16_t>(b.b | a.b), b.z);
+          }
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+Result<std::vector<StatisticalConstraint>> MinimizeConstraints(
+    const std::vector<StatisticalConstraint>& constraints) {
+  // Shared variable-id assignment (mirrors CheckConsistency).
+  std::map<std::string, int> var_ids;
+  auto mask_of = [&](const std::vector<std::string>& names) -> uint16_t {
+    uint16_t mask = 0;
+    for (const std::string& name : names) {
+      auto it = var_ids.find(name);
+      int id;
+      if (it != var_ids.end()) {
+        id = it->second;
+      } else {
+        id = static_cast<int>(var_ids.size());
+        var_ids.emplace(name, id);
+      }
+      mask = static_cast<uint16_t>(mask | (1u << id));
+    }
+    return mask;
+  };
+  struct Entry {
+    CiTriple triple;
+    bool independence;
+  };
+  std::vector<Entry> entries;
+  for (const StatisticalConstraint& sc : constraints) {
+    if (sc.x.empty() || sc.y.empty()) {
+      return InvalidArgumentError("constraint with empty X or Y: " + sc.ToString());
+    }
+    uint16_t x = mask_of(sc.x);
+    uint16_t y = mask_of(sc.y);
+    uint16_t z = mask_of(sc.z);
+    if ((x & y) != 0 || (x & z) != 0 || (y & z) != 0) {
+      return InvalidArgumentError("constraint sets overlap: " + sc.ToString());
+    }
+    if (var_ids.size() > 16) {
+      return InvalidArgumentError("MinimizeConstraints supports at most 16 variables");
+    }
+    entries.push_back({NormalizeTriple(x, y, z), sc.is_independence()});
+  }
+
+  // Greedy irredundant cover: drop constraint i only when it is derivable
+  // from the closure of the constraints *still alive* — checking against
+  // "all others" instead would delete both members of a mutually-derivable
+  // pair and change the semantics.
+  std::vector<bool> alive(constraints.size(), true);
+  std::set<CiTriple> seen_dependence;
+  int num_vars = static_cast<int>(var_ids.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Entry& entry = entries[i];
+    if (!entry.independence) {
+      if (!seen_dependence.insert(entry.triple).second) {
+        alive[i] = false;  // duplicate DSC
+      }
+      continue;
+    }
+    std::vector<CiTriple> others;
+    for (size_t j = 0; j < constraints.size(); ++j) {
+      if (j != i && alive[j] && entries[j].independence) {
+        others.push_back(entries[j].triple);
+      }
+    }
+    std::vector<CiTriple> closure = SemiGraphoidClosure(others, num_vars);
+    if (std::find(closure.begin(), closure.end(), entry.triple) != closure.end()) {
+      alive[i] = false;
+    }
+  }
+  std::vector<StatisticalConstraint> kept;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (alive[i]) {
+      kept.push_back(constraints[i]);
+    }
+  }
+  return kept;
+}
+
+Result<ConsistencyReport> CheckConsistency(
+    const std::vector<StatisticalConstraint>& constraints) {
+  // Assign variable ids.
+  std::map<std::string, int> var_ids;
+  auto id_of = [&](const std::string& name) -> int {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) {
+      return it->second;
+    }
+    int id = static_cast<int>(var_ids.size());
+    var_ids.emplace(name, id);
+    return id;
+  };
+  auto mask_of = [&](const std::vector<std::string>& names) -> uint16_t {
+    uint16_t mask = 0;
+    for (const std::string& name : names) {
+      mask = static_cast<uint16_t>(mask | (1u << id_of(name)));
+    }
+    return mask;
+  };
+
+  std::vector<CiTriple> independencies;
+  std::vector<std::pair<CiTriple, std::string>> dependencies;
+  for (const StatisticalConstraint& sc : constraints) {
+    if (sc.x.empty() || sc.y.empty()) {
+      return InvalidArgumentError("constraint with empty X or Y: " + sc.ToString());
+    }
+    uint16_t x = mask_of(sc.x);
+    uint16_t y = mask_of(sc.y);
+    uint16_t z = mask_of(sc.z);
+    if ((x & y) != 0 || (x & z) != 0 || (y & z) != 0) {
+      return InvalidArgumentError("constraint sets overlap: " + sc.ToString());
+    }
+    if (var_ids.size() > 16) {
+      return InvalidArgumentError("consistency checking supports at most 16 variables");
+    }
+    CiTriple t = NormalizeTriple(x, y, z);
+    if (sc.is_independence()) {
+      independencies.push_back(t);
+    } else {
+      dependencies.emplace_back(t, sc.ToString());
+    }
+  }
+
+  ConsistencyReport report;
+  std::vector<CiTriple> closure =
+      SemiGraphoidClosure(independencies, static_cast<int>(var_ids.size()));
+  report.closure_size = closure.size();
+  std::set<CiTriple> closure_set(closure.begin(), closure.end());
+  for (const auto& [triple, text] : dependencies) {
+    if (closure_set.count(triple) > 0) {
+      report.consistent = false;
+      report.conflicts.push_back("dependence SC '" + text +
+                                 "' contradicts the graphoid closure of the independence SCs");
+    }
+  }
+  return report;
+}
+
+}  // namespace scoded

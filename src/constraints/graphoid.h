@@ -1,0 +1,79 @@
+#ifndef SCODED_CONSTRAINTS_GRAPHOID_H_
+#define SCODED_CONSTRAINTS_GRAPHOID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/sc.h"
+
+namespace scoded {
+
+/// A canonical conditional-independence triple over at most 16 variables,
+/// encoded as disjoint bitmasks. Symmetry is normalised away (x <= y).
+struct CiTriple {
+  uint16_t x = 0;
+  uint16_t y = 0;
+  uint16_t z = 0;
+
+  friend bool operator==(const CiTriple& a, const CiTriple& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend bool operator<(const CiTriple& a, const CiTriple& b) {
+    if (a.x != b.x) {
+      return a.x < b.x;
+    }
+    if (a.y != b.y) {
+      return a.y < b.y;
+    }
+    return a.z < b.z;
+  }
+};
+
+/// Outcome of consistency checking (Fig. 3 "Consistency Checking").
+struct ConsistencyReport {
+  bool consistent = true;
+  /// Human-readable explanations of each conflict found.
+  std::vector<std::string> conflicts;
+  /// Number of independence statements in the semi-graphoid closure.
+  size_t closure_size = 0;
+};
+
+/// Checks a set of SCs for conflicts. Independence statements are closed
+/// under the semi-graphoid axioms (symmetry, decomposition, weak union,
+/// contraction — Pearl's graphoid axioms [50] minus intersection, which
+/// requires positivity); the set is inconsistent when a dependence SC's
+/// triple (after symmetry normalisation and decomposition) appears in the
+/// closure.
+///
+/// The closure is exact for the semi-graphoid axioms but — as Studeny
+/// proved — conditional independence has no finite complete
+/// axiomatisation, so "consistent" here means "no conflict derivable from
+/// the graphoid axioms", matching the paper's description.
+///
+/// Supports at most 16 distinct variables across all constraints.
+Result<ConsistencyReport> CheckConsistency(const std::vector<StatisticalConstraint>& constraints);
+
+/// The semi-graphoid closure of a set of independence triples over
+/// `num_vars` variables. Exposed for tests and for downstream use (e.g.
+/// pruning redundant SCs before violation detection).
+std::vector<CiTriple> SemiGraphoidClosure(std::vector<CiTriple> triples, int num_vars);
+
+/// Normalises a triple into canonical form (x and y swapped so x <= y).
+/// Requires x, y non-empty and x, y, z pairwise disjoint.
+CiTriple NormalizeTriple(uint16_t x, uint16_t y, uint16_t z);
+
+/// Removes redundant constraints: an independence SC already derivable
+/// (via the semi-graphoid axioms) from the *other* independence SCs is
+/// dropped, as are exact duplicates of either kind. Dependence SCs are
+/// never derivable from one another, so only duplicates are removed there.
+/// Relative order of the surviving constraints is preserved. Useful for
+/// pruning the output of SC discovery before enforcement.
+Result<std::vector<StatisticalConstraint>> MinimizeConstraints(
+    const std::vector<StatisticalConstraint>& constraints);
+
+}  // namespace scoded
+
+#endif  // SCODED_CONSTRAINTS_GRAPHOID_H_

@@ -1,0 +1,252 @@
+#include "constraints/ic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "stats/contingency.h"
+#include "table/group_by.h"
+
+namespace scoded {
+
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += names[i];
+  }
+  return out;
+}
+
+Result<std::vector<int>> ResolveColumns(const Table& table,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+// Encoded key of `row` over `cols`.
+std::vector<int64_t> RowKey(const Table& table, const std::vector<int>& cols, size_t row) {
+  std::vector<int64_t> key;
+  key.reserve(cols.size());
+  for (int col : cols) {
+    key.push_back(EncodeCellKey(table.column(static_cast<size_t>(col)), row));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString() const {
+  return JoinNames(lhs) + " -> " + JoinNames(rhs);
+}
+
+std::string Emvd::ToString() const {
+  return JoinNames(x) + " ->> " + JoinNames(y) + " | " + JoinNames(z);
+}
+
+Result<bool> SatisfiesFd(const Table& table, const FunctionalDependency& fd) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> lhs, ResolveColumns(table, fd.lhs));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> rhs, ResolveColumns(table, fd.rhs));
+  GroupByResult groups = GroupRows(table, lhs);
+  for (const std::vector<size_t>& group : groups.groups) {
+    if (group.size() < 2) {
+      continue;
+    }
+    std::vector<int64_t> first = RowKey(table, rhs, group[0]);
+    for (size_t i = 1; i < group.size(); ++i) {
+      if (RowKey(table, rhs, group[i]) != first) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<int64_t> CountFdViolatingPairs(const Table& table, const FunctionalDependency& fd) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> lhs, ResolveColumns(table, fd.lhs));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> rhs, ResolveColumns(table, fd.rhs));
+  GroupByResult lhs_groups = GroupRows(table, lhs);
+  int64_t violating = 0;
+  std::vector<int> lhs_rhs = lhs;
+  lhs_rhs.insert(lhs_rhs.end(), rhs.begin(), rhs.end());
+  for (const std::vector<size_t>& group : lhs_groups.groups) {
+    int64_t g = static_cast<int64_t>(group.size());
+    if (g < 2) {
+      continue;
+    }
+    int64_t total_pairs = g * (g - 1) / 2;
+    // Subtract pairs that agree on RHS too.
+    GroupByResult rhs_groups = GroupRows(table, rhs, group);
+    int64_t agreeing_pairs = 0;
+    for (const std::vector<size_t>& sub : rhs_groups.groups) {
+      int64_t s = static_cast<int64_t>(sub.size());
+      agreeing_pairs += s * (s - 1) / 2;
+    }
+    violating += total_pairs - agreeing_pairs;
+  }
+  return violating;
+}
+
+Result<double> FdApproximationRatio(const Table& table, const FunctionalDependency& fd) {
+  if (table.NumRows() == 0) {
+    return 0.0;
+  }
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> lhs, ResolveColumns(table, fd.lhs));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> rhs, ResolveColumns(table, fd.rhs));
+  GroupByResult lhs_groups = GroupRows(table, lhs);
+  int64_t removed = 0;
+  for (const std::vector<size_t>& group : lhs_groups.groups) {
+    GroupByResult rhs_groups = GroupRows(table, rhs, group);
+    size_t majority = 0;
+    for (const std::vector<size_t>& sub : rhs_groups.groups) {
+      majority = std::max(majority, sub.size());
+    }
+    removed += static_cast<int64_t>(group.size() - majority);
+  }
+  return static_cast<double>(removed) / static_cast<double>(table.NumRows());
+}
+
+Result<bool> SatisfiesEmvd(const Table& table, const Emvd& emvd) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> x, ResolveColumns(table, emvd.x));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> y, ResolveColumns(table, emvd.y));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> z, ResolveColumns(table, emvd.z));
+  // Π_XYZ = Π_XY ⋈ Π_XZ  <=>  within each X-group the set of distinct
+  // (Y, Z) value pairs equals the full cross product of the distinct Y
+  // values and the distinct Z values seen in that group.
+  GroupByResult x_groups = GroupRows(table, x);
+  std::vector<int> yz = y;
+  yz.insert(yz.end(), z.begin(), z.end());
+  for (const std::vector<size_t>& group : x_groups.groups) {
+    GroupByResult y_groups = GroupRows(table, y, group);
+    GroupByResult z_groups = GroupRows(table, z, group);
+    GroupByResult yz_groups = GroupRows(table, yz, group);
+    if (yz_groups.groups.size() != y_groups.groups.size() * z_groups.groups.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> SatisfiesMvd(const Table& table, const std::vector<std::string>& x,
+                          const std::vector<std::string>& y) {
+  std::set<std::string> used(x.begin(), x.end());
+  used.insert(y.begin(), y.end());
+  Emvd emvd;
+  emvd.x = x;
+  emvd.y = y;
+  for (const Field& field : table.schema().fields()) {
+    if (used.count(field.name) == 0) {
+      emvd.z.push_back(field.name);
+    }
+  }
+  if (emvd.z.empty()) {
+    // X ∪ Y covers the relation; the MVD is trivially satisfied.
+    return true;
+  }
+  return SatisfiesEmvd(table, emvd);
+}
+
+Result<bool> SatisfiesScExactly(const Table& table, const StatisticalConstraint& sc,
+                                double tolerance) {
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(sc, table));
+  std::vector<std::vector<size_t>> strata;
+  if (bound.z.empty()) {
+    std::vector<size_t> all(table.NumRows());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = i;
+    }
+    strata.push_back(std::move(all));
+  } else {
+    strata = GroupRows(table, bound.z).groups;
+  }
+  bool independent = true;
+  for (const std::vector<size_t>& stratum : strata) {
+    double nz = static_cast<double>(stratum.size());
+    if (nz == 0.0) {
+      continue;
+    }
+    GroupByResult x_groups = GroupRows(table, bound.x, stratum);
+    GroupByResult y_groups = GroupRows(table, bound.y, stratum);
+    // Compare P(x,y|z) against P(x|z)·P(y|z) for every (x, y) combination
+    // in the stratum; combinations never observed jointly have empirical
+    // joint probability zero and are covered by the dense matrix below.
+    std::vector<std::vector<double>> joint(x_groups.groups.size(),
+                                           std::vector<double>(y_groups.groups.size(), 0.0));
+    for (size_t i = 0; i < stratum.size(); ++i) {
+      joint[x_groups.group_of_row[i]][y_groups.group_of_row[i]] += 1.0 / nz;
+    }
+    for (size_t xi = 0; independent && xi < x_groups.groups.size(); ++xi) {
+      double px = static_cast<double>(x_groups.groups[xi].size()) / nz;
+      for (size_t yi = 0; yi < y_groups.groups.size(); ++yi) {
+        double py = static_cast<double>(y_groups.groups[yi].size()) / nz;
+        if (std::fabs(joint[xi][yi] - px * py) > tolerance) {
+          independent = false;
+          break;
+        }
+      }
+    }
+    if (!independent) {
+      break;
+    }
+  }
+  return sc.is_independence() ? independent : !independent;
+}
+
+StatisticalConstraint FdToDsc(const FunctionalDependency& fd) {
+  return Dependence(fd.lhs, fd.rhs);
+}
+
+Emvd IscToEmvd(const StatisticalConstraint& isc) {
+  SCODED_CHECK(isc.is_independence());
+  // Y ⊥ Z' | X  corresponds to  X ->> Y | Z' with the paper's naming: the
+  // ISC's conditioning set becomes the EMVD's left-hand side.
+  Emvd emvd;
+  emvd.x = isc.z;
+  emvd.y = isc.x;
+  emvd.z = isc.y;
+  return emvd;
+}
+
+Result<bool> IsMiMaximalDependence(const Table& table, const std::vector<std::string>& x,
+                                   const std::vector<std::string>& y) {
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> x_cols, ResolveColumns(table, x));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int> y_cols, ResolveColumns(table, y));
+  if (table.NumColumns() > 20) {
+    return InvalidArgumentError("IsMiMaximalDependence enumerates column subsets; "
+                                "limited to 20 columns");
+  }
+  double reference = MutualInformationBits(table, x_cols, y_cols);
+  std::vector<int> candidates;
+  std::unordered_set<int> y_set(y_cols.begin(), y_cols.end());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (y_set.count(static_cast<int>(c)) == 0) {
+      candidates.push_back(static_cast<int>(c));
+    }
+  }
+  uint32_t limit = 1u << candidates.size();
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    std::vector<int> subset;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (mask & (1u << i)) {
+        subset.push_back(candidates[i]);
+      }
+    }
+    if (MutualInformationBits(table, subset, y_cols) > reference + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scoded

@@ -1,0 +1,70 @@
+#ifndef SCODED_CONSTRAINTS_IC_H_
+#define SCODED_CONSTRAINTS_IC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/sc.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Functional dependency X -> Y (Definition 2).
+struct FunctionalDependency {
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+
+  std::string ToString() const;
+};
+
+/// Embedded multi-valued dependency X ->> Y | Z (Definition 3):
+/// Π_XYZ(D) = Π_XY(D) ⋈ Π_XZ(D).
+struct Emvd {
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  std::vector<std::string> z;
+
+  std::string ToString() const;
+};
+
+/// Exact FD satisfaction: no two records agree on X but differ on Y.
+Result<bool> SatisfiesFd(const Table& table, const FunctionalDependency& fd);
+
+/// Number of ordered record pairs violating the FD (DCDetect-style count;
+/// each unordered violating pair counts once). O(n) via grouping.
+Result<int64_t> CountFdViolatingPairs(const Table& table, const FunctionalDependency& fd);
+
+/// g3-style approximation ratio: the minimum fraction of records to delete
+/// so the FD holds exactly (keep the majority Y per X-group).
+Result<double> FdApproximationRatio(const Table& table, const FunctionalDependency& fd);
+
+/// Exact EMVD satisfaction via the join characterisation.
+Result<bool> SatisfiesEmvd(const Table& table, const Emvd& emvd);
+
+/// MVD X ->> Y as the saturated EMVD with Z = complement of X ∪ Y.
+Result<bool> SatisfiesMvd(const Table& table, const std::vector<std::string>& x,
+                          const std::vector<std::string>& y);
+
+/// Exact SC satisfaction on the empirical distribution P_D (Sec. 2.1):
+/// an ISC holds iff P_D(x, y | z) = P_D(x | z) · P_D(y | z) for all
+/// assignments (up to `tolerance` in absolute probability); a DSC holds
+/// iff the ISC does not.
+Result<bool> SatisfiesScExactly(const Table& table, const StatisticalConstraint& sc,
+                                double tolerance = 1e-9);
+
+/// Prop. 2 translation: FD X -> Y becomes the DSC X ⊥̸ Y, the form used to
+/// run SCODED on approximate FDs in Sec. 6.
+StatisticalConstraint FdToDsc(const FunctionalDependency& fd);
+
+/// Prop. 1 direction: the ISC Y ⊥ Z | X corresponds to the EMVD X ->> Y|Z.
+Emvd IscToEmvd(const StatisticalConstraint& isc);
+
+/// Prop. 2 check: is I_D(X;Y) maximal over all column subsets X' (i.e.
+/// I_D(X;Y) >= I_D(X';Y))? Exponential in column count — test-scale only.
+Result<bool> IsMiMaximalDependence(const Table& table, const std::vector<std::string>& x,
+                                   const std::vector<std::string>& y);
+
+}  // namespace scoded
+
+#endif  // SCODED_CONSTRAINTS_IC_H_

@@ -1,0 +1,167 @@
+#include "constraints/sc.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace scoded {
+
+namespace {
+
+std::string JoinVars(const std::vector<std::string>& vars) {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += vars[i];
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseVarList(std::string_view text) {
+  std::vector<std::string> vars;
+  for (const std::string& part : Split(text, ',')) {
+    std::string_view trimmed = Trim(part);
+    if (trimmed.empty()) {
+      return InvalidArgumentError("empty variable name in constraint");
+    }
+    vars.emplace_back(trimmed);
+  }
+  return vars;
+}
+
+}  // namespace
+
+std::string StatisticalConstraint::ToString() const {
+  std::string out = JoinVars(x);
+  out += is_independence() ? " _||_ " : " !_||_ ";
+  out += JoinVars(y);
+  if (!z.empty()) {
+    out += " | ";
+    out += JoinVars(z);
+  }
+  return out;
+}
+
+StatisticalConstraint StatisticalConstraint::Negated() const {
+  StatisticalConstraint negated = *this;
+  negated.kind =
+      kind == ScKind::kIndependence ? ScKind::kDependence : ScKind::kIndependence;
+  return negated;
+}
+
+StatisticalConstraint Independence(std::vector<std::string> x, std::vector<std::string> y,
+                                   std::vector<std::string> z) {
+  StatisticalConstraint sc;
+  sc.kind = ScKind::kIndependence;
+  sc.x = std::move(x);
+  sc.y = std::move(y);
+  sc.z = std::move(z);
+  return sc;
+}
+
+StatisticalConstraint Dependence(std::vector<std::string> x, std::vector<std::string> y,
+                                 std::vector<std::string> z) {
+  StatisticalConstraint sc = Independence(std::move(x), std::move(y), std::move(z));
+  sc.kind = ScKind::kDependence;
+  return sc;
+}
+
+Result<StatisticalConstraint> ParseConstraint(std::string_view text) {
+  StatisticalConstraint sc;
+  // Locate the (in)dependence operator.
+  size_t op_pos = text.find("!_||_");
+  size_t op_len = 5;
+  if (op_pos != std::string_view::npos) {
+    sc.kind = ScKind::kDependence;
+  } else {
+    op_pos = text.find("_||_");
+    op_len = 4;
+    if (op_pos == std::string_view::npos) {
+      return InvalidArgumentError(
+          "constraint must contain '_||_' (independence) or '!_||_' (dependence): '" +
+          std::string(text) + "'");
+    }
+    sc.kind = ScKind::kIndependence;
+  }
+  std::string_view lhs = text.substr(0, op_pos);
+  std::string_view rest = text.substr(op_pos + op_len);
+  std::string_view rhs = rest;
+  std::string_view cond;
+  size_t bar = rest.find('|');
+  if (bar != std::string_view::npos) {
+    rhs = rest.substr(0, bar);
+    cond = rest.substr(bar + 1);
+  }
+  SCODED_ASSIGN_OR_RETURN(sc.x, ParseVarList(lhs));
+  SCODED_ASSIGN_OR_RETURN(sc.y, ParseVarList(rhs));
+  if (!Trim(cond).empty() || bar != std::string_view::npos) {
+    if (Trim(cond).empty()) {
+      return InvalidArgumentError("empty conditioning set after '|'");
+    }
+    SCODED_ASSIGN_OR_RETURN(sc.z, ParseVarList(cond));
+  }
+  // The three sets must be pairwise disjoint.
+  std::set<std::string> seen;
+  for (const std::vector<std::string>* group : {&sc.x, &sc.y, &sc.z}) {
+    for (const std::string& name : *group) {
+      if (!seen.insert(name).second) {
+        return InvalidArgumentError("variable '" + name +
+                                    "' appears more than once in the constraint");
+      }
+    }
+  }
+  return sc;
+}
+
+Result<BoundConstraint> BindConstraint(const StatisticalConstraint& sc, const Table& table) {
+  BoundConstraint bound;
+  bound.kind = sc.kind;
+  auto bind_group = [&](const std::vector<std::string>& names,
+                        std::vector<int>* out) -> Status {
+    for (const std::string& name : names) {
+      SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+      out->push_back(index);
+    }
+    return OkStatus();
+  };
+  SCODED_RETURN_IF_ERROR(bind_group(sc.x, &bound.x));
+  SCODED_RETURN_IF_ERROR(bind_group(sc.y, &bound.y));
+  SCODED_RETURN_IF_ERROR(bind_group(sc.z, &bound.z));
+  if (bound.x.empty() || bound.y.empty()) {
+    return InvalidArgumentError("constraint must have non-empty X and Y");
+  }
+  return bound;
+}
+
+std::vector<StatisticalConstraint> DecomposeToSingletons(const StatisticalConstraint& sc) {
+  // First split Y, then split X (conditioning on the removed variables per
+  // the decomposition principle), yielding singleton-by-singleton SCs.
+  std::vector<StatisticalConstraint> out;
+  for (size_t yi = 0; yi < sc.y.size(); ++yi) {
+    for (size_t xi = 0; xi < sc.x.size(); ++xi) {
+      StatisticalConstraint part;
+      part.kind = sc.kind;
+      part.x = {sc.x[xi]};
+      part.y = {sc.y[yi]};
+      part.z = sc.z;
+      // All other X and Y variables join the conditioning set.
+      for (size_t j = 0; j < sc.y.size(); ++j) {
+        if (j != yi) {
+          part.z.push_back(sc.y[j]);
+        }
+      }
+      for (size_t j = 0; j < sc.x.size(); ++j) {
+        if (j != xi) {
+          part.z.push_back(sc.x[j]);
+        }
+      }
+      out.push_back(std::move(part));
+    }
+  }
+  return out;
+}
+
+}  // namespace scoded

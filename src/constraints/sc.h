@@ -1,0 +1,75 @@
+#ifndef SCODED_CONSTRAINTS_SC_H_
+#define SCODED_CONSTRAINTS_SC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Whether an SC asserts independence (ISC, `X ⊥ Y | Z`) or dependence
+/// (DSC, `X ⊥̸ Y | Z`). See Definition 1.
+enum class ScKind {
+  kIndependence,
+  kDependence,
+};
+
+/// A statistical constraint over named columns: disjoint variable sets
+/// X, Y and an optional conditioning set Z.
+///
+/// Text syntax (`ParseConstraint` / `ToString`):
+///   ISC:  "X1, X2 _||_ Y | Z1, Z2"
+///   DSC:  "X !_||_ Y | Z"
+struct StatisticalConstraint {
+  ScKind kind = ScKind::kIndependence;
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  std::vector<std::string> z;
+
+  bool is_independence() const { return kind == ScKind::kIndependence; }
+
+  /// Renders the constraint in the parseable text syntax.
+  std::string ToString() const;
+
+  /// Negation: ISC <-> DSC over the same variables.
+  StatisticalConstraint Negated() const;
+
+  friend bool operator==(const StatisticalConstraint& a, const StatisticalConstraint& b) {
+    return a.kind == b.kind && a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Shorthand constructors.
+StatisticalConstraint Independence(std::vector<std::string> x, std::vector<std::string> y,
+                                   std::vector<std::string> z = {});
+StatisticalConstraint Dependence(std::vector<std::string> x, std::vector<std::string> y,
+                                 std::vector<std::string> z = {});
+
+/// Parses the text syntax above. Errors on empty X/Y, overlapping variable
+/// sets, or malformed input.
+Result<StatisticalConstraint> ParseConstraint(std::string_view text);
+
+/// An SC whose variables have been resolved against a table's schema.
+struct BoundConstraint {
+  ScKind kind = ScKind::kIndependence;
+  std::vector<int> x;
+  std::vector<int> y;
+  std::vector<int> z;
+};
+
+/// Resolves column names to indices; errors on unknown columns.
+Result<BoundConstraint> BindConstraint(const StatisticalConstraint& sc, const Table& table);
+
+/// Applies the decomposition principle of Sec. 4.2 recursively:
+///   X ⊥ Y1 Y2 | Z  <=>  (X ⊥ Y1 | Z Y2) & (X ⊥ Y2 | Z Y1)
+/// until every resulting SC has singleton X and Y. A DSC decomposes into
+/// the same list (its violation semantics are handled by the caller: a DSC
+/// holds when at least one component dependence is present).
+std::vector<StatisticalConstraint> DecomposeToSingletons(const StatisticalConstraint& sc);
+
+}  // namespace scoded
+
+#endif  // SCODED_CONSTRAINTS_SC_H_

@@ -1,0 +1,127 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+using internal::DrilldownEngine;
+using internal::RemovalGoal;
+
+bool ConstraintRestored(const ApproximateSc& asc, double p) {
+  // ISC violated when p < α; DSC violated when p > α (Definition 5 and the
+  // Sec. 6.2 usage). Restoration is the complement.
+  return asc.sc.is_independence() ? p >= asc.alpha : p <= asc.alpha;
+}
+
+}  // namespace
+
+Result<PartitionResult> PartitionDataset(const Table& table, const ApproximateSc& asc,
+                                         const PartitionOptions& options) {
+  if (options.max_removal_fraction < 0.0 || options.max_removal_fraction > 1.0) {
+    return InvalidArgumentError("max_removal_fraction must lie in [0, 1]");
+  }
+  std::vector<size_t> rows(table.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = i;
+  }
+  std::vector<StatisticalConstraint> components = DecomposeToSingletons(asc.sc);
+  if (components.size() != 1) {
+    return UnimplementedError(
+        "PartitionDataset currently requires singleton X and Y; decompose the constraint and "
+        "partition per component");
+  }
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(components[0], table));
+  SCODED_ASSIGN_OR_RETURN(
+      std::unique_ptr<DrilldownEngine> engine,
+      internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, options.test));
+
+  PartitionResult result;
+  result.initial_p = engine->CurrentPValue();
+  RemovalGoal goal = asc.sc.is_independence() ? RemovalGoal::kReduceDependence
+                                              : RemovalGoal::kIncreaseDependence;
+  size_t budget = static_cast<size_t>(
+      std::floor(options.max_removal_fraction * static_cast<double>(engine->AliveCount())));
+  double p = result.initial_p;
+  if (ConstraintRestored(asc, p)) {
+    result.final_p = p;
+    result.satisfied = true;
+    return result;  // nothing to remove
+  }
+  while (result.removed_rows.size() < budget && engine->AliveCount() > 0) {
+    size_t removed = 0;
+    if (!engine->SelectAndRemove(goal, &removed)) {
+      break;
+    }
+    result.removed_rows.push_back(removed);
+    p = engine->CurrentPValue();
+    if (ConstraintRestored(asc, p)) {
+      result.satisfied = true;
+      break;
+    }
+  }
+  result.final_p = p;
+  return result;
+}
+
+Result<DrillDownResult> TopKViaPartitionOracle(const Table& table,
+                                               const StatisticalConstraint& sc, size_t k,
+                                               const PartitionOptions& options) {
+  if (!sc.is_independence()) {
+    return UnimplementedError("TopKViaPartitionOracle demonstrates the reduction for ISCs");
+  }
+  if (k > table.NumRows()) {
+    return InvalidArgumentError("k exceeds the row count");
+  }
+  // Partition size is monotone non-decreasing in α' for an ISC (restoring
+  // p >= α' needs at least as many removals for larger α'), so binary
+  // search α' for a partition of size exactly k. Floating-point α' values
+  // between the achievable partition sizes are resolved by taking the
+  // largest partition with size <= k and topping it up from the k-step
+  // greedy (the prefix property of the K strategy makes this exact).
+  double lo = 0.0;
+  double hi = 1.0;
+  PartitionOptions oracle = options;
+  oracle.max_removal_fraction = 1.0;
+  std::vector<size_t> best_rows;
+  for (int iter = 0; iter < 40; ++iter) {
+    double alpha = (lo + hi) / 2.0;
+    SCODED_ASSIGN_OR_RETURN(PartitionResult part, PartitionDataset(table, {sc, alpha}, oracle));
+    if (part.removed_rows.size() == k) {
+      best_rows = part.removed_rows;
+      break;
+    }
+    if (part.removed_rows.size() < k) {
+      if (part.removed_rows.size() > best_rows.size()) {
+        best_rows = part.removed_rows;
+      }
+      lo = alpha;  // need a stricter level to force more removals
+    } else {
+      hi = alpha;
+    }
+  }
+  DrillDownResult result;
+  result.strategy_used = Strategy::kDirect;
+  if (best_rows.size() < k) {
+    // Top up via the greedy prefix (identical ordering to the oracle).
+    DrillDownOptions drill;
+    drill.strategy = Strategy::kDirect;
+    drill.test = options.test;
+    SCODED_ASSIGN_OR_RETURN(DrillDownResult direct, DrillDown(table, {sc, 0.05}, k, drill));
+    result.rows = std::move(direct.rows);
+    result.initial_statistic = direct.initial_statistic;
+    result.final_statistic = direct.final_statistic;
+    result.initial_p = direct.initial_p;
+    result.final_p = direct.final_p;
+    return result;
+  }
+  result.rows = std::move(best_rows);
+  return result;
+}
+
+}  // namespace scoded

@@ -1,0 +1,248 @@
+#include "core/sc_monitor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "stats/kendall.h"
+
+namespace scoded {
+
+namespace {
+
+double XLogX(double t) { return t > 0.0 ? t * std::log(t) : 0.0; }
+
+// Contribution of one tie group of size t to the three τ-variance sums.
+void TieTerms(double t, double* t1, double* t2, double* t3) {
+  *t1 = t * (t - 1.0);
+  *t2 = t * (t - 1.0) * (t - 2.0);
+  *t3 = t * (t - 1.0) * (2.0 * t + 5.0);
+}
+
+}  // namespace
+
+Result<ScMonitor> ScMonitor::Create(const Table& prototype, const ApproximateSc& asc,
+                                    TestOptions options) {
+  if (asc.sc.x.size() != 1 || asc.sc.y.size() != 1) {
+    return UnimplementedError("ScMonitor requires singleton X and Y");
+  }
+  if (asc.alpha < 0.0 || asc.alpha > 1.0) {
+    return InvalidArgumentError("alpha must lie in [0, 1]");
+  }
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(asc.sc, prototype));
+  const Column& xc = prototype.column(static_cast<size_t>(bound.x[0]));
+  const Column& yc = prototype.column(static_cast<size_t>(bound.y[0]));
+  bool x_numeric = xc.type() == ColumnType::kNumeric;
+  bool y_numeric = yc.type() == ColumnType::kNumeric;
+  if (x_numeric != y_numeric) {
+    return UnimplementedError(
+        "ScMonitor supports numeric/numeric and categorical/categorical pairs only");
+  }
+  for (int z : bound.z) {
+    if (prototype.column(static_cast<size_t>(z)).type() != ColumnType::kCategorical) {
+      return UnimplementedError(
+          "ScMonitor conditioning columns must be categorical (a stream cannot be "
+          "quantile-binned before the data exists)");
+    }
+  }
+  ScMonitor monitor;
+  monitor.asc_ = asc;
+  monitor.options_ = options;
+  monitor.is_tau_ = x_numeric;
+  return monitor;
+}
+
+Status ScMonitor::Append(const Table& batch) {
+  SCODED_ASSIGN_OR_RETURN(int x_col, batch.ColumnIndex(asc_.sc.x[0]));
+  SCODED_ASSIGN_OR_RETURN(int y_col, batch.ColumnIndex(asc_.sc.y[0]));
+  std::vector<int> z_cols;
+  for (const std::string& name : asc_.sc.z) {
+    SCODED_ASSIGN_OR_RETURN(int z, batch.ColumnIndex(name));
+    if (batch.column(static_cast<size_t>(z)).type() != ColumnType::kCategorical) {
+      return InvalidArgumentError("conditioning column '" + name + "' must be categorical");
+    }
+    z_cols.push_back(z);
+  }
+  const Column& xc = batch.column(static_cast<size_t>(x_col));
+  const Column& yc = batch.column(static_cast<size_t>(y_col));
+  for (size_t i = 0; i < batch.NumRows(); ++i) {
+    ++records_;
+    if (xc.IsNull(i) || yc.IsNull(i)) {
+      continue;
+    }
+    // Stratum key: the conditioning categories joined with an unlikely
+    // separator (nulls form their own stratum).
+    std::string key;
+    for (int z : z_cols) {
+      const Column& zc = batch.column(static_cast<size_t>(z));
+      key += zc.IsNull(i) ? std::string("\x01<null>") : zc.CategoryAt(i);
+      key.push_back('\x1f');
+    }
+    Stratum& stratum = StratumFor(key);
+    if (is_tau_) {
+      if (xc.type() != ColumnType::kNumeric || yc.type() != ColumnType::kNumeric) {
+        return InvalidArgumentError("batch column types do not match the monitor");
+      }
+      AddNumericPair(stratum, xc.NumericAt(i), yc.NumericAt(i));
+    } else {
+      if (xc.type() != ColumnType::kCategorical || yc.type() != ColumnType::kCategorical) {
+        return InvalidArgumentError("batch column types do not match the monitor");
+      }
+      auto [xit, xi] = x_dict_.emplace(xc.CategoryAt(i), static_cast<int32_t>(x_dict_.size()));
+      auto [yit, yi] = y_dict_.emplace(yc.CategoryAt(i), static_cast<int32_t>(y_dict_.size()));
+      AddCategoricalCodes(stratum, xit->second, yit->second);
+    }
+  }
+  return OkStatus();
+}
+
+Status ScMonitor::AppendNumeric(double x, double y) {
+  if (!is_tau_) {
+    return FailedPreconditionError("AppendNumeric on a categorical monitor");
+  }
+  if (!asc_.sc.z.empty()) {
+    return FailedPreconditionError("AppendNumeric on a conditional monitor; use Append");
+  }
+  ++records_;
+  AddNumericPair(StratumFor(""), x, y);
+  return OkStatus();
+}
+
+Status ScMonitor::AppendCategorical(const std::string& x, const std::string& y) {
+  if (is_tau_) {
+    return FailedPreconditionError("AppendCategorical on a numeric monitor");
+  }
+  if (!asc_.sc.z.empty()) {
+    return FailedPreconditionError("AppendCategorical on a conditional monitor; use Append");
+  }
+  ++records_;
+  auto [xit, xi] = x_dict_.emplace(x, static_cast<int32_t>(x_dict_.size()));
+  auto [yit, yi] = y_dict_.emplace(y, static_cast<int32_t>(y_dict_.size()));
+  AddCategoricalCodes(StratumFor(""), xit->second, yit->second);
+  return OkStatus();
+}
+
+void ScMonitor::AddCategoricalCodes(Stratum& stratum, int32_t x, int32_t y) {
+  auto bump = [](std::map<int32_t, int64_t>& marginal, int32_t key, double* sum) {
+    int64_t& count = marginal[key];
+    *sum -= XLogX(static_cast<double>(count));
+    ++count;
+    *sum += XLogX(static_cast<double>(count));
+  };
+  bump(stratum.row_marginal, x, &stratum.sum_f_rows);
+  bump(stratum.col_marginal, y, &stratum.sum_f_cols);
+  int64_t& cell = stratum.cells[{x, y}];
+  stratum.sum_f_cells -= XLogX(static_cast<double>(cell));
+  ++cell;
+  stratum.sum_f_cells += XLogX(static_cast<double>(cell));
+  ++stratum.n;
+}
+
+void ScMonitor::AddNumericPair(Stratum& stratum, double x, double y) {
+  // Pair scan against the stratum's existing observations: O(n_stratum).
+  for (size_t j = 0; j < stratum.xs.size(); ++j) {
+    stratum.s += PairWeight(x, y, stratum.xs[j], stratum.ys[j]);
+  }
+  // Tie-group bookkeeping in O(log n).
+  auto bump = [](std::map<double, int64_t>& counts, double value, double* t1, double* t2,
+                 double* t3) {
+    int64_t& count = counts[value];
+    double o1;
+    double o2;
+    double o3;
+    TieTerms(static_cast<double>(count), &o1, &o2, &o3);
+    *t1 -= o1;
+    *t2 -= o2;
+    *t3 -= o3;
+    ++count;
+    TieTerms(static_cast<double>(count), &o1, &o2, &o3);
+    *t1 += o1;
+    *t2 += o2;
+    *t3 += o3;
+  };
+  bump(stratum.x_counts, x, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
+  bump(stratum.y_counts, y, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
+  stratum.xs.push_back(x);
+  stratum.ys.push_back(y);
+}
+
+double ScMonitor::CurrentStatistic() const {
+  if (is_tau_) {
+    int64_t total = 0;
+    for (const auto& [key, stratum] : strata_) {
+      (void)key;
+      total += stratum.s;
+    }
+    return std::fabs(static_cast<double>(total));
+  }
+  double g_half = 0.0;
+  for (const auto& [key, stratum] : strata_) {
+    (void)key;
+    if (stratum.n < 2) {
+      continue;
+    }
+    g_half += stratum.sum_f_cells - stratum.sum_f_rows - stratum.sum_f_cols +
+              XLogX(static_cast<double>(stratum.n));
+  }
+  return std::max(0.0, 2.0 * g_half);
+}
+
+double ScMonitor::CurrentPValue() const {
+  if (is_tau_) {
+    // Tie-corrected Gaussian approximation pooled over strata: S values
+    // and Var(S) values add (the same combination as the batch tests).
+    double total_s = 0.0;
+    double total_var = 0.0;
+    for (const auto& [key, stratum] : strata_) {
+      (void)key;
+      double n = static_cast<double>(stratum.xs.size());
+      if (n < 2.0) {
+        continue;
+      }
+      total_s += static_cast<double>(stratum.s);
+      double v0 = n * (n - 1.0) * (2.0 * n + 5.0);
+      double var = (v0 - stratum.x_t3 - stratum.y_t3) / 18.0;
+      var += stratum.x_t1 * stratum.y_t1 / (2.0 * n * (n - 1.0));
+      if (n > 2.0) {
+        var += stratum.x_t2 * stratum.y_t2 / (9.0 * n * (n - 1.0) * (n - 2.0));
+      }
+      total_var += std::max(0.0, var);
+    }
+    if (total_var <= 0.0) {
+      return 1.0;
+    }
+    return NormalTwoSidedP(total_s / std::sqrt(total_var));
+  }
+  double dof = 0.0;
+  bool any = false;
+  for (const auto& [key, stratum] : strata_) {
+    (void)key;
+    if (stratum.n < 2) {
+      continue;
+    }
+    size_t live_rows = 0;
+    size_t live_cols = 0;
+    for (const auto& [code, count] : stratum.row_marginal) {
+      (void)code;
+      live_rows += count > 0 ? 1 : 0;
+    }
+    for (const auto& [code, count] : stratum.col_marginal) {
+      (void)code;
+      live_cols += count > 0 ? 1 : 0;
+    }
+    dof += std::max(1.0, (static_cast<double>(live_rows) - 1.0) *
+                             (static_cast<double>(live_cols) - 1.0));
+    any = true;
+  }
+  if (!any) {
+    return 1.0;
+  }
+  return ChiSquaredSf(CurrentStatistic(), std::max(1.0, dof));
+}
+
+bool ScMonitor::Violated() const {
+  double p = CurrentPValue();
+  return asc_.sc.is_independence() ? p < asc_.alpha : p > asc_.alpha;
+}
+
+}  // namespace scoded

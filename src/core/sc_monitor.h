@@ -1,0 +1,105 @@
+#ifndef SCODED_CORE_SC_MONITOR_H_
+#define SCODED_CORE_SC_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/approximate_sc.h"
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Streaming SC enforcement (Sec. 8 future work: "incremental on-line
+/// versions of SCODED"; the Sec. 1 deployment scenario: check that
+/// incoming training data still satisfies the user's SCs before
+/// retraining).
+///
+/// An ScMonitor is created for one singleton approximate SC — optionally
+/// conditional on categorical columns — and then fed batches of rows. It
+/// maintains the test state incrementally, per conditioning stratum:
+///  * categorical pairs: sparse joint-cell counts and marginals — O(1)
+///    per appended row; G, dof, and the χ² p-value come from
+///    incrementally maintained Σ f(·) sums;
+///  * numeric pairs: the stratum's S = n_c − n_d updated in O(n_stratum)
+///    per appended row (pair scan), with tie-group statistics for the τ
+///    variance kept in O(log n); strata pool as in the batch tests.
+///
+/// The monitor reports the running p-value and whether the constraint is
+/// currently violated, so a deployment pipeline can gate retraining on it.
+class ScMonitor {
+ public:
+  /// Validates the constraint against the schema and builds an empty
+  /// monitor. X and Y must both be numeric or both categorical; any
+  /// conditioning columns must be categorical (streams cannot be
+  /// quantile-binned before the data exists).
+  static Result<ScMonitor> Create(const Table& prototype, const ApproximateSc& asc,
+                                  TestOptions options = {});
+
+  ScMonitor(ScMonitor&&) = default;
+  ScMonitor& operator=(ScMonitor&&) = default;
+
+  /// Appends all rows of `batch` (same schema as the prototype). Rows
+  /// with nulls in X or Y are counted but excluded from the statistic,
+  /// mirroring the batch tests.
+  Status Append(const Table& batch);
+
+  /// Appends one (x, y) observation directly (numeric pairs;
+  /// unconditional monitors only — use Append for conditional ones).
+  Status AppendNumeric(double x, double y);
+
+  /// Appends one (x, y) observation by category name (categorical pairs;
+  /// unseen categories extend the dictionaries).
+  Status AppendCategorical(const std::string& x, const std::string& y);
+
+  /// Current state.
+  size_t NumRecords() const { return records_; }
+  size_t NumStrata() const { return strata_.size(); }
+  double CurrentStatistic() const;
+  double CurrentPValue() const;
+  /// Violated under the SC's semantics: p < α for an ISC, p > α for a DSC.
+  bool Violated() const;
+
+  const ApproximateSc& constraint() const { return asc_; }
+
+ private:
+  ScMonitor() = default;
+
+  struct Stratum {
+    // --- categorical state ---
+    std::map<std::pair<int32_t, int32_t>, int64_t> cells;
+    std::map<int32_t, int64_t> row_marginal;
+    std::map<int32_t, int64_t> col_marginal;
+    int64_t n = 0;
+    double sum_f_cells = 0.0;  // Σ f(·), f = t ln t, maintained per append
+    double sum_f_rows = 0.0;
+    double sum_f_cols = 0.0;
+    // --- numeric (τ) state ---
+    std::vector<double> xs;
+    std::vector<double> ys;
+    int64_t s = 0;
+    std::map<double, int64_t> x_counts;
+    std::map<double, int64_t> y_counts;
+    double x_t1 = 0.0, x_t2 = 0.0, x_t3 = 0.0;  // Σt(t-1), Σ…(t-2), Σ…(2t+5)
+    double y_t1 = 0.0, y_t2 = 0.0, y_t3 = 0.0;
+  };
+
+  Stratum& StratumFor(const std::string& key) { return strata_[key]; }
+  void AddCategoricalCodes(Stratum& stratum, int32_t x, int32_t y);
+  void AddNumericPair(Stratum& stratum, double x, double y);
+
+  ApproximateSc asc_;
+  TestOptions options_;
+  bool is_tau_ = false;
+  size_t records_ = 0;
+  std::map<std::string, int32_t> x_dict_;
+  std::map<std::string, int32_t> y_dict_;
+  std::map<std::string, Stratum> strata_;  // key = joined Z categories
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_CORE_SC_MONITOR_H_

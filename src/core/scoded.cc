@@ -1,0 +1,69 @@
+#include "core/scoded.h"
+
+namespace scoded {
+
+Result<StatisticalConstraint> Scoded::Parse(const std::string& text) const {
+  SCODED_ASSIGN_OR_RETURN(StatisticalConstraint sc, ParseConstraint(text));
+  // Validate against the schema eagerly so errors surface at parse time.
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(sc, table_));
+  (void)bound;
+  return sc;
+}
+
+Result<ViolationReport> Scoded::CheckViolation(const ApproximateSc& asc) const {
+  return DetectViolation(table_, asc, options_);
+}
+
+Result<DrillDownResult> Scoded::DrillDown(const ApproximateSc& asc, size_t k,
+                                          Strategy strategy) const {
+  DrillDownOptions options;
+  options.strategy = strategy;
+  options.test = options_;
+  return ::scoded::DrillDown(table_, asc, k, options);
+}
+
+Result<std::vector<size_t>> Scoded::RankRecords(const ApproximateSc& asc, size_t max_rank,
+                                                Strategy strategy) const {
+  DrillDownOptions options;
+  options.strategy = strategy;
+  options.test = options_;
+  return RankSuspiciousRecords(table_, asc, max_rank, options);
+}
+
+Result<PartitionResult> Scoded::Partition(const ApproximateSc& asc,
+                                          double max_removal_fraction) const {
+  PartitionOptions options;
+  options.max_removal_fraction = max_removal_fraction;
+  options.test = options_;
+  return PartitionDataset(table_, asc, options);
+}
+
+Result<ConsistencyReport> Scoded::CheckConstraintConsistency(
+    const std::vector<StatisticalConstraint>& constraints) {
+  return CheckConsistency(constraints);
+}
+
+Result<Scoded::BatchCheckResult> Scoded::CheckAll(
+    const std::vector<ApproximateSc>& constraints) const {
+  BatchCheckResult out;
+  std::vector<StatisticalConstraint> scs;
+  scs.reserve(constraints.size());
+  for (const ApproximateSc& asc : constraints) {
+    scs.push_back(asc.sc);
+  }
+  SCODED_ASSIGN_OR_RETURN(out.consistency, CheckConsistency(scs));
+  if (!out.consistency.consistent) {
+    return InvalidArgumentError(
+        "constraint set is inconsistent; resolve the conflicts before enforcement: " +
+        (out.consistency.conflicts.empty() ? std::string() : out.consistency.conflicts[0]));
+  }
+  out.reports.reserve(constraints.size());
+  for (const ApproximateSc& asc : constraints) {
+    SCODED_ASSIGN_OR_RETURN(ViolationReport report, CheckViolation(asc));
+    out.violations += report.violated ? 1 : 0;
+    out.reports.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace scoded

@@ -1,0 +1,52 @@
+#include "core/violation.h"
+
+#include <algorithm>
+
+namespace scoded {
+
+Result<ViolationReport> DetectViolation(const Table& table, const ApproximateSc& asc,
+                                        const TestOptions& options) {
+  std::vector<size_t> rows(table.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = i;
+  }
+  return DetectViolation(table, asc, rows, options);
+}
+
+Result<ViolationReport> DetectViolation(const Table& table, const ApproximateSc& asc,
+                                        const std::vector<size_t>& rows,
+                                        const TestOptions& options) {
+  if (asc.alpha < 0.0 || asc.alpha > 1.0) {
+    return InvalidArgumentError("alpha must lie in [0, 1]");
+  }
+  ViolationReport report;
+  report.alpha = asc.alpha;
+
+  std::vector<StatisticalConstraint> components = DecomposeToSingletons(asc.sc);
+  bool is_independence = asc.sc.is_independence();
+  // ISC over sets: holds iff every component independence holds, so the
+  // decision p-value is the minimum component p. DSC over sets: the
+  // dependence is present iff at least one component dependence shows, so
+  // the decision p-value is again driven by the strongest dependence —
+  // min p — but the violation condition flips (violated iff min p > α,
+  // i.e. even the strongest component dependence is too weak).
+  double decision_p = 1.0;
+  bool have_component = false;
+  for (const StatisticalConstraint& component : components) {
+    SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(component, table));
+    SCODED_ASSIGN_OR_RETURN(
+        TestResult test,
+        IndependenceTest(table, bound.x[0], bound.y[0], bound.z, rows, options));
+    if (!have_component || test.p_value < decision_p) {
+      decision_p = test.p_value;
+      report.test = test;
+      have_component = true;
+    }
+    report.components.push_back(ComponentResult{component, test});
+  }
+  report.p_value = decision_p;
+  report.violated = is_independence ? (decision_p < asc.alpha) : (decision_p > asc.alpha);
+  return report;
+}
+
+}  // namespace scoded

@@ -1,0 +1,43 @@
+#include "datasets/boston.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scoded {
+
+Result<Table> GenerateBostonData(const BostonOptions& options) {
+  if (options.rows == 0) {
+    return InvalidArgumentError("GenerateBostonData: rows must be positive");
+  }
+  Rng rng(options.seed);
+  size_t n = options.rows;
+  std::vector<double> d(n);
+  std::vector<double> nox(n);
+  std::vector<double> crime(n);
+  std::vector<double> black(n);
+  std::vector<double> rooms(n);
+  std::vector<double> tax(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Latent urbanisation factor; the structural chain is
+    // f -> {D, N, C}, C -> TX, TX -> B, with R pure noise.
+    double f = rng.Normal();
+    d[i] = std::max(0.5, 8.0 - 2.2 * f + rng.Normal(0.0, 0.9));
+    nox[i] = std::max(0.3, 0.55 + 0.12 * f + rng.Normal(0.0, 0.02));
+    crime[i] = std::max(0.01, 3.0 + 2.0 * f + rng.Normal(0.0, 0.8));
+    tax[i] = 330.0 + 28.0 * crime[i] + rng.Normal(0.0, 35.0);
+    black[i] = std::clamp(390.0 - 0.25 * tax[i] + rng.Normal(0.0, 18.0), 0.0, 400.0);
+    rooms[i] = std::max(3.0, 6.3 + rng.Normal(0.0, 0.7));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("D", std::move(d));
+  builder.AddNumeric("N", std::move(nox));
+  builder.AddNumeric("C", std::move(crime));
+  builder.AddNumeric("B", std::move(black));
+  builder.AddNumeric("R", std::move(rooms));
+  builder.AddNumeric("TX", std::move(tax));
+  return std::move(builder).Build();
+}
+
+}  // namespace scoded

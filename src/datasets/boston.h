@@ -1,0 +1,35 @@
+#ifndef SCODED_DATASETS_BOSTON_H_
+#define SCODED_DATASETS_BOSTON_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Synthetic stand-in for the Boston SMSA housing dataset (Harrison &
+/// Rubinfeld 1978) with the six attributes the paper uses:
+///   D  — distance to the CBD,
+///   N  — nitric-oxide concentration,
+///   C  — crime rate,
+///   B  — black population index,
+///   R  — average rooms,
+///   TX — property-tax rate.
+///
+/// Generated from a single latent "urbanisation" factor so that the
+/// paper's Table 3 constraints hold on the clean data:
+///   N ⊥̸ D          (both driven by urbanisation, opposite signs)
+///   R ⊥ B           (rooms are pure noise)
+///   TX ⊥̸ B | C     (B tracks TX beyond what crime explains)
+///   N ⊥ B | TX     (B depends on the factor only through TX)
+struct BostonOptions {
+  size_t rows = 506;  // the original SMSA sample size
+  uint64_t seed = 0x5C0DEDu;
+};
+
+Result<Table> GenerateBostonData(const BostonOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DATASETS_BOSTON_H_

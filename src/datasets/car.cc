@@ -1,0 +1,48 @@
+#include "datasets/car.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scoded {
+
+Result<Table> GenerateCarData(const CarOptions& options) {
+  if (options.rows == 0) {
+    return InvalidArgumentError("GenerateCarData: rows must be positive");
+  }
+  Rng rng(options.seed);
+  const std::vector<std::string> prices = {"vhigh", "high", "med", "low"};
+  const std::vector<std::string> classes = {"unacc", "acc", "good", "vgood"};
+  const std::vector<std::string> doors = {"2", "3", "4", "5more"};
+  const std::vector<std::string> safety = {"low", "med", "high"};
+
+  // P(class | buying price): cheaper cars score better overall (the UCI
+  // rule set penalises vhigh buying price), giving a clear BP ⊥̸ CL.
+  const std::vector<std::vector<double>> class_given_price = {
+      {0.70, 0.22, 0.06, 0.02},  // vhigh
+      {0.55, 0.30, 0.10, 0.05},  // high
+      {0.35, 0.35, 0.18, 0.12},  // med
+      {0.25, 0.35, 0.22, 0.18},  // low
+  };
+
+  std::vector<std::string> bp(options.rows);
+  std::vector<std::string> cl(options.rows);
+  std::vector<std::string> dr(options.rows);
+  std::vector<std::string> sa(options.rows);
+  for (size_t i = 0; i < options.rows; ++i) {
+    size_t price = static_cast<size_t>(rng.UniformInt(0, 3));
+    bp[i] = prices[price];
+    cl[i] = classes[rng.Categorical(class_given_price[price])];
+    dr[i] = doors[static_cast<size_t>(rng.UniformInt(0, 3))];
+    sa[i] = safety[static_cast<size_t>(rng.UniformInt(0, 2))];  // independent of DR
+  }
+  TableBuilder builder;
+  builder.AddCategorical("BP", bp);
+  builder.AddCategorical("CL", cl);
+  builder.AddCategorical("DR", dr);
+  builder.AddCategorical("SA", sa);
+  return std::move(builder).Build();
+}
+
+}  // namespace scoded

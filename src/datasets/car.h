@@ -1,0 +1,28 @@
+#ifndef SCODED_DATASETS_CAR_H_
+#define SCODED_DATASETS_CAR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Synthetic stand-in for the UCI Car Evaluation dataset with the four
+/// attributes the paper uses (Sec. 6.1):
+///   BP — buying price (vhigh/high/med/low),
+///   CL — car class (unacc/acc/good/vgood),
+///   DR — doors (2/3/4/5more),
+///   SA — safety (low/med/high).
+/// Clean-data structure matches Table 3: BP ⊥̸ CL (cheaper cars evaluate
+/// better, as in the original attribute semantics) while SA ⊥ DR.
+struct CarOptions {
+  size_t rows = 1728;  // the original dataset size
+  uint64_t seed = 0x5C0DEDu;
+};
+
+Result<Table> GenerateCarData(const CarOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DATASETS_CAR_H_

@@ -1,0 +1,232 @@
+#include "datasets/errors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+// Rebuilds `table` with column `col` replaced.
+Table ReplaceColumn(const Table& table, int col, Column replacement) {
+  std::vector<Column> columns;
+  std::vector<Field> fields;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    fields.push_back(table.schema().field(c));
+    if (static_cast<int>(c) == col) {
+      columns.push_back(std::move(replacement));
+    } else {
+      columns.push_back(table.column(c));
+    }
+  }
+  return Table::Make(Schema(std::move(fields)), std::move(columns)).value();
+}
+
+// Selects round(rate·n) distinct rows. With `by` >= 0, the rows with the
+// largest values in that column are chosen; otherwise uniformly at random.
+Result<std::vector<size_t>> SelectRows(const Table& table, double rate, int by, Rng& rng) {
+  size_t n = table.NumRows();
+  size_t count = static_cast<size_t>(std::llround(rate * static_cast<double>(n)));
+  count = std::min(count, n);
+  if (by < 0) {
+    return rng.SampleWithoutReplacement(n, count);
+  }
+  const Column& guide = table.column(static_cast<size_t>(by));
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (guide.type() == ColumnType::kNumeric) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      double va = guide.IsNull(a) ? -1e300 : guide.NumericAt(a);
+      double vb = guide.IsNull(b) ? -1e300 : guide.NumericAt(b);
+      return va > vb;
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return guide.CodeAt(a) > guide.CodeAt(b); });
+  }
+  order.resize(count);
+  return order;
+}
+
+// Orders `rows` ascending by column `by` (ties by row id); used to write
+// sorted values back "based on column B".
+void OrderRowsBy(const Table& table, int by, std::vector<size_t>& rows) {
+  const Column& guide = table.column(static_cast<size_t>(by));
+  if (guide.type() == ColumnType::kNumeric) {
+    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      double va = guide.IsNull(a) ? -1e300 : guide.NumericAt(a);
+      double vb = guide.IsNull(b) ? -1e300 : guide.NumericAt(b);
+      return va < vb;
+    });
+  } else {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](size_t a, size_t b) { return guide.CodeAt(a) < guide.CodeAt(b); });
+  }
+}
+
+Result<int> ResolveGuide(const Table& table, const std::string& based_on) {
+  if (based_on.empty()) {
+    return -1;
+  }
+  return table.ColumnIndex(based_on);
+}
+
+Result<InjectionResult> InjectSortingErrorOnRows(const Table& table, int col, int guide,
+                                                 std::vector<size_t> rows) {
+  const Column& column = table.column(static_cast<size_t>(col));
+  // Write-back order: ascending row id, or ascending guide value.
+  std::vector<size_t> targets = rows;
+  if (guide >= 0) {
+    OrderRowsBy(table, guide, targets);
+  } else {
+    std::sort(targets.begin(), targets.end());
+  }
+  InjectionResult out{table, std::move(rows)};
+  if (column.type() == ColumnType::kNumeric) {
+    std::vector<double> selected;
+    selected.reserve(targets.size());
+    for (size_t row : targets) {
+      selected.push_back(column.NumericAt(row));
+    }
+    std::sort(selected.begin(), selected.end());
+    std::vector<double> values = column.numeric_values();
+    for (size_t i = 0; i < targets.size(); ++i) {
+      values[targets[i]] = selected[i];
+    }
+    out.table = ReplaceColumn(table, col, Column::Numeric(std::move(values)));
+  } else {
+    std::vector<int32_t> selected;
+    selected.reserve(targets.size());
+    for (size_t row : targets) {
+      selected.push_back(column.CodeAt(row));
+    }
+    // Sort by category string so the "ascending" order is meaningful.
+    std::sort(selected.begin(), selected.end(), [&](int32_t a, int32_t b) {
+      if (a < 0 || b < 0) {
+        return a < b;
+      }
+      return column.dictionary()[static_cast<size_t>(a)] <
+             column.dictionary()[static_cast<size_t>(b)];
+    });
+    std::vector<int32_t> codes = column.codes();
+    for (size_t i = 0; i < targets.size(); ++i) {
+      codes[targets[i]] = selected[i];
+    }
+    out.table =
+        ReplaceColumn(table, col, Column::CategoricalFromCodes(std::move(codes), column.dictionary()));
+  }
+  return out;
+}
+
+Result<InjectionResult> InjectImputationErrorOnRows(const Table& table, int col,
+                                                    std::vector<size_t> rows) {
+  const Column& column = table.column(static_cast<size_t>(col));
+  InjectionResult out{table, std::move(rows)};
+  if (column.type() == ColumnType::kNumeric) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (!column.IsNull(i)) {
+        sum += column.NumericAt(i);
+        ++count;
+      }
+    }
+    double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    std::vector<double> values = column.numeric_values();
+    for (size_t row : out.dirty_rows) {
+      values[row] = mean;
+    }
+    out.table = ReplaceColumn(table, col, Column::Numeric(std::move(values)));
+  } else {
+    std::vector<int64_t> counts(column.NumCategories(), 0);
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (!column.IsNull(i)) {
+        ++counts[static_cast<size_t>(column.CodeAt(i))];
+      }
+    }
+    int32_t mode = 0;
+    for (size_t c = 1; c < counts.size(); ++c) {
+      if (counts[c] > counts[static_cast<size_t>(mode)]) {
+        mode = static_cast<int32_t>(c);
+      }
+    }
+    std::vector<int32_t> codes = column.codes();
+    for (size_t row : out.dirty_rows) {
+      codes[row] = mode;
+    }
+    out.table =
+        ReplaceColumn(table, col, Column::CategoricalFromCodes(std::move(codes), column.dictionary()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view SyntheticErrorTypeToString(SyntheticErrorType type) {
+  switch (type) {
+    case SyntheticErrorType::kSorting:
+      return "sorting";
+    case SyntheticErrorType::kImputation:
+      return "imputation";
+    case SyntheticErrorType::kCombination:
+      return "combination";
+  }
+  return "unknown";
+}
+
+Result<InjectionResult> InjectSortingError(const Table& table, const std::string& column,
+                                           const InjectionOptions& options) {
+  SCODED_ASSIGN_OR_RETURN(int col, table.ColumnIndex(column));
+  SCODED_ASSIGN_OR_RETURN(int guide, ResolveGuide(table, options.based_on));
+  Rng rng(options.seed);
+  // Sorting errors always select randomly; `based_on` controls the
+  // write-back order (the "based on column B" variant of Sec. 6.1).
+  SCODED_ASSIGN_OR_RETURN(std::vector<size_t> rows, SelectRows(table, options.rate, -1, rng));
+  return InjectSortingErrorOnRows(table, col, guide, std::move(rows));
+}
+
+Result<InjectionResult> InjectImputationError(const Table& table, const std::string& column,
+                                              const InjectionOptions& options) {
+  SCODED_ASSIGN_OR_RETURN(int col, table.ColumnIndex(column));
+  SCODED_ASSIGN_OR_RETURN(int guide, ResolveGuide(table, options.based_on));
+  Rng rng(options.seed);
+  SCODED_ASSIGN_OR_RETURN(std::vector<size_t> rows, SelectRows(table, options.rate, guide, rng));
+  return InjectImputationErrorOnRows(table, col, std::move(rows));
+}
+
+Result<InjectionResult> InjectCombinationError(const Table& table, const std::string& column,
+                                               const InjectionOptions& options) {
+  SCODED_ASSIGN_OR_RETURN(int col, table.ColumnIndex(column));
+  SCODED_ASSIGN_OR_RETURN(int guide, ResolveGuide(table, options.based_on));
+  Rng rng(options.seed);
+  SCODED_ASSIGN_OR_RETURN(std::vector<size_t> rows, SelectRows(table, options.rate, -1, rng));
+  size_t half = rows.size() / 2;
+  std::vector<size_t> sorting_rows(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(half));
+  std::vector<size_t> imputation_rows(rows.begin() + static_cast<ptrdiff_t>(half), rows.end());
+  SCODED_ASSIGN_OR_RETURN(InjectionResult first,
+                          InjectSortingErrorOnRows(table, col, guide, std::move(sorting_rows)));
+  SCODED_ASSIGN_OR_RETURN(InjectionResult second,
+                          InjectImputationErrorOnRows(first.table, col, std::move(imputation_rows)));
+  InjectionResult out{std::move(second.table), std::move(first.dirty_rows)};
+  out.dirty_rows.insert(out.dirty_rows.end(), second.dirty_rows.begin(), second.dirty_rows.end());
+  std::sort(out.dirty_rows.begin(), out.dirty_rows.end());
+  return out;
+}
+
+Result<InjectionResult> InjectError(SyntheticErrorType type, const Table& table,
+                                    const std::string& column, const InjectionOptions& options) {
+  switch (type) {
+    case SyntheticErrorType::kSorting:
+      return InjectSortingError(table, column, options);
+    case SyntheticErrorType::kImputation:
+      return InjectImputationError(table, column, options);
+    case SyntheticErrorType::kCombination:
+      return InjectCombinationError(table, column, options);
+  }
+  return InvalidArgumentError("unknown error type");
+}
+
+}  // namespace scoded

@@ -1,0 +1,65 @@
+#ifndef SCODED_DATASETS_ERRORS_H_
+#define SCODED_DATASETS_ERRORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// The synthetic error families of Sec. 6.1, both observed in real model
+/// development (Rosset et al.): sorting errors (the KDD-Cup 2008 incident)
+/// and imputation errors (constant fill-ins for missing values).
+enum class SyntheticErrorType {
+  kSorting,
+  kImputation,
+  kCombination,
+};
+
+std::string_view SyntheticErrorTypeToString(SyntheticErrorType type);
+
+struct InjectionOptions {
+  /// Fraction α of rows to corrupt.
+  double rate = 0.2;
+  /// Optional guiding column B: for sorting errors the corrupted values are
+  /// re-assigned in ascending order of B (inducing an A-B dependence, used
+  /// against independence SCs); for imputation errors the corrupted rows
+  /// are the top-α% by B. Empty = uniformly random selection/order (used
+  /// against dependence SCs).
+  std::string based_on;
+  uint64_t seed = 0x5C0DEDu;
+};
+
+/// A corrupted copy of the input plus the ground-truth dirty row ids.
+struct InjectionResult {
+  Table table;
+  std::vector<size_t> dirty_rows;
+};
+
+/// Sorting error: α% of column `column` is selected, the selected values
+/// are sorted ascending, and written back (in row order, or in `based_on`
+/// order). Works on numeric and categorical columns.
+Result<InjectionResult> InjectSortingError(const Table& table, const std::string& column,
+                                           const InjectionOptions& options);
+
+/// Imputation error: α% of `column` is replaced by the column mean
+/// (numeric) or mode (categorical) — a misleading constant fill-in.
+Result<InjectionResult> InjectImputationError(const Table& table, const std::string& column,
+                                              const InjectionOptions& options);
+
+/// Combination error (the paper's third variant): half the corruption
+/// budget is a sorting error, the other half an imputation error, on
+/// disjoint row sets.
+Result<InjectionResult> InjectCombinationError(const Table& table, const std::string& column,
+                                               const InjectionOptions& options);
+
+/// Dispatcher over the three error types.
+Result<InjectionResult> InjectError(SyntheticErrorType type, const Table& table,
+                                    const std::string& column, const InjectionOptions& options);
+
+}  // namespace scoded
+
+#endif  // SCODED_DATASETS_ERRORS_H_

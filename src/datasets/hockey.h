@@ -1,0 +1,44 @@
+#ifndef SCODED_DATASETS_HOCKEY_H_
+#define SCODED_DATASETS_HOCKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Synthetic stand-in for the NHL draft dataset of the Sec. 6.2 model-
+/// construction case study. Each row is a drafted player:
+///   DraftYear — entry-draft year,
+///   GPM       — pre-NHL goal plus-minus,
+///   Games     — NHL games played after joining (the prediction target),
+///   Position  — skater position (covariate).
+///
+/// Clean structure: GPM and Games both reflect latent talent, but given
+/// DraftYear the dependence is moderate. The documented data defect is
+/// reproduced exactly: for drafts before `imputation_cutoff_year`, GPM was
+/// missing for a fraction of players and the provider filled in 0 — which
+/// manufactures a spurious strong dependence pattern (GPM = 0 yet
+/// Games > 0) that drill-down surfaces in Fig. 7.
+struct HockeyOptions {
+  size_t players_per_year = 90;
+  int first_year = 1998;
+  int last_year = 2010;
+  int imputation_cutoff_year = 2000;  // years <= cutoff have imputed GPM
+  double missing_fraction = 0.35;     // of pre-cutoff players
+  uint64_t seed = 0x5C0DEDu;
+};
+
+struct HockeyData {
+  Table table;
+  /// Rows whose GPM is an imputed 0 (the ground-truth dirty records).
+  std::vector<size_t> imputed_rows;
+};
+
+Result<HockeyData> GenerateHockeyData(const HockeyOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DATASETS_HOCKEY_H_

@@ -1,0 +1,47 @@
+#ifndef SCODED_DATASETS_HOSP_H_
+#define SCODED_DATASETS_HOSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Synthetic stand-in for the HHS Hospital-Compare dataset used in Fig. 12:
+/// records with Zipcode, City, State columns obeying the FDs
+/// Zip -> City and Zip -> State on clean data, corrupted by typos at the
+/// paper's 25% approximation ratio. Crucially, a typo can hit either side
+/// of the FD:
+///  * an RHS typo (wrong City/State for a known Zip) creates FD-violating
+///    pairs that AFD ranking catches;
+///  * an LHS typo (mangled Zip) creates a fresh singleton Zip that violates
+///    no pair — invisible to AFD, which is why its F-score decays for
+///    large K while SCODED's keeps growing.
+struct HospOptions {
+  size_t rows = 20000;
+  size_t num_zips = 400;
+  size_t zips_per_city = 4;
+  size_t cities_per_state = 10;
+  /// Fraction of rows corrupted (the paper's "25% rate").
+  double error_rate = 0.25;
+  /// Among corrupted rows, the fraction whose typo lands on the Zip (LHS).
+  double lhs_error_fraction = 0.5;
+  uint64_t seed = 0x5C0DEDu;
+};
+
+struct HospData {
+  Table table;
+  /// Ground-truth corrupted rows (either side).
+  std::vector<size_t> dirty_rows;
+  /// The subsets by corruption side (disjoint; union = dirty_rows).
+  std::vector<size_t> lhs_dirty_rows;
+  std::vector<size_t> rhs_dirty_rows;
+};
+
+Result<HospData> GenerateHospData(const HospOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DATASETS_HOSP_H_

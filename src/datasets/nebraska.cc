@@ -1,0 +1,108 @@
+#include "datasets/nebraska.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+
+namespace scoded {
+
+Result<NebraskaData> GenerateNebraskaData(const NebraskaOptions& options) {
+  if (options.last_year < options.first_year || options.days_per_month <= 0) {
+    return InvalidArgumentError("GenerateNebraskaData: invalid calendar configuration");
+  }
+  Rng rng(options.seed);
+  const std::vector<std::string> labels = {"clear", "rain", "snow", "fog"};
+
+  std::vector<double> year_col;
+  std::vector<double> month_col;
+  std::vector<double> wind;
+  std::vector<double> sea;
+  std::vector<double> temp;
+  std::vector<std::string> weather;
+  NebraskaData out;
+
+  // First pass: clean data (remember per-row metadata for the error pass).
+  struct RowMeta {
+    int year;
+    int month;
+  };
+  std::vector<RowMeta> meta;
+  for (int year = options.first_year; year <= options.last_year; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 0; day < options.days_per_month; ++day) {
+        // Latent weather state.
+        double season = std::cos(2.0 * M_PI * (static_cast<double>(month) - 1.0) / 12.0);
+        double storminess = rng.Normal(0.0, 1.0);
+        double cold = 10.0 * season + rng.Normal(0.0, 4.0);
+        // Label marginals are kept season-independent (so corrupting one
+        // season's measurements cannot fabricate a spurious season→label
+        // association); in deep winter the label decouples from storm
+        // activity entirely, which is what makes a year whose March-
+        // December measurements were imputed lose the dependence (Fig. 8).
+        std::string label;
+        double effective_storm = month <= 2 ? rng.Normal(0.0, 1.0) : storminess;
+        if (effective_storm > 0.8) {
+          label = rng.Bernoulli(0.5) ? "snow" : "rain";
+        } else if (effective_storm < -1.2) {
+          label = "fog";
+        } else {
+          label = "clear";
+        }
+        // Wind and pressure track storminess (and hence the label); the
+        // coupling is deliberately moderate so that a year whose values
+        // are mostly imputed/outlying genuinely loses significance at the
+        // per-year sample size, as in Fig. 8.
+        double w = std::max(0.0, 6.0 + 1.0 * storminess + rng.Normal(0.0, 1.6));
+        double p = 1013.0 - 1.5 * storminess + rng.Normal(0.0, 4.5);
+        double t = 15.0 - cold + rng.Normal(0.0, 2.0);
+
+        year_col.push_back(static_cast<double>(year));
+        month_col.push_back(static_cast<double>(month));
+        wind.push_back(w);
+        sea.push_back(p);
+        temp.push_back(t);
+        weather.push_back(label);
+        meta.push_back({year, month});
+      }
+    }
+  }
+
+  // Error pass 1: mean-imputed Wind from March onwards in the bad years.
+  double wind_mean = 0.0;
+  for (double w : wind) {
+    wind_mean += w;
+  }
+  wind_mean /= static_cast<double>(wind.size());
+  for (size_t i = 0; i < meta.size(); ++i) {
+    bool bad_year = std::find(options.wind_imputed_years.begin(),
+                              options.wind_imputed_years.end(),
+                              meta[i].year) != options.wind_imputed_years.end();
+    if (bad_year && meta[i].month >= 3) {
+      wind[i] = wind_mean;  // the paper's "Wind = 6.07" artefact
+      out.wind_dirty_rows.push_back(i);
+    }
+  }
+  // Error pass 2: Sea outliers in Jan/Apr/Oct of the outlier year.
+  for (size_t i = 0; i < meta.size(); ++i) {
+    if (meta[i].year == options.sea_outlier_year &&
+        (meta[i].month == 1 || meta[i].month == 4 || meta[i].month == 10)) {
+      sea[i] = rng.Bernoulli(0.5) ? 1013.0 + rng.Uniform(80.0, 200.0)
+                                  : 1013.0 - rng.Uniform(80.0, 200.0);
+      out.sea_dirty_rows.push_back(i);
+    }
+  }
+
+  TableBuilder builder;
+  builder.AddNumeric("Year", std::move(year_col));
+  builder.AddNumeric("Month", std::move(month_col));
+  builder.AddNumeric("Wind", std::move(wind));
+  builder.AddNumeric("Sea", std::move(sea));
+  builder.AddNumeric("Temp", std::move(temp));
+  builder.AddCategorical("Weather", weather);
+  SCODED_ASSIGN_OR_RETURN(out.table, std::move(builder).Build());
+  return out;
+}
+
+}  // namespace scoded

@@ -1,0 +1,82 @@
+#include "discovery/association.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace scoded {
+
+Result<AssociationMatrix> AssociationMatrix::Compute(const Table& table,
+                                                     const TestOptions& options) {
+  AssociationMatrix matrix;
+  size_t n = table.NumColumns();
+  for (size_t c = 0; c < n; ++c) {
+    matrix.names_.push_back(table.schema().field(c).name);
+  }
+  matrix.entries_.assign(n * n, AssociationEntry{});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      SCODED_ASSIGN_OR_RETURN(
+          TestResult test,
+          IndependenceTest(table, static_cast<int>(i), static_cast<int>(j), {}, options));
+      AssociationEntry entry;
+      entry.strength = std::fabs(test.effect);
+      entry.p_value = test.p_value;
+      entry.method = test.method;
+      matrix.entries_[i * n + j] = entry;
+      matrix.entries_[j * n + i] = entry;
+    }
+  }
+  return matrix;
+}
+
+const AssociationEntry& AssociationMatrix::entry(size_t i, size_t j) const {
+  SCODED_CHECK(i < names_.size() && j < names_.size());
+  return entries_[i * names_.size() + j];
+}
+
+std::string AssociationMatrix::ToText() const {
+  std::ostringstream os;
+  size_t width = 0;
+  for (const std::string& name : names_) {
+    width = std::max(width, name.size());
+  }
+  width = std::max<size_t>(width, 4) + 1;
+  os << std::string(width, ' ');
+  for (const std::string& name : names_) {
+    os << name.substr(0, width - 1) << std::string(width - std::min(width - 1, name.size()), ' ');
+  }
+  os << "\n";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    os << names_[i] << std::string(width - std::min(width, names_[i].size()), ' ');
+    for (size_t j = 0; j < names_.size(); ++j) {
+      if (i == j) {
+        os << std::string(width, '.');
+        continue;
+      }
+      int level = static_cast<int>(std::round(entry(i, j).strength * 9.0));
+      os << level << std::string(width - 1, ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<StatisticalConstraint> AssociationMatrix::SuggestConstraints(
+    double dependence_p, double independence_p) const {
+  std::vector<StatisticalConstraint> suggestions;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    for (size_t j = i + 1; j < names_.size(); ++j) {
+      const AssociationEntry& e = entry(i, j);
+      if (e.p_value < dependence_p) {
+        suggestions.push_back(Dependence({names_[i]}, {names_[j]}));
+      } else if (e.p_value > independence_p) {
+        suggestions.push_back(Independence({names_[i]}, {names_[j]}));
+      }
+    }
+  }
+  return suggestions;
+}
+
+}  // namespace scoded

@@ -1,0 +1,59 @@
+#ifndef SCODED_DISCOVERY_ASSOCIATION_H_
+#define SCODED_DISCOVERY_ASSOCIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/sc.h"
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// One cell of the pairwise association matrix.
+struct AssociationEntry {
+  /// Association strength in [0, 1]: |τ_b| for numeric pairs, Cramér's V
+  /// otherwise. 0 on the diagonal.
+  double strength = 0.0;
+  /// Independence-test p-value (1.0 on the diagonal).
+  double p_value = 1.0;
+  TestMethod method = TestMethod::kGTest;
+};
+
+/// The statistical data-profiling step of Fig. 1(a): an all-pairs
+/// association matrix from which a data scientist spots counter-intuitive
+/// (in)dependences. Mirrors the pandas `corr` heat-map workflow the paper
+/// describes, with p-values attached.
+class AssociationMatrix {
+ public:
+  /// Computes the matrix over all column pairs of `table`.
+  static Result<AssociationMatrix> Compute(const Table& table, const TestOptions& options = {});
+
+  size_t NumColumns() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Symmetric access; i == j returns the zero entry.
+  const AssociationEntry& entry(size_t i, size_t j) const;
+
+  /// Plain-text heat map (strength rendered on a 0-9 scale) for terminal
+  /// inspection, as in the Fig. 1(a) workflow.
+  std::string ToText() const;
+
+  /// Suggests SCs from the matrix: a pair whose p-value is below
+  /// `dependence_p` becomes a DSC candidate; a pair whose p-value is above
+  /// `independence_p` becomes an ISC candidate. The user reviews these
+  /// against domain knowledge (SC discovery is human-in-the-loop, Sec. 3).
+  std::vector<StatisticalConstraint> SuggestConstraints(double dependence_p = 0.01,
+                                                        double independence_p = 0.5) const;
+
+ private:
+  AssociationMatrix() = default;
+
+  std::vector<std::string> names_;
+  std::vector<AssociationEntry> entries_;  // row-major n×n
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_DISCOVERY_ASSOCIATION_H_

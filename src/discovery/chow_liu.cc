@@ -1,0 +1,117 @@
+#include "discovery/chow_liu.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "stats/contingency.h"
+#include "stats/ranks.h"
+
+namespace scoded {
+
+namespace {
+
+// Categorical codes for any column (numeric columns quantile-binned).
+std::vector<int32_t> EncodeColumn(const Column& column, int bins, size_t* cardinality) {
+  if (column.type() == ColumnType::kCategorical) {
+    *cardinality = column.NumCategories();
+    return column.codes();
+  }
+  std::vector<double> values;
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (!column.IsNull(i)) {
+      values.push_back(column.NumericAt(i));
+      positions.push_back(i);
+    }
+  }
+  std::vector<int32_t> binned = QuantileBins(values, bins);
+  std::vector<int32_t> codes(column.size(), -1);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    codes[positions[i]] = binned[i];
+  }
+  *cardinality = static_cast<size_t>(bins);
+  return codes;
+}
+
+}  // namespace
+
+Result<double> PairwiseMutualInformationBits(const Table& table, int a, int b,
+                                             const TestOptions& options) {
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= table.NumColumns() ||
+      static_cast<size_t>(b) >= table.NumColumns()) {
+    return OutOfRangeError("PairwiseMutualInformationBits: column index out of range");
+  }
+  size_t ca = 0;
+  size_t cb = 0;
+  std::vector<int32_t> codes_a =
+      EncodeColumn(table.column(static_cast<size_t>(a)), options.discretize_bins, &ca);
+  std::vector<int32_t> codes_b =
+      EncodeColumn(table.column(static_cast<size_t>(b)), options.discretize_bins, &cb);
+  return ContingencyTable(codes_a, codes_b, ca, cb).MutualInformationBits();
+}
+
+Result<Dag> LearnChowLiuTree(const Table& table, int root, const TestOptions& options) {
+  size_t n = table.NumColumns();
+  if (n == 0) {
+    return InvalidArgumentError("LearnChowLiuTree: table has no columns");
+  }
+  if (root < 0 || static_cast<size_t>(root) >= n) {
+    return OutOfRangeError("LearnChowLiuTree: root index out of range");
+  }
+  // Dense pairwise MI matrix.
+  std::vector<double> mi(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      SCODED_ASSIGN_OR_RETURN(
+          double value,
+          PairwiseMutualInformationBits(table, static_cast<int>(i), static_cast<int>(j), options));
+      mi[i * n + j] = value;
+      mi[j * n + i] = value;
+    }
+  }
+  // Prim's algorithm for the maximum spanning tree, started at `root`.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best_weight(n, -std::numeric_limits<double>::infinity());
+  std::vector<int> best_parent(n, -1);
+  in_tree[static_cast<size_t>(root)] = true;
+  for (size_t v = 0; v < n; ++v) {
+    if (v != static_cast<size_t>(root)) {
+      best_weight[v] = mi[static_cast<size_t>(root) * n + v];
+      best_parent[v] = root;
+    }
+  }
+  std::vector<std::pair<int, int>> edges;  // (parent, child)
+  for (size_t step = 1; step < n; ++step) {
+    double best = -std::numeric_limits<double>::infinity();
+    int pick = -1;
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_weight[v] > best) {
+        best = best_weight[v];
+        pick = static_cast<int>(v);
+      }
+    }
+    if (pick < 0) {
+      break;
+    }
+    in_tree[static_cast<size_t>(pick)] = true;
+    edges.emplace_back(best_parent[static_cast<size_t>(pick)], pick);
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && mi[static_cast<size_t>(pick) * n + v] > best_weight[v]) {
+        best_weight[v] = mi[static_cast<size_t>(pick) * n + v];
+        best_parent[v] = pick;
+      }
+    }
+  }
+  std::vector<std::string> names;
+  for (size_t c = 0; c < n; ++c) {
+    names.push_back(table.schema().field(c).name);
+  }
+  Dag dag(std::move(names));
+  for (const auto& [parent, child] : edges) {
+    SCODED_RETURN_IF_ERROR(dag.AddEdge(parent, child));
+  }
+  return dag;
+}
+
+}  // namespace scoded

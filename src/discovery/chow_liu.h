@@ -1,0 +1,26 @@
+#ifndef SCODED_DISCOVERY_CHOW_LIU_H_
+#define SCODED_DISCOVERY_CHOW_LIU_H_
+
+#include "common/result.h"
+#include "discovery/dag.h"
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Empirical mutual information (bits) between two columns of any types;
+/// numeric columns are quantile-discretised with `options.discretize_bins`.
+/// Used as the edge weight for Chow–Liu structure learning.
+Result<double> PairwiseMutualInformationBits(const Table& table, int a, int b,
+                                             const TestOptions& options = {});
+
+/// Learns a Chow–Liu tree: the maximum-spanning tree of the pairwise
+/// mutual-information graph, oriented away from `root`. This is the
+/// lightweight "Bayesian network" learner backing the Fig. 1(b) workflow;
+/// combined with `Dag::ImpliedIndependencies` it derives candidate SCs
+/// from data.
+Result<Dag> LearnChowLiuTree(const Table& table, int root = 0, const TestOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DISCOVERY_CHOW_LIU_H_

@@ -1,0 +1,200 @@
+#include "discovery/dag.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/check.h"
+
+namespace scoded {
+
+Dag::Dag(std::vector<std::string> names)
+    : names_(std::move(names)), parents_(names_.size()), children_(names_.size()) {}
+
+Result<int> Dag::NodeIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return NotFoundError("no DAG node named '" + name + "'");
+}
+
+Status Dag::AddEdge(int from, int to) {
+  if (from < 0 || to < 0 || static_cast<size_t>(from) >= names_.size() ||
+      static_cast<size_t>(to) >= names_.size()) {
+    return OutOfRangeError("AddEdge: node index out of range");
+  }
+  if (from == to) {
+    return InvalidArgumentError("AddEdge: self-loops are not allowed");
+  }
+  if (HasEdge(from, to)) {
+    return AlreadyExistsError("AddEdge: edge already present");
+  }
+  if (WouldCreateCycle(from, to)) {
+    return FailedPreconditionError("AddEdge: edge " + names_[static_cast<size_t>(from)] +
+                                   " -> " + names_[static_cast<size_t>(to)] +
+                                   " would create a cycle");
+  }
+  children_[static_cast<size_t>(from)].push_back(to);
+  parents_[static_cast<size_t>(to)].push_back(from);
+  return OkStatus();
+}
+
+Status Dag::AddEdge(const std::string& from, const std::string& to) {
+  SCODED_ASSIGN_OR_RETURN(int f, NodeIndex(from));
+  SCODED_ASSIGN_OR_RETURN(int t, NodeIndex(to));
+  return AddEdge(f, t);
+}
+
+bool Dag::HasEdge(int from, int to) const {
+  const std::vector<int>& ch = children_[static_cast<size_t>(from)];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+bool Dag::WouldCreateCycle(int from, int to) const {
+  // A cycle appears iff `from` is reachable from `to` along directed edges.
+  std::deque<int> queue = {to};
+  std::vector<bool> seen(names_.size(), false);
+  seen[static_cast<size_t>(to)] = true;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    if (v == from) {
+      return true;
+    }
+    for (int c : children_[static_cast<size_t>(v)]) {
+      if (!seen[static_cast<size_t>(c)]) {
+        seen[static_cast<size_t>(c)] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+bool Dag::DSeparated(const std::vector<int>& x, const std::vector<int>& y,
+                     const std::vector<int>& z) const {
+  // Reachability formulation of d-separation (Koller & Friedman, Alg. 3.1).
+  size_t n = names_.size();
+  std::vector<bool> in_z(n, false);
+  for (int v : z) {
+    in_z[static_cast<size_t>(v)] = true;
+  }
+  // Phase 1: Z and its ancestors.
+  std::vector<bool> anc(n, false);
+  {
+    std::deque<int> queue(z.begin(), z.end());
+    for (int v : z) {
+      anc[static_cast<size_t>(v)] = true;
+    }
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop_front();
+      for (int p : parents_[static_cast<size_t>(v)]) {
+        if (!anc[static_cast<size_t>(p)]) {
+          anc[static_cast<size_t>(p)] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+  // Phase 2: traverse active trails. Direction 0 = arrived from a child
+  // ("up"), 1 = arrived from a parent ("down").
+  std::vector<bool> visited(2 * n, false);
+  std::vector<bool> reachable(n, false);
+  std::deque<std::pair<int, int>> queue;
+  for (int v : x) {
+    queue.emplace_back(v, 0);
+  }
+  while (!queue.empty()) {
+    auto [v, dir] = queue.front();
+    queue.pop_front();
+    size_t key = static_cast<size_t>(v) * 2 + static_cast<size_t>(dir);
+    if (visited[key]) {
+      continue;
+    }
+    visited[key] = true;
+    if (!in_z[static_cast<size_t>(v)]) {
+      reachable[static_cast<size_t>(v)] = true;
+    }
+    if (dir == 0) {
+      if (!in_z[static_cast<size_t>(v)]) {
+        for (int p : parents_[static_cast<size_t>(v)]) {
+          queue.emplace_back(p, 0);
+        }
+        for (int c : children_[static_cast<size_t>(v)]) {
+          queue.emplace_back(c, 1);
+        }
+      }
+    } else {
+      if (!in_z[static_cast<size_t>(v)]) {
+        for (int c : children_[static_cast<size_t>(v)]) {
+          queue.emplace_back(c, 1);
+        }
+      }
+      if (anc[static_cast<size_t>(v)]) {
+        // Collider (or ancestor-of-Z collider): the trail may turn upward.
+        for (int p : parents_[static_cast<size_t>(v)]) {
+          queue.emplace_back(p, 0);
+        }
+      }
+    }
+  }
+  for (int v : y) {
+    if (reachable[static_cast<size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<StatisticalConstraint> Dag::ImpliedIndependencies(int max_conditioning) const {
+  std::vector<StatisticalConstraint> out;
+  int n = static_cast<int>(names_.size());
+  // Enumerate conditioning sets as sorted index vectors up to the cap.
+  std::vector<std::vector<int>> conditioning_sets = {{}};
+  for (int size = 1; size <= max_conditioning && size <= n; ++size) {
+    std::vector<int> indices(static_cast<size_t>(size));
+    // Iterative combination enumeration.
+    std::vector<int> c(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      c[static_cast<size_t>(i)] = i;
+    }
+    while (true) {
+      conditioning_sets.push_back(c);
+      int i = size - 1;
+      while (i >= 0 && c[static_cast<size_t>(i)] == n - size + i) {
+        --i;
+      }
+      if (i < 0) {
+        break;
+      }
+      ++c[static_cast<size_t>(i)];
+      for (int j = i + 1; j < size; ++j) {
+        c[static_cast<size_t>(j)] = c[static_cast<size_t>(j - 1)] + 1;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      for (const std::vector<int>& z : conditioning_sets) {
+        if (std::find(z.begin(), z.end(), i) != z.end() ||
+            std::find(z.begin(), z.end(), j) != z.end()) {
+          continue;
+        }
+        if (DSeparated({i}, {j}, z)) {
+          std::vector<std::string> z_names;
+          for (int v : z) {
+            z_names.push_back(names_[static_cast<size_t>(v)]);
+          }
+          out.push_back(Independence({names_[static_cast<size_t>(i)]},
+                                     {names_[static_cast<size_t>(j)]}, z_names));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scoded

@@ -1,0 +1,57 @@
+#ifndef SCODED_DISCOVERY_DAG_H_
+#define SCODED_DISCOVERY_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/sc.h"
+
+namespace scoded {
+
+/// A directed acyclic graph over named variables — the "Bayesian network"
+/// of Fig. 1(b). Supports d-separation queries (Geiger–Verma–Pearl), from
+/// which conditional-independence SCs are read off.
+class Dag {
+ public:
+  /// Creates a DAG over the given variable names (initially edgeless).
+  explicit Dag(std::vector<std::string> names);
+
+  size_t NumNodes() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Node index for a name, or an error.
+  Result<int> NodeIndex(const std::string& name) const;
+
+  /// Adds the directed edge from -> to; rejects self-loops, duplicate
+  /// edges, and edges that would create a cycle.
+  Status AddEdge(int from, int to);
+  Status AddEdge(const std::string& from, const std::string& to);
+
+  bool HasEdge(int from, int to) const;
+  const std::vector<int>& Parents(int node) const { return parents_[static_cast<size_t>(node)]; }
+  const std::vector<int>& Children(int node) const { return children_[static_cast<size_t>(node)]; }
+
+  /// True iff X ⊥_d Y | Z in the graph (every path is blocked). Implemented
+  /// with the reachability ("Bayes ball") formulation of d-separation.
+  /// The three sets must be disjoint; nodes outside any set are free.
+  bool DSeparated(const std::vector<int>& x, const std::vector<int>& y,
+                  const std::vector<int>& z) const;
+
+  /// Enumerates implied independence SCs X ⊥ Y | Z with singleton X, Y over
+  /// all conditioning sets of size at most `max_conditioning`. This is how
+  /// the Fig. 1(b) workflow derives SCs like Color ⊥ Price | Model. The
+  /// output grows combinatorially: intended for small graphs.
+  std::vector<StatisticalConstraint> ImpliedIndependencies(int max_conditioning = 1) const;
+
+ private:
+  bool WouldCreateCycle(int from, int to) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_DISCOVERY_DAG_H_

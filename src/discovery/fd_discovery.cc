@@ -1,0 +1,93 @@
+#include "discovery/fd_discovery.h"
+
+#include <algorithm>
+
+#include "table/group_by.h"
+
+namespace scoded {
+
+namespace {
+
+// Number of distinct non-null values in a column (for candidate pruning).
+size_t DistinctCount(const Table& table, int column) {
+  GroupByResult groups = GroupRows(table, {column});
+  return groups.groups.size();
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverApproximateFds(const Table& table,
+                                                         const FdDiscoveryOptions& options) {
+  if (table.NumRows() == 0 || table.NumColumns() < 2) {
+    return std::vector<DiscoveredFd>{};
+  }
+  size_t n = table.NumRows();
+  // Candidate columns: categorical, or low-distinct numeric.
+  std::vector<int> candidates;
+  std::vector<size_t> distinct_counts;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    size_t distinct = DistinctCount(table, static_cast<int>(c));
+    if (table.column(c).type() == ColumnType::kNumeric &&
+        distinct > options.max_numeric_distinct) {
+      continue;
+    }
+    candidates.push_back(static_cast<int>(c));
+    distinct_counts.push_back(distinct);
+  }
+
+  std::vector<DiscoveredFd> out;
+  for (size_t li = 0; li < candidates.size(); ++li) {
+    int lhs = candidates[li];
+    // Near-key LHS columns satisfy every FD trivially — no signal.
+    if (static_cast<double>(distinct_counts[li]) >
+        options.max_lhs_distinct_fraction * static_cast<double>(n)) {
+      continue;
+    }
+    GroupByResult lhs_groups = GroupRows(table, {lhs});
+    for (size_t ri = 0; ri < candidates.size(); ++ri) {
+      if (ri == li) {
+        continue;
+      }
+      int rhs = candidates[ri];
+      int64_t removed = 0;
+      int64_t violating_pairs = 0;
+      int64_t total_pairs = 0;
+      for (const std::vector<size_t>& group : lhs_groups.groups) {
+        if (group.size() < 2) {
+          continue;
+        }
+        GroupByResult sub = GroupRows(table, {rhs}, group);
+        size_t majority = 0;
+        int64_t agreeing = 0;
+        for (const std::vector<size_t>& same : sub.groups) {
+          majority = std::max(majority, same.size());
+          int64_t s = static_cast<int64_t>(same.size());
+          agreeing += s * (s - 1) / 2;
+        }
+        removed += static_cast<int64_t>(group.size() - majority);
+        int64_t g = static_cast<int64_t>(group.size());
+        total_pairs += g * (g - 1) / 2;
+        violating_pairs += g * (g - 1) / 2 - agreeing;
+      }
+      double g3 = static_cast<double>(removed) / static_cast<double>(n);
+      if (g3 > options.max_g3_ratio) {
+        continue;
+      }
+      DiscoveredFd found;
+      found.fd.lhs = {table.schema().field(static_cast<size_t>(lhs)).name};
+      found.fd.rhs = {table.schema().field(static_cast<size_t>(rhs)).name};
+      found.g3_ratio = g3;
+      found.violating_pair_ratio =
+          total_pairs > 0
+              ? static_cast<double>(violating_pairs) / static_cast<double>(total_pairs)
+              : 0.0;
+      out.push_back(std::move(found));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const DiscoveredFd& a, const DiscoveredFd& b) {
+    return a.g3_ratio < b.g3_ratio;
+  });
+  return out;
+}
+
+}  // namespace scoded

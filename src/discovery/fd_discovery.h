@@ -1,0 +1,47 @@
+#ifndef SCODED_DISCOVERY_FD_DISCOVERY_H_
+#define SCODED_DISCOVERY_FD_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/ic.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// One discovered approximate functional dependency with its quality
+/// measures.
+struct DiscoveredFd {
+  FunctionalDependency fd;
+  /// g3 approximation ratio: minimum fraction of records to delete so the
+  /// FD holds exactly (0 = exact FD).
+  double g3_ratio = 0.0;
+  /// Fraction of record pairs (within shared-LHS groups) that violate the
+  /// FD — the pairwise view DCDetect/AFD operate on.
+  double violating_pair_ratio = 0.0;
+};
+
+struct FdDiscoveryOptions {
+  /// Only report FDs whose g3 ratio is at most this (0.25 matches the
+  /// paper's 25%-rate HOSP AFDs).
+  double max_g3_ratio = 0.25;
+  /// Skip candidate LHS columns whose distinct-value count exceeds this
+  /// fraction of the rows (near-key columns determine everything
+  /// trivially and carry no cleaning signal).
+  double max_lhs_distinct_fraction = 0.9;
+  /// Numeric columns need discretisation to act as FD sides; columns with
+  /// more distinct values than this are skipped entirely.
+  size_t max_numeric_distinct = 64;
+};
+
+/// Discovers single-column approximate FDs A -> B over all ordered column
+/// pairs (the profiling step that feeds the paper's Sec. 6 AFD workflow:
+/// discover an approximate FD, translate it to a DSC via Prop. 2, and
+/// enforce/drill with SCODED). Results are sorted by ascending g3 ratio.
+Result<std::vector<DiscoveredFd>> DiscoverApproximateFds(const Table& table,
+                                                         const FdDiscoveryOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_DISCOVERY_FD_DISCOVERY_H_

@@ -1,0 +1,220 @@
+#include "discovery/pc.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+// Enumerates all size-`k` subsets of `candidates`, invoking `fn` with each;
+// stops early when `fn` returns true (subset accepted).
+bool ForEachSubset(const std::vector<int>& candidates, int k,
+                   const std::function<bool(const std::vector<int>&)>& fn) {
+  if (k == 0) {
+    std::vector<int> empty;
+    return fn(empty);
+  }
+  if (static_cast<size_t>(k) > candidates.size()) {
+    return false;
+  }
+  std::vector<int> indices(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    indices[static_cast<size_t>(i)] = i;
+  }
+  int n = static_cast<int>(candidates.size());
+  while (true) {
+    std::vector<int> subset;
+    subset.reserve(static_cast<size_t>(k));
+    for (int idx : indices) {
+      subset.push_back(candidates[static_cast<size_t>(idx)]);
+    }
+    if (fn(subset)) {
+      return true;
+    }
+    int i = k - 1;
+    while (i >= 0 && indices[static_cast<size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      return false;
+    }
+    ++indices[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      indices[static_cast<size_t>(j)] = indices[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<StatisticalConstraint> PcResult::DiscoveredConstraints() const {
+  std::vector<StatisticalConstraint> out;
+  int n = static_cast<int>(names.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (IsAdjacent(i, j)) {
+        out.push_back(Dependence({names[static_cast<size_t>(i)]},
+                                 {names[static_cast<size_t>(j)]}));
+        continue;
+      }
+      auto it = separating_sets.find({i, j});
+      std::vector<std::string> z;
+      if (it != separating_sets.end()) {
+        for (int v : it->second) {
+          z.push_back(names[static_cast<size_t>(v)]);
+        }
+      }
+      out.push_back(Independence({names[static_cast<size_t>(i)]},
+                                 {names[static_cast<size_t>(j)]}, z));
+    }
+  }
+  return out;
+}
+
+Result<PcResult> LearnPcStructure(const Table& table, const PcOptions& options) {
+  int n = static_cast<int>(table.NumColumns());
+  if (n < 2) {
+    return InvalidArgumentError("LearnPcStructure needs at least two columns");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return InvalidArgumentError("PC alpha must lie in (0, 1)");
+  }
+  // Conditioning on a continuous variable is only consistent as the
+  // number of strata grows with n; scale the quantile-bin count so each
+  // stratum holds ~15 records (bounded to [8, 64]).
+  PcOptions tuned = options;
+  int64_t adaptive_bins = static_cast<int64_t>(table.NumRows()) / 15;
+  tuned.test.condition_bins = std::max(
+      tuned.test.condition_bins,
+      static_cast<int>(std::clamp<int64_t>(adaptive_bins, 8, 64)));
+
+  PcResult result;
+  for (int c = 0; c < n; ++c) {
+    result.names.push_back(table.schema().field(static_cast<size_t>(c)).name);
+  }
+  result.adjacent.assign(static_cast<size_t>(n),
+                         std::vector<bool>(static_cast<size_t>(n), true));
+  for (int i = 0; i < n; ++i) {
+    result.adjacent[static_cast<size_t>(i)][static_cast<size_t>(i)] = false;
+  }
+
+  // Skeleton phase: prune with conditioning sets of growing size.
+  Status test_error = OkStatus();
+  for (int level = 0; level <= options.max_conditioning; ++level) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!result.IsAdjacent(i, j)) {
+          continue;
+        }
+        // Candidate conditioning variables: neighbours of either endpoint
+        // (the PC-stable neighbourhood union), excluding the pair itself.
+        std::vector<int> candidates;
+        for (int v = 0; v < n; ++v) {
+          if (v != i && v != j &&
+              (result.IsAdjacent(i, v) || result.IsAdjacent(j, v))) {
+            candidates.push_back(v);
+          }
+        }
+        ForEachSubset(candidates, level, [&](const std::vector<int>& subset) {
+          Result<TestResult> test = IndependenceTest(table, i, j, subset, tuned.test);
+          if (!test.ok()) {
+            test_error = test.status();
+            return true;  // abort subset search; error propagated below
+          }
+          if (test->p_value > options.alpha) {
+            result.adjacent[static_cast<size_t>(i)][static_cast<size_t>(j)] = false;
+            result.adjacent[static_cast<size_t>(j)][static_cast<size_t>(i)] = false;
+            result.separating_sets[{i, j}] = subset;
+            return true;
+          }
+          return false;
+        });
+        if (!test_error.ok()) {
+          return test_error;
+        }
+      }
+    }
+  }
+
+  // V-structure phase: for every i - k - j with i, j non-adjacent and k
+  // outside sep(i, j), orient i -> k <- j.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (i == k || j == k || !result.IsAdjacent(i, k) || !result.IsAdjacent(j, k) ||
+            result.IsAdjacent(i, j)) {
+          continue;
+        }
+        auto it = result.separating_sets.find({i, j});
+        bool k_in_sepset =
+            it != result.separating_sets.end() &&
+            std::find(it->second.begin(), it->second.end(), k) != it->second.end();
+        if (!k_in_sepset) {
+          result.directed.emplace_back(i, k);
+          result.directed.emplace_back(j, k);
+        }
+      }
+    }
+  }
+  std::sort(result.directed.begin(), result.directed.end());
+  result.directed.erase(std::unique(result.directed.begin(), result.directed.end()),
+                        result.directed.end());
+
+  // Meek propagation (rules R1–R3; R4 only matters with background
+  // knowledge): extend the v-structure orientations to the maximal CPDAG.
+  auto is_directed = [&](int a, int b) {
+    return std::find(result.directed.begin(), result.directed.end(), std::pair<int, int>{a, b}) !=
+           result.directed.end();
+  };
+  auto orient = [&](int a, int b) {
+    if (is_directed(a, b) || is_directed(b, a)) {
+      return false;
+    }
+    result.directed.emplace_back(a, b);
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a == b || !result.IsAdjacent(a, b) || is_directed(a, b) || is_directed(b, a)) {
+          continue;
+        }
+        // R1: c -> a, a - b, c and b non-adjacent  =>  a -> b.
+        for (int c = 0; c < n && !is_directed(a, b); ++c) {
+          if (c != a && c != b && is_directed(c, a) && !result.IsAdjacent(c, b)) {
+            changed |= orient(a, b);
+          }
+        }
+        // R2: a -> c -> b with a - b  =>  a -> b.
+        for (int c = 0; c < n && !is_directed(a, b); ++c) {
+          if (c != a && c != b && is_directed(a, c) && is_directed(c, b)) {
+            changed |= orient(a, b);
+          }
+        }
+        // R3: a - c -> b and a - d -> b with c, d non-adjacent  =>  a -> b.
+        for (int c = 0; c < n && !is_directed(a, b); ++c) {
+          if (c == a || c == b || !result.IsAdjacent(a, c) || is_directed(a, c) ||
+              is_directed(c, a) || !is_directed(c, b)) {
+            continue;
+          }
+          for (int d = c + 1; d < n; ++d) {
+            if (d == a || d == b || !result.IsAdjacent(a, d) || is_directed(a, d) ||
+                is_directed(d, a) || !is_directed(d, b) || result.IsAdjacent(c, d)) {
+              continue;
+            }
+            changed |= orient(a, b);
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.directed.begin(), result.directed.end());
+  return result;
+}
+
+}  // namespace scoded

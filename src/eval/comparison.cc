@@ -1,0 +1,80 @@
+#include "eval/comparison.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace scoded {
+
+ComparisonResult CompareDetectors(const Table& table, const std::set<size_t>& ground_truth,
+                                  const std::vector<ErrorDetector*>& detectors,
+                                  const std::vector<size_t>& ks) {
+  ComparisonResult result;
+  result.ks = ks;
+  size_t max_k = 0;
+  for (size_t k : ks) {
+    max_k = std::max(max_k, k);
+  }
+  for (ErrorDetector* detector : detectors) {
+    DetectorCurve curve;
+    curve.name = detector->Name();
+    Result<std::vector<size_t>> ranking = detector->Rank(table, max_k);
+    if (!ranking.ok()) {
+      curve.error = ranking.status().ToString();
+      curve.at_k.assign(ks.size(), PrecisionRecall{});
+    } else {
+      for (size_t k : ks) {
+        curve.at_k.push_back(EvaluateTopK(*ranking, ground_truth, k));
+      }
+      curve.best = BestFScore(*ranking, ground_truth);
+    }
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
+std::string ComparisonResult::ToText() const {
+  std::ostringstream os;
+  os << std::left << std::setw(8) << "k";
+  for (const DetectorCurve& curve : curves) {
+    os << std::setw(16) << curve.name;
+  }
+  os << "\n";
+  for (size_t i = 0; i < ks.size(); ++i) {
+    os << std::left << std::setw(8) << ks[i];
+    for (const DetectorCurve& curve : curves) {
+      os << std::setw(16) << std::fixed << std::setprecision(3) << curve.at_k[i].f_score;
+    }
+    os << "\n";
+  }
+  os << std::left << std::setw(8) << "bestF";
+  for (const DetectorCurve& curve : curves) {
+    if (!curve.error.empty()) {
+      os << std::setw(16) << "error";
+      continue;
+    }
+    std::ostringstream cell;
+    cell << std::fixed << std::setprecision(3) << curve.best.f_score << "@" << curve.best.k;
+    os << std::setw(16) << cell.str();
+  }
+  os << "\n";
+  for (const DetectorCurve& curve : curves) {
+    if (!curve.error.empty()) {
+      os << "  " << curve.name << " failed: " << curve.error << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::vector<size_t> StandardKSweep(size_t truth_size) {
+  std::vector<size_t> ks;
+  for (double f : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+    size_t k = static_cast<size_t>(f * static_cast<double>(truth_size));
+    if (k > 0) {
+      ks.push_back(k);
+    }
+  }
+  return ks;
+}
+
+}  // namespace scoded

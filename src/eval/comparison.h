@@ -1,0 +1,50 @@
+#ifndef SCODED_EVAL_COMPARISON_H_
+#define SCODED_EVAL_COMPARISON_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "eval/metrics.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// One detector's quality curve in a comparison run.
+struct DetectorCurve {
+  std::string name;
+  /// precision/recall/F at each requested k (parallel to `ks` in the
+  /// comparison result).
+  std::vector<PrecisionRecall> at_k;
+  /// Best F-score over the full ranking.
+  PrecisionRecall best;
+  /// Error message when the detector failed (curve entries are zeroed).
+  std::string error;
+};
+
+/// Result of running several detectors against one corrupted dataset with
+/// known ground truth — the experiment underlying every Sec. 6 figure.
+struct ComparisonResult {
+  std::vector<size_t> ks;
+  std::vector<DetectorCurve> curves;
+
+  /// Fixed-width text rendering (the format the bench binaries print).
+  std::string ToText() const;
+};
+
+/// Runs each detector once (ranking to max k) and evaluates prefix
+/// precision/recall/F against `ground_truth` at each k. A failing
+/// detector contributes an error entry instead of aborting the run.
+ComparisonResult CompareDetectors(const Table& table, const std::set<size_t>& ground_truth,
+                                  const std::vector<ErrorDetector*>& detectors,
+                                  const std::vector<size_t>& ks);
+
+/// The standard k sweep used across the benches: fractions
+/// {0.25, 0.5, 0.75, 1.0, 1.25, 1.5} of the ground-truth size.
+std::vector<size_t> StandardKSweep(size_t truth_size);
+
+}  // namespace scoded
+
+#endif  // SCODED_EVAL_COMPARISON_H_

@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace scoded {
+
+PrecisionRecall EvaluateTopK(const std::vector<size_t>& ranking,
+                             const std::set<size_t>& ground_truth, size_t k) {
+  PrecisionRecall out;
+  out.k = k;
+  if (k == 0) {
+    return out;
+  }
+  size_t considered = std::min(k, ranking.size());
+  for (size_t i = 0; i < considered; ++i) {
+    out.hits += ground_truth.count(ranking[i]);
+  }
+  out.precision = static_cast<double>(out.hits) / static_cast<double>(k);
+  out.recall = ground_truth.empty()
+                   ? 0.0
+                   : static_cast<double>(out.hits) / static_cast<double>(ground_truth.size());
+  if (out.precision + out.recall > 0.0) {
+    out.f_score = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+std::vector<PrecisionRecall> EvaluateAtKs(const std::vector<size_t>& ranking,
+                                          const std::set<size_t>& ground_truth,
+                                          const std::vector<size_t>& ks) {
+  std::vector<PrecisionRecall> out;
+  out.reserve(ks.size());
+  for (size_t k : ks) {
+    out.push_back(EvaluateTopK(ranking, ground_truth, k));
+  }
+  return out;
+}
+
+PrecisionRecall BestFScore(const std::vector<size_t>& ranking,
+                           const std::set<size_t>& ground_truth) {
+  PrecisionRecall best;
+  size_t hits = 0;
+  for (size_t k = 1; k <= ranking.size(); ++k) {
+    hits += ground_truth.count(ranking[k - 1]);
+    double precision = static_cast<double>(hits) / static_cast<double>(k);
+    double recall = ground_truth.empty()
+                        ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(ground_truth.size());
+    double f = precision + recall > 0.0 ? 2.0 * precision * recall / (precision + recall) : 0.0;
+    if (f > best.f_score) {
+      best.f_score = f;
+      best.precision = precision;
+      best.recall = recall;
+      best.k = k;
+      best.hits = hits;
+    }
+  }
+  return best;
+}
+
+}  // namespace scoded

@@ -1,0 +1,38 @@
+#ifndef SCODED_EVAL_METRICS_H_
+#define SCODED_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace scoded {
+
+/// Precision/recall/F-score at a fixed K (Sec. 6.1 "Quality Measurement"):
+/// precision@K = hits / K, recall@K = hits / |truth|, F = harmonic mean.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+  size_t k = 0;
+  size_t hits = 0;
+};
+
+/// Evaluates the first `k` entries of `ranking` against `ground_truth`.
+/// A ranking shorter than k is evaluated as-is but divided by k (missing
+/// guesses count as misses).
+PrecisionRecall EvaluateTopK(const std::vector<size_t>& ranking,
+                             const std::set<size_t>& ground_truth, size_t k);
+
+/// Sweep over several K values.
+std::vector<PrecisionRecall> EvaluateAtKs(const std::vector<size_t>& ranking,
+                                          const std::set<size_t>& ground_truth,
+                                          const std::vector<size_t>& ks);
+
+/// The K maximising F-score over 1..ranking.size() (reported as "max
+/// F-score" in Sec. 6.3 discussions).
+PrecisionRecall BestFScore(const std::vector<size_t>& ranking,
+                           const std::set<size_t>& ground_truth);
+
+}  // namespace scoded
+
+#endif  // SCODED_EVAL_METRICS_H_

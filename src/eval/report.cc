@@ -1,0 +1,134 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.h"
+#include "core/drilldown.h"
+#include "stats/multiple_testing.h"
+
+namespace scoded {
+
+Result<CleaningReport> GenerateCleaningReport(const Table& table,
+                                              const std::vector<ApproximateSc>& constraints,
+                                              const ReportOptions& options) {
+  CleaningReport report;
+  report.findings.reserve(constraints.size());
+  std::vector<size_t> isc_indices;
+  std::vector<double> isc_p;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    ConstraintFinding finding;
+    finding.constraint = constraints[i];
+    SCODED_ASSIGN_OR_RETURN(finding.report,
+                            DetectViolation(table, constraints[i], options.test));
+    finding.adjusted_p = finding.report.p_value;
+    finding.confirmed = finding.report.violated;
+    if (constraints[i].sc.is_independence()) {
+      isc_indices.push_back(i);
+      isc_p.push_back(finding.report.p_value);
+    }
+    report.findings.push_back(std::move(finding));
+  }
+  // FDR control across the ISC family: a violated ISC must survive the
+  // Benjamini–Hochberg adjustment to be confirmed.
+  if (options.fdr_control && !isc_indices.empty()) {
+    MultipleTestingResult mt = BenjaminiHochberg(isc_p, options.fdr_q);
+    for (size_t j = 0; j < isc_indices.size(); ++j) {
+      ConstraintFinding& finding = report.findings[isc_indices[j]];
+      finding.adjusted_p = mt.adjusted_p[j];
+      finding.confirmed = finding.report.violated && mt.rejected[j];
+    }
+  }
+  for (ConstraintFinding& finding : report.findings) {
+    if (!finding.confirmed) {
+      continue;
+    }
+    ++report.confirmed_violations;
+    DrillDownOptions drill;
+    drill.test = options.test;
+    SCODED_ASSIGN_OR_RETURN(
+        DrillDownResult top,
+        DrillDown(table, finding.constraint, options.drilldown_k, drill));
+    finding.suspicious_rows = std::move(top.rows);
+  }
+  return report;
+}
+
+std::string CleaningReport::ToMarkdown(const Table& table, const ReportOptions& options) const {
+  std::ostringstream os;
+  os << "# SCODED cleaning report\n\n";
+  os << "dataset: " << table.NumRows() << " rows × " << table.NumColumns() << " columns (`"
+     << table.schema().ToString() << "`)\n\n";
+  os << "constraints checked: " << findings.size() << ", confirmed violations: "
+     << confirmed_violations << "\n\n";
+  os << "| constraint | alpha | p | adjusted p | verdict |\n";
+  os << "|---|---|---|---|---|\n";
+  for (const ConstraintFinding& finding : findings) {
+    os << "| `" << finding.constraint.sc.ToString() << "` | " << finding.constraint.alpha
+       << " | " << finding.report.p_value << " | " << finding.adjusted_p << " | "
+       << (finding.confirmed ? "**VIOLATED**"
+                             : (finding.report.violated ? "violated (not confirmed after FDR)"
+                                                        : "holds"))
+       << " |\n";
+  }
+  for (const ConstraintFinding& finding : findings) {
+    if (finding.suspicious_rows.empty()) {
+      continue;
+    }
+    os << "\n## Drill-down: `" << finding.constraint.sc.ToString() << "`\n\n";
+    os << "top-" << finding.suspicious_rows.size() << " suspicious rows: ";
+    for (size_t i = 0; i < finding.suspicious_rows.size(); ++i) {
+      os << (i > 0 ? ", " : "") << finding.suspicious_rows[i];
+    }
+    os << "\n\nsample:\n\n|";
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      os << " " << table.schema().field(c).name << " |";
+    }
+    os << "\n|";
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      os << "---|";
+    }
+    os << "\n";
+    size_t shown = std::min(options.sample_rows, finding.suspicious_rows.size());
+    for (size_t i = 0; i < shown; ++i) {
+      size_t row = finding.suspicious_rows[i];
+      os << "|";
+      for (size_t c = 0; c < table.NumColumns(); ++c) {
+        os << " " << table.column(c).ValueToString(row) << " |";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string CleaningReport::ToJson(const Table& table) const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows").Uint(table.NumRows());
+  json.Key("columns").Uint(table.NumColumns());
+  json.Key("confirmed_violations").Uint(confirmed_violations);
+  json.Key("findings").BeginArray();
+  for (const ConstraintFinding& finding : findings) {
+    json.BeginObject();
+    json.Key("constraint").String(finding.constraint.sc.ToString());
+    json.Key("alpha").Double(finding.constraint.alpha);
+    json.Key("p_value").Double(finding.report.p_value);
+    json.Key("adjusted_p").Double(finding.adjusted_p);
+    json.Key("statistic").Double(finding.report.test.statistic);
+    json.Key("method").String(std::string(TestMethodToString(finding.report.test.method)));
+    json.Key("violated").Bool(finding.report.violated);
+    json.Key("confirmed").Bool(finding.confirmed);
+    json.Key("suspicious_rows").BeginArray();
+    for (size_t row : finding.suspicious_rows) {
+      json.Uint(row);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace scoded

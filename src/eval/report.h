@@ -1,0 +1,66 @@
+#ifndef SCODED_EVAL_REPORT_H_
+#define SCODED_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/approximate_sc.h"
+#include "core/violation.h"
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Options for cleaning-report generation.
+struct ReportOptions {
+  /// Suspicious records drilled out per violated constraint.
+  size_t drilldown_k = 20;
+  /// How many of those are rendered inline (all row ids are listed).
+  size_t sample_rows = 5;
+  /// Apply Benjamini–Hochberg FDR control across the independence SCs
+  /// (testing many SCs at once inflates the false-alarm rate; a violated
+  /// ISC is only *confirmed* if its adjusted p stays below `fdr_q`).
+  /// Dependence SCs fire on large p-values and are reported at their raw
+  /// per-constraint α.
+  bool fdr_control = true;
+  double fdr_q = 0.05;
+  TestOptions test;
+};
+
+/// One constraint's entry in the report.
+struct ConstraintFinding {
+  ApproximateSc constraint;
+  ViolationReport report;
+  /// BH-adjusted p-value (ISCs under FDR control; otherwise the raw p).
+  double adjusted_p = 1.0;
+  /// Violated after the correction (equals report.violated when FDR
+  /// control is off or inapplicable).
+  bool confirmed = false;
+  /// Drill-down output for confirmed violations (empty otherwise).
+  std::vector<size_t> suspicious_rows;
+};
+
+/// A full cleaning report over a constraint set: the machine- and
+/// human-readable artefact a data-quality pipeline archives per batch.
+struct CleaningReport {
+  std::vector<ConstraintFinding> findings;
+  size_t confirmed_violations = 0;
+
+  /// Human-readable Markdown rendering (tables of findings plus sampled
+  /// suspicious records).
+  std::string ToMarkdown(const Table& table, const ReportOptions& options = {}) const;
+
+  /// Machine-readable JSON rendering.
+  std::string ToJson(const Table& table) const;
+};
+
+/// Checks every constraint, applies FDR control, and drills into the
+/// confirmed violations.
+Result<CleaningReport> GenerateCleaningReport(const Table& table,
+                                              const std::vector<ApproximateSc>& constraints,
+                                              const ReportOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_EVAL_REPORT_H_

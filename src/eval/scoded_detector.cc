@@ -1,0 +1,45 @@
+#include "eval/scoded_detector.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scoded {
+
+Result<std::vector<size_t>> ScodedDetector::Rank(const Table& table, size_t max_rank) {
+  if (constraints_.empty()) {
+    return InvalidArgumentError("ScodedDetector needs at least one constraint");
+  }
+  if (constraints_.size() == 1) {
+    return RankSuspiciousRecords(table, constraints_[0], max_rank, options_);
+  }
+  // Borda fusion: each constraint's ranking awards (L - position) points
+  // to the records it lists; records flagged near the top of several
+  // rankings accumulate the most evidence. (Evidence pooling is how the
+  // multi-constraint Sensor experiment of Fig. 9(b) is run.)
+  size_t n = table.NumRows();
+  size_t pool = std::min(n, 2 * max_rank);  // rank deeper so scores overlap
+  std::vector<double> score(n, 0.0);
+  for (const ApproximateSc& asc : constraints_) {
+    SCODED_ASSIGN_OR_RETURN(std::vector<size_t> ranking,
+                            RankSuspiciousRecords(table, asc, pool, options_));
+    for (size_t pos = 0; pos < ranking.size(); ++pos) {
+      score[ranking[pos]] += static_cast<double>(ranking.size() - pos);
+    }
+  }
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < n; ++i) {
+    if (score[i] > 0.0) {
+      rows.push_back(i);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    if (score[a] != score[b]) {
+      return score[a] > score[b];
+    }
+    return a < b;
+  });
+  rows.resize(std::min(max_rank, rows.size()));
+  return rows;
+}
+
+}  // namespace scoded

@@ -1,0 +1,36 @@
+#ifndef SCODED_EVAL_SCODED_DETECTOR_H_
+#define SCODED_EVAL_SCODED_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "core/drilldown.h"
+
+namespace scoded {
+
+/// Adapts SCODED's drill-down to the shared ErrorDetector interface used
+/// by the benchmark harness. One or more approximate SCs may be given;
+/// per-constraint rankings are fused by best (minimum) rank, mirroring how
+/// the multi-constraint Sensor experiment pools evidence (Fig. 9(b)).
+///
+/// Per Sec. 6.1, the ranking is produced regardless of whether the SC's
+/// violation is statistically significant.
+class ScodedDetector : public ErrorDetector {
+ public:
+  explicit ScodedDetector(std::vector<ApproximateSc> constraints,
+                          DrillDownOptions options = {})
+      : constraints_(std::move(constraints)), options_(std::move(options)) {}
+
+  std::string Name() const override { return "SCODED"; }
+
+  Result<std::vector<size_t>> Rank(const Table& table, size_t max_rank) override;
+
+ private:
+  std::vector<ApproximateSc> constraints_;
+  DrillDownOptions options_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_EVAL_SCODED_DETECTOR_H_

@@ -1,0 +1,558 @@
+#include "repair/cell_repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "stats/kendall.h"
+
+namespace scoded {
+
+namespace {
+
+double XLogX(double t) { return t > 0.0 ? t * std::log(t) : 0.0; }
+
+// ---------------------------------------------------------------------------
+// Categorical (G-test) repair: move records between contingency cells,
+// within their conditioning stratum (an unconditional SC is the one-stratum
+// special case).
+// ---------------------------------------------------------------------------
+class GRepairSearch {
+ public:
+  GRepairSearch(std::vector<int32_t> x_codes, std::vector<int32_t> y_codes,
+                std::vector<size_t> strata, std::vector<size_t> rows, size_t num_strata,
+                size_t cx, size_t cy, int y_column)
+      : x_(std::move(x_codes)),
+        y_(std::move(y_codes)),
+        stratum_(std::move(strata)),
+        rows_(std::move(rows)),
+        states_(num_strata),
+        y_cardinality_(cy),
+        y_column_(y_column) {
+    for (StratumState& st : states_) {
+      st.row_marginal.assign(cx, 0);
+      st.col_marginal.assign(cy, 0);
+    }
+    for (size_t i = 0; i < x_.size(); ++i) {
+      StratumState& st = states_[stratum_[i]];
+      ++Cell(stratum_[i], x_[i], y_[i]);
+      ++st.row_marginal[static_cast<size_t>(x_[i])];
+      ++st.col_marginal[static_cast<size_t>(y_[i])];
+      ++st.n;
+    }
+  }
+
+  double Statistic() const {
+    // G = 2 Σ_strata (Σ f(O) − Σ f(R) − Σ f(C) + f(N)).
+    double g_half = 0.0;
+    for (const StratumState& st : states_) {
+      if (st.n < 2) {
+        continue;
+      }
+      g_half += XLogX(static_cast<double>(st.n));
+      for (int64_t m : st.row_marginal) {
+        g_half -= XLogX(static_cast<double>(m));
+      }
+      for (int64_t m : st.col_marginal) {
+        g_half -= XLogX(static_cast<double>(m));
+      }
+    }
+    for (const auto& [key, count] : cells_) {
+      if (states_[static_cast<size_t>(key >> 40)].n >= 2) {
+        g_half += XLogX(static_cast<double>(count));
+      }
+    }
+    return std::max(0.0, 2.0 * g_half);
+  }
+
+  double Dof() const {
+    double dof = 0.0;
+    for (const StratumState& st : states_) {
+      if (st.n < 2) {
+        continue;
+      }
+      dof += std::max(1.0, (LiveRows(st) - 1.0) * (LiveCols(st) - 1.0));
+    }
+    return std::max(1.0, dof);
+  }
+
+  double PValue() const { return ChiSquaredSf(Statistic(), Dof()); }
+
+  // Excess-statistic change of moving record i's Y from its current code
+  // to `to` within its stratum (row marginals and N are untouched).
+  double MoveDeltaExcess(size_t i, int32_t to) const {
+    int32_t from = y_[i];
+    if (to == from) {
+      return 0.0;
+    }
+    const StratumState& st = states_[stratum_[i]];
+    double o_from = static_cast<double>(CellCount(stratum_[i], x_[i], from));
+    double o_to = static_cast<double>(CellCount(stratum_[i], x_[i], to));
+    double c_from = static_cast<double>(st.col_marginal[static_cast<size_t>(from)]);
+    double c_to = static_cast<double>(st.col_marginal[static_cast<size_t>(to)]);
+    double dg_half = (XLogX(o_from - 1.0) - XLogX(o_from)) +
+                     (XLogX(o_to + 1.0) - XLogX(o_to)) -
+                     (XLogX(c_from - 1.0) - XLogX(c_from)) -
+                     (XLogX(c_to + 1.0) - XLogX(c_to));
+    // dof shift when a column category of this stratum empties / awakens.
+    double ddof = 0.0;
+    double live_rows = LiveRows(st);
+    if (c_from == 1.0) {
+      ddof -= live_rows - 1.0;
+    }
+    if (c_to == 0.0) {
+      ddof += live_rows - 1.0;
+    }
+    return 2.0 * dg_half - ddof;
+  }
+
+  // Suspicion used to pool candidates: excess-statistic delta of removing
+  // the record (same G − dof objective as the move evaluation; the dof
+  // term is essential, or records whose fix would delete a whole spurious
+  // category — e.g. typo'd FD values — would never enter the pool).
+  double Suspicion(size_t i, bool want_reduce) const {
+    const StratumState& st = states_[stratum_[i]];
+    double o = static_cast<double>(CellCount(stratum_[i], x_[i], y_[i]));
+    double r = static_cast<double>(st.row_marginal[static_cast<size_t>(x_[i])]);
+    double c = static_cast<double>(st.col_marginal[static_cast<size_t>(y_[i])]);
+    double nn = static_cast<double>(st.n);
+    double delta = (XLogX(o - 1.0) - XLogX(o)) - (XLogX(r - 1.0) - XLogX(r)) -
+                   (XLogX(c - 1.0) - XLogX(c)) + (XLogX(nn - 1.0) - XLogX(nn));
+    double ddof = 0.0;
+    if (c == 1.0) {
+      ddof -= LiveRows(st) - 1.0;
+    }
+    if (r == 1.0) {
+      ddof -= LiveCols(st) - 1.0;
+    }
+    double excess = 2.0 * delta - ddof;
+    return want_reduce ? -excess : excess;
+  }
+
+  void Apply(size_t i, int32_t to) {
+    int32_t from = y_[i];
+    SCODED_CHECK(to != from);
+    StratumState& st = states_[stratum_[i]];
+    --Cell(stratum_[i], x_[i], from);
+    ++Cell(stratum_[i], x_[i], to);
+    --st.col_marginal[static_cast<size_t>(from)];
+    ++st.col_marginal[static_cast<size_t>(to)];
+    y_[i] = to;
+  }
+
+  size_t NumRecords() const { return x_.size(); }
+  size_t NumYCodes() const { return y_cardinality_; }
+  int64_t ColMarginal(size_t i, int32_t code) const {
+    return states_[stratum_[i]].col_marginal[static_cast<size_t>(code)];
+  }
+  size_t RowId(size_t i) const { return rows_[i]; }
+  int32_t YCode(size_t i) const { return y_[i]; }
+  int y_column() const { return y_column_; }
+
+ private:
+  struct StratumState {
+    std::vector<int64_t> row_marginal;
+    std::vector<int64_t> col_marginal;
+    int64_t n = 0;
+  };
+
+  static double LiveRows(const StratumState& st) {
+    double live = 0.0;
+    for (int64_t m : st.row_marginal) {
+      live += m > 0 ? 1.0 : 0.0;
+    }
+    return live;
+  }
+  static double LiveCols(const StratumState& st) {
+    double live = 0.0;
+    for (int64_t m : st.col_marginal) {
+      live += m > 0 ? 1.0 : 0.0;
+    }
+    return live;
+  }
+
+  static uint64_t CellKey(size_t stratum, int32_t x, int32_t y) {
+    return (static_cast<uint64_t>(stratum) << 40) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(x)) << 20) |
+           static_cast<uint64_t>(static_cast<uint32_t>(y));
+  }
+  int64_t& Cell(size_t stratum, int32_t x, int32_t y) { return cells_[CellKey(stratum, x, y)]; }
+  int64_t CellCount(size_t stratum, int32_t x, int32_t y) const {
+    auto it = cells_.find(CellKey(stratum, x, y));
+    return it == cells_.end() ? 0 : it->second;
+  }
+
+  std::vector<int32_t> x_;
+  std::vector<int32_t> y_;
+  std::vector<size_t> stratum_;
+  std::vector<size_t> rows_;
+  std::unordered_map<uint64_t, int64_t> cells_;
+  std::vector<StratumState> states_;
+  size_t y_cardinality_;
+  int y_column_;
+};
+
+Result<RepairPlan> RepairCategorical(const Table& table, const BoundConstraint& bound,
+                                     bool is_independence, size_t k,
+                                     const RepairOptions& options) {
+  const Column& xc = table.column(static_cast<size_t>(bound.x[0]));
+  const Column& yc = table.column(static_cast<size_t>(bound.y[0]));
+  if (yc.type() != ColumnType::kCategorical) {
+    return UnimplementedError(
+        "categorical repair requires the Y column to be categorical; state the constraint "
+        "with the categorical column second");
+  }
+  if (xc.type() != ColumnType::kCategorical) {
+    return UnimplementedError("mixed-type repair is not supported; both columns must be "
+                              "categorical for the G-test repair path");
+  }
+  std::vector<size_t> all_rows(table.NumRows());
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    all_rows[i] = i;
+  }
+  Stratification strata = StratifyRows(table, bound.z, all_rows, options.test);
+
+  std::vector<int32_t> x_codes;
+  std::vector<int32_t> y_codes;
+  std::vector<size_t> stratum_ids;
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    if (xc.CodeAt(i) < 0 || yc.CodeAt(i) < 0) {
+      continue;
+    }
+    x_codes.push_back(xc.CodeAt(i));
+    y_codes.push_back(yc.CodeAt(i));
+    stratum_ids.push_back(strata.group_of_row[i]);
+    rows.push_back(i);
+  }
+  GRepairSearch search(std::move(x_codes), std::move(y_codes), std::move(stratum_ids),
+                       std::move(rows), strata.groups.size(), xc.NumCategories(),
+                       yc.NumCategories(), bound.y[0]);
+  RepairPlan plan;
+  plan.initial_statistic = search.Statistic();
+  plan.initial_p = search.PValue();
+
+  for (size_t step = 0; step < k; ++step) {
+    // Pool the most suspicious records.
+    std::vector<size_t> order(search.NumRecords());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::partial_sort(
+        order.begin(),
+        order.begin() + static_cast<ptrdiff_t>(std::min(options.candidate_pool, order.size())),
+        order.end(), [&](size_t a, size_t b) {
+          return search.Suspicion(a, is_independence) > search.Suspicion(b, is_independence);
+        });
+    double best_improvement = 0.0;
+    size_t best_record = SIZE_MAX;
+    int32_t best_code = -1;
+    size_t pool = std::min(options.candidate_pool, order.size());
+    for (size_t p = 0; p < pool; ++p) {
+      size_t i = order[p];
+      for (size_t code = 0; code < search.NumYCodes(); ++code) {
+        int32_t to = static_cast<int32_t>(code);
+        // Repairs may only target established domain values (within the
+        // record's stratum): never rare, likely-erroneous categories.
+        if (to == search.YCode(i) || search.ColMarginal(i, to) < options.min_target_support) {
+          continue;
+        }
+        double delta = search.MoveDeltaExcess(i, to);
+        double improvement = is_independence ? -delta : delta;
+        if (improvement > best_improvement) {
+          best_improvement = improvement;
+          best_record = i;
+          best_code = to;
+        }
+      }
+    }
+    if (best_record == SIZE_MAX) {
+      break;  // no repair improves the objective any further
+    }
+    CellRepair repair;
+    repair.row = search.RowId(best_record);
+    repair.column = search.y_column();
+    repair.categorical_code = best_code;
+    repair.improvement = best_improvement;
+    search.Apply(best_record, best_code);
+    plan.repairs.push_back(repair);
+  }
+  plan.final_statistic = search.Statistic();
+  plan.final_p = search.PValue();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Numeric (τ) repair: rewrite Y values to shift the combined S = Σ_strata
+// (n_c − n_d); pairs never cross strata.
+// ---------------------------------------------------------------------------
+class TauRepairSearch {
+ public:
+  TauRepairSearch(std::vector<double> x, std::vector<double> y, std::vector<size_t> strata,
+                  std::vector<size_t> rows, size_t num_strata, int y_column)
+      : x_(std::move(x)),
+        y_(std::move(y)),
+        stratum_(std::move(strata)),
+        rows_(std::move(rows)),
+        members_(num_strata),
+        y_column_(y_column) {
+    for (size_t i = 0; i < x_.size(); ++i) {
+      members_[stratum_[i]].push_back(i);
+    }
+    RecomputeBenefits();
+  }
+
+  double S() const { return static_cast<double>(s_); }
+  double AbsS() const { return std::fabs(static_cast<double>(s_)); }
+
+  double PValue() const {
+    // No-ties Gaussian approximation over the combined strata.
+    double var = 0.0;
+    for (const std::vector<size_t>& member : members_) {
+      double n = static_cast<double>(member.size());
+      if (n >= 2.0) {
+        var += n * (n - 1.0) * (2.0 * n + 5.0) / 18.0;
+      }
+    }
+    if (var <= 0.0) {
+      return 1.0;
+    }
+    return NormalTwoSidedP(static_cast<double>(s_) / std::sqrt(var));
+  }
+
+  // Benefit of record i's y being `v` instead of its current value
+  // (pairs within i's stratum only).
+  int64_t BenefitWith(size_t i, double v) const {
+    int64_t b = 0;
+    for (size_t j : members_[stratum_[i]]) {
+      if (j == i) {
+        continue;
+      }
+      b += PairWeight(x_[i], v, x_[j], y_[j]);
+    }
+    return b;
+  }
+
+  int64_t CurrentBenefit(size_t i) const { return benefit_[i]; }
+
+  void Apply(size_t i, double v) {
+    y_[i] = v;
+    RecomputeBenefits();
+  }
+
+  size_t NumRecords() const { return x_.size(); }
+  size_t RowId(size_t i) const { return rows_[i]; }
+  double YValue(size_t i) const { return y_[i]; }
+  const std::vector<size_t>& StratumMembers(size_t i) const { return members_[stratum_[i]]; }
+  double XValue(size_t i) const { return x_[i]; }
+  int y_column() const { return y_column_; }
+
+ private:
+  void RecomputeBenefits() {
+    benefit_.assign(x_.size(), 0);
+    s_ = 0;
+    for (const std::vector<size_t>& member : members_) {
+      std::vector<double> xs;
+      std::vector<double> ys;
+      xs.reserve(member.size());
+      ys.reserve(member.size());
+      for (size_t i : member) {
+        xs.push_back(x_[i]);
+        ys.push_back(y_[i]);
+      }
+      std::vector<int64_t> benefits = ComputeTauBenefits(xs, ys);
+      int64_t sum = 0;
+      for (size_t j = 0; j < member.size(); ++j) {
+        benefit_[member[j]] = benefits[j];
+        sum += benefits[j];
+      }
+      s_ += sum / 2;
+    }
+  }
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<size_t> stratum_;
+  std::vector<size_t> rows_;
+  std::vector<std::vector<size_t>> members_;
+  std::vector<int64_t> benefit_;
+  int64_t s_ = 0;
+  int y_column_;
+};
+
+Result<RepairPlan> RepairNumeric(const Table& table, const BoundConstraint& bound,
+                                 bool is_independence, size_t k, const RepairOptions& options) {
+  const Column& xc = table.column(static_cast<size_t>(bound.x[0]));
+  const Column& yc = table.column(static_cast<size_t>(bound.y[0]));
+  std::vector<size_t> all_rows(table.NumRows());
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    all_rows[i] = i;
+  }
+  Stratification strata = StratifyRows(table, bound.z, all_rows, options.test);
+
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<size_t> stratum_ids;
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    if (xc.IsNull(i) || yc.IsNull(i)) {
+      continue;
+    }
+    x.push_back(xc.NumericAt(i));
+    y.push_back(yc.NumericAt(i));
+    stratum_ids.push_back(strata.group_of_row[i]);
+    rows.push_back(i);
+  }
+  TauRepairSearch search(std::move(x), std::move(y), std::move(stratum_ids), std::move(rows),
+                         strata.groups.size(), bound.y[0]);
+  RepairPlan plan;
+  plan.initial_statistic = search.AbsS();
+  plan.initial_p = search.PValue();
+
+  for (size_t step = 0; step < k; ++step) {
+    // Pool the records with the most harmful current benefit.
+    std::vector<size_t> order(search.NumRecords());
+    std::iota(order.begin(), order.end(), size_t{0});
+    double s = search.S();
+    auto harm = [&](size_t i) {
+      double b = static_cast<double>(search.CurrentBenefit(i));
+      return is_independence ? b * (s >= 0 ? 1.0 : -1.0)   // pushes |S| up
+                             : -b * (s >= 0 ? 1.0 : -1.0);  // drags |S| down
+    };
+    std::partial_sort(
+        order.begin(),
+        order.begin() + static_cast<ptrdiff_t>(std::min(options.candidate_pool, order.size())),
+        order.end(), [&](size_t a, size_t b) { return harm(a) > harm(b); });
+
+    double best_improvement = 0.0;
+    size_t best_record = SIZE_MAX;
+    double best_value = 0.0;
+    size_t pool = std::min(options.candidate_pool, order.size());
+    for (size_t p = 0; p < pool; ++p) {
+      size_t i = order[p];
+      // Candidate replacement values: quantiles of the record's stratum
+      // plus the rank-aligned value (the perfectly concordant choice).
+      const std::vector<size_t>& members = search.StratumMembers(i);
+      std::vector<double> sorted_y;
+      sorted_y.reserve(members.size());
+      for (size_t j : members) {
+        sorted_y.push_back(search.YValue(j));
+      }
+      std::sort(sorted_y.begin(), sorted_y.end());
+      std::vector<double> candidates;
+      for (int q = 0; q <= options.numeric_candidates; ++q) {
+        size_t idx = static_cast<size_t>(std::min<double>(
+            static_cast<double>(sorted_y.size()) - 1.0,
+            std::floor(static_cast<double>(q) * static_cast<double>(sorted_y.size()) /
+                       (static_cast<double>(options.numeric_candidates) + 1.0))));
+        candidates.push_back(sorted_y[idx]);
+      }
+      // Rank-aligned candidate within the stratum.
+      size_t x_rank = 0;
+      for (size_t j : members) {
+        x_rank += search.XValue(j) < search.XValue(i) ? 1 : 0;
+      }
+      candidates.push_back(sorted_y[std::min(x_rank, sorted_y.size() - 1)]);
+
+      int64_t old_benefit = search.CurrentBenefit(i);
+      for (double v : candidates) {
+        if (v == search.YValue(i)) {
+          continue;
+        }
+        int64_t new_benefit = search.BenefitWith(i, v);
+        double s_new =
+            search.S() - static_cast<double>(old_benefit) + static_cast<double>(new_benefit);
+        double improvement = is_independence ? search.AbsS() - std::fabs(s_new)
+                                             : std::fabs(s_new) - search.AbsS();
+        if (improvement > best_improvement) {
+          best_improvement = improvement;
+          best_record = i;
+          best_value = v;
+        }
+      }
+    }
+    if (best_record == SIZE_MAX) {
+      break;
+    }
+    CellRepair repair;
+    repair.row = search.RowId(best_record);
+    repair.column = search.y_column();
+    repair.numeric_value = best_value;
+    repair.improvement = best_improvement;
+    search.Apply(best_record, best_value);
+    plan.repairs.push_back(repair);
+  }
+  plan.final_statistic = search.AbsS();
+  plan.final_p = search.PValue();
+  return plan;
+}
+
+}  // namespace
+
+std::string CellRepair::ToString(const Table& table) const {
+  const Column& col = table.column(static_cast<size_t>(column));
+  std::ostringstream os;
+  os << "row " << row << ": " << table.schema().field(static_cast<size_t>(column)).name << " '"
+     << col.ValueToString(row) << "' -> '";
+  if (col.type() == ColumnType::kCategorical) {
+    os << (categorical_code >= 0 ? col.dictionary()[static_cast<size_t>(categorical_code)]
+                                 : std::string());
+  } else {
+    os << numeric_value;
+  }
+  os << "'";
+  return os.str();
+}
+
+Result<RepairPlan> SuggestCellRepairs(const Table& table, const ApproximateSc& asc, size_t k,
+                                      const RepairOptions& options) {
+  if (asc.sc.x.size() != 1 || asc.sc.y.size() != 1) {
+    return UnimplementedError("SuggestCellRepairs requires singleton X and Y");
+  }
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(asc.sc, table));
+  const Column& xc = table.column(static_cast<size_t>(bound.x[0]));
+  const Column& yc = table.column(static_cast<size_t>(bound.y[0]));
+  bool is_tau = xc.type() == ColumnType::kNumeric && yc.type() == ColumnType::kNumeric;
+  if (is_tau) {
+    return RepairNumeric(table, bound, asc.sc.is_independence(), k, options);
+  }
+  return RepairCategorical(table, bound, asc.sc.is_independence(), k, options);
+}
+
+Result<Table> ApplyRepairs(const Table& table, const std::vector<CellRepair>& repairs) {
+  // Group repairs per column and rebuild the touched columns.
+  std::vector<Column> columns;
+  std::vector<Field> fields;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    fields.push_back(table.schema().field(c));
+    columns.push_back(table.column(c));
+  }
+  for (const CellRepair& repair : repairs) {
+    if (repair.column < 0 || static_cast<size_t>(repair.column) >= columns.size()) {
+      return OutOfRangeError("ApplyRepairs: column index out of range");
+    }
+    Column& col = columns[static_cast<size_t>(repair.column)];
+    if (repair.row >= col.size()) {
+      return OutOfRangeError("ApplyRepairs: row index out of range");
+    }
+    if (col.type() == ColumnType::kNumeric) {
+      std::vector<double> values = col.numeric_values();
+      values[repair.row] = repair.numeric_value;
+      col = Column::Numeric(std::move(values));
+    } else {
+      if (repair.categorical_code < 0 ||
+          static_cast<size_t>(repair.categorical_code) >= col.dictionary().size()) {
+        return InvalidArgumentError("ApplyRepairs: categorical code outside the dictionary");
+      }
+      std::vector<int32_t> codes = col.codes();
+      codes[repair.row] = repair.categorical_code;
+      col = Column::CategoricalFromCodes(std::move(codes), col.dictionary());
+    }
+  }
+  return Table::Make(Schema(std::move(fields)), std::move(columns));
+}
+
+}  // namespace scoded

@@ -1,0 +1,77 @@
+#ifndef SCODED_REPAIR_CELL_REPAIR_H_
+#define SCODED_REPAIR_CELL_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/approximate_sc.h"
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// One suggested cell-value correction (the paper's Sec. 8 extension:
+/// "search for the top-k cell value corrections that would contribute the
+/// most to satisfying a SC").
+struct CellRepair {
+  size_t row = 0;
+  int column = 0;
+  /// New value: `numeric_value` for numeric columns, `categorical_code`
+  /// (into the column's existing dictionary) for categorical ones.
+  double numeric_value = 0.0;
+  int32_t categorical_code = -1;
+  /// Improvement of the greedy objective (movement of the dependence
+  /// statistic toward the constraint) attributed to this repair.
+  double improvement = 0.0;
+
+  /// Human-readable "row 17: City 'WRONG' -> 'CITY_3'".
+  std::string ToString(const Table& table) const;
+};
+
+struct RepairOptions {
+  TestOptions test;
+  /// For numeric columns, candidate replacement values are this many
+  /// quantiles of the column (plus the perfectly-rank-aligned value).
+  int numeric_candidates = 16;
+  /// Only the `candidate_pool` most suspicious records (per drill-down
+  /// benefit) are considered for repair each round — the greedy search is
+  /// O(pool × candidates × n) per accepted repair.
+  size_t candidate_pool = 64;
+  /// Categorical repairs may only map a cell to a value whose column
+  /// marginal is at least this large: corrections must target established
+  /// domain values, never rare (likely themselves erroneous) categories.
+  /// Without this, merging two typo'd values scores as well as fixing
+  /// them (both delete one spurious χ² category).
+  int64_t min_target_support = 3;
+};
+
+/// Result of a repair search.
+struct RepairPlan {
+  std::vector<CellRepair> repairs;
+  double initial_statistic = 0.0;
+  double final_statistic = 0.0;
+  double initial_p = 1.0;
+  double final_p = 1.0;
+};
+
+/// Greedily suggests up to `k` single-cell corrections to the Y column of
+/// a singleton-variable SC so that the data moves toward satisfying it:
+/// toward independence for an ISC (reduce the dependence statistic),
+/// toward dependence for a DSC (increase it). Unlike drill-down, records
+/// are *fixed*, not deleted — the tuple count is preserved. Conditional
+/// SCs are supported: repairs stay within the record's Z-stratum and the
+/// objective is the combined stratified statistic.
+///
+/// Limitations (documented, matching the scope of the paper's sketch):
+/// singleton X and Y, repairs confined to the Y column.
+Result<RepairPlan> SuggestCellRepairs(const Table& table, const ApproximateSc& asc, size_t k,
+                                      const RepairOptions& options = {});
+
+/// Applies repairs to a copy of the table.
+Result<Table> ApplyRepairs(const Table& table, const std::vector<CellRepair>& repairs);
+
+}  // namespace scoded
+
+#endif  // SCODED_REPAIR_CELL_REPAIR_H_

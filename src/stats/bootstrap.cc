@@ -1,0 +1,96 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/contingency.h"
+#include "stats/kendall.h"
+
+namespace scoded {
+
+namespace {
+
+// Percentile interval from resampled statistics.
+BootstrapCi PercentileCi(double estimate, std::vector<double> samples, double level) {
+  BootstrapCi ci;
+  ci.estimate = estimate;
+  ci.level = level;
+  if (samples.empty()) {
+    ci.lower = estimate;
+    ci.upper = estimate;
+    return ci;
+  }
+  std::sort(samples.begin(), samples.end());
+  double tail = (1.0 - level) / 2.0;
+  auto at = [&](double q) {
+    double pos = q * (static_cast<double>(samples.size()) - 1.0);
+    size_t lo = static_cast<size_t>(std::floor(pos));
+    size_t hi = static_cast<size_t>(std::ceil(pos));
+    double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  ci.lower = at(tail);
+  ci.upper = at(1.0 - tail);
+  return ci;
+}
+
+}  // namespace
+
+Result<BootstrapCi> BootstrapTauCi(const std::vector<double>& x, const std::vector<double>& y,
+                                   size_t iterations, Rng& rng, double level) {
+  if (x.size() != y.size()) {
+    return InvalidArgumentError("BootstrapTauCi: x and y must have equal length");
+  }
+  if (x.size() < 3) {
+    return InvalidArgumentError("BootstrapTauCi: need at least 3 points");
+  }
+  if (iterations == 0 || level <= 0.0 || level >= 1.0) {
+    return InvalidArgumentError("BootstrapTauCi: invalid iterations or level");
+  }
+  size_t n = x.size();
+  double estimate = KendallTau(x, y).tau_b;
+  std::vector<double> samples;
+  samples.reserve(iterations);
+  std::vector<double> rx(n);
+  std::vector<double> ry(n);
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      rx[i] = x[pick];
+      ry[i] = y[pick];
+    }
+    samples.push_back(KendallTau(rx, ry).tau_b);
+  }
+  return PercentileCi(estimate, std::move(samples), level);
+}
+
+Result<BootstrapCi> BootstrapCramersVCi(const std::vector<int32_t>& x_codes,
+                                        const std::vector<int32_t>& y_codes, size_t cx,
+                                        size_t cy, size_t iterations, Rng& rng, double level) {
+  if (x_codes.size() != y_codes.size()) {
+    return InvalidArgumentError("BootstrapCramersVCi: code vectors must have equal length");
+  }
+  if (x_codes.size() < 3) {
+    return InvalidArgumentError("BootstrapCramersVCi: need at least 3 records");
+  }
+  if (iterations == 0 || level <= 0.0 || level >= 1.0) {
+    return InvalidArgumentError("BootstrapCramersVCi: invalid iterations or level");
+  }
+  size_t n = x_codes.size();
+  double estimate = ContingencyTable(x_codes, y_codes, cx, cy).CramersV();
+  std::vector<double> samples;
+  samples.reserve(iterations);
+  std::vector<int32_t> rx(n);
+  std::vector<int32_t> ry(n);
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      rx[i] = x_codes[pick];
+      ry[i] = y_codes[pick];
+    }
+    samples.push_back(ContingencyTable(rx, ry, cx, cy).CramersV());
+  }
+  return PercentileCi(estimate, std::move(samples), level);
+}
+
+}  // namespace scoded

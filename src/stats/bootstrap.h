@@ -1,0 +1,35 @@
+#ifndef SCODED_STATS_BOOTSTRAP_H_
+#define SCODED_STATS_BOOTSTRAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace scoded {
+
+/// A percentile bootstrap confidence interval for an effect size.
+struct BootstrapCi {
+  double estimate = 0.0;  ///< point estimate on the original sample
+  double lower = 0.0;     ///< percentile CI lower bound
+  double upper = 0.0;     ///< percentile CI upper bound
+  double level = 0.95;
+};
+
+/// Percentile bootstrap CI for Kendall's τ_b: resamples (x, y) pairs with
+/// replacement `iterations` times. Useful when reporting the *strength* of
+/// a detected dependence rather than its mere significance.
+Result<BootstrapCi> BootstrapTauCi(const std::vector<double>& x, const std::vector<double>& y,
+                                   size_t iterations, Rng& rng, double level = 0.95);
+
+/// Percentile bootstrap CI for Cramér's V between two code vectors
+/// (categorical effect size).
+Result<BootstrapCi> BootstrapCramersVCi(const std::vector<int32_t>& x_codes,
+                                        const std::vector<int32_t>& y_codes, size_t cx,
+                                        size_t cy, size_t iterations, Rng& rng,
+                                        double level = 0.95);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_BOOTSTRAP_H_

@@ -1,0 +1,69 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "stats/ranks.h"
+
+namespace scoded {
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  double rho = sxy / std::sqrt(sxx * syy);
+  // Clamp floating-point overshoot.
+  if (rho > 1.0) {
+    rho = 1.0;
+  }
+  if (rho < -1.0) {
+    rho = -1.0;
+  }
+  return rho;
+}
+
+double PearsonPValue(double rho, size_t n) {
+  if (n < 3) {
+    return 1.0;
+  }
+  double dof = static_cast<double>(n) - 2.0;
+  double r2 = rho * rho;
+  if (r2 >= 1.0) {
+    return 0.0;
+  }
+  double t = rho * std::sqrt(dof / (1.0 - r2));
+  return StudentTTwoSidedP(t, dof);
+}
+
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  return PearsonCorrelation(AverageRanks(x), AverageRanks(y));
+}
+
+double SpearmanPValue(double rho_s, size_t n) { return PearsonPValue(rho_s, n); }
+
+}  // namespace scoded

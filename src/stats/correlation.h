@@ -1,0 +1,26 @@
+#ifndef SCODED_STATS_CORRELATION_H_
+#define SCODED_STATS_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace scoded {
+
+/// Pearson's product-moment correlation ρ. Returns 0 when either input is
+/// constant. (Parametric alternative discussed in Sec. 4.3 "Motivation".)
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Two-sided p-value for Pearson's ρ via the t-approximation with n-2
+/// degrees of freedom (normal approximation of the t tail for large n,
+/// exact-ish via the incomplete beta elsewhere is overkill here).
+double PearsonPValue(double rho, size_t n);
+
+/// Spearman's rank correlation ρ_s: Pearson's ρ on midranks.
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Two-sided p-value for Spearman's ρ_s (t-approximation).
+double SpearmanPValue(double rho_s, size_t n);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_CORRELATION_H_

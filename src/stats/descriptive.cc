@@ -1,0 +1,117 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+// Linear-interpolated quantile of sorted values (type-7, the common
+// spreadsheet/NumPy default).
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  double pos = q * (static_cast<double>(sorted.size()) - 1.0);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+ColumnSummary DescribeColumn(const Table& table, size_t column) {
+  SCODED_CHECK(column < table.NumColumns());
+  const Column& col = table.column(column);
+  ColumnSummary out;
+  out.name = table.schema().field(column).name;
+  out.type = col.type();
+  out.count = col.size();
+  out.nulls = col.NullCount();
+
+  if (col.type() == ColumnType::kNumeric) {
+    std::vector<double> values;
+    values.reserve(col.size());
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsNull(i)) {
+        values.push_back(col.NumericAt(i));
+      }
+    }
+    if (!values.empty()) {
+      double sum = 0.0;
+      for (double v : values) {
+        sum += v;
+      }
+      out.mean = sum / static_cast<double>(values.size());
+      double ss = 0.0;
+      for (double v : values) {
+        ss += (v - out.mean) * (v - out.mean);
+      }
+      out.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+      std::sort(values.begin(), values.end());
+      out.min = values.front();
+      out.max = values.back();
+      out.median = QuantileSorted(values, 0.5);
+      out.q25 = QuantileSorted(values, 0.25);
+      out.q75 = QuantileSorted(values, 0.75);
+      out.distinct = static_cast<size_t>(
+          std::unique(values.begin(), values.end()) - values.begin());
+    }
+  } else {
+    std::unordered_map<int32_t, size_t> counts;
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsNull(i)) {
+        ++counts[col.CodeAt(i)];
+      }
+    }
+    out.distinct = counts.size();
+    int32_t mode_code = -1;
+    for (const auto& [code, count] : counts) {
+      if (count > out.mode_count || (count == out.mode_count && code < mode_code)) {
+        out.mode_count = count;
+        mode_code = code;
+      }
+    }
+    if (mode_code >= 0) {
+      out.mode = col.dictionary()[static_cast<size_t>(mode_code)];
+    }
+  }
+  return out;
+}
+
+std::vector<ColumnSummary> DescribeTable(const Table& table) {
+  std::vector<ColumnSummary> out;
+  out.reserve(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    out.push_back(DescribeColumn(table, c));
+  }
+  return out;
+}
+
+std::string DescribeTableText(const Table& table) {
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "column" << std::setw(13) << "type" << std::setw(9)
+     << "count" << std::setw(7) << "nulls" << std::setw(9) << "distinct" << std::setw(24)
+     << "numeric (mean/sd/min/max)" << "mode\n";
+  for (const ColumnSummary& s : DescribeTable(table)) {
+    os << std::left << std::setw(16) << s.name << std::setw(13) << ColumnTypeToString(s.type)
+       << std::setw(9) << s.count << std::setw(7) << s.nulls << std::setw(9) << s.distinct;
+    if (s.type == ColumnType::kNumeric) {
+      std::ostringstream num;
+      num << std::setprecision(4) << s.mean << "/" << s.stddev << "/" << s.min << "/" << s.max;
+      os << std::setw(24) << num.str() << "\n";
+    } else {
+      os << std::setw(24) << "" << s.mode << " (" << s.mode_count << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace scoded

@@ -1,0 +1,46 @@
+#ifndef SCODED_STATS_DESCRIPTIVE_H_
+#define SCODED_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace scoded {
+
+/// Per-column descriptive statistics, as printed by the CLI `profile`
+/// command and used for quick data screening before constraint work.
+struct ColumnSummary {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  size_t count = 0;   ///< total rows
+  size_t nulls = 0;   ///< null cells
+  size_t distinct = 0;
+
+  // Numeric columns only.
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+
+  // Categorical columns only.
+  std::string mode;
+  size_t mode_count = 0;
+};
+
+/// Summarises one column.
+ColumnSummary DescribeColumn(const Table& table, size_t column);
+
+/// Summarises every column.
+std::vector<ColumnSummary> DescribeTable(const Table& table);
+
+/// Fixed-width text rendering of DescribeTable (one row per column).
+std::string DescribeTableText(const Table& table);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,73 @@
+#include "stats/fisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace scoded {
+
+namespace {
+
+double LogFactorial(int64_t n) { return LogGamma(static_cast<double>(n) + 1.0); }
+
+// log P(A = a) for the hypergeometric distribution with the table's margins.
+double LogPmf(int64_t a, int64_t b, int64_t c, int64_t d) {
+  int64_t n = a + b + c + d;
+  return LogFactorial(a + b) + LogFactorial(c + d) + LogFactorial(a + c) + LogFactorial(b + d) -
+         LogFactorial(n) - LogFactorial(a) - LogFactorial(b) - LogFactorial(c) - LogFactorial(d);
+}
+
+}  // namespace
+
+double Hypergeometric2x2Pmf(int64_t a, int64_t b, int64_t c, int64_t d) {
+  SCODED_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  if (a + b + c + d == 0) {
+    return 1.0;
+  }
+  return std::exp(LogPmf(a, b, c, d));
+}
+
+double FisherExact2x2TwoSided(int64_t a, int64_t b, int64_t c, int64_t d) {
+  SCODED_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  int64_t n = a + b + c + d;
+  if (n == 0) {
+    return 1.0;
+  }
+  int64_t row0 = a + b;
+  int64_t col0 = a + c;
+  // A ranges over [max(0, row0 + col0 - n), min(row0, col0)].
+  int64_t lo = std::max<int64_t>(0, row0 + col0 - n);
+  int64_t hi = std::min(row0, col0);
+  double observed = LogPmf(a, b, c, d);
+  // Sum P(k) over all k whose probability <= observed (with a relative
+  // tolerance for floating-point ties, as R's fisher.test does).
+  constexpr double kLogTolerance = 1e-7;
+  double total = 0.0;
+  for (int64_t k = lo; k <= hi; ++k) {
+    double lp = LogPmf(k, row0 - k, col0 - k, n - row0 - col0 + k);
+    if (lp <= observed + kLogTolerance) {
+      total += std::exp(lp);
+    }
+  }
+  return std::min(1.0, total);
+}
+
+double FisherExact2x2GreaterTail(int64_t a, int64_t b, int64_t c, int64_t d) {
+  SCODED_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0);
+  int64_t n = a + b + c + d;
+  if (n == 0) {
+    return 1.0;
+  }
+  int64_t row0 = a + b;
+  int64_t col0 = a + c;
+  int64_t hi = std::min(row0, col0);
+  double total = 0.0;
+  for (int64_t k = a; k <= hi; ++k) {
+    total += std::exp(LogPmf(k, row0 - k, col0 - k, n - row0 - col0 + k));
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace scoded

@@ -1,0 +1,32 @@
+#ifndef SCODED_STATS_FISHER_H_
+#define SCODED_STATS_FISHER_H_
+
+#include <cstdint>
+
+namespace scoded {
+
+/// Fisher's exact test for a 2×2 contingency table
+///
+///        | y0 | y1
+///   -----+----+----
+///    x0  | a  | b
+///    x1  | c  | d
+///
+/// Returns the two-sided p-value: the total hypergeometric probability of
+/// every table (with the same margins) whose probability does not exceed
+/// the observed table's. This is the classical exact alternative to the
+/// χ²/G approximation for small 2×2 samples (the "exact test" family of
+/// Sec. 4.3); the `TestOptions::use_fisher_for_2x2` switch routes small
+/// 2×2 G-tests through it.
+double FisherExact2x2TwoSided(int64_t a, int64_t b, int64_t c, int64_t d);
+
+/// One-sided variant: probability of a table at least as concentrated on
+/// the (a, d) diagonal as observed (P(A >= a) under the margins).
+double FisherExact2x2GreaterTail(int64_t a, int64_t b, int64_t c, int64_t d);
+
+/// Hypergeometric point probability of the table (exposed for tests).
+double Hypergeometric2x2Pmf(int64_t a, int64_t b, int64_t c, int64_t d);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_FISHER_H_

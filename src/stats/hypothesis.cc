@@ -1,0 +1,531 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "stats/contingency.h"
+#include "stats/correlation.h"
+#include "stats/fisher.h"
+#include "stats/kendall.h"
+#include "stats/ranks.h"
+#include "table/group_by.h"
+
+namespace scoded {
+
+namespace {
+
+// Extracts the rows where both numeric cells are present.
+void ExtractNumericPair(const Column& xc, const Column& yc, const std::vector<size_t>& rows,
+                        std::vector<double>* x, std::vector<double>* y) {
+  x->clear();
+  y->clear();
+  x->reserve(rows.size());
+  y->reserve(rows.size());
+  for (size_t row : rows) {
+    if (xc.IsNull(row) || yc.IsNull(row)) {
+      continue;
+    }
+    x->push_back(xc.NumericAt(row));
+    y->push_back(yc.NumericAt(row));
+  }
+}
+
+// Encodes a column over `rows` as categorical codes: a categorical column
+// keeps its dictionary codes; a numeric column is quantile-discretised over
+// these rows. Nulls map to -1. `cardinality` receives the code universe.
+std::vector<int32_t> EncodeAsCategorical(const Column& column, const std::vector<size_t>& rows,
+                                         int bins, size_t* cardinality) {
+  std::vector<int32_t> codes;
+  codes.reserve(rows.size());
+  if (column.type() == ColumnType::kCategorical) {
+    for (size_t row : rows) {
+      codes.push_back(column.CodeAt(row));
+    }
+    *cardinality = column.NumCategories();
+    return codes;
+  }
+  std::vector<double> values;
+  std::vector<size_t> positions;
+  values.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (column.IsNull(rows[i])) {
+      continue;
+    }
+    values.push_back(column.NumericAt(rows[i]));
+    positions.push_back(i);
+  }
+  std::vector<int32_t> bucket = QuantileBins(values, bins);
+  codes.assign(rows.size(), -1);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    codes[positions[i]] = bucket[i];
+  }
+  *cardinality = static_cast<size_t>(bins);
+  return codes;
+}
+
+// Accumulator combining per-stratum results per Sec. 4.3 ("conditional
+// tests": each Z=z slice is tested and the evidence pooled).
+struct StratifiedAccumulator {
+  bool is_tau = false;
+  // G path
+  double g_total = 0.0;
+  double dof_total = 0.0;
+  double min_expected = 1e300;
+  double effect_weight = 0.0;
+  double effect_sum = 0.0;
+  // tau path
+  double s_total = 0.0;
+  double var_total = 0.0;
+  double pairs_total = 0.0;
+  int64_t n_total = 0;
+  size_t used = 0;
+  size_t skipped = 0;
+
+  void AddG(const ContingencyTable& ct) {
+    if (ct.total() < 2) {
+      ++skipped;
+      return;
+    }
+    g_total += ct.GStatistic();
+    dof_total += ct.Dof();
+    min_expected = std::min(min_expected, ct.MinExpectedCount());
+    effect_sum += ct.CramersV() * static_cast<double>(ct.total());
+    effect_weight += static_cast<double>(ct.total());
+    n_total += ct.total();
+    ++used;
+  }
+
+  void AddTau(const KendallResult& kr) {
+    if (kr.n < 2) {
+      ++skipped;
+      return;
+    }
+    s_total += static_cast<double>(kr.s);
+    var_total += kr.var_s;
+    pairs_total += static_cast<double>(kr.n) * (static_cast<double>(kr.n) - 1.0) / 2.0;
+    n_total += kr.n;
+    ++used;
+  }
+
+  TestResult Finish(const TestOptions& options) const {
+    TestResult result;
+    result.n = n_total;
+    result.strata_used = used;
+    result.strata_skipped = skipped;
+    if (is_tau) {
+      result.method = TestMethod::kTauTest;
+      if (var_total > 0.0) {
+        double z = s_total / std::sqrt(var_total);
+        result.statistic = std::fabs(z);
+        result.p_value = NormalTwoSidedP(z);
+      } else {
+        result.statistic = 0.0;
+        result.p_value = 1.0;
+      }
+      result.effect = pairs_total > 0.0 ? s_total / pairs_total : 0.0;
+      result.approximation_suspect =
+          n_total > 0 && static_cast<size_t>(n_total) <= options.tau_exact_max_n;
+    } else {
+      result.method = TestMethod::kGTest;
+      result.statistic = g_total;
+      result.dof = std::max(1.0, dof_total);
+      result.p_value = used > 0 ? ChiSquaredSf(g_total, result.dof) : 1.0;
+      result.effect = effect_weight > 0.0 ? effect_sum / effect_weight : 0.0;
+      result.approximation_suspect = used > 0 && min_expected < options.g_min_expected;
+      result.min_expected = used > 0 ? min_expected : 0.0;
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+Stratification StratifyRows(const Table& table, const std::vector<int>& z_cols,
+                            const std::vector<size_t>& rows, const TestOptions& options) {
+  Stratification result;
+  if (z_cols.empty()) {
+    result.groups.push_back(rows);
+    result.group_of_row.assign(rows.size(), 0);
+    return result;
+  }
+  // Per-row composite keys; numeric columns with many distinct values are
+  // quantile-binned, everything else keyed by exact (encoded) value.
+  std::vector<std::vector<int64_t>> keys(rows.size(), std::vector<int64_t>(z_cols.size()));
+  for (size_t c = 0; c < z_cols.size(); ++c) {
+    const Column& column = table.column(static_cast<size_t>(z_cols[c]));
+    bool bin = false;
+    if (column.type() == ColumnType::kNumeric) {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (size_t row : rows) {
+        if (!column.IsNull(row)) {
+          values.push_back(column.NumericAt(row));
+        }
+      }
+      size_t distinct = 0;
+      DenseRanks(values, &distinct);
+      bin = distinct > options.condition_max_distinct;
+      if (bin) {
+        std::vector<int32_t> bins = QuantileBins(values, options.condition_bins);
+        size_t vi = 0;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          keys[i][c] = column.IsNull(rows[i]) ? INT64_MIN : bins[vi++];
+        }
+      }
+    }
+    if (!bin) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        keys[i][c] = EncodeCellKey(column, rows[i]);
+      }
+    }
+  }
+  std::map<std::vector<int64_t>, size_t> index;
+  result.group_of_row.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto [it, inserted] = index.emplace(keys[i], result.groups.size());
+    if (inserted) {
+      result.groups.emplace_back();
+    }
+    result.groups[it->second].push_back(rows[i]);
+    result.group_of_row.push_back(it->second);
+  }
+  return result;
+}
+
+std::string_view TestMethodToString(TestMethod method) {
+  switch (method) {
+    case TestMethod::kGTest:
+      return "G-test";
+    case TestMethod::kTauTest:
+      return "tau-test";
+    case TestMethod::kSpearmanTest:
+      return "spearman-test";
+    case TestMethod::kPermutation:
+      return "permutation-test";
+  }
+  return "unknown";
+}
+
+TestResult GTestIndependence(const Column& x, const Column& y, const std::vector<size_t>& rows,
+                             const TestOptions& options) {
+  size_t cx = 0;
+  size_t cy = 0;
+  std::vector<int32_t> x_codes = EncodeAsCategorical(x, rows, options.discretize_bins, &cx);
+  std::vector<int32_t> y_codes = EncodeAsCategorical(y, rows, options.discretize_bins, &cy);
+  ContingencyTable ct(x_codes, y_codes, cx, cy);
+  StratifiedAccumulator acc;
+  acc.is_tau = false;
+  acc.AddG(ct);
+  return acc.Finish(options);
+}
+
+TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<double>& y,
+                               const TestOptions& options) {
+  KendallResult kr = KendallTau(x, y);
+  TestResult result;
+  result.method = TestMethod::kTauTest;
+  result.n = kr.n;
+  result.strata_used = 1;
+  result.statistic = std::fabs(kr.z);
+  result.p_value = kr.p_two_sided;
+  result.effect = kr.tau_b;
+  if (kr.n >= 2 && options.allow_exact &&
+      static_cast<size_t>(kr.n) <= options.tau_exact_max_n) {
+    bool tie_free = kr.ties_x == 0 && kr.ties_y == 0 && kr.ties_xy == 0;
+    if (tie_free) {
+      result.p_value = KendallExactPValue(kr.s, kr.n);
+      result.used_exact = true;
+    } else {
+      result.approximation_suspect = true;
+    }
+  }
+  return result;
+}
+
+Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
+                                    const std::vector<int>& z_cols,
+                                    const std::vector<size_t>& rows, const TestOptions& options) {
+  if (x_col < 0 || static_cast<size_t>(x_col) >= table.NumColumns() || y_col < 0 ||
+      static_cast<size_t>(y_col) >= table.NumColumns()) {
+    return InvalidArgumentError("IndependenceTest: column index out of range");
+  }
+  if (x_col == y_col) {
+    return InvalidArgumentError("IndependenceTest: X and Y must be distinct columns");
+  }
+  for (int z : z_cols) {
+    if (z < 0 || static_cast<size_t>(z) >= table.NumColumns()) {
+      return InvalidArgumentError("IndependenceTest: conditioning column index out of range");
+    }
+    if (z == x_col || z == y_col) {
+      return InvalidArgumentError("IndependenceTest: Z must be disjoint from X and Y");
+    }
+  }
+  const Column& xc = table.column(static_cast<size_t>(x_col));
+  const Column& yc = table.column(static_cast<size_t>(y_col));
+  bool is_tau =
+      xc.type() == ColumnType::kNumeric && yc.type() == ColumnType::kNumeric;
+
+  // τ paths (the exact-test escape hatch lives in TauTestIndependence).
+  if (is_tau && z_cols.empty()) {
+    std::vector<double> x;
+    std::vector<double> y;
+    ExtractNumericPair(xc, yc, rows, &x, &y);
+    if (options.numeric_method == NumericMethod::kSpearman) {
+      TestResult result;
+      result.method = TestMethod::kSpearmanTest;
+      result.n = static_cast<int64_t>(x.size());
+      result.strata_used = 1;
+      double rho = SpearmanCorrelation(x, y);
+      result.effect = rho;
+      result.statistic = std::fabs(rho);
+      result.p_value = SpearmanPValue(rho, x.size());
+      result.approximation_suspect = x.size() < 10;
+      return result;
+    }
+    return TauTestIndependence(x, y, options);
+  }
+  if (is_tau) {
+    Stratification strata = StratifyRows(table, z_cols, rows, options);
+    StratifiedAccumulator acc;
+    acc.is_tau = true;
+    for (const std::vector<size_t>& stratum : strata.groups) {
+      if (stratum.size() < options.min_stratum_size) {
+        ++acc.skipped;
+        continue;
+      }
+      std::vector<double> x;
+      std::vector<double> y;
+      ExtractNumericPair(xc, yc, stratum, &x, &y);
+      acc.AddTau(KendallTau(x, y));
+    }
+    return acc.Finish(options);
+  }
+
+  // G path: encode strata once so a permutation fallback can reuse them.
+  struct EncodedStratum {
+    std::vector<int32_t> x;
+    std::vector<int32_t> y;
+    size_t cx = 0;
+    size_t cy = 0;
+  };
+  std::vector<EncodedStratum> encoded;
+  StratifiedAccumulator acc;
+  acc.is_tau = false;
+  auto add_stratum = [&](const std::vector<size_t>& stratum) {
+    EncodedStratum e;
+    std::vector<int32_t> x_codes = EncodeAsCategorical(xc, stratum, options.discretize_bins, &e.cx);
+    std::vector<int32_t> y_codes = EncodeAsCategorical(yc, stratum, options.discretize_bins, &e.cy);
+    acc.AddG(ContingencyTable(x_codes, y_codes, e.cx, e.cy));
+    // Keep only complete pairs: the permutation below shuffles Y within the
+    // stratum and must preserve the marginals, which nulls would break.
+    for (size_t i = 0; i < x_codes.size(); ++i) {
+      if (x_codes[i] >= 0 && y_codes[i] >= 0) {
+        e.x.push_back(x_codes[i]);
+        e.y.push_back(y_codes[i]);
+      }
+    }
+    encoded.push_back(std::move(e));
+  };
+  if (z_cols.empty()) {
+    add_stratum(rows);
+  } else {
+    Stratification strata = StratifyRows(table, z_cols, rows, options);
+    for (const std::vector<size_t>& stratum : strata.groups) {
+      if (stratum.size() < options.min_stratum_size) {
+        ++acc.skipped;
+        continue;
+      }
+      add_stratum(stratum);
+    }
+  }
+  TestResult result = acc.Finish(options);
+
+  // Optional Fisher routing: small unconditional 2×2 tables have an exact
+  // null that is cheap to evaluate.
+  if (options.use_fisher_for_2x2 && encoded.size() == 1 && result.strata_used == 1 &&
+      result.n > 0 && result.n <= options.fisher_max_n) {
+    const auto& stratum = encoded[0];
+    // Collapse to live codes; Fisher applies only when exactly 2×2.
+    std::map<int32_t, int64_t> x_live;
+    std::map<int32_t, int64_t> y_live;
+    for (size_t i = 0; i < stratum.x.size(); ++i) {
+      ++x_live[stratum.x[i]];
+      ++y_live[stratum.y[i]];
+    }
+    if (x_live.size() == 2 && y_live.size() == 2) {
+      int32_t x0 = x_live.begin()->first;
+      int32_t y0 = y_live.begin()->first;
+      int64_t a = 0;
+      int64_t b = 0;
+      int64_t c = 0;
+      int64_t d = 0;
+      for (size_t i = 0; i < stratum.x.size(); ++i) {
+        bool first_row = stratum.x[i] == x0;
+        bool first_col = stratum.y[i] == y0;
+        a += (first_row && first_col) ? 1 : 0;
+        b += (first_row && !first_col) ? 1 : 0;
+        c += (!first_row && first_col) ? 1 : 0;
+        d += (!first_row && !first_col) ? 1 : 0;
+      }
+      result.p_value = FisherExact2x2TwoSided(a, b, c, d);
+      result.used_exact = true;
+      return result;
+    }
+  }
+
+  // Sec. 4.3 exact-test fallback: when the χ² approximation is *grossly*
+  // inadequate (dof of the order of n, or near-empty expected cells — the
+  // high-cardinality FD-as-DSC regime), replace the p-value by a
+  // Monte-Carlo permutation null. Only Σ f(O) over joint cells varies
+  // under within-stratum permutation of Y (marginals are fixed), so that
+  // sum is the comparison statistic.
+  bool grossly_inadequate = result.strata_used > 0 &&
+                            (result.dof >= static_cast<double>(result.n) ||
+                             result.min_expected < options.g_severe_min_expected);
+  if (options.allow_exact && grossly_inadequate &&
+      options.permutation_fallback_iterations > 0) {
+    auto joint_xlogx = [](const std::vector<int32_t>& x, const std::vector<int32_t>& y) {
+      std::map<int64_t, int64_t> cells;
+      for (size_t i = 0; i < x.size(); ++i) {
+        ++cells[(static_cast<int64_t>(x[i]) << 32) | static_cast<uint32_t>(y[i])];
+      }
+      double sum = 0.0;
+      for (const auto& [key, count] : cells) {
+        (void)key;
+        double c = static_cast<double>(count);
+        sum += c * std::log(c);
+      }
+      return sum;
+    };
+    double observed = 0.0;
+    for (const EncodedStratum& e : encoded) {
+      observed += joint_xlogx(e.x, e.y);
+    }
+    Rng rng(options.permutation_seed);
+    size_t at_least = 0;
+    std::vector<EncodedStratum> permuted = encoded;
+    for (size_t iter = 0; iter < options.permutation_fallback_iterations; ++iter) {
+      double stat = 0.0;
+      for (EncodedStratum& e : permuted) {
+        rng.Shuffle(e.y);
+        stat += joint_xlogx(e.x, e.y);
+      }
+      at_least += stat >= observed ? 1 : 0;
+    }
+    result.p_value = (static_cast<double>(at_least) + 1.0) /
+                     (static_cast<double>(options.permutation_fallback_iterations) + 1.0);
+    result.used_exact = true;
+  }
+  return result;
+}
+
+Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
+                                    const std::vector<int>& z_cols, const TestOptions& options) {
+  std::vector<size_t> rows(table.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = i;
+  }
+  return IndependenceTest(table, x_col, y_col, z_cols, rows, options);
+}
+
+Result<TestResult> PermutationIndependenceTest(const Table& table, int x_col, int y_col,
+                                               const std::vector<int>& z_cols, size_t iterations,
+                                               Rng& rng, const TestOptions& options) {
+  if (iterations == 0) {
+    return InvalidArgumentError("PermutationIndependenceTest: iterations must be positive");
+  }
+  std::vector<size_t> rows(table.NumRows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = i;
+  }
+  const Column& xc = table.column(static_cast<size_t>(x_col));
+  const Column& yc = table.column(static_cast<size_t>(y_col));
+  bool is_tau = xc.type() == ColumnType::kNumeric && yc.type() == ColumnType::kNumeric;
+
+  // Pre-extract per-stratum (x, y) pairs so each permutation round only
+  // shuffles y within its stratum.
+  std::vector<std::vector<size_t>> strata;
+  if (z_cols.empty()) {
+    strata.push_back(rows);
+  } else {
+    strata = StratifyRows(table, z_cols, rows, options).groups;
+  }
+
+  struct StratumData {
+    std::vector<double> x_num;
+    std::vector<double> y_num;
+    std::vector<int32_t> x_codes;
+    std::vector<int32_t> y_codes;
+    size_t cx = 0;
+    size_t cy = 0;
+  };
+  std::vector<StratumData> data;
+  for (const std::vector<size_t>& stratum : strata) {
+    if (stratum.size() < options.min_stratum_size) {
+      continue;
+    }
+    StratumData d;
+    if (is_tau) {
+      ExtractNumericPair(xc, yc, stratum, &d.x_num, &d.y_num);
+      if (d.x_num.size() < 2) {
+        continue;
+      }
+    } else {
+      d.x_codes = EncodeAsCategorical(xc, stratum, options.discretize_bins, &d.cx);
+      d.y_codes = EncodeAsCategorical(yc, stratum, options.discretize_bins, &d.cy);
+      if (d.x_codes.size() < 2) {
+        continue;
+      }
+    }
+    data.push_back(std::move(d));
+  }
+
+  auto evaluate = [&](const std::vector<StratumData>& ds) -> double {
+    if (is_tau) {
+      // |ΣS| is a monotone transform of the combined z under permutation
+      // (the variance is tie-structure-only, which permutation preserves).
+      double s = 0.0;
+      for (const StratumData& d : ds) {
+        s += static_cast<double>(KendallTau(d.x_num, d.y_num).s);
+      }
+      return std::fabs(s);
+    }
+    double g = 0.0;
+    for (const StratumData& d : ds) {
+      g += ContingencyTable(d.x_codes, d.y_codes, d.cx, d.cy).GStatistic();
+    }
+    return g;
+  };
+
+  double observed = evaluate(data);
+  size_t at_least_as_extreme = 0;
+  std::vector<StratumData> permuted = data;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    for (StratumData& d : permuted) {
+      if (is_tau) {
+        rng.Shuffle(d.y_num);
+      } else {
+        rng.Shuffle(d.y_codes);
+      }
+    }
+    if (evaluate(permuted) >= observed) {
+      ++at_least_as_extreme;
+    }
+  }
+  TestResult result;
+  result.method = TestMethod::kPermutation;
+  result.statistic = observed;
+  result.p_value = (static_cast<double>(at_least_as_extreme) + 1.0) /
+                   (static_cast<double>(iterations) + 1.0);
+  result.used_exact = true;
+  result.strata_used = data.size();
+  for (const StratumData& d : data) {
+    result.n += static_cast<int64_t>(is_tau ? d.x_num.size() : d.x_codes.size());
+  }
+  return result;
+}
+
+}  // namespace scoded

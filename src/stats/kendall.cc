@@ -1,0 +1,374 @@
+#include "stats/kendall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "stats/ranks.h"
+#include "stats/segment_tree.h"
+
+namespace scoded {
+
+namespace {
+
+// Number of pairs within runs of equal values: Σ t(t-1)/2.
+int64_t TiedPairs(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  int64_t pairs = 0;
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i;
+    while (j + 1 < values.size() && values[j + 1] == values[i]) {
+      ++j;
+    }
+    int64_t t = static_cast<int64_t>(j - i + 1);
+    pairs += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return pairs;
+}
+
+// Collects run lengths of equal values (for the tie-corrected variance).
+std::vector<int64_t> TieGroupSizes(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<int64_t> sizes;
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i;
+    while (j + 1 < values.size() && values[j + 1] == values[i]) {
+      ++j;
+    }
+    int64_t t = static_cast<int64_t>(j - i + 1);
+    if (t > 1) {
+      sizes.push_back(t);
+    }
+    i = j + 1;
+  }
+  return sizes;
+}
+
+// Merge-sort inversion count of `values` (pairs i<j with values[i] > values[j]).
+int64_t CountInversions(std::vector<double>& values, std::vector<double>& scratch, size_t lo,
+                        size_t hi) {
+  if (hi - lo <= 1) {
+    return 0;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  int64_t inversions =
+      CountInversions(values, scratch, lo, mid) + CountInversions(values, scratch, mid, hi);
+  size_t a = lo;
+  size_t b = mid;
+  size_t out = lo;
+  while (a < mid && b < hi) {
+    if (values[a] <= values[b]) {
+      scratch[out++] = values[a++];
+    } else {
+      inversions += static_cast<int64_t>(mid - a);
+      scratch[out++] = values[b++];
+    }
+  }
+  while (a < mid) {
+    scratch[out++] = values[a++];
+  }
+  while (b < hi) {
+    scratch[out++] = values[b++];
+  }
+  std::copy(scratch.begin() + static_cast<ptrdiff_t>(lo), scratch.begin() + static_cast<ptrdiff_t>(hi),
+            values.begin() + static_cast<ptrdiff_t>(lo));
+  return inversions;
+}
+
+// Fills tau_a/tau_b/var_s/z/p from the raw pair counts and tie groups.
+void FinishResult(KendallResult& result, const std::vector<int64_t>& x_ties,
+                  const std::vector<int64_t>& y_ties) {
+  int64_t n = result.n;
+  if (n < 2) {
+    result.p_two_sided = 1.0;
+    return;
+  }
+  double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0;
+  double n1 = 0.0;
+  double n2 = 0.0;
+  for (int64_t t : x_ties) {
+    n1 += static_cast<double>(t) * (static_cast<double>(t) - 1.0) / 2.0;
+  }
+  for (int64_t u : y_ties) {
+    n2 += static_cast<double>(u) * (static_cast<double>(u) - 1.0) / 2.0;
+  }
+  result.tau_a = static_cast<double>(result.s) / n0;
+  double denom = std::sqrt((n0 - n1) * (n0 - n2));
+  result.tau_b = denom > 0.0 ? static_cast<double>(result.s) / denom : 0.0;
+
+  // Tie-corrected null variance of S (Kendall 1970, as in scipy.stats).
+  double dn = static_cast<double>(n);
+  double v0 = dn * (dn - 1.0) * (2.0 * dn + 5.0);
+  double vt = 0.0;
+  double vu = 0.0;
+  double t1 = 0.0;
+  double t2 = 0.0;
+  double u1 = 0.0;
+  double u2 = 0.0;
+  for (int64_t ti : x_ties) {
+    double t = static_cast<double>(ti);
+    vt += t * (t - 1.0) * (2.0 * t + 5.0);
+    t1 += t * (t - 1.0);
+    t2 += t * (t - 1.0) * (t - 2.0);
+  }
+  for (int64_t ui : y_ties) {
+    double u = static_cast<double>(ui);
+    vu += u * (u - 1.0) * (2.0 * u + 5.0);
+    u1 += u * (u - 1.0);
+    u2 += u * (u - 1.0) * (u - 2.0);
+  }
+  double var = (v0 - vt - vu) / 18.0;
+  var += t1 * u1 / (2.0 * dn * (dn - 1.0));
+  if (n > 2) {
+    var += t2 * u2 / (9.0 * dn * (dn - 1.0) * (dn - 2.0));
+  }
+  result.var_s = std::max(0.0, var);
+  if (result.var_s > 0.0) {
+    result.z = static_cast<double>(result.s) / std::sqrt(result.var_s);
+    result.p_two_sided = NormalTwoSidedP(result.z);
+  } else {
+    result.z = 0.0;
+    result.p_two_sided = 1.0;
+  }
+}
+
+}  // namespace
+
+int PairWeight(double xi, double yi, double xj, double yj) {
+  if ((xi > xj && yi > yj) || (xi < xj && yi < yj)) {
+    return 1;
+  }
+  if ((xi > xj && yi < yj) || (xi < xj && yi > yj)) {
+    return -1;
+  }
+  return 0;
+}
+
+KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  KendallResult result;
+  result.n = static_cast<int64_t>(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = i + 1; j < x.size(); ++j) {
+      bool tx = x[i] == x[j];
+      bool ty = y[i] == y[j];
+      if (tx && ty) {
+        ++result.ties_xy;
+      } else if (tx) {
+        ++result.ties_x;
+      } else if (ty) {
+        ++result.ties_y;
+      } else if (PairWeight(x[i], y[i], x[j], y[j]) > 0) {
+        ++result.concordant;
+      } else {
+        ++result.discordant;
+      }
+    }
+  }
+  result.s = result.concordant - result.discordant;
+  FinishResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  return result;
+}
+
+KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  KendallResult result;
+  result.n = static_cast<int64_t>(n);
+  if (n < 2) {
+    result.p_two_sided = 1.0;
+    return result;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (x[a] != x[b]) {
+      return x[a] < x[b];
+    }
+    return y[a] < y[b];
+  });
+
+  // Pairs tied on x, on (x, y) jointly, and on y.
+  int64_t n1 = 0;
+  int64_t n3 = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]]) {
+        ++j;
+      }
+      int64_t t = static_cast<int64_t>(j - i + 1);
+      n1 += t * (t - 1) / 2;
+      // joint ties within this x-run
+      size_t a = i;
+      while (a <= j) {
+        size_t b = a;
+        while (b + 1 <= j && y[order[b + 1]] == y[order[a]]) {
+          ++b;
+        }
+        int64_t u = static_cast<int64_t>(b - a + 1);
+        n3 += u * (u - 1) / 2;
+        a = b + 1;
+      }
+      i = j + 1;
+    }
+  }
+  int64_t n2 = TiedPairs(y);
+
+  // Inversions of y in (x, y)-sorted order = discordant pairs: within an
+  // x-run y ascends (no inversions); across runs equal y values do not
+  // invert; everything counted has distinct x and strictly decreasing y.
+  std::vector<double> y_sorted(n);
+  for (size_t i = 0; i < n; ++i) {
+    y_sorted[i] = y[order[i]];
+  }
+  std::vector<double> scratch(n);
+  int64_t discordant = CountInversions(y_sorted, scratch, 0, n);
+
+  int64_t n0 = static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1) / 2;
+  result.discordant = discordant;
+  result.concordant = n0 - n1 - n2 + n3 - discordant;
+  result.ties_xy = n3;
+  result.ties_x = n1 - n3;
+  result.ties_y = n2 - n3;
+  result.s = result.concordant - result.discordant;
+  FinishResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  return result;
+}
+
+double KendallExactPValue(int64_t s, int64_t n) {
+  SCODED_CHECK(n >= 0);
+  if (n < 2) {
+    return 1.0;
+  }
+  int64_t n0 = n * (n - 1) / 2;
+  int64_t abs_s = std::llabs(s);
+  if (abs_s > n0) {
+    abs_s = n0;
+  }
+  // Null distribution of the inversion count D: P(D = d) via the Mahonian
+  // recurrence, normalised at every stage to stay in [0, 1].
+  std::vector<double> prob(static_cast<size_t>(n0) + 1, 0.0);
+  prob[0] = 1.0;
+  int64_t max_d = 0;
+  for (int64_t i = 2; i <= n; ++i) {
+    int64_t new_max = max_d + (i - 1);
+    std::vector<double> next(static_cast<size_t>(new_max) + 1, 0.0);
+    // next[d] = (1/i) * Σ_{j=0..i-1} prob[d-j]; use a sliding window.
+    double window = 0.0;
+    for (int64_t d = 0; d <= new_max; ++d) {
+      if (d <= max_d) {
+        window += prob[static_cast<size_t>(d)];
+      }
+      int64_t out = d - i;
+      if (out >= 0 && out <= max_d) {
+        window -= prob[static_cast<size_t>(out)];
+      }
+      next[static_cast<size_t>(d)] = window / static_cast<double>(i);
+    }
+    prob.swap(next);
+    max_d = new_max;
+  }
+  // |S| >= |s|  <=>  D <= (n0 - |s|)/2  or  D >= (n0 + |s|)/2.
+  // S = n0 - 2D and S has the same parity as n0.
+  double p = 0.0;
+  for (int64_t d = 0; d <= n0; ++d) {
+    int64_t s_d = n0 - 2 * d;
+    if (std::llabs(s_d) >= abs_s) {
+      p += prob[static_cast<size_t>(d)];
+    }
+  }
+  return std::min(1.0, p);
+}
+
+std::vector<int64_t> ComputeTauBenefits(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  std::vector<int64_t> benefits(n, 0);
+  if (n < 2) {
+    return benefits;
+  }
+  size_t num_ranks = 0;
+  std::vector<size_t> y_rank = DenseRanks(y, &num_ranks);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return x[a] < x[b]; });
+
+  // Pass 1 (tree T1, ascending x): for record i the inserted points are
+  // exactly the records with strictly smaller x, so
+  //   concordant(i, ·) += #{y_j < y_i},  discordant(i, ·) += #{y_j > y_i}.
+  // X-tied runs are inserted only after the whole run is queried, which is
+  // the tie-correct refinement of Algorithm 2.
+  {
+    SegmentTree tree(num_ranks);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]]) {
+        ++j;
+      }
+      for (size_t k = i; k <= j; ++k) {
+        size_t r = order[k];
+        size_t rank = y_rank[r];
+        int64_t below = rank > 0 ? tree.Sum(0, rank - 1) : 0;
+        int64_t above = tree.SuffixSum(rank + 1);
+        benefits[r] += below - above;
+      }
+      for (size_t k = i; k <= j; ++k) {
+        tree.Add(y_rank[order[k]], 1);
+      }
+      i = j + 1;
+    }
+  }
+  // Pass 2 (tree T2, descending x): inserted points have strictly larger x:
+  //   concordant(i, ·) += #{y_j > y_i},  discordant(i, ·) += #{y_j < y_i}.
+  {
+    std::vector<size_t> desc(order.rbegin(), order.rend());
+    SegmentTree tree(num_ranks);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && x[desc[j + 1]] == x[desc[i]]) {
+        ++j;
+      }
+      for (size_t k = i; k <= j; ++k) {
+        size_t r = desc[k];
+        size_t rank = y_rank[r];
+        int64_t below = rank > 0 ? tree.Sum(0, rank - 1) : 0;
+        int64_t above = tree.SuffixSum(rank + 1);
+        benefits[r] += above - below;
+      }
+      for (size_t k = i; k <= j; ++k) {
+        tree.Add(y_rank[desc[k]], 1);
+      }
+      i = j + 1;
+    }
+  }
+  return benefits;
+}
+
+std::vector<int64_t> ComputeTauBenefitsNaive(const std::vector<double>& x,
+                                             const std::vector<double>& y) {
+  SCODED_CHECK(x.size() == y.size());
+  size_t n = x.size();
+  std::vector<int64_t> benefits(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      int w = PairWeight(x[i], y[i], x[j], y[j]);
+      benefits[i] += w;
+      benefits[j] += w;
+    }
+  }
+  return benefits;
+}
+
+}  // namespace scoded

@@ -1,0 +1,58 @@
+#ifndef SCODED_STATS_KENDALL_H_
+#define SCODED_STATS_KENDALL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scoded {
+
+/// Full accounting of a Kendall rank-correlation computation.
+struct KendallResult {
+  int64_t n = 0;           ///< number of (x, y) points
+  int64_t concordant = 0;  ///< n_c: strictly agreeing pairs
+  int64_t discordant = 0;  ///< n_d: strictly disagreeing pairs
+  int64_t ties_x = 0;      ///< pairs tied on x only
+  int64_t ties_y = 0;      ///< pairs tied on y only
+  int64_t ties_xy = 0;     ///< pairs tied on both
+  int64_t s = 0;           ///< S = n_c - n_d
+  double tau_a = 0.0;      ///< S / C(n,2) — the paper's τ statistic
+  double tau_b = 0.0;      ///< tie-corrected τ
+  double var_s = 0.0;      ///< Var(S) under H0 (tie-corrected)
+  double z = 0.0;          ///< S / sqrt(Var(S)), 0 when Var(S)=0
+  double p_two_sided = 1.0;  ///< Gaussian-approximation two-sided p-value
+};
+
+/// O(n²) reference implementation (used in tests as ground truth and for
+/// very small inputs).
+KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<double>& y);
+
+/// O(n log n) implementation (Knight's algorithm: sort by x, count
+/// inversions of y by merge sort, with full tie bookkeeping). Produces the
+/// same counts as the naive version.
+KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Exact two-sided p-value P(|S| >= |s|) for the no-ties null distribution
+/// of Kendall's S with sample size n (dynamic program over the Mahonian
+/// inversion counts). Feasible for n up to a few hundred; the hypothesis
+/// layer uses it below the Gaussian-approximation threshold (n <= 60,
+/// following the NIST rule cited in Sec. 4.3).
+double KendallExactPValue(int64_t s, int64_t n);
+
+/// Pair weight per Sec. 5.3: +1 concordant, -1 discordant, 0 tied.
+int PairWeight(double xi, double yi, double xj, double yj);
+
+/// Per-record benefits: benefit(i) = Σ_j weight(i, j), i.e. the record's
+/// net contribution to S = n_c - n_d. Computed in O(n log n) with two
+/// segment-tree passes exactly as in Algorithm 2 of the paper (ascending
+/// and descending x order).
+std::vector<int64_t> ComputeTauBenefits(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// O(n²) reference for ComputeTauBenefits (tests only).
+std::vector<int64_t> ComputeTauBenefitsNaive(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_KENDALL_H_

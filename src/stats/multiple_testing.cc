@@ -1,0 +1,57 @@
+#include "stats/multiple_testing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scoded {
+
+MultipleTestingResult BenjaminiHochberg(const std::vector<double>& p_values, double q) {
+  SCODED_CHECK(q >= 0.0 && q <= 1.0);
+  size_t m = p_values.size();
+  MultipleTestingResult out;
+  out.adjusted_p.assign(m, 1.0);
+  out.rejected.assign(m, false);
+  if (m == 0) {
+    return out;
+  }
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+  // Adjusted p(i) = min_{j >= i} ( m * p(j) / j ), computed right-to-left.
+  double running_min = 1.0;
+  for (size_t rank = m; rank > 0; --rank) {
+    size_t index = order[rank - 1];
+    double candidate =
+        static_cast<double>(m) * p_values[index] / static_cast<double>(rank);
+    running_min = std::min(running_min, candidate);
+    out.adjusted_p[index] = std::min(1.0, running_min);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (out.adjusted_p[i] <= q) {
+      out.rejected[i] = true;
+      ++out.num_rejected;
+    }
+  }
+  return out;
+}
+
+MultipleTestingResult Bonferroni(const std::vector<double>& p_values, double alpha) {
+  SCODED_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  size_t m = p_values.size();
+  MultipleTestingResult out;
+  out.adjusted_p.assign(m, 1.0);
+  out.rejected.assign(m, false);
+  for (size_t i = 0; i < m; ++i) {
+    out.adjusted_p[i] = std::min(1.0, static_cast<double>(m) * p_values[i]);
+    if (out.adjusted_p[i] <= alpha) {
+      out.rejected[i] = true;
+      ++out.num_rejected;
+    }
+  }
+  return out;
+}
+
+}  // namespace scoded

@@ -1,0 +1,35 @@
+#ifndef SCODED_STATS_MULTIPLE_TESTING_H_
+#define SCODED_STATS_MULTIPLE_TESTING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace scoded {
+
+/// Result of a multiple-testing correction over m p-values.
+struct MultipleTestingResult {
+  /// Adjusted p-values, parallel to the input. Comparing an adjusted value
+  /// against the level gives the same decision as the step procedure.
+  std::vector<double> adjusted_p;
+  /// Decision per hypothesis at the requested level.
+  std::vector<bool> rejected;
+  size_t num_rejected = 0;
+};
+
+/// Benjamini–Hochberg step-up procedure controlling the false-discovery
+/// rate at level `q`: with sorted p-values p(1) <= ... <= p(m), rejects
+/// the hypotheses up to the largest i with p(i) <= i·q/m.
+///
+/// Enforcing many SCs at once (Scoded::CheckAll) multiplies the chance of
+/// a spurious ISC violation; FDR control keeps the *expected fraction* of
+/// false alarms among the reported violations below q. (The paper's α is
+/// per-constraint; this is the batch-mode refinement a deployment needs.)
+MultipleTestingResult BenjaminiHochberg(const std::vector<double>& p_values, double q);
+
+/// Bonferroni correction (family-wise error control): adjusted p = m·p,
+/// clipped to 1. Stricter than BH; offered for gate-keeping use cases.
+MultipleTestingResult Bonferroni(const std::vector<double>& p_values, double alpha);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_MULTIPLE_TESTING_H_

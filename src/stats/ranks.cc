@@ -1,0 +1,76 @@
+#include "stats/ranks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scoded {
+
+std::vector<size_t> DenseRanks(const std::vector<double>& values, size_t* num_distinct) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<size_t> ranks(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ranks[i] = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), values[i]) - sorted.begin());
+  }
+  if (num_distinct != nullptr) {
+    *num_distinct = sorted.size();
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Positions i..j (0-based) share the average of 1-based ranks i+1..j+1.
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<int32_t> QuantileBins(const std::vector<double>& values, int bins) {
+  SCODED_CHECK(bins >= 1);
+  size_t n = values.size();
+  std::vector<int32_t> codes(n, 0);
+  if (n == 0) {
+    return codes;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  // Cut points at the interior quantiles; ties collapse buckets naturally.
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<size_t>(bins) - 1);
+  for (int b = 1; b < bins; ++b) {
+    size_t idx = static_cast<size_t>(
+        std::min<double>(static_cast<double>(n) - 1.0,
+                         std::floor(static_cast<double>(b) * static_cast<double>(n) /
+                                    static_cast<double>(bins))));
+    cuts.push_back(sorted[idx]);
+  }
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<int32_t>(
+        std::lower_bound(cuts.begin(), cuts.end(), values[i]) - cuts.begin());
+  }
+  return codes;
+}
+
+}  // namespace scoded

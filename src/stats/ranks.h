@@ -1,0 +1,28 @@
+#ifndef SCODED_STATS_RANKS_H_
+#define SCODED_STATS_RANKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scoded {
+
+/// Dense ranks: maps each value to its 0-based rank among the distinct
+/// sorted values ("coordinate compression"). Equal values share a rank.
+/// Returns the ranks; `num_distinct` (if non-null) receives the number of
+/// distinct values.
+std::vector<size_t> DenseRanks(const std::vector<double>& values, size_t* num_distinct = nullptr);
+
+/// Average (midrank) ranks, 1-based, as used by Spearman's ρ: tied values
+/// receive the mean of the ranks they occupy.
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// Assigns each value to one of `bins` quantile buckets (0-based codes).
+/// Used to discretise a numeric column for the G-test when it is paired
+/// with a categorical column. Degenerate distributions collapse to fewer
+/// buckets. Requires bins >= 1.
+std::vector<int32_t> QuantileBins(const std::vector<double>& values, int bins);
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_RANKS_H_

@@ -1,0 +1,83 @@
+#include "stats/segment_tree.h"
+
+#include "common/check.h"
+
+namespace scoded {
+
+SegmentTree::SegmentTree(size_t size) : size_(size) {
+  leaves_ = 1;
+  while (leaves_ < size_) {
+    leaves_ <<= 1;
+  }
+  tree_.assign(2 * leaves_, 0);
+}
+
+void SegmentTree::Add(size_t pos, int64_t delta) {
+  SCODED_CHECK(pos < size_);
+  size_t node = leaves_ + pos;
+  while (node >= 1) {
+    tree_[node] += delta;
+    if (node == 1) {
+      break;
+    }
+    node >>= 1;
+  }
+}
+
+int64_t SegmentTree::Sum(size_t lo, size_t hi) const {
+  if (size_ == 0 || lo > hi || lo >= size_) {
+    return 0;
+  }
+  if (hi >= size_) {
+    hi = size_ - 1;
+  }
+  // Iterative bottom-up range sum on the implicit tree.
+  int64_t total = 0;
+  size_t left = leaves_ + lo;
+  size_t right = leaves_ + hi + 1;  // half-open
+  while (left < right) {
+    if (left & 1) {
+      total += tree_[left++];
+    }
+    if (right & 1) {
+      total += tree_[--right];
+    }
+    left >>= 1;
+    right >>= 1;
+  }
+  return total;
+}
+
+void SegmentTree::Clear() { tree_.assign(tree_.size(), 0); }
+
+void FenwickTree::Add(size_t pos, int64_t delta) {
+  SCODED_CHECK(pos < size_);
+  for (size_t i = pos + 1; i <= size_; i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+int64_t FenwickTree::PrefixSum(size_t pos) const {
+  if (size_ == 0) {
+    return 0;
+  }
+  if (pos >= size_) {
+    pos = size_ - 1;
+  }
+  int64_t total = 0;
+  for (size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    total += tree_[i];
+  }
+  return total;
+}
+
+int64_t FenwickTree::Sum(size_t lo, size_t hi) const {
+  if (size_ == 0 || lo > hi || lo >= size_) {
+    return 0;
+  }
+  int64_t upper = PrefixSum(hi);
+  int64_t lower = lo == 0 ? 0 : PrefixSum(lo - 1);
+  return upper - lower;
+}
+
+}  // namespace scoded

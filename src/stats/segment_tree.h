@@ -1,0 +1,79 @@
+#ifndef SCODED_STATS_SEGMENT_TREE_H_
+#define SCODED_STATS_SEGMENT_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scoded {
+
+/// Sum segment tree over a fixed universe of positions [0, size).
+///
+/// This is the data structure behind Algorithm 2 of the paper: records are
+/// inserted one by one as points at their y-rank, and prefix/suffix range
+/// sums count how many previously inserted records lie below/above a given
+/// y value — i.e. the concordant/discordant pair counts used to initialise
+/// the drill-down benefits in O(n log n).
+///
+/// Point update and range query are both O(log size).
+class SegmentTree {
+ public:
+  /// Creates an empty tree over positions [0, size).
+  explicit SegmentTree(size_t size);
+
+  size_t size() const { return size_; }
+
+  /// Adds `delta` to the count at `pos`. Requires pos < size().
+  void Add(size_t pos, int64_t delta);
+
+  /// Sum of counts over the closed range [lo, hi]. Empty/inverted ranges
+  /// and out-of-universe clamping return the natural truncated sum.
+  int64_t Sum(size_t lo, size_t hi) const;
+
+  /// Sum over [0, pos] — "how many inserted values are <= this rank".
+  int64_t PrefixSum(size_t pos) const { return Sum(0, pos); }
+
+  /// Sum over [pos, size-1] — "how many inserted values are >= this rank".
+  int64_t SuffixSum(size_t pos) const {
+    return size_ == 0 ? 0 : Sum(pos, size_ - 1);
+  }
+
+  /// Total number of inserted points (sum of all counts).
+  int64_t Total() const { return size_ == 0 ? 0 : tree_[1]; }
+
+  /// Resets all counts to zero.
+  void Clear();
+
+ private:
+  size_t size_ = 0;
+  size_t leaves_ = 1;              // power-of-two leaf count
+  std::vector<int64_t> tree_;      // 1-based implicit binary tree
+};
+
+/// Fenwick (binary indexed) tree with the same contract as SegmentTree.
+/// Provided for the micro-benchmarks comparing the two index structures in
+/// the Algorithm 2 initialisation.
+class FenwickTree {
+ public:
+  explicit FenwickTree(size_t size) : size_(size), tree_(size + 1, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Add(size_t pos, int64_t delta);
+
+  /// Sum over [0, pos].
+  int64_t PrefixSum(size_t pos) const;
+
+  /// Sum over the closed range [lo, hi].
+  int64_t Sum(size_t lo, size_t hi) const;
+
+  int64_t Total() const { return size_ == 0 ? 0 : PrefixSum(size_ - 1); }
+
+ private:
+  size_t size_;
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_SEGMENT_TREE_H_

@@ -1,0 +1,164 @@
+#include "table/column.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace scoded {
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Column Column::Numeric(std::vector<double> values) {
+  Column col;
+  col.type_ = ColumnType::kNumeric;
+  col.numeric_ = std::move(values);
+  return col;
+}
+
+Column Column::NumericWithNulls(std::vector<double> values, std::vector<bool> valid) {
+  SCODED_CHECK(values.size() == valid.size());
+  Column col;
+  col.type_ = ColumnType::kNumeric;
+  col.numeric_ = std::move(values);
+  col.valid_ = std::move(valid);
+  for (size_t i = 0; i < col.numeric_.size(); ++i) {
+    if (!col.valid_[i]) {
+      col.numeric_[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return col;
+}
+
+Column Column::Categorical(const std::vector<std::string>& values) {
+  Column col;
+  col.type_ = ColumnType::kCategorical;
+  col.codes_.reserve(values.size());
+  std::unordered_map<std::string, int32_t> index;
+  for (const std::string& value : values) {
+    auto [it, inserted] = index.emplace(value, static_cast<int32_t>(col.dictionary_.size()));
+    if (inserted) {
+      col.dictionary_.push_back(value);
+    }
+    col.codes_.push_back(it->second);
+  }
+  return col;
+}
+
+Column Column::CategoricalFromCodes(std::vector<int32_t> codes,
+                                    std::vector<std::string> dictionary) {
+  Column col;
+  col.type_ = ColumnType::kCategorical;
+  for (int32_t code : codes) {
+    SCODED_CHECK(code >= -1 && code < static_cast<int32_t>(dictionary.size()));
+  }
+  col.codes_ = std::move(codes);
+  col.dictionary_ = std::move(dictionary);
+  return col;
+}
+
+bool Column::IsNull(size_t row) const {
+  SCODED_DCHECK(row < size());
+  if (type_ == ColumnType::kCategorical) {
+    return codes_[row] < 0;
+  }
+  if (!valid_.empty()) {
+    return !valid_[row];
+  }
+  return std::isnan(numeric_[row]);
+}
+
+double Column::NumericAt(size_t row) const {
+  SCODED_CHECK(type_ == ColumnType::kNumeric);
+  SCODED_DCHECK(row < numeric_.size());
+  return numeric_[row];
+}
+
+int32_t Column::CodeAt(size_t row) const {
+  SCODED_CHECK(type_ == ColumnType::kCategorical);
+  SCODED_DCHECK(row < codes_.size());
+  return codes_[row];
+}
+
+const std::string& Column::CategoryAt(size_t row) const {
+  int32_t code = CodeAt(row);
+  SCODED_CHECK_MSG(code >= 0, "CategoryAt called on a null cell");
+  return dictionary_[static_cast<size_t>(code)];
+}
+
+const std::vector<double>& Column::numeric_values() const {
+  SCODED_CHECK(type_ == ColumnType::kNumeric);
+  return numeric_;
+}
+
+const std::vector<int32_t>& Column::codes() const {
+  SCODED_CHECK(type_ == ColumnType::kCategorical);
+  return codes_;
+}
+
+Column Column::Gather(const std::vector<size_t>& rows) const {
+  Column out;
+  out.type_ = type_;
+  if (type_ == ColumnType::kNumeric) {
+    out.numeric_.reserve(rows.size());
+    for (size_t row : rows) {
+      SCODED_DCHECK(row < numeric_.size());
+      out.numeric_.push_back(numeric_[row]);
+    }
+    if (!valid_.empty()) {
+      out.valid_.reserve(rows.size());
+      for (size_t row : rows) {
+        out.valid_.push_back(valid_[row]);
+      }
+    }
+  } else {
+    out.dictionary_ = dictionary_;
+    out.codes_.reserve(rows.size());
+    for (size_t row : rows) {
+      SCODED_DCHECK(row < codes_.size());
+      out.codes_.push_back(codes_[row]);
+    }
+  }
+  return out;
+}
+
+std::string Column::ValueToString(size_t row) const {
+  if (IsNull(row)) {
+    return "";
+  }
+  if (type_ == ColumnType::kCategorical) {
+    return CategoryAt(row);
+  }
+  double v = numeric_[row];
+  // Render integers without a decimal point for readability.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<int64_t>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+size_t Column::NullCount() const {
+  size_t count = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace scoded

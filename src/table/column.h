@@ -1,0 +1,100 @@
+#ifndef SCODED_TABLE_COLUMN_H_
+#define SCODED_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scoded {
+
+/// Logical column types. SCODED's test statistics dispatch on this: the
+/// G-test runs on categorical columns, Kendall's τ on numeric ones.
+enum class ColumnType {
+  kNumeric,
+  kCategorical,
+};
+
+std::string_view ColumnTypeToString(ColumnType type);
+
+/// An immutable, dictionary-encoded column.
+///
+/// * Numeric columns store `double` values.
+/// * Categorical columns store `int32_t` codes into a per-column dictionary
+///   of distinct category strings.
+///
+/// Nulls are tracked with an optional validity mask; an empty mask means
+/// every row is valid. Null numeric cells read as NaN, null categorical
+/// cells read as code -1.
+class Column {
+ public:
+  /// Builds a numeric column with no nulls.
+  static Column Numeric(std::vector<double> values);
+
+  /// Builds a numeric column with a validity mask (`valid[i]` false = null).
+  /// `valid` must match `values` in length.
+  static Column NumericWithNulls(std::vector<double> values, std::vector<bool> valid);
+
+  /// Builds a categorical column; the dictionary is the set of distinct
+  /// strings in first-appearance order.
+  static Column Categorical(const std::vector<std::string>& values);
+
+  /// Builds a categorical column from pre-encoded codes. Codes must lie in
+  /// [-1, dictionary.size()), with -1 meaning null.
+  static Column CategoricalFromCodes(std::vector<int32_t> codes,
+                                     std::vector<std::string> dictionary);
+
+  Column(const Column&) = default;
+  Column& operator=(const Column&) = default;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
+  ColumnType type() const { return type_; }
+  size_t size() const {
+    return type_ == ColumnType::kNumeric ? numeric_.size() : codes_.size();
+  }
+
+  bool IsNull(size_t row) const;
+
+  /// Numeric cell accessor. Requires a numeric column.
+  double NumericAt(size_t row) const;
+
+  /// Dictionary-code accessor (-1 for null). Requires a categorical column.
+  int32_t CodeAt(size_t row) const;
+
+  /// Category string for a (non-null) categorical cell.
+  const std::string& CategoryAt(size_t row) const;
+
+  /// Dictionary of distinct categories. Requires a categorical column.
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  size_t NumCategories() const { return dictionary_.size(); }
+
+  /// Raw numeric storage for fast statistic kernels. Requires numeric.
+  const std::vector<double>& numeric_values() const;
+
+  /// Raw code storage for fast statistic kernels. Requires categorical.
+  const std::vector<int32_t>& codes() const;
+
+  /// Returns a new column containing rows at `rows` (indices may repeat).
+  Column Gather(const std::vector<size_t>& rows) const;
+
+  /// Renders a cell for display / CSV output; nulls render as "".
+  std::string ValueToString(size_t row) const;
+
+  /// Number of null cells.
+  size_t NullCount() const;
+
+ private:
+  Column() = default;
+
+  ColumnType type_ = ColumnType::kNumeric;
+  std::vector<double> numeric_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  // Empty means "all valid".
+  std::vector<bool> valid_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_TABLE_COLUMN_H_

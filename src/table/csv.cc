@@ -1,0 +1,221 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace scoded::csv {
+
+namespace {
+
+// Splits one CSV record honouring double-quote quoting ("" escapes a quote).
+std::vector<std::string> SplitRecord(std::string_view line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view value, char delimiter) {
+  return value.find(delimiter) != std::string_view::npos ||
+         value.find('"') != std::string_view::npos ||
+         value.find('\n') != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line;
+    if (end == std::string_view::npos) {
+      line = text.substr(start);
+      start = text.size() + 1;
+    } else {
+      line = text.substr(start, end - start);
+      start = end + 1;
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty() && start > text.size()) {
+      break;  // trailing newline
+    }
+    if (line.empty()) {
+      continue;
+    }
+    rows.push_back(SplitRecord(line, options.delimiter));
+  }
+  if (rows.empty()) {
+    return InvalidArgumentError("CSV input is empty");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& name : rows[0]) {
+      names.emplace_back(Trim(name));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t i = 0; i < rows[0].size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  size_t num_cols = names.size();
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (rows[r].size() != num_cols) {
+      return InvalidArgumentError("CSV row " + std::to_string(r + 1) + " has " +
+                                  std::to_string(rows[r].size()) + " fields, expected " +
+                                  std::to_string(num_cols));
+    }
+  }
+
+  TableBuilder builder;
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool numeric = options.infer_types;
+    if (numeric) {
+      bool any_value = false;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        std::string_view cell = Trim(rows[r][c]);
+        if (cell.empty()) {
+          continue;
+        }
+        any_value = true;
+        if (!ParseDouble(cell).has_value()) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!any_value) {
+        numeric = false;  // all-null columns default to categorical
+      }
+    }
+    if (numeric) {
+      std::vector<double> values;
+      std::vector<bool> valid;
+      values.reserve(rows.size() - first_data_row);
+      valid.reserve(rows.size() - first_data_row);
+      bool has_null = false;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        std::optional<double> value = ParseDouble(Trim(rows[r][c]));
+        values.push_back(value.value_or(0.0));
+        valid.push_back(value.has_value());
+        has_null = has_null || !value.has_value();
+      }
+      if (has_null) {
+        builder.AddNumericWithNulls(names[c], std::move(values), std::move(valid));
+      } else {
+        builder.AddNumeric(names[c], std::move(values));
+      }
+    } else {
+      // Categorical: empty cells become nulls (code -1).
+      std::vector<int32_t> codes;
+      std::vector<std::string> dictionary;
+      std::unordered_map<std::string, int32_t> index;
+      codes.reserve(rows.size() - first_data_row);
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        std::string value(Trim(rows[r][c]));
+        if (value.empty()) {
+          codes.push_back(-1);
+          continue;
+        }
+        auto [it, inserted] = index.emplace(value, static_cast<int32_t>(dictionary.size()));
+        if (inserted) {
+          dictionary.push_back(value);
+        }
+        codes.push_back(it->second);
+      }
+      builder.AddColumn(names[c],
+                        Column::CategoricalFromCodes(std::move(codes), std::move(dictionary)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Table> ReadFile(const std::string& path, const ReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadString(buffer.str(), options);
+}
+
+std::string WriteString(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) {
+      os << delimiter;
+    }
+    const std::string& name = table.schema().field(c).name;
+    os << (NeedsQuoting(name, delimiter) ? QuoteField(name) : name);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) {
+        os << delimiter;
+      }
+      std::string value = table.column(c).ValueToString(r);
+      os << (NeedsQuoting(value, delimiter) ? QuoteField(value) : value);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteFile(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return InvalidArgumentError("cannot open '" + path + "' for writing");
+  }
+  out << WriteString(table, delimiter);
+  if (!out) {
+    return DataLossError("failed while writing '" + path + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace scoded::csv

@@ -1,0 +1,80 @@
+#include "table/group_by.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace scoded {
+
+namespace {
+
+constexpr int64_t kNullKey = INT64_MIN;
+
+// FNV-1a over the key vector; adequate for grouping hash maps.
+struct KeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t part : key) {
+      uint64_t bits = static_cast<uint64_t>(part);
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (bits >> shift) & 0xFFu;
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+int64_t EncodeCellKey(const Column& column, size_t row) {
+  if (column.IsNull(row)) {
+    return kNullKey;
+  }
+  if (column.type() == ColumnType::kCategorical) {
+    return column.CodeAt(row);
+  }
+  double value = column.NumericAt(row);
+  if (value == 0.0) {
+    value = 0.0;  // normalise -0.0 and +0.0 to the same key
+  }
+  int64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+GroupByResult GroupRows(const Table& table, const std::vector<int>& columns) {
+  std::vector<size_t> all_rows(table.NumRows());
+  for (size_t i = 0; i < all_rows.size(); ++i) {
+    all_rows[i] = i;
+  }
+  return GroupRows(table, columns, all_rows);
+}
+
+GroupByResult GroupRows(const Table& table, const std::vector<int>& columns,
+                        const std::vector<size_t>& rows) {
+  for (int col : columns) {
+    SCODED_CHECK(col >= 0 && static_cast<size_t>(col) < table.NumColumns());
+  }
+  GroupByResult result;
+  result.group_of_row.reserve(rows.size());
+  std::unordered_map<std::vector<int64_t>, size_t, KeyHash> index;
+  std::vector<int64_t> key(columns.size());
+  for (size_t row : rows) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      key[c] = EncodeCellKey(table.column(static_cast<size_t>(columns[c])), row);
+    }
+    auto [it, inserted] = index.emplace(key, result.groups.size());
+    if (inserted) {
+      result.groups.emplace_back();
+      result.keys.push_back(key);
+    }
+    result.groups[it->second].push_back(row);
+    result.group_of_row.push_back(it->second);
+  }
+  return result;
+}
+
+}  // namespace scoded

@@ -1,0 +1,39 @@
+#ifndef SCODED_TABLE_GROUP_BY_H_
+#define SCODED_TABLE_GROUP_BY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace scoded {
+
+/// Encodes one row's value in one column as a comparable 64-bit key:
+/// categorical cells map to their dictionary code, numeric cells to the
+/// bit pattern of the double (exact-equality grouping), nulls to a
+/// reserved sentinel.
+int64_t EncodeCellKey(const Column& column, size_t row);
+
+/// Result of grouping rows by the exact values of a set of columns.
+struct GroupByResult {
+  /// Row indices of each group, in first-appearance order of the group.
+  std::vector<std::vector<size_t>> groups;
+  /// The encoded key of each group (parallel to `groups`), one entry per
+  /// grouping column.
+  std::vector<std::vector<int64_t>> keys;
+  /// For each input row, the index of its group.
+  std::vector<size_t> group_of_row;
+};
+
+/// Groups the rows of `table` by the exact (encoded) values of `columns`.
+/// With an empty column list every row lands in one group.
+GroupByResult GroupRows(const Table& table, const std::vector<int>& columns);
+
+/// Convenience overload operating on a subset of rows; indices in the
+/// result refer to positions in `rows` mapped back to original row ids.
+GroupByResult GroupRows(const Table& table, const std::vector<int>& columns,
+                        const std::vector<size_t>& rows);
+
+}  // namespace scoded
+
+#endif  // SCODED_TABLE_GROUP_BY_H_

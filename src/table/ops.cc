@@ -1,0 +1,139 @@
+#include "table/ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "table/group_by.h"
+
+namespace scoded {
+
+namespace {
+
+// Three-way comparison of two rows in one column; nulls sort first.
+int CompareRows(const Column& column, size_t a, size_t b) {
+  bool null_a = column.IsNull(a);
+  bool null_b = column.IsNull(b);
+  if (null_a || null_b) {
+    return (null_a ? 0 : 1) - (null_b ? 0 : 1);
+  }
+  if (column.type() == ColumnType::kNumeric) {
+    double va = column.NumericAt(a);
+    double vb = column.NumericAt(b);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
+  }
+  return column.CategoryAt(a).compare(column.CategoryAt(b));
+}
+
+}  // namespace
+
+Result<Table> SortBy(const Table& table, const std::vector<SortKey>& keys) {
+  if (keys.empty()) {
+    return InvalidArgumentError("SortBy requires at least one key");
+  }
+  std::vector<std::pair<int, bool>> resolved;
+  for (const SortKey& key : keys) {
+    SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(key.column));
+    resolved.emplace_back(index, key.ascending);
+  }
+  std::vector<size_t> order(table.NumRows());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (const auto& [index, ascending] : resolved) {
+      int cmp = CompareRows(table.column(static_cast<size_t>(index)), a, b);
+      if (cmp != 0) {
+        return ascending ? cmp < 0 : cmp > 0;
+      }
+    }
+    return false;
+  });
+  return table.Gather(order);
+}
+
+Result<std::vector<size_t>> RowsWhereEqual(const Table& table, const std::string& column,
+                                           const std::string& value) {
+  SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(column));
+  const Column& col = table.column(static_cast<size_t>(index));
+  std::vector<size_t> rows;
+  if (col.type() == ColumnType::kCategorical) {
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsNull(i) && col.CategoryAt(i) == value) {
+        rows.push_back(i);
+      }
+    }
+    return rows;
+  }
+  std::optional<double> target = ParseDouble(value);
+  if (!target.has_value()) {
+    return InvalidArgumentError("'" + value + "' is not numeric; column '" + column +
+                                "' is a numeric column");
+  }
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i) && col.NumericAt(i) == *target) {
+      rows.push_back(i);
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<size_t>> RowsWhereBetween(const Table& table, const std::string& column,
+                                             double lo, double hi) {
+  SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(column));
+  const Column& col = table.column(static_cast<size_t>(index));
+  if (col.type() != ColumnType::kNumeric) {
+    return InvalidArgumentError("RowsWhereBetween requires a numeric column");
+  }
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) {
+      double v = col.NumericAt(i);
+      if (v >= lo && v <= hi) {
+        rows.push_back(i);
+      }
+    }
+  }
+  return rows;
+}
+
+Table Head(const Table& table, size_t n) {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < std::min(n, table.NumRows()); ++i) {
+    rows.push_back(i);
+  }
+  return table.Gather(rows);
+}
+
+Table Tail(const Table& table, size_t n) {
+  std::vector<size_t> rows;
+  size_t start = table.NumRows() > n ? table.NumRows() - n : 0;
+  for (size_t i = start; i < table.NumRows(); ++i) {
+    rows.push_back(i);
+  }
+  return table.Gather(rows);
+}
+
+Table Sample(const Table& table, size_t n, Rng& rng) {
+  if (n >= table.NumRows()) {
+    return table;
+  }
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(table.NumRows(), n);
+  std::sort(rows.begin(), rows.end());
+  return table.Gather(rows);
+}
+
+Result<Table> Distinct(const Table& table, const std::vector<std::string>& columns) {
+  std::vector<int> indices;
+  for (const std::string& name : columns) {
+    SCODED_ASSIGN_OR_RETURN(int index, table.ColumnIndex(name));
+    indices.push_back(index);
+  }
+  GroupByResult groups = GroupRows(table, indices);
+  std::vector<size_t> representatives;
+  representatives.reserve(groups.groups.size());
+  for (const std::vector<size_t>& group : groups.groups) {
+    representatives.push_back(group.front());
+  }
+  return table.Project(indices).Gather(representatives);
+}
+
+}  // namespace scoded

@@ -1,0 +1,50 @@
+#ifndef SCODED_TABLE_OPS_H_
+#define SCODED_TABLE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace scoded {
+
+/// Relational convenience operations over Table. All return new tables or
+/// row-id vectors; the input is never mutated.
+
+/// Sort specification for one column.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Stable sort by one or more keys. Numeric columns order by value (nulls
+/// first), categorical columns by category string.
+Result<Table> SortBy(const Table& table, const std::vector<SortKey>& keys);
+
+/// Row ids whose cell in `column` equals `value` (category string for
+/// categorical columns; exact numeric match after parsing for numeric
+/// ones). The workhorse behind per-group analyses like the per-year
+/// Nebraska sweeps.
+Result<std::vector<size_t>> RowsWhereEqual(const Table& table, const std::string& column,
+                                           const std::string& value);
+
+/// Numeric-range selection: rows with lo <= cell <= hi (nulls excluded).
+Result<std::vector<size_t>> RowsWhereBetween(const Table& table, const std::string& column,
+                                             double lo, double hi);
+
+/// First / last n rows.
+Table Head(const Table& table, size_t n);
+Table Tail(const Table& table, size_t n);
+
+/// Uniform random sample of `n` distinct rows (all rows when n exceeds
+/// the table), in ascending row order.
+Table Sample(const Table& table, size_t n, Rng& rng);
+
+/// Distinct combinations of the given columns, in first-appearance order.
+Result<Table> Distinct(const Table& table, const std::vector<std::string>& columns);
+
+}  // namespace scoded
+
+#endif  // SCODED_TABLE_OPS_H_

@@ -1,0 +1,27 @@
+#include "table/schema.h"
+
+#include <sstream>
+
+namespace scoded {
+
+std::optional<int> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << fields_[i].name << ":" << ColumnTypeToString(fields_[i].type);
+  }
+  return os.str();
+}
+
+}  // namespace scoded

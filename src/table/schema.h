@@ -1,0 +1,48 @@
+#ifndef SCODED_TABLE_SCHEMA_H_
+#define SCODED_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace scoded {
+
+/// A named, typed column descriptor.
+struct Field {
+  std::string name;
+  ColumnType type;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// Ordered collection of fields describing a Table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t NumFields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<int> FindField(const std::string& name) const;
+
+  /// Human-readable rendering: "name:type, name:type, ...".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_TABLE_SCHEMA_H_

@@ -1,0 +1,184 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace scoded {
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (schema.NumFields() != columns.size()) {
+    return InvalidArgumentError("schema has " + std::to_string(schema.NumFields()) +
+                                " fields but " + std::to_string(columns.size()) +
+                                " columns were provided");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (schema.field(i).type != columns[i].type()) {
+      return InvalidArgumentError("column '" + schema.field(i).name +
+                                  "' type does not match its schema field");
+    }
+    if (columns[i].size() != columns[0].size()) {
+      return InvalidArgumentError("column '" + schema.field(i).name +
+                                  "' row count differs from the first column");
+    }
+  }
+  return Table(std::move(schema), std::move(columns));
+}
+
+const Column& Table::column(size_t i) const {
+  SCODED_CHECK(i < columns_.size());
+  return columns_[i];
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  std::optional<int> index = schema_.FindField(name);
+  if (!index.has_value()) {
+    return NotFoundError("no column named '" + name + "'");
+  }
+  return *index;
+}
+
+const Column& Table::ColumnByName(const std::string& name) const {
+  std::optional<int> index = schema_.FindField(name);
+  SCODED_CHECK_MSG(index.has_value(), "no column named '" + name + "'");
+  return columns_[static_cast<size_t>(*index)];
+}
+
+Table Table::Gather(const std::vector<size_t>& rows) const {
+  std::vector<Column> gathered;
+  gathered.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    gathered.push_back(col.Gather(rows));
+  }
+  return Table(schema_, std::move(gathered));
+}
+
+Table Table::WithoutRows(const std::vector<size_t>& rows) const {
+  std::vector<bool> drop(NumRows(), false);
+  for (size_t row : rows) {
+    SCODED_DCHECK(row < NumRows());
+    drop[row] = true;
+  }
+  std::vector<size_t> keep;
+  keep.reserve(NumRows());
+  for (size_t i = 0; i < NumRows(); ++i) {
+    if (!drop[i]) {
+      keep.push_back(i);
+    }
+  }
+  return Gather(keep);
+}
+
+Table Table::Project(const std::vector<int>& indices) const {
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  fields.reserve(indices.size());
+  cols.reserve(indices.size());
+  for (int index : indices) {
+    SCODED_CHECK(index >= 0 && static_cast<size_t>(index) < columns_.size());
+    fields.push_back(schema_.field(static_cast<size_t>(index)));
+    cols.push_back(columns_[static_cast<size_t>(index)]);
+  }
+  return Table(Schema(std::move(fields)), std::move(cols));
+}
+
+Result<Table> Table::Concat(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("Concat requires identical schemas; got [" +
+                                a.schema().ToString() + "] vs [" + b.schema().ToString() + "]");
+  }
+  std::vector<Column> columns;
+  columns.reserve(a.NumColumns());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    if (ca.type() == ColumnType::kNumeric) {
+      std::vector<double> values = ca.numeric_values();
+      values.insert(values.end(), cb.numeric_values().begin(), cb.numeric_values().end());
+      columns.push_back(Column::Numeric(std::move(values)));
+    } else {
+      // Merge dictionaries: re-encode b's codes into a's dictionary.
+      std::vector<std::string> dictionary = ca.dictionary();
+      std::unordered_map<std::string, int32_t> index;
+      for (size_t i = 0; i < dictionary.size(); ++i) {
+        index.emplace(dictionary[i], static_cast<int32_t>(i));
+      }
+      std::vector<int32_t> codes = ca.codes();
+      codes.reserve(ca.size() + cb.size());
+      for (size_t i = 0; i < cb.size(); ++i) {
+        int32_t code = cb.codes()[i];
+        if (code < 0) {
+          codes.push_back(-1);
+          continue;
+        }
+        const std::string& category = cb.dictionary()[static_cast<size_t>(code)];
+        auto [it, inserted] = index.emplace(category, static_cast<int32_t>(dictionary.size()));
+        if (inserted) {
+          dictionary.push_back(category);
+        }
+        codes.push_back(it->second);
+      }
+      columns.push_back(Column::CategoricalFromCodes(std::move(codes), std::move(dictionary)));
+    }
+  }
+  return Table(a.schema(), std::move(columns));
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < NumColumns(); ++c) {
+    if (c > 0) {
+      os << "\t";
+    }
+    os << schema_.field(c).name;
+  }
+  os << "\n";
+  size_t rows = std::min(max_rows, NumRows());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < NumColumns(); ++c) {
+      if (c > 0) {
+        os << "\t";
+      }
+      os << columns_[c].ValueToString(r);
+    }
+    os << "\n";
+  }
+  if (rows < NumRows()) {
+    os << "... (" << NumRows() - rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+TableBuilder& TableBuilder::AddNumeric(std::string name, std::vector<double> values) {
+  fields_.push_back(Field{std::move(name), ColumnType::kNumeric});
+  columns_.push_back(Column::Numeric(std::move(values)));
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddNumericWithNulls(std::string name, std::vector<double> values,
+                                                std::vector<bool> valid) {
+  fields_.push_back(Field{std::move(name), ColumnType::kNumeric});
+  columns_.push_back(Column::NumericWithNulls(std::move(values), std::move(valid)));
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddCategorical(std::string name,
+                                           const std::vector<std::string>& values) {
+  fields_.push_back(Field{std::move(name), ColumnType::kCategorical});
+  columns_.push_back(Column::Categorical(values));
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddColumn(std::string name, Column column) {
+  fields_.push_back(Field{std::move(name), column.type()});
+  columns_.push_back(std::move(column));
+  return *this;
+}
+
+Result<Table> TableBuilder::Build() && {
+  return Table::Make(Schema(std::move(fields_)), std::move(columns_));
+}
+
+}  // namespace scoded

@@ -1,0 +1,82 @@
+#ifndef SCODED_TABLE_TABLE_H_
+#define SCODED_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace scoded {
+
+/// An immutable in-memory relation: a schema plus equal-length columns.
+/// This is the substrate every SCODED component (statistics, constraints,
+/// drill-down, baselines) operates on.
+class Table {
+ public:
+  Table() = default;
+
+  /// Validates that `columns` matches `schema` in arity, types, and row
+  /// counts, and builds the table.
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  size_t NumRows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t NumColumns() const { return columns_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  const Column& column(size_t i) const;
+
+  /// Column index by name, or an error naming the missing column.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Column by name; aborts if absent (use ColumnIndex for fallible lookup).
+  const Column& ColumnByName(const std::string& name) const;
+
+  /// New table with only the rows in `rows` (in the given order; indices
+  /// may repeat).
+  Table Gather(const std::vector<size_t>& rows) const;
+
+  /// New table without the rows in `rows` (duplicates tolerated); remaining
+  /// rows keep their relative order.
+  Table WithoutRows(const std::vector<size_t>& rows) const;
+
+  /// New table with only the columns at `indices` (in the given order).
+  Table Project(const std::vector<int>& indices) const;
+
+  /// Vertical concatenation. Schemas must match; categorical dictionaries
+  /// are merged.
+  static Result<Table> Concat(const Table& a, const Table& b);
+
+  /// Pretty-prints up to `max_rows` rows (plus header) for debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Table(Schema schema, std::vector<Column> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+/// Incremental table construction: add named columns, then Build().
+class TableBuilder {
+ public:
+  TableBuilder& AddNumeric(std::string name, std::vector<double> values);
+  TableBuilder& AddNumericWithNulls(std::string name, std::vector<double> values,
+                                    std::vector<bool> valid);
+  TableBuilder& AddCategorical(std::string name, const std::vector<std::string>& values);
+  TableBuilder& AddColumn(std::string name, Column column);
+
+  /// Validates row-count agreement and produces the table.
+  Result<Table> Build() &&;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_TABLE_TABLE_H_

@@ -1,0 +1,308 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/afd.h"
+#include "baselines/dboost.h"
+#include "baselines/dcdetect.h"
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+TEST(DboostGaussianTest, FindsExtremeOutliers) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(rng.Normal(10.0, 1.0));
+  }
+  v.push_back(50.0);  // row 200
+  v.push_back(-40.0);  // row 201
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  Table t = std::move(builder).Build().value();
+  DboostOptions gopt;
+  gopt.model = DboostModel::kGaussian;
+  Dboost detector(gopt);
+  std::vector<size_t> top = detector.Rank(t, 2).value();
+  std::set<size_t> expected = {200, 201};
+  EXPECT_TRUE(expected.count(top[0]));
+  EXPECT_TRUE(expected.count(top[1]));
+}
+
+TEST(DboostGaussianTest, IgnoresCategoricalColumns) {
+  TableBuilder builder;
+  builder.AddCategorical("c", {"a", "b", "a"});
+  Table t = std::move(builder).Build().value();
+  DboostOptions gopt;
+  gopt.model = DboostModel::kGaussian;
+  Dboost detector(gopt);
+  std::vector<double> scores = detector.Scores(t).value();
+  for (double s : scores) {
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(DboostGaussianTest, BlindToImputedMeans) {
+  // The paper's key observation (Sec. 6.3): imputed means look typical, so
+  // dBoost cannot see them.
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(rng.Normal(0.0, 1.0));
+  }
+  v.push_back(0.0);  // the imputed "error" sits at the mean
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  Table t = std::move(builder).Build().value();
+  DboostOptions gopt;
+  gopt.model = DboostModel::kGaussian;
+  Dboost detector(gopt);
+  std::vector<double> scores = detector.Scores(t).value();
+  // The imputed row must be among the *least* suspicious.
+  size_t below = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    below += scores[i] > scores[200] ? 1 : 0;
+  }
+  EXPECT_GT(below, 150u);
+}
+
+TEST(DboostGmmTest, FindsOffModePoints) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 150; ++i) {
+    v.push_back(rng.Normal(-10.0, 0.5));
+  }
+  for (int i = 0; i < 150; ++i) {
+    v.push_back(rng.Normal(10.0, 0.5));
+  }
+  v.push_back(40.0);  // far outside both modes (and any broad background
+                      // component EM may fit): unlikely under the mixture
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  Table t = std::move(builder).Build().value();
+  DboostOptions options;
+  options.model = DboostModel::kGmm;
+  Dboost detector(options);
+  std::vector<size_t> top = detector.Rank(t, 1).value();
+  EXPECT_EQ(top[0], 300u);
+}
+
+TEST(DboostHistogramTest, RareCategoriesScoreHigh) {
+  std::vector<std::string> c(100, "common");
+  c.push_back("rare");
+  TableBuilder builder;
+  builder.AddCategorical("c", c);
+  Table t = std::move(builder).Build().value();
+  DboostOptions hopt;
+  hopt.model = DboostModel::kHistogram;
+  Dboost detector(hopt);
+  std::vector<size_t> top = detector.Rank(t, 1).value();
+  EXPECT_EQ(top[0], 100u);
+}
+
+TEST(DboostHistogramTest, NumericBinning) {
+  std::vector<double> v(100, 5.0);
+  v.push_back(1000.0);
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  Table t = std::move(builder).Build().value();
+  DboostOptions hopt;
+  hopt.model = DboostModel::kHistogram;
+  Dboost detector(hopt);
+  EXPECT_EQ(detector.Rank(t, 1).value()[0], 100u);
+}
+
+TEST(DboostTest, ColumnSubsetRespected) {
+  Rng rng(4);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  a.push_back(0.0);
+  b.push_back(100.0);  // outlier only in the excluded column
+  TableBuilder builder;
+  builder.AddNumeric("a", a);
+  builder.AddNumeric("b", b);
+  Table t = std::move(builder).Build().value();
+  DboostOptions options;
+  options.columns = {"a"};
+  Dboost detector(options);
+  std::vector<double> scores = detector.Scores(t).value();
+  EXPECT_LT(scores[100], 2.0);  // the b-outlier is invisible
+  DboostOptions bad;
+  bad.columns = {"missing"};
+  EXPECT_FALSE(Dboost(bad).Rank(t, 5).ok());
+}
+
+TEST(DboostPairHistogramTest, FlagsRareCombinations) {
+  // Both marginals common, the combination rare: only the pairwise model
+  // can see it.
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(i % 2 == 0 ? "x" : "y");
+    b.push_back(i % 2 == 0 ? "p" : "q");  // perfect pairing x-p / y-q
+  }
+  a.push_back("x");
+  b.push_back("q");  // the rare cross combination, row 100
+  TableBuilder builder;
+  builder.AddCategorical("a", a);
+  builder.AddCategorical("b", b);
+  Table t = std::move(builder).Build().value();
+  DboostOptions pair_options;
+  pair_options.model = DboostModel::kPairHistogram;
+  Dboost pair_detector(pair_options);
+  EXPECT_EQ(pair_detector.Rank(t, 1).value()[0], 100u);
+  // The marginal histogram model cannot distinguish row 100.
+  DboostOptions marginal_options;
+  marginal_options.model = DboostModel::kHistogram;
+  Dboost marginal(marginal_options);
+  std::vector<double> scores = marginal.Scores(t).value();
+  EXPECT_NEAR(scores[100], scores[0], 0.05);
+}
+
+TEST(DboostPairHistogramTest, MixedTypePairs) {
+  Rng rng(11);
+  std::vector<double> v;
+  std::vector<std::string> c;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Normal();
+    v.push_back(x);
+    c.push_back(x > 0 ? "pos" : "neg");
+  }
+  v.push_back(3.0);
+  c.push_back("neg");  // a large value labelled negative: rare joint bin
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  builder.AddCategorical("c", c);
+  Table t = std::move(builder).Build().value();
+  DboostOptions options;
+  options.model = DboostModel::kPairHistogram;
+  Dboost detector(options);
+  std::vector<double> scores = detector.Scores(t).value();
+  size_t above = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    above += scores[i] > scores[200] ? 1 : 0;
+  }
+  EXPECT_LT(above, 20u);  // the planted row is near the top
+}
+
+Table FdTable() {
+  // zip -> city with two dirty rows (4 and 5).
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "1", "2", "1", "2"});
+  builder.AddCategorical("city", {"a", "a", "a", "b", "WRONG", "c"});
+  return std::move(builder).Build().value();
+}
+
+TEST(DcDetectTest, FdShapedConstraintCounts) {
+  DcDetect detector({MakeFdDc("zip", "city")});
+  std::vector<int64_t> counts = detector.ViolationCounts(FdTable()).value();
+  // zip=1 group: {a,a,a,WRONG}: the WRONG row conflicts with 3 others.
+  EXPECT_EQ(counts[4], 3);
+  EXPECT_EQ(counts[0], 1);
+  // zip=2 group: {b, c} conflict with each other.
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[5], 1);
+  EXPECT_EQ(detector.Rank(FdTable(), 1).value()[0], 4u);
+}
+
+TEST(DcDetectTest, FastPathMatchesGenericPath) {
+  // The same FD expressed in a 3-predicate (generic) form must give the
+  // same counts as the recognised 2-predicate fast path.
+  DenialConstraint generic;
+  generic.predicates.push_back({0, "zip", CompareOp::kEq, 1, "zip"});
+  generic.predicates.push_back({0, "city", CompareOp::kNeq, 1, "city"});
+  generic.predicates.push_back({0, "zip", CompareOp::kEq, 1, "zip"});  // redundant
+  DcDetect fast({MakeFdDc("zip", "city")});
+  DcDetect slow({generic});
+  EXPECT_EQ(fast.ViolationCounts(FdTable()).value(), slow.ViolationCounts(FdTable()).value());
+}
+
+TEST(DcDetectTest, OrderDcOnNumericColumns) {
+  // DC: not(t0.a > t1.a and t0.b <= t1.b) — i.e. a and b must sort together.
+  TableBuilder builder;
+  builder.AddNumeric("a", {1, 2, 3, 4});
+  builder.AddNumeric("b", {10, 20, 5, 40});  // row 2 breaks the order
+  Table t = std::move(builder).Build().value();
+  DcDetect detector({MakeOrderDc("a", "b")});
+  std::vector<int64_t> counts = detector.ViolationCounts(t).value();
+  // Row 2 (a=3, b=5) conflicts with rows 0 and 1 (larger a, smaller b)
+  // but not with row 3 (both larger).
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(detector.Rank(t, 1).value()[0], 2u);
+}
+
+TEST(DcDetectTest, ConditionalOrderDc) {
+  TableBuilder builder;
+  builder.AddCategorical("g", {"x", "x", "y", "y"});
+  builder.AddNumeric("a", {1, 2, 1, 2});
+  builder.AddNumeric("b", {10, 5, 10, 20});
+  Table t = std::move(builder).Build().value();
+  DcDetect detector({MakeConditionalOrderDc("g", "a", "b")});
+  std::vector<int64_t> counts = detector.ViolationCounts(t).value();
+  // Only the first group violates (a up, b down).
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(DcDetectHcTest, SingleConstraintMatchesDcDetectOrdering) {
+  // Fig. 9(a): with one constraint the holistic layer adds nothing.
+  Table t = FdTable();
+  std::vector<size_t> plain = DcDetect({MakeFdDc("zip", "city")}).Rank(t, 6).value();
+  std::vector<size_t> holistic = DcDetectHc({MakeFdDc("zip", "city")}).Rank(t, 6).value();
+  EXPECT_EQ(plain[0], holistic[0]);
+}
+
+TEST(DcDetectHcTest, CorroborationBoostsMultiConstraintRecords) {
+  // Row 0 violates two constraints weakly; row 4 violates one strongly.
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "2", "2", "3", "3", "3", "3"});
+  builder.AddCategorical("city", {"BAD", "a", "b", "b", "c", "c", "c", "X"});
+  builder.AddCategorical("state", {"BAD", "s1", "s2", "s2", "s3", "s3", "s3", "s3"});
+  Table t = std::move(builder).Build().value();
+  DcDetectHc hc({MakeFdDc("zip", "city"), MakeFdDc("zip", "state")});
+  std::vector<size_t> ranking = hc.Rank(t, 8).value();
+  EXPECT_EQ(ranking[0], 0u);  // two corroborating constraints outrank one
+}
+
+TEST(AfdTest, RanksRhsViolatorsAndMissesLhsTypos) {
+  // zip "9X" is a typo'd LHS value: a singleton group with no violations.
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "1", "1", "9X"});
+  builder.AddCategorical("city", {"a", "a", "a", "WRONG", "a"});
+  Table t = std::move(builder).Build().value();
+  AfdDetector detector({{{"zip"}, {"city"}}});
+  std::vector<int64_t> counts = detector.ViolationCounts(t).value();
+  EXPECT_EQ(counts[3], 3);  // RHS typo conflicts with 3 rows
+  EXPECT_EQ(counts[4], 0);  // LHS typo is invisible to AFD
+  EXPECT_EQ(detector.Rank(t, 1).value()[0], 3u);
+}
+
+TEST(AfdTest, MultipleFdsSum) {
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "1"});
+  builder.AddCategorical("city", {"a", "a", "B"});
+  builder.AddCategorical("state", {"s", "s", "T"});
+  Table t = std::move(builder).Build().value();
+  AfdDetector detector({{{"zip"}, {"city"}}, {{"zip"}, {"state"}}});
+  std::vector<int64_t> counts = detector.ViolationCounts(t).value();
+  EXPECT_EQ(counts[2], 4);  // 2 violations per FD
+  EXPECT_EQ(counts[0], 2);
+}
+
+TEST(AfdTest, UnknownColumnErrors) {
+  Table t = FdTable();
+  AfdDetector detector({{{"nope"}, {"city"}}});
+  EXPECT_FALSE(detector.Rank(t, 3).ok());
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,50 @@
+// Death tests: programming-error guards must abort loudly rather than
+// corrupt state.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/result.h"
+#include "stats/segment_tree.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SCODED_CHECK(1 == 2); }, "CHECK failed");
+  EXPECT_DEATH({ SCODED_CHECK_MSG(false, "context message"); }, "context message");
+}
+
+TEST(CheckDeathTest, CheckSuccessIsSilent) {
+  SCODED_CHECK(true);
+  SCODED_CHECK_MSG(1 + 1 == 2, "never shown");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(NotFoundError("nothing here"));
+  EXPECT_DEATH({ (void)r.value(); }, "nothing here");
+}
+
+TEST(SegmentTreeDeathTest, OutOfRangeAddAborts) {
+  SegmentTree tree(4);
+  EXPECT_DEATH(tree.Add(4, 1), "CHECK failed");
+}
+
+TEST(TableDeathTest, BadColumnIndexAborts) {
+  TableBuilder builder;
+  builder.AddNumeric("a", {1.0});
+  Table t = std::move(builder).Build().value();
+  EXPECT_DEATH((void)t.column(3), "CHECK failed");
+  EXPECT_DEATH((void)t.ColumnByName("missing"), "no column named");
+}
+
+TEST(ColumnDeathTest, TypeMismatchAborts) {
+  Column numeric = Column::Numeric({1.0});
+  EXPECT_DEATH((void)numeric.CodeAt(0), "CHECK failed");
+  Column categorical = Column::Categorical({"a"});
+  EXPECT_DEATH((void)categorical.NumericAt(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,151 @@
+#include "common/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scoded {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Γ(1/2) = √π.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  // Γ(3/2) = √π / 2.
+  EXPECT_NEAR(LogGamma(1.5), 0.5 * std::log(M_PI) - std::log(2.0), 1e-12);
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e8), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 0.7, 1.0, 3.0, 10.0, 80.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquaredTest, KnownCriticalValues) {
+  // Classic critical points of the χ² distribution.
+  EXPECT_NEAR(ChiSquaredSf(3.841458820694124, 1.0), 0.05, 1e-9);
+  EXPECT_NEAR(ChiSquaredSf(5.991464547107979, 2.0), 0.05, 1e-9);
+  EXPECT_NEAR(ChiSquaredSf(6.634896601021213, 1.0), 0.01, 1e-9);
+  EXPECT_NEAR(ChiSquaredSf(18.307038053275146, 10.0), 0.05, 1e-9);
+}
+
+TEST(ChiSquaredTest, CdfSfComplementarity) {
+  for (double dof : {1.0, 3.0, 7.0, 20.0}) {
+    for (double x : {0.5, 2.0, 8.0, 30.0}) {
+      EXPECT_NEAR(ChiSquaredCdf(x, dof) + ChiSquaredSf(x, dof), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquaredTest, NegativeStatisticIsFullTail) {
+  EXPECT_DOUBLE_EQ(ChiSquaredSf(-1.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 3.0), 0.0);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(NormalSf(1.6448536269514722), 0.05, 1e-12);
+}
+
+TEST(NormalTest, TwoSidedTail) {
+  EXPECT_NEAR(NormalTwoSidedP(1.959963984540054), 0.05, 1e-12);
+  EXPECT_NEAR(NormalTwoSidedP(-1.959963984540054), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalTwoSidedP(0.0), 1.0);
+}
+
+TEST(NormalTest, QuantileRoundTrip) {
+  for (double p : {0.001, 0.01, 0.05, 0.3, 0.5, 0.7, 0.95, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, PdfIntegratesToDensityShape) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_DOUBLE_EQ(NormalPdf(3.0), NormalPdf(-3.0));
+}
+
+TEST(IncompleteBetaTest, SymmetryAndBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.1, 0.35, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 5.0, x),
+                1.0 - RegularizedIncompleteBeta(5.0, 2.0, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  // Two-sided 5% critical values: t(10) = 2.228..., t(30) = 2.042...
+  EXPECT_NEAR(StudentTTwoSidedP(2.2281388519649385, 10.0), 0.05, 1e-9);
+  EXPECT_NEAR(StudentTTwoSidedP(2.042272456301238, 30.0), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedP(0.0, 5.0), 1.0);
+}
+
+TEST(Log2SafeTest, ZeroMapsToZero) {
+  EXPECT_DOUBLE_EQ(Log2Safe(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Safe(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Safe(8.0), 3.0);
+}
+
+TEST(BinomialCoefficientTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 7), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(7, -1), 0.0);
+  EXPECT_NEAR(BinomialCoefficient(50, 25), 126410606437752.0, 126410606437752.0 * 1e-10);
+}
+
+// Property sweep: the χ² mean equals its dof (checked through the CDF
+// median bracket: CDF at the mean must be above CDF at dof/2).
+class ChiSquaredMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChiSquaredMonotoneTest, CdfMonotoneInX) {
+  double dof = GetParam();
+  double prev = -1.0;
+  for (double x = 0.0; x <= 40.0; x += 0.5) {
+    double cdf = ChiSquaredCdf(x, dof);
+    EXPECT_GE(cdf, prev);
+    EXPECT_GE(cdf, 0.0);
+    EXPECT_LE(cdf, 1.0);
+    prev = cdf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dofs, ChiSquaredMonotoneTest,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 10.0, 25.0));
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,140 @@
+#include "stats/contingency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+ContingencyTable Make2x2(int64_t a, int64_t b, int64_t c, int64_t d) {
+  std::vector<int32_t> x;
+  std::vector<int32_t> y;
+  auto push = [&](int32_t xv, int32_t yv, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      x.push_back(xv);
+      y.push_back(yv);
+    }
+  };
+  push(0, 0, a);
+  push(0, 1, b);
+  push(1, 0, c);
+  push(1, 1, d);
+  return ContingencyTable(x, y, 2, 2);
+}
+
+TEST(ContingencyTest, CountsAndMarginals) {
+  ContingencyTable ct = Make2x2(10, 20, 30, 40);
+  EXPECT_EQ(ct.total(), 100);
+  EXPECT_EQ(ct.Count(0, 1), 20);
+  EXPECT_EQ(ct.RowMarginal(0), 30);
+  EXPECT_EQ(ct.ColMarginal(1), 60);
+  EXPECT_DOUBLE_EQ(ct.ExpectedCount(0, 0), 30.0 * 40.0 / 100.0);
+}
+
+TEST(ContingencyTest, NullCodesSkipped) {
+  ContingencyTable ct({0, -1, 1}, {0, 0, -1}, 2, 2);
+  EXPECT_EQ(ct.total(), 1);
+}
+
+TEST(ContingencyTest, IndependentTableHasZeroMi) {
+  // Perfectly independent: joint = product of marginals.
+  ContingencyTable ct = Make2x2(20, 20, 30, 30);
+  EXPECT_NEAR(ct.MutualInformationBits(), 0.0, 1e-12);
+  EXPECT_NEAR(ct.GStatistic(), 0.0, 1e-9);
+  EXPECT_NEAR(ct.CramersV(), 0.0, 1e-9);
+}
+
+TEST(ContingencyTest, PerfectDependenceMi) {
+  // Diagonal table: X determines Y. I(X;Y) = H(X) = 1 bit for a 50/50 split.
+  ContingencyTable ct = Make2x2(50, 0, 0, 50);
+  EXPECT_NEAR(ct.MutualInformationBits(), 1.0, 1e-12);
+  EXPECT_NEAR(ct.GStatistic(), 2.0 * 100.0 * std::log(2.0), 1e-9);
+  EXPECT_NEAR(ct.CramersV(), 1.0, 1e-12);
+}
+
+TEST(ContingencyTest, GMatchesHandComputation) {
+  // 2x2 table [[10, 20], [20, 10]]: G = 2 Σ O ln(O/E) with E = 15 each.
+  ContingencyTable ct = Make2x2(10, 20, 20, 10);
+  double expected = 2.0 * (10.0 * std::log(10.0 / 15.0) + 20.0 * std::log(20.0 / 15.0) +
+                           20.0 * std::log(20.0 / 15.0) + 10.0 * std::log(10.0 / 15.0));
+  EXPECT_NEAR(ct.GStatistic(), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(ct.Dof(), 1.0);
+}
+
+TEST(ContingencyTest, ChiSquaredMatchesHandComputation) {
+  ContingencyTable ct = Make2x2(10, 20, 20, 10);
+  // Each cell deviates by 5 from its expectation of 15.
+  EXPECT_NEAR(ct.ChiSquaredStatistic(), 4.0 * 25.0 / 15.0, 1e-12);
+}
+
+TEST(ContingencyTest, GAndChiSquaredCloseForMildDependence) {
+  ContingencyTable ct = Make2x2(26, 24, 22, 28);
+  EXPECT_NEAR(ct.GStatistic(), ct.ChiSquaredStatistic(), 0.05);
+}
+
+TEST(ContingencyTest, DofIgnoresEmptyCategories) {
+  // Third x category never appears.
+  ContingencyTable ct({0, 0, 1, 1}, {0, 1, 0, 1}, 3, 2);
+  EXPECT_DOUBLE_EQ(ct.Dof(), 1.0);
+}
+
+TEST(ContingencyTest, AdjustKeepsStateConsistent) {
+  ContingencyTable ct = Make2x2(10, 20, 30, 40);
+  double g_before = ct.GStatistic();
+  ct.Adjust(0, 0, -1);
+  EXPECT_EQ(ct.total(), 99);
+  EXPECT_EQ(ct.RowMarginal(0), 29);
+  EXPECT_EQ(ct.ColMarginal(0), 39);
+  ct.Adjust(0, 0, 1);
+  EXPECT_NEAR(ct.GStatistic(), g_before, 1e-12);
+}
+
+TEST(ContingencyTest, MinExpectedCount) {
+  ContingencyTable ct = Make2x2(1, 9, 9, 81);
+  EXPECT_NEAR(ct.MinExpectedCount(), 10.0 * 10.0 / 100.0, 1e-12);
+}
+
+TEST(ContingencyTest, FromColumnsRespectsRowSubset) {
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "a", "b", "b"});
+  builder.AddCategorical("y", {"p", "q", "p", "q"});
+  Table t = std::move(builder).Build().value();
+  ContingencyTable ct = ContingencyTable::FromColumns(t.column(0), t.column(1), {0, 1});
+  EXPECT_EQ(ct.total(), 2);
+  EXPECT_EQ(ct.Count(0, 0), 1);
+  EXPECT_EQ(ct.Count(1, 0), 0);
+}
+
+TEST(GenericMiTest, MatchesContingencyForPairs) {
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "a", "b", "b", "a", "b"});
+  builder.AddCategorical("y", {"p", "q", "p", "q", "p", "q"});
+  Table t = std::move(builder).Build().value();
+  std::vector<size_t> all = {0, 1, 2, 3, 4, 5};
+  ContingencyTable ct = ContingencyTable::FromColumns(t.column(0), t.column(1), all);
+  EXPECT_NEAR(MutualInformationBits(t, {0}, {1}), ct.MutualInformationBits(), 1e-12);
+}
+
+TEST(GenericMiTest, FunctionalDependenceGivesEntropy) {
+  // y = f(x): I(X;Y) = H(Y).
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "b", "c", "a", "b", "c"});
+  builder.AddCategorical("y", {"p", "q", "q", "p", "q", "q"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_NEAR(MutualInformationBits(t, {0}, {1}), EntropyBits(t, {1}), 1e-12);
+}
+
+TEST(EntropyTest, UniformAndConstant) {
+  TableBuilder builder;
+  builder.AddCategorical("u", {"a", "b", "c", "d"});
+  builder.AddCategorical("k", {"z", "z", "z", "z"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_NEAR(EntropyBits(t, {0}), 2.0, 1e-12);
+  EXPECT_NEAR(EntropyBits(t, {1}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scoded

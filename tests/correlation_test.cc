@@ -1,0 +1,81 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scoded {
+namespace {
+
+TEST(PearsonTest, PerfectLinear) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computable: x={1,2,3}, y={1,3,2} -> r = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(PearsonTest, PValueSmallForStrongCorrelation) {
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(2.0 * v + rng.Normal(0.0, 0.1));
+  }
+  double rho = PearsonCorrelation(x, y);
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(PearsonPValue(rho, x.size()), 1e-6);
+}
+
+TEST(PearsonTest, PValueLargeForIndependent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  double rho = PearsonCorrelation(x, y);
+  EXPECT_GT(PearsonPValue(rho, x.size()), 0.01);
+}
+
+TEST(PearsonTest, PValueEdgeCases) {
+  EXPECT_DOUBLE_EQ(PearsonPValue(0.5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PearsonPValue(1.0, 10), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  // y = x³ is monotone: Spearman = 1 even though Pearson < 1 on skewed x.
+  std::vector<double> x = {1, 2, 3, 4, 5, 10};
+  std::vector<double> y;
+  for (double v : x) {
+    y.push_back(v * v * v);
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandlesTiesViaMidranks) {
+  double rho = SpearmanCorrelation({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(SpearmanTest, SymmetricInArguments) {
+  std::vector<double> x = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<double> y = {2, 7, 1, 8, 2, 8, 1, 8};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), SpearmanCorrelation(y, x), 1e-12);
+}
+
+}  // namespace
+}  // namespace scoded

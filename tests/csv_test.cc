@@ -1,0 +1,109 @@
+#include "table/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace scoded::csv {
+namespace {
+
+TEST(CsvReadTest, BasicTypesInferred) {
+  Table t = ReadString("name,age\nalice,30\nbob,25\n").value();
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.schema().field(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(t.schema().field(1).type, ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ(t.ColumnByName("age").NumericAt(0), 30.0);
+  EXPECT_EQ(t.ColumnByName("name").CategoryAt(1), "bob");
+}
+
+TEST(CsvReadTest, EmptyCellsBecomeNulls) {
+  Table t = ReadString("a,b\n1,x\n,y\n3,\n").value();
+  EXPECT_TRUE(t.ColumnByName("a").IsNull(1));
+  EXPECT_TRUE(t.ColumnByName("b").IsNull(2));
+  EXPECT_EQ(t.ColumnByName("a").NullCount(), 1u);
+}
+
+TEST(CsvReadTest, MixedColumnFallsBackToCategorical) {
+  Table t = ReadString("v\n1\ntwo\n3\n").value();
+  EXPECT_EQ(t.schema().field(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(t.column(0).CategoryAt(1), "two");
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesColumnNames) {
+  ReadOptions options;
+  options.has_header = false;
+  Table t = ReadString("1,2\n3,4\n", options).value();
+  EXPECT_EQ(t.schema().field(0).name, "c0");
+  EXPECT_EQ(t.schema().field(1).name, "c1");
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndEscapes) {
+  Table t = ReadString("a,b\n\"x,y\",\"say \"\"hi\"\"\"\n").value();
+  EXPECT_EQ(t.column(0).CategoryAt(0), "x,y");
+  EXPECT_EQ(t.column(1).CategoryAt(0), "say \"hi\"");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  Table t = ReadString("a\r\n1\r\n2\r\n").value();
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(0).NumericAt(1), 2.0);
+}
+
+TEST(CsvReadTest, RaggedRowIsError) {
+  Result<Table> r = ReadString("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadString("").ok());
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  ReadOptions options;
+  options.delimiter = ';';
+  Table t = ReadString("a;b\n1;2\n", options).value();
+  EXPECT_EQ(t.NumColumns(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(1).NumericAt(0), 2.0);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Table t = ReadString("name,score\nann,1.5\n\"b,c\",2\n").value();
+  std::string text = WriteString(t);
+  Table back = ReadString(text).value();
+  EXPECT_EQ(back.NumRows(), t.NumRows());
+  EXPECT_EQ(back.ColumnByName("name").CategoryAt(1), "b,c");
+  EXPECT_DOUBLE_EQ(back.ColumnByName("score").NumericAt(0), 1.5);
+}
+
+TEST(CsvWriteTest, NullsRenderEmpty) {
+  Table t = ReadString("a,b\n1,x\n,y\n2,z\n").value();
+  std::string text = WriteString(t);
+  EXPECT_EQ(text, "a,b\n1,x\n,y\n2,z\n");
+}
+
+TEST(CsvReadTest, BlankLinesAreSkipped) {
+  Table t = ReadString("a\n1\n\n2\n").value();
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/scoded_csv_test.csv";
+  Table t = ReadString("x,y\n1,a\n2,b\n").value();
+  ASSERT_TRUE(WriteFile(t, path).ok());
+  Table back = ReadFile(path).value();
+  EXPECT_EQ(back.NumRows(), 2u);
+  EXPECT_EQ(back.ColumnByName("y").CategoryAt(1), "b");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  Result<Table> r = ReadFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace scoded::csv

@@ -1,0 +1,125 @@
+#include "discovery/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace scoded {
+namespace {
+
+Dag ChainAbc() {
+  // A -> B -> C.
+  Dag dag({"A", "B", "C"});
+  EXPECT_TRUE(dag.AddEdge("A", "B").ok());
+  EXPECT_TRUE(dag.AddEdge("B", "C").ok());
+  return dag;
+}
+
+TEST(DagTest, EdgeBookkeeping) {
+  Dag dag = ChainAbc();
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+  EXPECT_EQ(dag.Parents(2), (std::vector<int>{1}));
+  EXPECT_EQ(dag.Children(0), (std::vector<int>{1}));
+}
+
+TEST(DagTest, RejectsSelfLoopsDuplicatesAndCycles) {
+  Dag dag = ChainAbc();
+  EXPECT_EQ(dag.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dag.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dag.AddEdge(2, 0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(dag.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(dag.NodeIndex("missing").ok());
+}
+
+TEST(DSeparationTest, ChainBlockedByMiddle) {
+  Dag dag = ChainAbc();
+  EXPECT_FALSE(dag.DSeparated({0}, {2}, {}));   // A -> B -> C active
+  EXPECT_TRUE(dag.DSeparated({0}, {2}, {1}));   // blocked by B
+}
+
+TEST(DSeparationTest, ForkBlockedByParent) {
+  // B <- A -> C.
+  Dag dag({"A", "B", "C"});
+  ASSERT_TRUE(dag.AddEdge("A", "B").ok());
+  ASSERT_TRUE(dag.AddEdge("A", "C").ok());
+  EXPECT_FALSE(dag.DSeparated({1}, {2}, {}));
+  EXPECT_TRUE(dag.DSeparated({1}, {2}, {0}));
+}
+
+TEST(DSeparationTest, ColliderOpensWhenConditioned) {
+  // A -> C <- B.
+  Dag dag({"A", "B", "C"});
+  ASSERT_TRUE(dag.AddEdge("A", "C").ok());
+  ASSERT_TRUE(dag.AddEdge("B", "C").ok());
+  EXPECT_TRUE(dag.DSeparated({0}, {1}, {}));    // collider blocks
+  EXPECT_FALSE(dag.DSeparated({0}, {1}, {2}));  // conditioning opens it
+}
+
+TEST(DSeparationTest, ColliderDescendantAlsoOpens) {
+  // A -> C <- B, C -> D: conditioning on D (a descendant of the collider)
+  // activates the path.
+  Dag dag({"A", "B", "C", "D"});
+  ASSERT_TRUE(dag.AddEdge("A", "C").ok());
+  ASSERT_TRUE(dag.AddEdge("B", "C").ok());
+  ASSERT_TRUE(dag.AddEdge("C", "D").ok());
+  EXPECT_TRUE(dag.DSeparated({0}, {1}, {}));
+  EXPECT_FALSE(dag.DSeparated({0}, {1}, {3}));
+}
+
+TEST(DSeparationTest, PaperCarExample) {
+  // Figure 1(b): Model -> Color? The paper's network has edges among
+  // Model, Color, Price, Fuel with Color ⊥ Price | Model. Encode
+  // Color <- Model -> Price -> Fuel.
+  Dag dag({"Model", "Color", "Price", "Fuel"});
+  ASSERT_TRUE(dag.AddEdge("Model", "Color").ok());
+  ASSERT_TRUE(dag.AddEdge("Model", "Price").ok());
+  ASSERT_TRUE(dag.AddEdge("Price", "Fuel").ok());
+  int model = dag.NodeIndex("Model").value();
+  int color = dag.NodeIndex("Color").value();
+  int price = dag.NodeIndex("Price").value();
+  int fuel = dag.NodeIndex("Fuel").value();
+  EXPECT_FALSE(dag.DSeparated({color}, {price}, {}));
+  EXPECT_TRUE(dag.DSeparated({color}, {price}, {model}));
+  EXPECT_TRUE(dag.DSeparated({color}, {fuel}, {model}));
+  EXPECT_FALSE(dag.DSeparated({model}, {fuel}, {}));
+  EXPECT_TRUE(dag.DSeparated({model}, {fuel}, {price}));
+}
+
+TEST(DSeparationTest, SetArguments) {
+  // A -> B, A -> C, D isolated.
+  Dag dag({"A", "B", "C", "D"});
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  EXPECT_TRUE(dag.DSeparated({1, 2}, {3}, {}));
+  EXPECT_FALSE(dag.DSeparated({1, 2}, {0}, {}));
+  EXPECT_TRUE(dag.DSeparated({1}, {2, 3}, {0}));
+}
+
+TEST(ImpliedIndependenciesTest, ChainYieldsExpectedScs) {
+  Dag dag = ChainAbc();
+  std::vector<StatisticalConstraint> scs = dag.ImpliedIndependencies(1);
+  // Expect A ⊥ C | B among them, and no unconditional A ⊥ C.
+  bool found_conditional = false;
+  bool found_marginal = false;
+  for (const StatisticalConstraint& sc : scs) {
+    if (sc.x == std::vector<std::string>{"A"} && sc.y == std::vector<std::string>{"C"}) {
+      if (sc.z == std::vector<std::string>{"B"}) {
+        found_conditional = true;
+      }
+      if (sc.z.empty()) {
+        found_marginal = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_conditional);
+  EXPECT_FALSE(found_marginal);
+}
+
+TEST(ImpliedIndependenciesTest, IsolatedNodeIndependentOfEverything) {
+  Dag dag({"A", "B"});
+  std::vector<StatisticalConstraint> scs = dag.ImpliedIndependencies(0);
+  ASSERT_EQ(scs.size(), 1u);
+  EXPECT_EQ(scs[0], Independence({"A"}, {"B"}));
+}
+
+}  // namespace
+}  // namespace scoded

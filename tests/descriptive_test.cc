@@ -1,0 +1,76 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+Table SampleTable() {
+  TableBuilder builder;
+  builder.AddNumericWithNulls("v", {1.0, 2.0, 3.0, 4.0, 0.0}, {true, true, true, true, false});
+  builder.AddCategorical("c", {"a", "b", "a", "a", "c"});
+  return std::move(builder).Build().value();
+}
+
+TEST(DescribeColumnTest, NumericMoments) {
+  ColumnSummary s = DescribeColumn(SampleTable(), 0);
+  EXPECT_EQ(s.name, "v");
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.nulls, 1u);
+  EXPECT_EQ(s.distinct, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q25, 1.75);
+  EXPECT_DOUBLE_EQ(s.q75, 3.25);
+}
+
+TEST(DescribeColumnTest, CategoricalMode) {
+  ColumnSummary s = DescribeColumn(SampleTable(), 1);
+  EXPECT_EQ(s.type, ColumnType::kCategorical);
+  EXPECT_EQ(s.distinct, 3u);
+  EXPECT_EQ(s.mode, "a");
+  EXPECT_EQ(s.mode_count, 3u);
+}
+
+TEST(DescribeColumnTest, ConstantColumn) {
+  TableBuilder builder;
+  builder.AddNumeric("k", {7.0, 7.0, 7.0});
+  Table t = std::move(builder).Build().value();
+  ColumnSummary s = DescribeColumn(t, 0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.distinct, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(DescribeColumnTest, AllNullNumeric) {
+  TableBuilder builder;
+  builder.AddNumericWithNulls("n", {0.0, 0.0}, {false, false});
+  Table t = std::move(builder).Build().value();
+  ColumnSummary s = DescribeColumn(t, 0);
+  EXPECT_EQ(s.nulls, 2u);
+  EXPECT_EQ(s.distinct, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(DescribeTableTest, CoversAllColumns) {
+  std::vector<ColumnSummary> all = DescribeTable(SampleTable());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "v");
+  EXPECT_EQ(all[1].name, "c");
+}
+
+TEST(DescribeTableTest, TextRenderingContainsNamesAndMode) {
+  std::string text = DescribeTableText(SampleTable());
+  EXPECT_NE(text.find("v"), std::string::npos);
+  EXPECT_NE(text.find("a (3)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,158 @@
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "discovery/association.h"
+#include "discovery/chow_liu.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+// x -> y chain plus an independent column z.
+Table ChainTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  for (size_t i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v + rng.Normal(0.0, 0.4));
+    z.push_back(rng.Normal());
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  builder.AddNumeric("z", z);
+  return std::move(builder).Build().value();
+}
+
+TEST(AssociationMatrixTest, StrengthsReflectStructure) {
+  AssociationMatrix matrix = AssociationMatrix::Compute(ChainTable(400, 1)).value();
+  EXPECT_EQ(matrix.NumColumns(), 3u);
+  EXPECT_GT(matrix.entry(0, 1).strength, 0.5);
+  EXPECT_LT(matrix.entry(0, 2).strength, 0.2);
+  EXPECT_LT(matrix.entry(0, 1).p_value, 1e-10);
+  EXPECT_GT(matrix.entry(0, 2).p_value, 0.001);
+}
+
+TEST(AssociationMatrixTest, Symmetry) {
+  AssociationMatrix matrix = AssociationMatrix::Compute(ChainTable(200, 2)).value();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix.entry(i, j).strength, matrix.entry(j, i).strength);
+      EXPECT_DOUBLE_EQ(matrix.entry(i, j).p_value, matrix.entry(j, i).p_value);
+    }
+  }
+  EXPECT_DOUBLE_EQ(matrix.entry(1, 1).strength, 0.0);
+}
+
+TEST(AssociationMatrixTest, MixedTypesUseGTest) {
+  Rng rng(3);
+  std::vector<double> v;
+  std::vector<std::string> c;
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.Normal();
+    v.push_back(x);
+    c.push_back(x > 0 ? "pos" : "neg");
+  }
+  TableBuilder builder;
+  builder.AddNumeric("v", v);
+  builder.AddCategorical("c", c);
+  Table t = std::move(builder).Build().value();
+  AssociationMatrix matrix = AssociationMatrix::Compute(t).value();
+  EXPECT_EQ(matrix.entry(0, 1).method, TestMethod::kGTest);
+  EXPECT_LT(matrix.entry(0, 1).p_value, 1e-10);
+}
+
+TEST(AssociationMatrixTest, SuggestionsSplitByPValue) {
+  AssociationMatrix matrix = AssociationMatrix::Compute(ChainTable(400, 4)).value();
+  std::vector<StatisticalConstraint> suggestions = matrix.SuggestConstraints(0.01, 0.2);
+  bool suggested_dependence = false;
+  bool suggested_independence = false;
+  for (const StatisticalConstraint& sc : suggestions) {
+    if (sc.x == std::vector<std::string>{"x"} && sc.y == std::vector<std::string>{"y"}) {
+      EXPECT_EQ(sc.kind, ScKind::kDependence);
+      suggested_dependence = true;
+    }
+    if (sc.y == std::vector<std::string>{"z"} || sc.x == std::vector<std::string>{"z"}) {
+      if (sc.kind == ScKind::kIndependence) {
+        suggested_independence = true;
+      }
+    }
+  }
+  EXPECT_TRUE(suggested_dependence);
+  EXPECT_TRUE(suggested_independence);
+}
+
+TEST(AssociationMatrixTest, ToTextContainsColumnNames) {
+  AssociationMatrix matrix = AssociationMatrix::Compute(ChainTable(100, 5)).value();
+  std::string text = matrix.ToText();
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("z"), std::string::npos);
+}
+
+TEST(PairwiseMiTest, HigherForDependentPair) {
+  Table t = ChainTable(500, 6);
+  double mi_xy = PairwiseMutualInformationBits(t, 0, 1).value();
+  double mi_xz = PairwiseMutualInformationBits(t, 0, 2).value();
+  EXPECT_GT(mi_xy, mi_xz + 0.1);
+  EXPECT_FALSE(PairwiseMutualInformationBits(t, 0, 9).ok());
+}
+
+TEST(ChowLiuTest, RecoversChainSkeleton) {
+  // w -> x -> y -> z generated as a Markov chain: the MI-maximal tree must
+  // connect consecutive variables.
+  Rng rng(7);
+  std::vector<double> w;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+  for (int i = 0; i < 800; ++i) {
+    double a = rng.Normal();
+    double b = a + rng.Normal(0.0, 0.5);
+    double c = b + rng.Normal(0.0, 0.5);
+    double d = c + rng.Normal(0.0, 0.5);
+    w.push_back(a);
+    x.push_back(b);
+    y.push_back(c);
+    z.push_back(d);
+  }
+  TableBuilder builder;
+  builder.AddNumeric("w", w);
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  builder.AddNumeric("z", z);
+  Table t = std::move(builder).Build().value();
+  Dag tree = LearnChowLiuTree(t, 0).value();
+  auto connected = [&](const std::string& a, const std::string& b) {
+    int ia = tree.NodeIndex(a).value();
+    int ib = tree.NodeIndex(b).value();
+    return tree.HasEdge(ia, ib) || tree.HasEdge(ib, ia);
+  };
+  EXPECT_TRUE(connected("w", "x"));
+  EXPECT_TRUE(connected("x", "y"));
+  EXPECT_TRUE(connected("y", "z"));
+  EXPECT_FALSE(connected("w", "z"));
+}
+
+TEST(ChowLiuTest, TreeHasNMinusOneEdges) {
+  Table t = ChainTable(300, 8);
+  Dag tree = LearnChowLiuTree(t, 0).value();
+  size_t edges = 0;
+  for (size_t v = 0; v < tree.NumNodes(); ++v) {
+    edges += tree.Children(static_cast<int>(v)).size();
+  }
+  EXPECT_EQ(edges, tree.NumNodes() - 1);
+}
+
+TEST(ChowLiuTest, InvalidArguments) {
+  Table t = ChainTable(50, 9);
+  EXPECT_FALSE(LearnChowLiuTree(t, 99).ok());
+}
+
+}  // namespace
+}  // namespace scoded

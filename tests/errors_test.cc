@@ -1,0 +1,186 @@
+#include "datasets/errors.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scoded {
+namespace {
+
+Table NumericTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(rng.Normal(10.0, 3.0));
+    b.push_back(rng.Normal(0.0, 1.0));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("A", a);
+  builder.AddNumeric("B", b);
+  return std::move(builder).Build().value();
+}
+
+TEST(SortingErrorTest, OnlySelectedRowsChangeAndMultisetPreserved) {
+  Table t = NumericTable(200, 1);
+  InjectionOptions options;
+  options.rate = 0.3;
+  InjectionResult r = InjectSortingError(t, "A", options).value();
+  EXPECT_EQ(r.dirty_rows.size(), 60u);
+  std::set<size_t> dirty(r.dirty_rows.begin(), r.dirty_rows.end());
+  // Unselected rows unchanged.
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    if (dirty.count(i) == 0) {
+      EXPECT_DOUBLE_EQ(r.table.ColumnByName("A").NumericAt(i),
+                       t.ColumnByName("A").NumericAt(i));
+    }
+  }
+  // The multiset of values on the dirty rows is preserved (a permutation).
+  std::vector<double> before;
+  std::vector<double> after;
+  for (size_t row : r.dirty_rows) {
+    before.push_back(t.ColumnByName("A").NumericAt(row));
+    after.push_back(r.table.ColumnByName("A").NumericAt(row));
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  // Values ascend in row order (no guide column).
+  std::vector<size_t> sorted_rows = r.dirty_rows;
+  std::sort(sorted_rows.begin(), sorted_rows.end());
+  for (size_t i = 1; i < sorted_rows.size(); ++i) {
+    EXPECT_LE(r.table.ColumnByName("A").NumericAt(sorted_rows[i - 1]),
+              r.table.ColumnByName("A").NumericAt(sorted_rows[i]));
+  }
+}
+
+TEST(SortingErrorTest, BasedOnColumnCreatesMonotoneCoupling) {
+  Table t = NumericTable(300, 2);
+  InjectionOptions options;
+  options.rate = 0.5;
+  options.based_on = "B";
+  InjectionResult r = InjectSortingError(t, "A", options).value();
+  // Among dirty rows, A must now be a non-decreasing function of B.
+  std::vector<size_t> rows = r.dirty_rows;
+  std::sort(rows.begin(), rows.end(), [&](size_t x, size_t y) {
+    return t.ColumnByName("B").NumericAt(x) < t.ColumnByName("B").NumericAt(y);
+  });
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(r.table.ColumnByName("A").NumericAt(rows[i - 1]),
+              r.table.ColumnByName("A").NumericAt(rows[i]));
+  }
+}
+
+TEST(ImputationErrorTest, DirtyRowsGetTheMean) {
+  Table t = NumericTable(100, 3);
+  double mean = 0.0;
+  for (size_t i = 0; i < 100; ++i) {
+    mean += t.ColumnByName("A").NumericAt(i);
+  }
+  mean /= 100.0;
+  InjectionOptions options;
+  options.rate = 0.2;
+  InjectionResult r = InjectImputationError(t, "A", options).value();
+  EXPECT_EQ(r.dirty_rows.size(), 20u);
+  for (size_t row : r.dirty_rows) {
+    EXPECT_DOUBLE_EQ(r.table.ColumnByName("A").NumericAt(row), mean);
+  }
+}
+
+TEST(ImputationErrorTest, BasedOnSelectsTopRowsOfGuide) {
+  Table t = NumericTable(100, 4);
+  InjectionOptions options;
+  options.rate = 0.1;
+  options.based_on = "B";
+  InjectionResult r = InjectImputationError(t, "A", options).value();
+  // Every selected row's B must be >= every unselected row's B.
+  std::set<size_t> dirty(r.dirty_rows.begin(), r.dirty_rows.end());
+  double min_selected = 1e300;
+  double max_unselected = -1e300;
+  for (size_t i = 0; i < 100; ++i) {
+    double b = t.ColumnByName("B").NumericAt(i);
+    if (dirty.count(i)) {
+      min_selected = std::min(min_selected, b);
+    } else {
+      max_unselected = std::max(max_unselected, b);
+    }
+  }
+  EXPECT_GE(min_selected, max_unselected);
+}
+
+TEST(ImputationErrorTest, CategoricalUsesMode) {
+  TableBuilder builder;
+  builder.AddCategorical("C", {"a", "a", "a", "b", "c", "b", "a"});
+  Table t = std::move(builder).Build().value();
+  InjectionOptions options;
+  options.rate = 1.0;
+  InjectionResult r = InjectImputationError(t, "C", options).value();
+  for (size_t i = 0; i < r.table.NumRows(); ++i) {
+    EXPECT_EQ(r.table.ColumnByName("C").CategoryAt(i), "a");
+  }
+}
+
+TEST(CombinationErrorTest, SplitsBudgetDisjointly) {
+  Table t = NumericTable(200, 5);
+  InjectionOptions options;
+  options.rate = 0.4;
+  InjectionResult r = InjectCombinationError(t, "A", options).value();
+  EXPECT_EQ(r.dirty_rows.size(), 80u);
+  std::set<size_t> unique(r.dirty_rows.begin(), r.dirty_rows.end());
+  EXPECT_EQ(unique.size(), 80u);
+}
+
+TEST(InjectErrorTest, DispatcherAndErrors) {
+  Table t = NumericTable(50, 6);
+  InjectionOptions options;
+  options.rate = 0.2;
+  for (SyntheticErrorType type : {SyntheticErrorType::kSorting, SyntheticErrorType::kImputation,
+                                  SyntheticErrorType::kCombination}) {
+    InjectionResult r = InjectError(type, t, "A", options).value();
+    EXPECT_EQ(r.table.NumRows(), t.NumRows());
+    EXPECT_FALSE(r.dirty_rows.empty());
+  }
+  EXPECT_FALSE(InjectSortingError(t, "missing", options).ok());
+  options.based_on = "missing";
+  EXPECT_FALSE(InjectImputationError(t, "A", options).ok());
+}
+
+TEST(InjectErrorTest, DeterministicForFixedSeed) {
+  Table t = NumericTable(100, 7);
+  InjectionOptions options;
+  options.rate = 0.25;
+  options.seed = 42;
+  InjectionResult a = InjectSortingError(t, "A", options).value();
+  InjectionResult b = InjectSortingError(t, "A", options).value();
+  EXPECT_EQ(a.dirty_rows, b.dirty_rows);
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.table.ColumnByName("A").NumericAt(i),
+                     b.table.ColumnByName("A").NumericAt(i));
+  }
+}
+
+TEST(InjectErrorTest, RateZeroAndOne) {
+  Table t = NumericTable(40, 8);
+  InjectionOptions options;
+  options.rate = 0.0;
+  EXPECT_TRUE(InjectSortingError(t, "A", options).value().dirty_rows.empty());
+  options.rate = 1.0;
+  EXPECT_EQ(InjectImputationError(t, "A", options).value().dirty_rows.size(), 40u);
+}
+
+TEST(SortingErrorTest, CategoricalColumnSortsByCategoryName) {
+  TableBuilder builder;
+  builder.AddCategorical("C", {"delta", "alpha", "charlie", "bravo"});
+  Table t = std::move(builder).Build().value();
+  InjectionOptions options;
+  options.rate = 1.0;
+  InjectionResult r = InjectSortingError(t, "C", options).value();
+  EXPECT_EQ(r.table.ColumnByName("C").CategoryAt(0), "alpha");
+  EXPECT_EQ(r.table.ColumnByName("C").CategoryAt(3), "delta");
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,138 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/boston.h"
+#include "datasets/errors.h"
+#include "eval/comparison.h"
+#include "eval/metrics.h"
+#include "eval/scoded_detector.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+TEST(MetricsTest, ExactValues) {
+  std::vector<size_t> ranking = {5, 3, 9, 1, 7};
+  std::set<size_t> truth = {3, 7, 100};
+  PrecisionRecall at3 = EvaluateTopK(ranking, truth, 3);
+  EXPECT_EQ(at3.hits, 1u);
+  EXPECT_DOUBLE_EQ(at3.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(at3.recall, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(at3.f_score, 1.0 / 3.0);
+  PrecisionRecall at5 = EvaluateTopK(ranking, truth, 5);
+  EXPECT_EQ(at5.hits, 2u);
+  EXPECT_DOUBLE_EQ(at5.precision, 0.4);
+  EXPECT_NEAR(at5.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, ShortRankingPenalised) {
+  std::vector<size_t> ranking = {1};
+  std::set<size_t> truth = {1, 2};
+  PrecisionRecall at4 = EvaluateTopK(ranking, truth, 4);
+  EXPECT_DOUBLE_EQ(at4.precision, 0.25);
+  EXPECT_DOUBLE_EQ(at4.recall, 0.5);
+}
+
+TEST(MetricsTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(EvaluateTopK({}, {1}, 3).f_score, 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateTopK({1}, {}, 1).recall, 0.0);
+  EXPECT_EQ(EvaluateTopK({1}, {1}, 0).k, 0u);
+}
+
+TEST(MetricsTest, PerfectRanking) {
+  std::vector<size_t> ranking = {1, 2, 3};
+  std::set<size_t> truth = {1, 2, 3};
+  PrecisionRecall r = EvaluateTopK(ranking, truth, 3);
+  EXPECT_DOUBLE_EQ(r.f_score, 1.0);
+}
+
+TEST(MetricsTest, SweepMatchesIndividualCalls) {
+  std::vector<size_t> ranking = {4, 2, 8, 6};
+  std::set<size_t> truth = {2, 6};
+  std::vector<PrecisionRecall> sweep = EvaluateAtKs(ranking, truth, {1, 2, 4});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[1].hits, EvaluateTopK(ranking, truth, 2).hits);
+  EXPECT_EQ(sweep[2].hits, 2u);
+}
+
+TEST(MetricsTest, BestFScoreFindsOptimum) {
+  // Hits at positions 1 and 2, then misses: best F is at k=2.
+  std::vector<size_t> ranking = {10, 11, 3, 4, 5};
+  std::set<size_t> truth = {10, 11};
+  PrecisionRecall best = BestFScore(ranking, truth);
+  EXPECT_EQ(best.k, 2u);
+  EXPECT_DOUBLE_EQ(best.f_score, 1.0);
+}
+
+TEST(ScodedDetectorTest, SingleConstraintEndToEnd) {
+  BostonOptions options;
+  options.rows = 500;
+  Table clean = GenerateBostonData(options).value();
+  InjectionOptions inject;
+  inject.rate = 0.25;
+  InjectionResult dirty = InjectSortingError(clean, "N", inject).value();
+  std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+
+  ScodedDetector detector({{ParseConstraint("N !_||_ D").value(), 0.05}});
+  std::vector<size_t> ranking = detector.Rank(dirty.table, truth.size()).value();
+  PrecisionRecall result = EvaluateTopK(ranking, truth, truth.size());
+  // Sorting errors against a dependence SC: the paper reports F ≈ 0.6.
+  EXPECT_GT(result.f_score, 0.4);
+}
+
+TEST(ScodedDetectorTest, MultiConstraintFusionRuns) {
+  BostonOptions options;
+  options.rows = 400;
+  Table clean = GenerateBostonData(options).value();
+  InjectionOptions inject;
+  inject.rate = 0.2;
+  InjectionResult dirty = InjectImputationError(clean, "N", inject).value();
+  ScodedDetector detector({
+      {ParseConstraint("N !_||_ D").value(), 0.05},
+      {ParseConstraint("N !_||_ C").value(), 0.05},
+  });
+  std::vector<size_t> ranking = detector.Rank(dirty.table, 100).value();
+  EXPECT_EQ(ranking.size(), 100u);
+  std::set<size_t> unique(ranking.begin(), ranking.end());
+  EXPECT_EQ(unique.size(), ranking.size());
+}
+
+TEST(ComparisonTest, CurvesEvaluateAllDetectors) {
+  BostonOptions options;
+  options.rows = 300;
+  Table clean = GenerateBostonData(options).value();
+  InjectionOptions inject;
+  inject.rate = 0.25;
+  InjectionResult dirty = InjectSortingError(clean, "N", inject).value();
+  std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+  ScodedDetector scoded({{ParseConstraint("N !_||_ D").value(), 0.05}});
+  ScodedDetector broken({{ParseConstraint("N !_||_ missing").value(), 0.05}});
+  std::vector<size_t> ks = StandardKSweep(truth.size());
+  ComparisonResult result = CompareDetectors(dirty.table, truth, {&scoded, &broken}, ks);
+  ASSERT_EQ(result.curves.size(), 2u);
+  EXPECT_TRUE(result.curves[0].error.empty());
+  EXPECT_EQ(result.curves[0].at_k.size(), ks.size());
+  EXPECT_GT(result.curves[0].best.f_score, 0.3);
+  EXPECT_FALSE(result.curves[1].error.empty());  // broken detector reported
+  std::string text = result.ToText();
+  EXPECT_NE(text.find("SCODED"), std::string::npos);
+  EXPECT_NE(text.find("bestF"), std::string::npos);
+  EXPECT_NE(text.find("failed"), std::string::npos);
+}
+
+TEST(ComparisonTest, StandardSweepScalesWithTruth) {
+  std::vector<size_t> ks = StandardKSweep(100);
+  EXPECT_EQ(ks, (std::vector<size_t>{25, 50, 75, 100, 125, 150}));
+  EXPECT_TRUE(StandardKSweep(0).empty());
+}
+
+TEST(ScodedDetectorTest, EmptyConstraintsRejected) {
+  Table t = GenerateBostonData({50, 1}).value();
+  ScodedDetector detector({});
+  EXPECT_FALSE(detector.Rank(t, 10).ok());
+}
+
+}  // namespace
+}  // namespace scoded

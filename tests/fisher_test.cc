@@ -1,0 +1,97 @@
+#include "stats/fisher.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/hypothesis.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+TEST(HypergeometricTest, PmfKnownValues) {
+  // Table [[1,9],[11,3]]: classic R example. dhyper(1, 10, 14, 12) etc.
+  // P(A=1 | margins 10/14, col 12) = choose(10,1)*choose(14,11)/choose(24,12).
+  double p = Hypergeometric2x2Pmf(1, 9, 11, 3);
+  EXPECT_NEAR(p, 10.0 * 364.0 / 2704156.0, 1e-12);
+}
+
+TEST(HypergeometricTest, SumsToOneOverSupport) {
+  // Margins: row0=6, row1=4, col0=5, col1=5.
+  double total = 0.0;
+  for (int a = 1; a <= 5; ++a) {  // support of A given these margins
+    total += Hypergeometric2x2Pmf(a, 6 - a, 5 - a, a - 1);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FisherTest, KnownTwoSidedValue) {
+  // Exact enumeration over the margins (row 10/14, col 12/12): the
+  // two-sided p sums P(A=0) + P(A=1) + the opposite tail = 0.00275946.
+  EXPECT_NEAR(FisherExact2x2TwoSided(1, 9, 11, 3), 0.0027594562, 1e-9);
+}
+
+TEST(FisherTest, TeaTastingExample) {
+  // Fisher's lady-tasting-tea: [[3,1],[1,3]] -> two-sided p = 0.4857...
+  EXPECT_NEAR(FisherExact2x2TwoSided(3, 1, 1, 3), 0.4857142857, 1e-9);
+  // One-sided (greater): P(A >= 3) = (16 + 1)/70.
+  EXPECT_NEAR(FisherExact2x2GreaterTail(3, 1, 1, 3), 17.0 / 70.0, 1e-12);
+}
+
+TEST(FisherTest, IndependentTableGivesLargeP) {
+  EXPECT_NEAR(FisherExact2x2TwoSided(10, 10, 10, 10), 1.0, 1e-9);
+}
+
+TEST(FisherTest, ExtremeTableGivesTinyP) {
+  double p = FisherExact2x2TwoSided(20, 0, 0, 20);
+  EXPECT_LT(p, 1e-9);
+}
+
+TEST(FisherTest, EmptyAndDegenerateTables) {
+  EXPECT_DOUBLE_EQ(FisherExact2x2TwoSided(0, 0, 0, 0), 1.0);
+  // A zero margin leaves a single possible table: p = 1.
+  EXPECT_DOUBLE_EQ(FisherExact2x2TwoSided(5, 0, 3, 0), 1.0);
+}
+
+TEST(FisherIntegrationTest, RoutesSmall2x2GTests) {
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "a", "a", "a", "b", "b", "b", "b"});
+  builder.AddCategorical("y", {"p", "p", "p", "q", "q", "q", "q", "p"});
+  Table t = std::move(builder).Build().value();
+  TestOptions options;
+  options.use_fisher_for_2x2 = true;
+  TestResult r = IndependenceTest(t, 0, 1, {}, options).value();
+  EXPECT_TRUE(r.used_exact);
+  // [[3,1],[1,3]]: the tea-tasting p-value.
+  EXPECT_NEAR(r.p_value, 0.4857142857, 1e-9);
+}
+
+TEST(FisherIntegrationTest, OffByDefault) {
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "a", "b", "b"});
+  builder.AddCategorical("y", {"p", "q", "p", "q"});
+  Table t = std::move(builder).Build().value();
+  TestOptions options;
+  options.allow_exact = false;  // also disables the permutation fallback
+  TestResult r = IndependenceTest(t, 0, 1, {}, options).value();
+  EXPECT_FALSE(r.used_exact);
+}
+
+TEST(FisherIntegrationTest, NotUsedAboveSizeCap) {
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  for (int i = 0; i < 600; ++i) {
+    x.push_back(i % 2 == 0 ? "a" : "b");
+    y.push_back(i % 3 == 0 ? "p" : "q");
+  }
+  TableBuilder builder;
+  builder.AddCategorical("x", x);
+  builder.AddCategorical("y", y);
+  Table t = std::move(builder).Build().value();
+  TestOptions options;
+  options.use_fisher_for_2x2 = true;  // n exceeds fisher_max_n
+  TestResult r = IndependenceTest(t, 0, 1, {}, options).value();
+  EXPECT_FALSE(r.used_exact);
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,202 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "constraints/ic.h"
+#include "core/violation.h"
+#include "datasets/boston.h"
+#include "datasets/car.h"
+#include "datasets/hockey.h"
+#include "datasets/hosp.h"
+#include "datasets/nebraska.h"
+#include "datasets/sensor.h"
+#include "stats/hypothesis.h"
+#include "stats/kendall.h"
+
+namespace scoded {
+namespace {
+
+double PValue(const Table& table, const char* constraint) {
+  ApproximateSc asc{ParseConstraint(constraint).value(), 0.05};
+  return DetectViolation(table, asc).value().p_value;
+}
+
+TEST(SensorGeneratorTest, NeighbouringSensorsDependent) {
+  SensorOptions options;
+  options.epochs = 1000;
+  Table t = GenerateSensorData(options).value();
+  EXPECT_EQ(t.NumRows(), 1000u);
+  EXPECT_EQ(t.NumColumns(), 4u);  // Epoch + T7..T9
+  EXPECT_LT(PValue(t, "T7 !_||_ T8"), 1e-10);
+  EXPECT_LT(PValue(t, "T8 !_||_ T9"), 1e-10);
+  EXPECT_LT(PValue(t, "T7 !_||_ T9"), 1e-10);
+}
+
+TEST(SensorGeneratorTest, CorrelationDecaysWithDistance) {
+  // The Intel Lab deployment property: adjacent sensors correlate more
+  // strongly than sensors two positions apart.
+  SensorOptions options;
+  options.epochs = 2000;
+  Table t = GenerateSensorData(options).value();
+  auto col = [&](const char* name) {
+    return t.ColumnByName(name).numeric_values();
+  };
+  double near = KendallTau(col("T7"), col("T8")).tau_b;
+  double far = KendallTau(col("T7"), col("T9")).tau_b;
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.3);  // still clearly dependent
+}
+
+TEST(SensorGeneratorTest, HumidityAnticorrelatesWithTemperature) {
+  SensorOptions options;
+  options.epochs = 1200;
+  options.include_humidity = true;
+  Table t = GenerateSensorData(options).value();
+  EXPECT_TRUE(t.ColumnIndex("H7").ok());
+  double tau = KendallTau(t.ColumnByName("T7").numeric_values(),
+                          t.ColumnByName("H7").numeric_values())
+                   .tau_b;
+  EXPECT_LT(tau, -0.4);
+}
+
+TEST(SensorGeneratorTest, OptionsRespected) {
+  SensorOptions options;
+  options.epochs = 100;
+  options.first_sensor = 1;
+  options.num_sensors = 5;
+  Table t = GenerateSensorData(options).value();
+  EXPECT_TRUE(t.ColumnIndex("T1").ok());
+  EXPECT_TRUE(t.ColumnIndex("T5").ok());
+  options.epochs = 0;
+  EXPECT_FALSE(GenerateSensorData(options).ok());
+}
+
+TEST(BostonGeneratorTest, Table3ConstraintStructureHolds) {
+  BostonOptions options;
+  options.rows = 2000;  // more rows than the original for stable p-values
+  Table t = GenerateBostonData(options).value();
+  EXPECT_LT(PValue(t, "N !_||_ D"), 1e-10);    // dependence present
+  EXPECT_GT(PValue(t, "R _||_ B"), 0.01);      // independence holds
+  EXPECT_LT(PValue(t, "TX !_||_ B | C"), 1e-6);  // conditional dependence
+  EXPECT_GT(PValue(t, "N _||_ B | TX"), 0.01);   // conditional independence
+}
+
+TEST(BostonGeneratorTest, DefaultsMatchOriginalSize) {
+  Table t = GenerateBostonData().value();
+  EXPECT_EQ(t.NumRows(), 506u);
+  EXPECT_EQ(t.NumColumns(), 6u);
+}
+
+TEST(HospGeneratorTest, CleanPartSatisfiesFdsDirtyPartBreaksThem) {
+  HospOptions options;
+  options.rows = 5000;
+  HospData data = GenerateHospData(options).value();
+  EXPECT_EQ(data.dirty_rows.size(), data.lhs_dirty_rows.size() + data.rhs_dirty_rows.size());
+  EXPECT_NEAR(static_cast<double>(data.dirty_rows.size()), 1250.0, 1.0);
+  // The corrupted table violates the FD; removing the dirty rows fixes it.
+  EXPECT_FALSE(SatisfiesFd(data.table, {{"Zip"}, {"City"}}).value());
+  Table clean = data.table.WithoutRows(data.dirty_rows);
+  EXPECT_TRUE(SatisfiesFd(clean, {{"Zip"}, {"City"}}).value());
+  EXPECT_TRUE(SatisfiesFd(clean, {{"Zip"}, {"State"}}).value());
+}
+
+TEST(HospGeneratorTest, LhsTyposCreateSingletonZips) {
+  HospOptions options;
+  options.rows = 2000;
+  HospData data = GenerateHospData(options).value();
+  // A typo'd Zip should not collide with legitimate zips.
+  const Column& zip = data.table.ColumnByName("Zip");
+  std::set<size_t> lhs(data.lhs_dirty_rows.begin(), data.lhs_dirty_rows.end());
+  for (size_t row : data.lhs_dirty_rows) {
+    EXPECT_NE(zip.CategoryAt(row).find('~'), std::string::npos);
+  }
+}
+
+TEST(CarGeneratorTest, Table3ConstraintsHold) {
+  CarOptions options;
+  options.rows = 1728;
+  Table t = GenerateCarData(options).value();
+  EXPECT_LT(PValue(t, "BP !_||_ CL"), 1e-8);
+  EXPECT_GT(PValue(t, "SA _||_ DR"), 0.01);
+}
+
+TEST(HockeyGeneratorTest, ImputationCreatesPreCutoffZeroPattern) {
+  HockeyData data = GenerateHockeyData().value();
+  EXPECT_FALSE(data.imputed_rows.empty());
+  const Column& gpm = data.table.ColumnByName("GPM");
+  const Column& year = data.table.ColumnByName("DraftYear");
+  for (size_t row : data.imputed_rows) {
+    EXPECT_DOUBLE_EQ(gpm.NumericAt(row), 0.0);
+    EXPECT_LE(year.NumericAt(row), 2000.0);
+  }
+}
+
+TEST(HockeyGeneratorTest, GamesTrackGpmOnCleanRows) {
+  HockeyData data = GenerateHockeyData().value();
+  std::set<size_t> dirty(data.imputed_rows.begin(), data.imputed_rows.end());
+  std::vector<size_t> clean;
+  for (size_t i = 0; i < data.table.NumRows(); ++i) {
+    if (dirty.count(i) == 0) {
+      clean.push_back(i);
+    }
+  }
+  Table clean_table = data.table.Gather(clean);
+  EXPECT_LT(PValue(clean_table, "GPM !_||_ Games"), 1e-10);
+}
+
+TEST(NebraskaGeneratorTest, CleanYearsShowDependenceBadYearsDoNot) {
+  NebraskaData data = GenerateNebraskaData().value();
+  const Column& year = data.table.ColumnByName("Year");
+  auto year_rows = [&](int y) {
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < data.table.NumRows(); ++i) {
+      if (year.NumericAt(i) == static_cast<double>(y)) {
+        rows.push_back(i);
+      }
+    }
+    return rows;
+  };
+  ApproximateSc wind{ParseConstraint("Wind !_||_ Weather").value(), 0.3};
+  // A clean year keeps the dependence (p small); an imputed year loses it.
+  double p_clean =
+      DetectViolation(data.table, wind, year_rows(1975), {}).value().p_value;
+  double p_dirty =
+      DetectViolation(data.table, wind, year_rows(1989), {}).value().p_value;
+  EXPECT_LT(p_clean, 0.05);
+  EXPECT_GT(p_dirty, p_clean);
+
+  ApproximateSc sea{ParseConstraint("Sea !_||_ Weather").value(), 0.3};
+  double p_sea_clean =
+      DetectViolation(data.table, sea, year_rows(1975), {}).value().p_value;
+  double p_sea_dirty =
+      DetectViolation(data.table, sea, year_rows(1972), {}).value().p_value;
+  EXPECT_LT(p_sea_clean, 0.05);
+  EXPECT_GT(p_sea_dirty, p_sea_clean);
+}
+
+TEST(NebraskaGeneratorTest, DirtyRowsMatchConfiguredYears) {
+  NebraskaData data = GenerateNebraskaData().value();
+  const Column& year = data.table.ColumnByName("Year");
+  const Column& month = data.table.ColumnByName("Month");
+  for (size_t row : data.wind_dirty_rows) {
+    double y = year.NumericAt(row);
+    EXPECT_TRUE(y == 1978.0 || y == 1989.0);
+    EXPECT_GE(month.NumericAt(row), 3.0);
+  }
+  for (size_t row : data.sea_dirty_rows) {
+    EXPECT_DOUBLE_EQ(year.NumericAt(row), 1972.0);
+  }
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameData) {
+  Table a = GenerateBostonData({100, 9}).value();
+  Table b = GenerateBostonData({100, 9}).value();
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    for (size_t r = 0; r < a.NumRows(); ++r) {
+      EXPECT_DOUBLE_EQ(a.column(c).NumericAt(r), b.column(c).NumericAt(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,75 @@
+#include "table/group_by.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+Table MakeTable() {
+  TableBuilder builder;
+  builder.AddCategorical("color", {"r", "g", "r", "g", "r"});
+  builder.AddNumeric("value", {1.0, 2.0, 1.0, 2.0, 3.0});
+  return std::move(builder).Build().value();
+}
+
+TEST(GroupByTest, SingleCategoricalColumn) {
+  Table t = MakeTable();
+  GroupByResult g = GroupRows(t, {0});
+  ASSERT_EQ(g.groups.size(), 2u);
+  EXPECT_EQ(g.groups[0], (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(g.groups[1], (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(g.group_of_row, (std::vector<size_t>{0, 1, 0, 1, 0}));
+}
+
+TEST(GroupByTest, NumericExactGrouping) {
+  Table t = MakeTable();
+  GroupByResult g = GroupRows(t, {1});
+  EXPECT_EQ(g.groups.size(), 3u);
+}
+
+TEST(GroupByTest, MultiColumnKeys) {
+  Table t = MakeTable();
+  GroupByResult g = GroupRows(t, {0, 1});
+  // (r,1) x2, (g,2) x2, (r,3) x1
+  EXPECT_EQ(g.groups.size(), 3u);
+  EXPECT_EQ(g.keys[0].size(), 2u);
+}
+
+TEST(GroupByTest, EmptyColumnListGroupsEverything) {
+  Table t = MakeTable();
+  GroupByResult g = GroupRows(t, {});
+  ASSERT_EQ(g.groups.size(), 1u);
+  EXPECT_EQ(g.groups[0].size(), 5u);
+}
+
+TEST(GroupByTest, SubsetOfRows) {
+  Table t = MakeTable();
+  GroupByResult g = GroupRows(t, {0}, {1, 2, 3});
+  ASSERT_EQ(g.groups.size(), 2u);
+  EXPECT_EQ(g.groups[0], (std::vector<size_t>{1, 3}));  // "g" appears first now
+  EXPECT_EQ(g.groups[1], (std::vector<size_t>{2}));
+}
+
+TEST(GroupByTest, NullsFormTheirOwnGroup) {
+  TableBuilder builder;
+  builder.AddNumericWithNulls("v", {1.0, 0.0, 1.0}, {true, false, true});
+  Table t = std::move(builder).Build().value();
+  GroupByResult g = GroupRows(t, {0});
+  EXPECT_EQ(g.groups.size(), 2u);
+}
+
+TEST(EncodeCellKeyTest, NegativeZeroEqualsPositiveZero) {
+  Column col = Column::Numeric({0.0, -0.0});
+  EXPECT_EQ(EncodeCellKey(col, 0), EncodeCellKey(col, 1));
+}
+
+TEST(EncodeCellKeyTest, CategoricalUsesCodes) {
+  Column col = Column::Categorical({"a", "b", "a"});
+  EXPECT_EQ(EncodeCellKey(col, 0), EncodeCellKey(col, 2));
+  EXPECT_NE(EncodeCellKey(col, 0), EncodeCellKey(col, 1));
+}
+
+}  // namespace
+}  // namespace scoded

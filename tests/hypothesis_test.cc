@@ -1,0 +1,304 @@
+#include "stats/hypothesis.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+// Two categorical columns with a strong dependence (y copies x mostly).
+Table DependentCategoricalTable(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  for (size_t i = 0; i < n; ++i) {
+    std::string xv = rng.Bernoulli(0.5) ? "a" : "b";
+    std::string yv = rng.Bernoulli(noise) ? (rng.Bernoulli(0.5) ? "p" : "q")
+                                          : (xv == "a" ? "p" : "q");
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  TableBuilder builder;
+  builder.AddCategorical("x", x);
+  builder.AddCategorical("y", y);
+  return std::move(builder).Build().value();
+}
+
+Table IndependentCategoricalTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  for (size_t i = 0; i < n; ++i) {
+    x.push_back(rng.Bernoulli(0.5) ? "a" : "b");
+    y.push_back(rng.Bernoulli(0.5) ? "p" : "q");
+  }
+  TableBuilder builder;
+  builder.AddCategorical("x", x);
+  builder.AddCategorical("y", y);
+  return std::move(builder).Build().value();
+}
+
+TEST(GTestTest, DetectsStrongDependence) {
+  Table t = DependentCategoricalTable(500, 0.1, 1);
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_EQ(r.method, TestMethod::kGTest);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.effect, 0.5);
+}
+
+TEST(GTestTest, AcceptsIndependence) {
+  Table t = IndependentCategoricalTable(500, 2);
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(GTestTest, FlagsSmallExpectedCounts) {
+  TableBuilder builder;
+  builder.AddCategorical("x", {"a", "a", "b"});
+  builder.AddCategorical("y", {"p", "q", "p"});
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_TRUE(r.approximation_suspect);
+}
+
+TEST(TauTestTest, DetectsMonotoneDependence) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v + rng.Normal(0.0, 0.3));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_EQ(r.method, TestMethod::kTauTest);
+  EXPECT_LT(r.p_value, 1e-10);
+  EXPECT_GT(r.effect, 0.5);
+}
+
+TEST(TauTestTest, AcceptsIndependentNumeric) {
+  Rng rng(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(TauTestTest, UsesExactNullForSmallTieFreeSamples) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y = {2, 1, 4, 3, 6, 5, 8, 7};
+  TestResult r = TauTestIndependence(x, y);
+  EXPECT_TRUE(r.used_exact);
+  EXPECT_GT(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(TauTestTest, SmallTiedSamplesAreFlagged) {
+  std::vector<double> x = {1, 1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 1, 4, 3, 6, 5};
+  TestResult r = TauTestIndependence(x, y);
+  EXPECT_FALSE(r.used_exact);
+  EXPECT_TRUE(r.approximation_suspect);
+}
+
+TEST(SpearmanOptionTest, AlternativeNumericMethod) {
+  Rng rng(15);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v * v * v + rng.Normal(0.0, 0.2));  // monotone nonlinear
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table t = std::move(builder).Build().value();
+  TestOptions options;
+  options.numeric_method = NumericMethod::kSpearman;
+  TestResult r = IndependenceTest(t, 0, 1, {}, options).value();
+  EXPECT_EQ(r.method, TestMethod::kSpearmanTest);
+  EXPECT_LT(r.p_value, 1e-10);
+  EXPECT_GT(r.effect, 0.9);
+  // Kendall agrees on the decision.
+  TestResult kendall = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_LT(kendall.p_value, 1e-10);
+}
+
+TEST(SpearmanOptionTest, ConditionalTestsStayKendall) {
+  Rng rng(16);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<std::string> z;
+  for (int i = 0; i < 120; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v + rng.Normal(0.0, 0.3));
+    z.push_back(i % 2 == 0 ? "a" : "b");
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  builder.AddCategorical("z", z);
+  Table t = std::move(builder).Build().value();
+  TestOptions options;
+  options.numeric_method = NumericMethod::kSpearman;
+  TestResult r = IndependenceTest(t, 0, 1, {2}, options).value();
+  EXPECT_EQ(r.method, TestMethod::kTauTest);
+}
+
+TEST(MixedTest, NumericPairedWithCategoricalUsesDiscretisedG) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<std::string> y;
+  for (int i = 0; i < 400; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v > 0 ? "pos" : "neg");
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddCategorical("y", y);
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_EQ(r.method, TestMethod::kGTest);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ConditionalTest, DependenceExplainedByConfounder) {
+  // x and y both copy z; conditioned on z they are independent.
+  Rng rng(6);
+  std::vector<std::string> z;
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  for (int i = 0; i < 1000; ++i) {
+    std::string zv = rng.Bernoulli(0.5) ? "u" : "v";
+    auto noisy_copy = [&](const std::string& base) {
+      if (rng.Bernoulli(0.2)) {
+        return std::string(rng.Bernoulli(0.5) ? "u" : "v");
+      }
+      return base;
+    };
+    z.push_back(zv);
+    x.push_back(noisy_copy(zv));
+    y.push_back(noisy_copy(zv));
+  }
+  TableBuilder builder;
+  builder.AddCategorical("x", x);
+  builder.AddCategorical("y", y);
+  builder.AddCategorical("z", z);
+  Table t = std::move(builder).Build().value();
+  TestResult marginal = IndependenceTest(t, 0, 1, {}).value();
+  TestResult conditional = IndependenceTest(t, 0, 1, {2}).value();
+  EXPECT_LT(marginal.p_value, 1e-6);       // marginally dependent
+  EXPECT_GT(conditional.p_value, 0.001);   // conditionally independent
+  EXPECT_EQ(conditional.strata_used, 2u);
+}
+
+TEST(ConditionalTest, TauStratifiedCombination) {
+  // Within each stratum y follows x; strata have different offsets.
+  Rng rng(7);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<std::string> z;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 80; ++i) {
+      double v = rng.Normal();
+      x.push_back(v);
+      y.push_back(v + 100.0 * s + rng.Normal(0.0, 0.2));
+      z.push_back("s" + std::to_string(s));
+    }
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  builder.AddCategorical("z", z);
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {2}).value();
+  EXPECT_EQ(r.method, TestMethod::kTauTest);
+  EXPECT_EQ(r.strata_used, 3u);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ConditionalTest, TinyStrataAreSkipped) {
+  TableBuilder builder;
+  builder.AddNumeric("x", {1, 2, 3, 4, 5});
+  builder.AddNumeric("y", {1, 2, 3, 4, 5});
+  builder.AddCategorical("z", {"a", "a", "a", "a", "b"});
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {2}).value();
+  EXPECT_EQ(r.strata_used, 1u);
+  EXPECT_EQ(r.strata_skipped, 1u);
+}
+
+TEST(IndependenceTestTest, ValidatesArguments) {
+  Table t = IndependentCategoricalTable(10, 8);
+  EXPECT_FALSE(IndependenceTest(t, 0, 0, {}).ok());
+  EXPECT_FALSE(IndependenceTest(t, 0, 5, {}).ok());
+  EXPECT_FALSE(IndependenceTest(t, 0, 1, {0}).ok());
+  EXPECT_FALSE(IndependenceTest(t, -1, 1, {}).ok());
+}
+
+TEST(IndependenceTestTest, NullCellsExcluded) {
+  TableBuilder builder;
+  builder.AddNumericWithNulls("x", {1, 2, 3, 4, 0}, {true, true, true, true, false});
+  builder.AddNumeric("y", {1, 2, 3, 4, 5});
+  Table t = std::move(builder).Build().value();
+  TestResult r = IndependenceTest(t, 0, 1, {}).value();
+  EXPECT_EQ(r.n, 4);
+}
+
+TEST(PermutationTest, AgreesWithAsymptoticDirectionally) {
+  Table dependent = DependentCategoricalTable(300, 0.1, 9);
+  Table independent = IndependentCategoricalTable(300, 10);
+  Rng rng(11);
+  TestResult dep = PermutationIndependenceTest(dependent, 0, 1, {}, 200, rng).value();
+  TestResult ind = PermutationIndependenceTest(independent, 0, 1, {}, 200, rng).value();
+  EXPECT_LT(dep.p_value, 0.05);
+  EXPECT_GT(ind.p_value, 0.05);
+  EXPECT_EQ(dep.method, TestMethod::kPermutation);
+}
+
+TEST(PermutationTest, NumericPath) {
+  Rng data_rng(12);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    double v = data_rng.Normal();
+    x.push_back(v);
+    y.push_back(v + data_rng.Normal(0.0, 0.2));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table t = std::move(builder).Build().value();
+  Rng rng(13);
+  TestResult r = PermutationIndependenceTest(t, 0, 1, {}, 300, rng).value();
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(PermutationTest, ZeroIterationsRejected) {
+  Table t = IndependentCategoricalTable(20, 14);
+  Rng rng(15);
+  EXPECT_FALSE(PermutationIndependenceTest(t, 0, 1, {}, 0, rng).ok());
+}
+
+}  // namespace
+}  // namespace scoded

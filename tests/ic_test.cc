@@ -1,0 +1,181 @@
+#include "constraints/ic.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+// Table 2 of the paper: satisfies the EMVD Z ->> X | Y but not X ⊥ Y | Z.
+Table PaperTable2() {
+  TableBuilder builder;
+  builder.AddCategorical("Z", {"z1", "z1", "z1", "z1", "z1", "z1"});
+  builder.AddCategorical("X", {"x1", "x2", "x1", "x1", "x1", "x2"});
+  builder.AddCategorical("Y", {"y1", "y2", "y2", "y2", "y2", "y1"});
+  builder.AddCategorical("M", {"m1", "m1", "m1", "m2", "m3", "m1"});
+  return std::move(builder).Build().value();
+}
+
+TEST(FdTest, SatisfiedAndViolated) {
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "2", "2"});
+  builder.AddCategorical("city", {"a", "a", "b", "b"});
+  builder.AddCategorical("name", {"p", "q", "r", "s"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_TRUE(SatisfiesFd(t, {{"zip"}, {"city"}}).value());
+  EXPECT_FALSE(SatisfiesFd(t, {{"city"}, {"name"}}).value());
+  EXPECT_TRUE(SatisfiesFd(t, {{"name"}, {"zip", "city"}}).value());
+}
+
+TEST(FdTest, Table2ViolatesZToX) {
+  Table t = PaperTable2();
+  // The paper notes r1/r2 violate Z -> X.
+  EXPECT_FALSE(SatisfiesFd(t, {{"Z"}, {"X"}}).value());
+}
+
+TEST(FdTest, UnknownColumnPropagatesError) {
+  Table t = PaperTable2();
+  EXPECT_FALSE(SatisfiesFd(t, {{"nope"}, {"X"}}).ok());
+}
+
+TEST(FdViolatingPairsTest, CountsExactly) {
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "1", "2"});
+  builder.AddCategorical("city", {"a", "a", "b", "c"});
+  Table t = std::move(builder).Build().value();
+  // Group zip=1 has cities {a,a,b}: violating pairs = C(3,2) - C(2,2) = 2.
+  EXPECT_EQ(CountFdViolatingPairs(t, {{"zip"}, {"city"}}).value(), 2);
+}
+
+TEST(FdApproximationRatioTest, MajorityKeptPerGroup) {
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "1", "1", "2", "2"});
+  builder.AddCategorical("city", {"a", "a", "a", "b", "c", "c"});
+  Table t = std::move(builder).Build().value();
+  // Remove 1 of 6 rows (the "b") to satisfy the FD.
+  EXPECT_NEAR(FdApproximationRatio(t, {{"zip"}, {"city"}}).value(), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(FdApproximationRatio(t, {{"city"}, {"zip"}}).value(), 0.0, 1e-12);
+}
+
+TEST(EmvdTest, Table2SatisfiesEmvd) {
+  Table t = PaperTable2();
+  EXPECT_TRUE(SatisfiesEmvd(t, {{"Z"}, {"X"}, {"Y"}}).value());
+}
+
+TEST(EmvdTest, ViolatedWhenCombinationMissing) {
+  TableBuilder builder;
+  builder.AddCategorical("Z", {"z", "z", "z"});
+  builder.AddCategorical("X", {"x1", "x2", "x1"});
+  builder.AddCategorical("Y", {"y1", "y2", "y2"});
+  Table t = std::move(builder).Build().value();
+  // Missing (x2, y1): the cross product is incomplete.
+  EXPECT_FALSE(SatisfiesEmvd(t, {{"Z"}, {"X"}, {"Y"}}).value());
+}
+
+TEST(MvdTest, SaturatedCase) {
+  TableBuilder builder;
+  builder.AddCategorical("A", {"a", "a", "a", "a"});
+  builder.AddCategorical("B", {"b1", "b1", "b2", "b2"});
+  builder.AddCategorical("C", {"c1", "c2", "c1", "c2"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_TRUE(SatisfiesMvd(t, {"A"}, {"B"}).value());
+}
+
+TEST(MvdTest, TrivialWhenColumnsCoverRelation) {
+  TableBuilder builder;
+  builder.AddCategorical("A", {"a", "b"});
+  builder.AddCategorical("B", {"x", "y"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_TRUE(SatisfiesMvd(t, {"A"}, {"B"}).value());
+}
+
+TEST(ScExactTest, Table2ViolatesIsc) {
+  // The core counter-example of Proposition 1: the EMVD holds (above) but
+  // the ISC X ⊥ Y | Z does not.
+  Table t = PaperTable2();
+  StatisticalConstraint isc = Independence({"X"}, {"Y"}, {"Z"});
+  EXPECT_FALSE(SatisfiesScExactly(t, isc).value());
+  EXPECT_TRUE(SatisfiesScExactly(t, isc.Negated()).value());
+}
+
+TEST(ScExactTest, ProductDistributionSatisfiesIsc) {
+  // Uniform cross product: exactly independent.
+  TableBuilder builder;
+  builder.AddCategorical("X", {"x1", "x1", "x2", "x2"});
+  builder.AddCategorical("Y", {"y1", "y2", "y1", "y2"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_TRUE(SatisfiesScExactly(t, Independence({"X"}, {"Y"})).value());
+}
+
+TEST(ScExactTest, ConditionalIndependenceByStratum) {
+  // Within each z the (x, y) distribution is a product; marginally it is not.
+  TableBuilder builder;
+  builder.AddCategorical("Z", {"a", "a", "a", "a", "b", "b", "b", "b"});
+  builder.AddCategorical("X", {"x1", "x1", "x2", "x2", "x3", "x3", "x4", "x4"});
+  builder.AddCategorical("Y", {"y1", "y2", "y1", "y2", "y3", "y4", "y3", "y4"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_TRUE(SatisfiesScExactly(t, Independence({"X"}, {"Y"}, {"Z"})).value());
+  EXPECT_FALSE(SatisfiesScExactly(t, Independence({"X"}, {"Y"})).value());
+}
+
+TEST(Proposition1Test, IscEntailsEmvdOnRandomizedTables) {
+  // Build a conditionally independent table; its ISC must imply the EMVD.
+  TableBuilder builder;
+  builder.AddCategorical("Z", {"a", "a", "a", "a", "b", "b"});
+  builder.AddCategorical("X", {"x1", "x1", "x2", "x2", "x1", "x2"});
+  builder.AddCategorical("Y", {"y1", "y2", "y1", "y2", "y1", "y1"});
+  Table t = std::move(builder).Build().value();
+  StatisticalConstraint isc = Independence({"X"}, {"Y"}, {"Z"});
+  if (SatisfiesScExactly(t, isc).value()) {
+    EXPECT_TRUE(SatisfiesEmvd(t, IscToEmvd(isc)).value());
+  }
+}
+
+TEST(FdToDscTest, TranslationShape) {
+  StatisticalConstraint dsc = FdToDsc({{"zip"}, {"city"}});
+  EXPECT_EQ(dsc.kind, ScKind::kDependence);
+  EXPECT_EQ(dsc.x, (std::vector<std::string>{"zip"}));
+  EXPECT_EQ(dsc.y, (std::vector<std::string>{"city"}));
+}
+
+TEST(IscToEmvdTest, NamingConvention) {
+  // Y ⊥ Z' | X  ->  X ->> Y | Z'.
+  StatisticalConstraint isc = Independence({"Y"}, {"W"}, {"X"});
+  Emvd emvd = IscToEmvd(isc);
+  EXPECT_EQ(emvd.x, (std::vector<std::string>{"X"}));
+  EXPECT_EQ(emvd.y, (std::vector<std::string>{"Y"}));
+  EXPECT_EQ(emvd.z, (std::vector<std::string>{"W"}));
+}
+
+TEST(Proposition2Test, FdImpliesMiMaximalDsc) {
+  // city = f(zip): I(zip; city) must dominate I(X'; city) for all X'.
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "2", "2", "3", "3"});
+  builder.AddCategorical("city", {"a", "a", "b", "b", "a", "a"});
+  builder.AddCategorical("noise", {"p", "q", "p", "q", "p", "q"});
+  Table t = std::move(builder).Build().value();
+  ASSERT_TRUE(SatisfiesFd(t, {{"zip"}, {"city"}}).value());
+  EXPECT_TRUE(IsMiMaximalDependence(t, {"zip"}, {"city"}).value());
+}
+
+TEST(Proposition2Test, NonFdNeedNotBeMaximal) {
+  // noise is independent of city while zip determines it: I(noise;city)
+  // cannot be maximal.
+  TableBuilder builder;
+  builder.AddCategorical("zip", {"1", "1", "2", "2"});
+  builder.AddCategorical("city", {"a", "a", "b", "b"});
+  builder.AddCategorical("noise", {"p", "q", "p", "q"});
+  Table t = std::move(builder).Build().value();
+  EXPECT_FALSE(IsMiMaximalDependence(t, {"noise"}, {"city"}).value());
+}
+
+TEST(ToStringTest, Renderings) {
+  FunctionalDependency fd{{"zip"}, {"city", "state"}};
+  EXPECT_EQ(fd.ToString(), "zip -> city, state");
+  Emvd emvd{{"Z"}, {"X"}, {"Y"}};
+  EXPECT_EQ(emvd.ToString(), "Z ->> X | Y");
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,156 @@
+// End-to-end integration tests: each one exercises a full user journey
+// across modules (generate -> corrupt -> detect -> drill down / repair ->
+// verify), plus cross-module consistency checks.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/afd.h"
+#include "constraints/graphoid.h"
+#include "constraints/ic.h"
+#include "core/scoded.h"
+#include "datasets/boston.h"
+#include "datasets/errors.h"
+#include "datasets/hosp.h"
+#include "discovery/pc.h"
+#include "eval/metrics.h"
+#include "eval/scoded_detector.h"
+#include "repair/cell_repair.h"
+#include "table/csv.h"
+
+namespace scoded {
+namespace {
+
+TEST(IntegrationTest, DetectDrillPartitionRoundTrip) {
+  // Corrupt Boston, detect the DSC violation side-effect, drill down,
+  // partition, and verify the partitioned data satisfies the constraint.
+  Table clean = GenerateBostonData({506, 11}).value();
+  InjectionOptions inject;
+  inject.rate = 0.35;
+  InjectionResult dirty = InjectSortingError(clean, "N", inject).value();
+
+  Scoded system(dirty.table);
+  ApproximateSc asc{system.Parse("N !_||_ D").value(), 0.05};
+  // Sorting 35% of N at random weakens N !_||_ D but need not kill it;
+  // drill-down is run regardless (Sec. 6.1).
+  DrillDownResult top = system.DrillDown(asc, dirty.dirty_rows.size()).value();
+  std::set<size_t> truth(dirty.dirty_rows.begin(), dirty.dirty_rows.end());
+  PrecisionRecall pr = EvaluateTopK(top.rows, truth, truth.size());
+  EXPECT_GT(pr.f_score, 0.35);
+
+  PartitionResult part = system.Partition(asc).value();
+  if (part.satisfied && !part.removed_rows.empty()) {
+    Table fixed = dirty.table.WithoutRows(part.removed_rows);
+    EXPECT_FALSE(DetectViolation(fixed, asc).value().violated);
+  }
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesDetection) {
+  // Detection results must survive a CSV write/read cycle.
+  Table clean = GenerateBostonData({300, 12}).value();
+  InjectionOptions inject;
+  inject.rate = 0.3;
+  inject.based_on = "B";
+  InjectionResult dirty = InjectSortingError(clean, "R", inject).value();
+  ApproximateSc asc{ParseConstraint("R _||_ B").value(), 0.05};
+  ViolationReport direct = DetectViolation(dirty.table, asc).value();
+
+  std::string path = ::testing::TempDir() + "/scoded_integration.csv";
+  ASSERT_TRUE(csv::WriteFile(dirty.table, path).ok());
+  Table reloaded = csv::ReadFile(path).value();
+  ViolationReport via_csv = DetectViolation(reloaded, asc).value();
+  EXPECT_EQ(direct.violated, via_csv.violated);
+  // CSV stringification rounds doubles; p-values match loosely.
+  EXPECT_NEAR(direct.p_value, via_csv.p_value, 0.05);
+}
+
+TEST(IntegrationTest, DiscoverMinimizeEnforce) {
+  // PC discovers constraints on clean data; the set is minimised and then
+  // enforced in one CheckAll batch; nothing should be violated.
+  Table clean = GenerateBostonData({800, 13}).value();
+  PcOptions pc;
+  pc.max_conditioning = 1;
+  PcResult structure = LearnPcStructure(clean, pc).value();
+  std::vector<StatisticalConstraint> discovered = structure.DiscoveredConstraints();
+  ASSERT_FALSE(discovered.empty());
+  std::vector<StatisticalConstraint> minimal = MinimizeConstraints(discovered).value();
+  EXPECT_LE(minimal.size(), discovered.size());
+
+  Scoded system(clean);
+  std::vector<ApproximateSc> batch;
+  for (const StatisticalConstraint& sc : minimal) {
+    batch.push_back({sc, sc.is_independence() ? 0.001 : 0.2});
+  }
+  Result<Scoded::BatchCheckResult> result = system.CheckAll(batch);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->consistency.consistent);
+  // The constraints were learned from this very data: at most a small
+  // number of borderline violations.
+  EXPECT_LE(result->violations, batch.size() / 4);
+}
+
+TEST(IntegrationTest, CheckAllRejectsInconsistentSets) {
+  Table clean = GenerateBostonData({100, 14}).value();
+  Scoded system(clean);
+  std::vector<ApproximateSc> batch = {
+      {Independence({"N"}, {"D"}), 0.05},
+      {Dependence({"N"}, {"D"}), 0.05},
+  };
+  Result<Scoded::BatchCheckResult> result = system.CheckAll(batch);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IntegrationTest, HospDetectThenRepair) {
+  // Full cleaning journey on HOSP: detect with SCODED, beat AFD, repair
+  // the RHS typos, and verify the FD tightens.
+  HospOptions options;
+  options.rows = 3000;
+  options.num_zips = 100;
+  options.error_rate = 0.08;
+  options.lhs_error_fraction = 0.0;
+  HospData data = GenerateHospData(options).value();
+  std::set<size_t> truth(data.dirty_rows.begin(), data.dirty_rows.end());
+
+  FunctionalDependency fd{{"Zip"}, {"City"}};
+  ScodedDetector scoded({{FdToDsc(fd), 0.05}});
+  AfdDetector afd({fd});
+  PrecisionRecall scoded_pr =
+      EvaluateTopK(scoded.Rank(data.table, truth.size()).value(), truth, truth.size());
+  PrecisionRecall afd_pr =
+      EvaluateTopK(afd.Rank(data.table, truth.size()).value(), truth, truth.size());
+  EXPECT_GE(scoded_pr.f_score, afd_pr.f_score - 0.05);
+  EXPECT_GT(scoded_pr.f_score, 0.6);
+
+  double ratio_before = FdApproximationRatio(data.table, fd).value();
+  RepairPlan plan = SuggestCellRepairs(data.table, {FdToDsc(fd), 0.05}, truth.size()).value();
+  Table repaired = ApplyRepairs(data.table, plan.repairs).value();
+  double ratio_after = FdApproximationRatio(repaired, fd).value();
+  EXPECT_LT(ratio_after, ratio_before / 2.0);
+}
+
+TEST(IntegrationTest, MinimizeConstraintsDropsDerivable) {
+  std::vector<StatisticalConstraint> constraints = {
+      Independence({"A"}, {"B", "C"}),
+      Independence({"A"}, {"B"}),          // derivable by decomposition
+      Independence({"A"}, {"B"}, {"C"}),   // derivable by weak union
+      Dependence({"D"}, {"E"}),
+      Dependence({"D"}, {"E"}),            // duplicate
+  };
+  std::vector<StatisticalConstraint> minimal = MinimizeConstraints(constraints).value();
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0], constraints[0]);
+  EXPECT_EQ(minimal[1], constraints[3]);
+}
+
+TEST(IntegrationTest, MinimizeKeepsIndependentFacts) {
+  std::vector<StatisticalConstraint> constraints = {
+      Independence({"A"}, {"B"}),
+      Independence({"C"}, {"D"}),
+  };
+  EXPECT_EQ(MinimizeConstraints(constraints).value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,208 @@
+#include "stats/kendall.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scoded {
+namespace {
+
+TEST(KendallTest, PerfectConcordance) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {10, 20, 30, 40, 50};
+  KendallResult r = KendallTau(x, y);
+  EXPECT_EQ(r.concordant, 10);
+  EXPECT_EQ(r.discordant, 0);
+  EXPECT_DOUBLE_EQ(r.tau_a, 1.0);
+  EXPECT_DOUBLE_EQ(r.tau_b, 1.0);
+}
+
+TEST(KendallTest, PerfectDiscordance) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {4, 3, 2, 1};
+  KendallResult r = KendallTau(x, y);
+  EXPECT_EQ(r.discordant, 6);
+  EXPECT_DOUBLE_EQ(r.tau_a, -1.0);
+}
+
+TEST(KendallTest, KnownMixedExample) {
+  // x = 1..5, y = (3, 1, 2, 5, 4): discordant pairs are (1,2), (1,3),
+  // (4,5); the remaining 7 are concordant, so τ_a = (7-3)/10 = 0.4.
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 1, 2, 5, 4};
+  KendallResult r = KendallTau(x, y);
+  EXPECT_EQ(r.concordant, 7);
+  EXPECT_EQ(r.discordant, 3);
+  EXPECT_DOUBLE_EQ(r.tau_a, 0.4);
+}
+
+TEST(KendallTest, TiesAccounting) {
+  std::vector<double> x = {1, 1, 2, 2};
+  std::vector<double> y = {1, 2, 1, 2};
+  KendallResult r = KendallTau(x, y);
+  // Pairs: (0,1) tied x, (2,3) tied x, (0,2) tied y, (1,3) tied y,
+  // (0,3) concordant, (1,2) discordant.
+  EXPECT_EQ(r.ties_x, 2);
+  EXPECT_EQ(r.ties_y, 2);
+  EXPECT_EQ(r.ties_xy, 0);
+  EXPECT_EQ(r.concordant, 1);
+  EXPECT_EQ(r.discordant, 1);
+  EXPECT_EQ(r.s, 0);
+  EXPECT_DOUBLE_EQ(r.tau_b, 0.0);
+}
+
+TEST(KendallTest, JointTies) {
+  std::vector<double> x = {1, 1, 2};
+  std::vector<double> y = {5, 5, 6};
+  KendallResult r = KendallTau(x, y);
+  EXPECT_EQ(r.ties_xy, 1);
+  EXPECT_EQ(r.concordant, 2);
+}
+
+TEST(KendallTest, DegenerateSizes) {
+  EXPECT_EQ(KendallTau({}, {}).n, 0);
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}).p_two_sided, 1.0);
+  KendallResult one = KendallTau({1.0}, {2.0});
+  EXPECT_EQ(one.s, 0);
+  EXPECT_DOUBLE_EQ(one.p_two_sided, 1.0);
+}
+
+TEST(KendallTest, ConstantColumnAllTies) {
+  std::vector<double> x = {1, 1, 1, 1};
+  std::vector<double> y = {1, 2, 3, 4};
+  KendallResult r = KendallTau(x, y);
+  EXPECT_EQ(r.concordant + r.discordant, 0);
+  EXPECT_DOUBLE_EQ(r.tau_b, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);  // Var(S) = 0
+}
+
+TEST(KendallTest, GaussianPValueMatchesKnownCase) {
+  // For n=10 with S=27 (tau_a=0.6), z = 27/sqrt(125) ≈ 2.4150,
+  // two-sided p ≈ 0.01573 (no ties: Var = n(n-1)(2n+5)/18 = 125).
+  std::vector<double> x;
+  std::vector<double> y = {3, 1, 2, 5, 4, 6, 8, 7, 10, 9};
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(i);
+  }
+  KendallResult r = KendallTauNaive(x, y);
+  EXPECT_EQ(r.n, 10);
+  EXPECT_DOUBLE_EQ(r.var_s, 125.0);
+  EXPECT_NEAR(r.z, static_cast<double>(r.s) / std::sqrt(125.0), 1e-12);
+}
+
+// Property: the O(n log n) implementation agrees exactly with the O(n²)
+// reference on random data with heavy, moderate, and no ties.
+class KendallEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallEquivalenceTest, FastMatchesNaive) {
+  int tie_levels = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(tie_levels));
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 120));
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>(rng.UniformInt(0, tie_levels));
+      y[i] = static_cast<double>(rng.UniformInt(0, tie_levels));
+    }
+    KendallResult fast = KendallTau(x, y);
+    KendallResult naive = KendallTauNaive(x, y);
+    EXPECT_EQ(fast.concordant, naive.concordant);
+    EXPECT_EQ(fast.discordant, naive.discordant);
+    EXPECT_EQ(fast.ties_x, naive.ties_x);
+    EXPECT_EQ(fast.ties_y, naive.ties_y);
+    EXPECT_EQ(fast.ties_xy, naive.ties_xy);
+    EXPECT_NEAR(fast.tau_b, naive.tau_b, 1e-12);
+    EXPECT_NEAR(fast.var_s, naive.var_s, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TieDensity, KendallEquivalenceTest,
+                         ::testing::Values(2, 5, 20, 1000000));
+
+TEST(KendallExactTest, TinyCasesByEnumeration) {
+  // n=3: S ∈ {3, 1, -1, -3} with probabilities {1/6, 2/6, 2/6, 1/6}.
+  EXPECT_NEAR(KendallExactPValue(3, 3), 2.0 / 6.0, 1e-12);   // |S|>=3
+  EXPECT_NEAR(KendallExactPValue(1, 3), 1.0, 1e-12);         // |S|>=1 (all)
+  EXPECT_NEAR(KendallExactPValue(-3, 3), 2.0 / 6.0, 1e-12);  // symmetric
+}
+
+TEST(KendallExactTest, N4Enumeration) {
+  // n=4: inversions distribution over 24 permutations:
+  // D: 0,1,2,3,4,5,6 with counts 1,3,5,6,5,3,1; S = 6 - 2D.
+  EXPECT_NEAR(KendallExactPValue(6, 4), 2.0 / 24.0, 1e-12);
+  EXPECT_NEAR(KendallExactPValue(4, 4), 8.0 / 24.0, 1e-12);
+  EXPECT_NEAR(KendallExactPValue(2, 4), 18.0 / 24.0, 1e-12);
+  EXPECT_NEAR(KendallExactPValue(0, 4), 1.0, 1e-12);
+}
+
+TEST(KendallExactTest, ZeroSGivesPOne) {
+  EXPECT_DOUBLE_EQ(KendallExactPValue(0, 7), 1.0);
+}
+
+TEST(KendallExactTest, ApproachesGaussianForModerateN) {
+  // At n=40, |S|=158 (tau=0.2026...): exact and Gaussian p should agree to
+  // a couple of decimal places.
+  int64_t n = 40;
+  int64_t s = 158;
+  double exact = KendallExactPValue(s, n);
+  double var = static_cast<double>(n) * (n - 1) * (2 * n + 5) / 18.0;
+  double z = static_cast<double>(s) / std::sqrt(var);
+  double gaussian = std::erfc(std::fabs(z) / std::sqrt(2.0));
+  EXPECT_NEAR(exact, gaussian, 0.01);
+}
+
+TEST(PairWeightTest, AllCases) {
+  EXPECT_EQ(PairWeight(1, 1, 2, 2), 1);
+  EXPECT_EQ(PairWeight(2, 2, 1, 1), 1);
+  EXPECT_EQ(PairWeight(1, 2, 2, 1), -1);
+  EXPECT_EQ(PairWeight(1, 1, 1, 2), 0);
+  EXPECT_EQ(PairWeight(1, 1, 2, 1), 0);
+  EXPECT_EQ(PairWeight(1, 1, 1, 1), 0);
+}
+
+TEST(TauBenefitsTest, SumIsTwiceS) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 200));
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>(rng.UniformInt(0, 30));
+      y[i] = static_cast<double>(rng.UniformInt(0, 30));
+    }
+    std::vector<int64_t> benefits = ComputeTauBenefits(x, y);
+    int64_t sum = 0;
+    for (int64_t b : benefits) {
+      sum += b;
+    }
+    EXPECT_EQ(sum, 2 * KendallTauNaive(x, y).s);
+  }
+}
+
+// Property: the segment-tree initialisation (Algorithm 2) matches the
+// O(n²) definition of per-record benefits, including under ties.
+class TauBenefitsEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TauBenefitsEquivalenceTest, SegmentTreeMatchesNaive) {
+  Rng rng(31 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 150));
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>(rng.UniformInt(0, GetParam()));
+      y[i] = static_cast<double>(rng.UniformInt(0, GetParam()));
+    }
+    EXPECT_EQ(ComputeTauBenefits(x, y), ComputeTauBenefitsNaive(x, y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TieDensity, TauBenefitsEquivalenceTest,
+                         ::testing::Values(1, 3, 10, 100000));
+
+}  // namespace
+}  // namespace scoded

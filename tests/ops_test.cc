@@ -1,0 +1,93 @@
+#include "table/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace scoded {
+namespace {
+
+Table MakeTable() {
+  TableBuilder builder;
+  builder.AddCategorical("city", {"b", "a", "c", "a", "b"});
+  builder.AddNumeric("value", {3.0, 1.0, 2.0, 1.0, 5.0});
+  return std::move(builder).Build().value();
+}
+
+TEST(SortByTest, SingleNumericKey) {
+  Table sorted = SortBy(MakeTable(), {{"value", true}}).value();
+  EXPECT_DOUBLE_EQ(sorted.ColumnByName("value").NumericAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(sorted.ColumnByName("value").NumericAt(4), 5.0);
+  // Stability: the two 1.0 rows keep their relative order (a before a).
+  EXPECT_EQ(sorted.ColumnByName("city").CategoryAt(0), "a");
+}
+
+TEST(SortByTest, DescendingAndMultiKey) {
+  Table sorted = SortBy(MakeTable(), {{"city", true}, {"value", false}}).value();
+  EXPECT_EQ(sorted.ColumnByName("city").CategoryAt(0), "a");
+  EXPECT_DOUBLE_EQ(sorted.ColumnByName("value").NumericAt(0), 1.0);
+  EXPECT_EQ(sorted.ColumnByName("city").CategoryAt(2), "b");
+  EXPECT_DOUBLE_EQ(sorted.ColumnByName("value").NumericAt(2), 5.0);
+}
+
+TEST(SortByTest, NullsSortFirst) {
+  TableBuilder builder;
+  builder.AddNumericWithNulls("v", {2.0, 0.0, 1.0}, {true, false, true});
+  Table t = std::move(builder).Build().value();
+  Table sorted = SortBy(t, {{"v", true}}).value();
+  EXPECT_TRUE(sorted.column(0).IsNull(0));
+  EXPECT_DOUBLE_EQ(sorted.column(0).NumericAt(1), 1.0);
+}
+
+TEST(SortByTest, Errors) {
+  EXPECT_FALSE(SortBy(MakeTable(), {}).ok());
+  EXPECT_FALSE(SortBy(MakeTable(), {{"missing", true}}).ok());
+}
+
+TEST(RowsWhereEqualTest, CategoricalAndNumeric) {
+  Table t = MakeTable();
+  EXPECT_EQ(RowsWhereEqual(t, "city", "a").value(), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(RowsWhereEqual(t, "value", "1").value(), (std::vector<size_t>{1, 3}));
+  EXPECT_TRUE(RowsWhereEqual(t, "city", "zzz").value().empty());
+  EXPECT_FALSE(RowsWhereEqual(t, "value", "not-a-number").ok());
+  EXPECT_FALSE(RowsWhereEqual(t, "missing", "a").ok());
+}
+
+TEST(RowsWhereBetweenTest, InclusiveRange) {
+  Table t = MakeTable();
+  EXPECT_EQ(RowsWhereBetween(t, "value", 1.0, 3.0).value(),
+            (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_FALSE(RowsWhereBetween(t, "city", 0, 1).ok());
+}
+
+TEST(HeadTailTest, Basics) {
+  Table t = MakeTable();
+  EXPECT_EQ(Head(t, 2).NumRows(), 2u);
+  EXPECT_EQ(Head(t, 99).NumRows(), 5u);
+  Table tail = Tail(t, 2);
+  EXPECT_EQ(tail.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(tail.ColumnByName("value").NumericAt(1), 5.0);
+}
+
+TEST(SampleTest, DistinctRowsInOrder) {
+  Table t = MakeTable();
+  Rng rng(1);
+  Table s = Sample(t, 3, rng);
+  EXPECT_EQ(s.NumRows(), 3u);
+  EXPECT_EQ(Sample(t, 10, rng).NumRows(), 5u);
+}
+
+TEST(DistinctTest, CombinationsInFirstAppearanceOrder) {
+  TableBuilder builder;
+  builder.AddCategorical("a", {"x", "x", "y", "x"});
+  builder.AddCategorical("b", {"1", "1", "2", "2"});
+  builder.AddNumeric("noise", {9, 8, 7, 6});
+  Table t = std::move(builder).Build().value();
+  Table d = Distinct(t, {"a", "b"}).value();
+  EXPECT_EQ(d.NumRows(), 3u);
+  EXPECT_EQ(d.NumColumns(), 2u);
+  EXPECT_EQ(d.ColumnByName("a").CategoryAt(0), "x");
+  EXPECT_EQ(d.ColumnByName("b").CategoryAt(2), "2");
+  EXPECT_FALSE(Distinct(t, {"missing"}).ok());
+}
+
+}  // namespace
+}  // namespace scoded

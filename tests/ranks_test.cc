@@ -1,0 +1,92 @@
+#include "stats/ranks.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace scoded {
+namespace {
+
+TEST(DenseRanksTest, DistinctValues) {
+  size_t distinct = 0;
+  std::vector<size_t> ranks = DenseRanks({3.0, 1.0, 2.0}, &distinct);
+  EXPECT_EQ(ranks, (std::vector<size_t>{2, 0, 1}));
+  EXPECT_EQ(distinct, 3u);
+}
+
+TEST(DenseRanksTest, TiesShareRanks) {
+  size_t distinct = 0;
+  std::vector<size_t> ranks = DenseRanks({5.0, 5.0, 1.0, 5.0}, &distinct);
+  EXPECT_EQ(ranks, (std::vector<size_t>{1, 1, 0, 1}));
+  EXPECT_EQ(distinct, 2u);
+}
+
+TEST(DenseRanksTest, Empty) {
+  size_t distinct = 99;
+  EXPECT_TRUE(DenseRanks({}, &distinct).empty());
+  EXPECT_EQ(distinct, 0u);
+}
+
+TEST(AverageRanksTest, NoTiesGives1ToN) {
+  std::vector<double> ranks = AverageRanks({30.0, 10.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesGetMidrank) {
+  // Values 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4.
+  std::vector<double> ranks = AverageRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(AverageRanksTest, AllEqual) {
+  std::vector<double> ranks = AverageRanks({7.0, 7.0, 7.0});
+  EXPECT_EQ(ranks, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(QuantileBinsTest, SingleBin) {
+  std::vector<int32_t> bins = QuantileBins({5.0, 1.0, 3.0}, 1);
+  EXPECT_EQ(bins, (std::vector<int32_t>{0, 0, 0}));
+}
+
+TEST(QuantileBinsTest, BalancedQuartiles) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  std::vector<int32_t> bins = QuantileBins(values, 4);
+  int counts[4] = {0, 0, 0, 0};
+  for (int32_t b : bins) {
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 4);
+    ++counts[b];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 25, 1);
+  }
+}
+
+TEST(QuantileBinsTest, ConstantColumnCollapsesToOneBin) {
+  std::vector<int32_t> bins = QuantileBins({2.0, 2.0, 2.0, 2.0}, 4);
+  for (int32_t b : bins) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(QuantileBinsTest, MonotoneInValue) {
+  std::vector<double> values = {1, 9, 2, 8, 3, 7, 4, 6, 5, 0};
+  std::vector<int32_t> bins = QuantileBins(values, 3);
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (values[i] < values[j]) {
+        EXPECT_LE(bins[i], bins[j]);
+      }
+    }
+  }
+}
+
+TEST(QuantileBinsTest, EmptyInput) {
+  EXPECT_TRUE(QuantileBins({}, 4).empty());
+}
+
+}  // namespace
+}  // namespace scoded

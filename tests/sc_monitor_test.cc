@@ -1,0 +1,218 @@
+#include "core/sc_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/violation.h"
+#include "stats/hypothesis.h"
+#include "stats/kendall.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+Table NumericPrototype() {
+  TableBuilder builder;
+  builder.AddNumeric("x", {});
+  builder.AddNumeric("y", {});
+  return std::move(builder).Build().value();
+}
+
+Table CategoricalPrototype() {
+  TableBuilder builder;
+  builder.AddCategorical("x", {});
+  builder.AddCategorical("y", {});
+  return std::move(builder).Build().value();
+}
+
+TEST(ScMonitorTest, CreateValidatesConstraint) {
+  Table proto = NumericPrototype();
+  ApproximateSc good{ParseConstraint("x !_||_ y").value(), 0.3};
+  EXPECT_TRUE(ScMonitor::Create(proto, good).ok());
+  ApproximateSc conditional{ParseConstraint("x _||_ y | x2").value(), 0.3};
+  EXPECT_FALSE(ScMonitor::Create(proto, conditional).ok());
+  ApproximateSc bad_alpha{good.sc, 2.0};
+  EXPECT_FALSE(ScMonitor::Create(proto, bad_alpha).ok());
+  TableBuilder mixed;
+  mixed.AddNumeric("x", {});
+  mixed.AddCategorical("y", {});
+  Table mixed_proto = std::move(mixed).Build().value();
+  EXPECT_FALSE(ScMonitor::Create(mixed_proto, good).ok());
+}
+
+TEST(ScMonitorTest, NumericMatchesBatchStatistic) {
+  // Incremental S must equal the batch Kendall S after any prefix.
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(NumericPrototype(), asc).value();
+  for (int i = 0; i < 120; ++i) {
+    double xv = static_cast<double>(rng.UniformInt(0, 20));  // with ties
+    double yv = static_cast<double>(rng.UniformInt(0, 20));
+    x.push_back(xv);
+    y.push_back(yv);
+    ASSERT_TRUE(monitor.AppendNumeric(xv, yv).ok());
+    if (i % 17 == 0 && i > 2) {
+      KendallResult batch = KendallTauNaive(x, y);
+      EXPECT_DOUBLE_EQ(monitor.CurrentStatistic(),
+                       std::abs(static_cast<double>(batch.s)));
+      EXPECT_NEAR(monitor.CurrentPValue(), batch.p_two_sided, 1e-9);
+    }
+  }
+}
+
+TEST(ScMonitorTest, CategoricalMatchesBatchG) {
+  Rng rng(2);
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  ApproximateSc asc{ParseConstraint("x _||_ y").value(), 0.05};
+  ScMonitor monitor = ScMonitor::Create(CategoricalPrototype(), asc).value();
+  for (int i = 0; i < 300; ++i) {
+    std::string xv = "a" + std::to_string(rng.UniformInt(0, 3));
+    std::string yv = rng.Bernoulli(0.3) ? xv + "_twin" : "b" + std::to_string(rng.UniformInt(0, 3));
+    x.push_back(xv);
+    y.push_back(yv);
+    ASSERT_TRUE(monitor.AppendCategorical(xv, yv).ok());
+  }
+  TableBuilder builder;
+  builder.AddCategorical("x", x);
+  builder.AddCategorical("y", y);
+  Table table = std::move(builder).Build().value();
+  TestOptions options;
+  options.allow_exact = false;  // compare against the pure asymptotic G path
+  TestResult batch = IndependenceTest(table, 0, 1, {}, options).value();
+  EXPECT_NEAR(monitor.CurrentStatistic(), batch.statistic, 1e-8);
+  EXPECT_NEAR(monitor.CurrentPValue(), batch.p_value, 1e-8);
+}
+
+TEST(ScMonitorTest, DetectsDriftingBatch) {
+  // Deployment scenario: a DSC holds while correlated batches arrive and
+  // is violated after an imputed (constant-y) batch erases the dependence.
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(NumericPrototype(), asc).value();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Normal();
+    ASSERT_TRUE(monitor.AppendNumeric(v, v + rng.Normal(0.0, 0.3)).ok());
+  }
+  EXPECT_FALSE(monitor.Violated());
+  double p_before = monitor.CurrentPValue();
+  // The bad batch: y is a constant fill-in, x arbitrary.
+  ScMonitor fresh = ScMonitor::Create(NumericPrototype(), asc).value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fresh.AppendNumeric(rng.Normal(), 1.2345).ok());
+  }
+  EXPECT_TRUE(fresh.Violated());
+  EXPECT_GT(fresh.CurrentPValue(), p_before);
+}
+
+TEST(ScMonitorTest, AppendTableBatch) {
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(NumericPrototype(), asc).value();
+  Rng rng(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 80; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v);
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table batch = std::move(builder).Build().value();
+  ASSERT_TRUE(monitor.Append(batch).ok());
+  EXPECT_EQ(monitor.NumRecords(), 80u);
+  EXPECT_FALSE(monitor.Violated());
+}
+
+TEST(ScMonitorTest, NullsExcludedButCounted) {
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(NumericPrototype(), asc).value();
+  TableBuilder builder;
+  builder.AddNumericWithNulls("x", {1.0, 0.0, 2.0}, {true, false, true});
+  builder.AddNumeric("y", {1.0, 5.0, 2.0});
+  Table batch = std::move(builder).Build().value();
+  ASSERT_TRUE(monitor.Append(batch).ok());
+  EXPECT_EQ(monitor.NumRecords(), 3u);
+  EXPECT_DOUBLE_EQ(monitor.CurrentStatistic(), 1.0);  // one concordant pair
+}
+
+TEST(ScMonitorTest, TypeMismatchAppendRejected) {
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  ScMonitor numeric = ScMonitor::Create(NumericPrototype(), asc).value();
+  EXPECT_FALSE(numeric.AppendCategorical("a", "b").ok());
+  ScMonitor categorical = ScMonitor::Create(CategoricalPrototype(), asc).value();
+  EXPECT_FALSE(categorical.AppendNumeric(1.0, 2.0).ok());
+}
+
+TEST(ScMonitorTest, ConditionalMonitorStratifies) {
+  // Dependence holds within each z stratum; a confounded unconditional
+  // view would see it too, but the point is the conditional state: the
+  // stratified monitor matches the batch conditional test.
+  TableBuilder proto;
+  proto.AddNumeric("x", {});
+  proto.AddNumeric("y", {});
+  proto.AddCategorical("z", {});
+  Table prototype = std::move(proto).Build().value();
+  ApproximateSc asc{ParseConstraint("x !_||_ y | z").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(prototype, asc).value();
+
+  Rng rng(21);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<std::string> z;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      double v = rng.Normal();
+      x.push_back(v);
+      y.push_back(100.0 * s + v + rng.Normal(0.0, 0.4));
+      z.push_back("s" + std::to_string(s));
+    }
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  builder.AddCategorical("z", z);
+  Table batch = std::move(builder).Build().value();
+  ASSERT_TRUE(monitor.Append(batch).ok());
+  EXPECT_EQ(monitor.NumStrata(), 3u);
+  EXPECT_FALSE(monitor.Violated());
+
+  // Match the batch conditional test (exact Z stratification, no binning).
+  TestOptions options;
+  TestResult reference = IndependenceTest(batch, 0, 1, {2}, options).value();
+  EXPECT_NEAR(monitor.CurrentPValue(), reference.p_value, 1e-9);
+}
+
+TEST(ScMonitorTest, ConditionalRequiresCategoricalZ) {
+  TableBuilder proto;
+  proto.AddNumeric("x", {});
+  proto.AddNumeric("y", {});
+  proto.AddNumeric("year", {});
+  Table prototype = std::move(proto).Build().value();
+  ApproximateSc asc{ParseConstraint("x !_||_ y | year").value(), 0.3};
+  EXPECT_FALSE(ScMonitor::Create(prototype, asc).ok());
+}
+
+TEST(ScMonitorTest, ConditionalRejectsScalarAppends) {
+  TableBuilder proto;
+  proto.AddNumeric("x", {});
+  proto.AddNumeric("y", {});
+  proto.AddCategorical("z", {});
+  Table prototype = std::move(proto).Build().value();
+  ApproximateSc asc{ParseConstraint("x !_||_ y | z").value(), 0.3};
+  ScMonitor monitor = ScMonitor::Create(prototype, asc).value();
+  EXPECT_FALSE(monitor.AppendNumeric(1.0, 2.0).ok());
+}
+
+TEST(ScMonitorTest, EmptyMonitorIsNotViolatedForIsc) {
+  ApproximateSc isc{ParseConstraint("x _||_ y").value(), 0.05};
+  ScMonitor monitor = ScMonitor::Create(NumericPrototype(), isc).value();
+  EXPECT_FALSE(monitor.Violated());
+  EXPECT_DOUBLE_EQ(monitor.CurrentPValue(), 1.0);
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,121 @@
+#include "constraints/sc.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+TEST(ParseConstraintTest, SimpleIndependence) {
+  StatisticalConstraint sc = ParseConstraint("Model _||_ Color").value();
+  EXPECT_EQ(sc.kind, ScKind::kIndependence);
+  EXPECT_EQ(sc.x, (std::vector<std::string>{"Model"}));
+  EXPECT_EQ(sc.y, (std::vector<std::string>{"Color"}));
+  EXPECT_TRUE(sc.z.empty());
+}
+
+TEST(ParseConstraintTest, Dependence) {
+  StatisticalConstraint sc = ParseConstraint("Model !_||_ Price").value();
+  EXPECT_EQ(sc.kind, ScKind::kDependence);
+}
+
+TEST(ParseConstraintTest, Conditional) {
+  StatisticalConstraint sc = ParseConstraint("Color _||_ Price | Model").value();
+  EXPECT_EQ(sc.z, (std::vector<std::string>{"Model"}));
+}
+
+TEST(ParseConstraintTest, SetsOfVariables) {
+  StatisticalConstraint sc = ParseConstraint("A, B _||_ C, D | E, F").value();
+  EXPECT_EQ(sc.x, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(sc.y, (std::vector<std::string>{"C", "D"}));
+  EXPECT_EQ(sc.z, (std::vector<std::string>{"E", "F"}));
+}
+
+TEST(ParseConstraintTest, RoundTripThroughToString) {
+  for (const char* text :
+       {"A _||_ B", "A !_||_ B", "A, B _||_ C | D", "Wind !_||_ Weather | Year"}) {
+    StatisticalConstraint sc = ParseConstraint(text).value();
+    StatisticalConstraint again = ParseConstraint(sc.ToString()).value();
+    EXPECT_EQ(sc, again) << text;
+  }
+}
+
+TEST(ParseConstraintTest, Errors) {
+  EXPECT_FALSE(ParseConstraint("A B").ok());                // no operator
+  EXPECT_FALSE(ParseConstraint("_||_ B").ok());             // empty X
+  EXPECT_FALSE(ParseConstraint("A _||_ ").ok());            // empty Y
+  EXPECT_FALSE(ParseConstraint("A _||_ B | ").ok());        // empty Z after '|'
+  EXPECT_FALSE(ParseConstraint("A _||_ A").ok());           // overlap
+  EXPECT_FALSE(ParseConstraint("A _||_ B | A").ok());       // overlap with Z
+  EXPECT_FALSE(ParseConstraint("A,, B _||_ C").ok());       // empty var name
+}
+
+TEST(NegatedTest, FlipsKind) {
+  StatisticalConstraint sc = ParseConstraint("A _||_ B").value();
+  EXPECT_EQ(sc.Negated().kind, ScKind::kDependence);
+  EXPECT_EQ(sc.Negated().Negated(), sc);
+}
+
+TEST(BindConstraintTest, ResolvesNames) {
+  TableBuilder builder;
+  builder.AddCategorical("Model", {"a"});
+  builder.AddCategorical("Color", {"w"});
+  builder.AddNumeric("Price", {1.0});
+  Table t = std::move(builder).Build().value();
+  BoundConstraint bound =
+      BindConstraint(ParseConstraint("Color _||_ Price | Model").value(), t).value();
+  EXPECT_EQ(bound.x, (std::vector<int>{1}));
+  EXPECT_EQ(bound.y, (std::vector<int>{2}));
+  EXPECT_EQ(bound.z, (std::vector<int>{0}));
+}
+
+TEST(BindConstraintTest, UnknownColumnFails) {
+  TableBuilder builder;
+  builder.AddNumeric("a", {1.0});
+  builder.AddNumeric("b", {1.0});
+  Table t = std::move(builder).Build().value();
+  Result<BoundConstraint> r = BindConstraint(ParseConstraint("a _||_ missing").value(), t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DecomposeTest, SingletonIsUnchanged) {
+  StatisticalConstraint sc = ParseConstraint("A _||_ B | C").value();
+  std::vector<StatisticalConstraint> parts = DecomposeToSingletons(sc);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], sc);
+}
+
+TEST(DecomposeTest, SetYSplitsWithAugmentedConditioning) {
+  // X ⊥ Y1 Y2 | Z  =>  (X ⊥ Y1 | Z Y2) & (X ⊥ Y2 | Z Y1).
+  StatisticalConstraint sc = ParseConstraint("X _||_ Y1, Y2 | Z").value();
+  std::vector<StatisticalConstraint> parts = DecomposeToSingletons(sc);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].y, (std::vector<std::string>{"Y1"}));
+  EXPECT_EQ(parts[0].z, (std::vector<std::string>{"Z", "Y2"}));
+  EXPECT_EQ(parts[1].y, (std::vector<std::string>{"Y2"}));
+  EXPECT_EQ(parts[1].z, (std::vector<std::string>{"Z", "Y1"}));
+}
+
+TEST(DecomposeTest, SetXAndYProducesCrossProduct) {
+  StatisticalConstraint sc = ParseConstraint("A, B _||_ C, D").value();
+  std::vector<StatisticalConstraint> parts = DecomposeToSingletons(sc);
+  EXPECT_EQ(parts.size(), 4u);
+  for (const StatisticalConstraint& part : parts) {
+    EXPECT_EQ(part.x.size(), 1u);
+    EXPECT_EQ(part.y.size(), 1u);
+    EXPECT_EQ(part.z.size(), 2u);  // the two left-out variables
+    EXPECT_EQ(part.kind, sc.kind);
+  }
+}
+
+TEST(DecomposeTest, PreservesDependenceKind) {
+  StatisticalConstraint sc = ParseConstraint("A !_||_ B, C").value();
+  for (const StatisticalConstraint& part : DecomposeToSingletons(sc)) {
+    EXPECT_EQ(part.kind, ScKind::kDependence);
+  }
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,110 @@
+#include "stats/segment_tree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace scoded {
+namespace {
+
+TEST(SegmentTreeTest, EmptyTree) {
+  SegmentTree tree(0);
+  EXPECT_EQ(tree.Total(), 0);
+  EXPECT_EQ(tree.Sum(0, 10), 0);
+}
+
+TEST(SegmentTreeTest, SingleElement) {
+  SegmentTree tree(1);
+  tree.Add(0, 5);
+  EXPECT_EQ(tree.Sum(0, 0), 5);
+  EXPECT_EQ(tree.Total(), 5);
+}
+
+TEST(SegmentTreeTest, BasicRangeSums) {
+  SegmentTree tree(8);
+  for (size_t i = 0; i < 8; ++i) {
+    tree.Add(i, static_cast<int64_t>(i + 1));
+  }
+  EXPECT_EQ(tree.Sum(0, 7), 36);
+  EXPECT_EQ(tree.Sum(2, 4), 3 + 4 + 5);
+  EXPECT_EQ(tree.PrefixSum(3), 1 + 2 + 3 + 4);
+  EXPECT_EQ(tree.SuffixSum(6), 7 + 8);
+}
+
+TEST(SegmentTreeTest, InvertedAndClampedRanges) {
+  SegmentTree tree(4);
+  tree.Add(0, 1);
+  tree.Add(3, 1);
+  EXPECT_EQ(tree.Sum(3, 1), 0);
+  EXPECT_EQ(tree.Sum(2, 100), 1);
+  EXPECT_EQ(tree.Sum(100, 200), 0);
+  EXPECT_EQ(tree.SuffixSum(4), 0);
+}
+
+TEST(SegmentTreeTest, NonPowerOfTwoSize) {
+  SegmentTree tree(5);
+  for (size_t i = 0; i < 5; ++i) {
+    tree.Add(i, 1);
+  }
+  EXPECT_EQ(tree.Total(), 5);
+  EXPECT_EQ(tree.Sum(1, 3), 3);
+}
+
+TEST(SegmentTreeTest, NegativeDeltasAndClear) {
+  SegmentTree tree(4);
+  tree.Add(2, 7);
+  tree.Add(2, -3);
+  EXPECT_EQ(tree.Sum(2, 2), 4);
+  tree.Clear();
+  EXPECT_EQ(tree.Total(), 0);
+}
+
+TEST(FenwickTreeTest, MatchesBasicSums) {
+  FenwickTree tree(8);
+  for (size_t i = 0; i < 8; ++i) {
+    tree.Add(i, static_cast<int64_t>(i + 1));
+  }
+  EXPECT_EQ(tree.Sum(0, 7), 36);
+  EXPECT_EQ(tree.Sum(2, 4), 12);
+  EXPECT_EQ(tree.PrefixSum(0), 1);
+  EXPECT_EQ(tree.Total(), 36);
+}
+
+// Property test: segment tree, Fenwick tree, and a brute-force array agree
+// under random updates and queries, across a sweep of universe sizes.
+class TreeEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TreeEquivalenceTest, RandomOperationsAgreeWithBruteForce) {
+  size_t n = GetParam();
+  SegmentTree seg(n);
+  FenwickTree fen(n);
+  std::vector<int64_t> brute(n, 0);
+  Rng rng(static_cast<uint64_t>(n) * 7919 + 1);
+  for (int op = 0; op < 500; ++op) {
+    size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    int64_t delta = rng.UniformInt(-3, 5);
+    seg.Add(pos, delta);
+    fen.Add(pos, delta);
+    brute[pos] += delta;
+
+    size_t lo = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t hi = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (lo > hi) {
+      std::swap(lo, hi);
+    }
+    int64_t expected = 0;
+    for (size_t i = lo; i <= hi; ++i) {
+      expected += brute[i];
+    }
+    EXPECT_EQ(seg.Sum(lo, hi), expected) << "n=" << n << " [" << lo << "," << hi << "]";
+    EXPECT_EQ(fen.Sum(lo, hi), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 16, 33, 100, 255));
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,188 @@
+#include "table/table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scoded {
+namespace {
+
+Table MakeCarTable() {
+  TableBuilder builder;
+  builder.AddCategorical("Model", {"BMW", "BMW", "Prius", "Prius"});
+  builder.AddCategorical("Color", {"White", "Black", "White", "Black"});
+  builder.AddNumeric("Price", {40000, 41000, 25000, 25500});
+  return std::move(builder).Build().value();
+}
+
+TEST(ColumnTest, NumericBasics) {
+  Column col = Column::Numeric({1.0, 2.0, 3.0});
+  EXPECT_EQ(col.type(), ColumnType::kNumeric);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col.NumericAt(1), 2.0);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_EQ(col.NullCount(), 0u);
+}
+
+TEST(ColumnTest, NumericNulls) {
+  Column col = Column::NumericWithNulls({1.0, 0.0, 3.0}, {true, false, true});
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_EQ(col.NullCount(), 1u);
+  EXPECT_TRUE(std::isnan(col.NumericAt(1)));
+  EXPECT_EQ(col.ValueToString(1), "");
+}
+
+TEST(ColumnTest, NaNValuesCountAsNull) {
+  Column col = Column::Numeric({1.0, std::nan(""), 3.0});
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.NullCount(), 1u);
+}
+
+TEST(ColumnTest, CategoricalDictionaryEncoding) {
+  Column col = Column::Categorical({"red", "blue", "red", "green"});
+  EXPECT_EQ(col.type(), ColumnType::kCategorical);
+  EXPECT_EQ(col.NumCategories(), 3u);
+  EXPECT_EQ(col.CodeAt(0), col.CodeAt(2));
+  EXPECT_NE(col.CodeAt(0), col.CodeAt(1));
+  EXPECT_EQ(col.CategoryAt(3), "green");
+  EXPECT_EQ(col.dictionary()[0], "red");  // first-appearance order
+}
+
+TEST(ColumnTest, CategoricalFromCodesWithNull) {
+  Column col = Column::CategoricalFromCodes({0, -1, 1}, {"a", "b"});
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.NullCount(), 1u);
+  EXPECT_EQ(col.CategoryAt(2), "b");
+}
+
+TEST(ColumnTest, Gather) {
+  Column col = Column::Categorical({"a", "b", "c"});
+  Column gathered = col.Gather({2, 0, 2});
+  EXPECT_EQ(gathered.size(), 3u);
+  EXPECT_EQ(gathered.CategoryAt(0), "c");
+  EXPECT_EQ(gathered.CategoryAt(1), "a");
+  EXPECT_EQ(gathered.CategoryAt(2), "c");
+}
+
+TEST(ColumnTest, ValueToStringRendersIntegersPlainly) {
+  Column col = Column::Numeric({3.0, 2.5});
+  EXPECT_EQ(col.ValueToString(0), "3");
+  EXPECT_EQ(col.ValueToString(1), "2.5");
+}
+
+TEST(SchemaTest, FindField) {
+  Schema schema({{"a", ColumnType::kNumeric}, {"b", ColumnType::kCategorical}});
+  EXPECT_EQ(schema.FindField("b").value(), 1);
+  EXPECT_FALSE(schema.FindField("missing").has_value());
+  EXPECT_EQ(schema.ToString(), "a:numeric, b:categorical");
+}
+
+TEST(TableTest, MakeValidatesArity) {
+  Schema schema({{"a", ColumnType::kNumeric}});
+  Result<Table> r = Table::Make(schema, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, MakeValidatesTypes) {
+  Schema schema({{"a", ColumnType::kCategorical}});
+  Result<Table> r = Table::Make(schema, {Column::Numeric({1.0})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, MakeValidatesRowCounts) {
+  Schema schema({{"a", ColumnType::kNumeric}, {"b", ColumnType::kNumeric}});
+  Result<Table> r = Table::Make(schema, {Column::Numeric({1.0}), Column::Numeric({1.0, 2.0})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = MakeCarTable();
+  EXPECT_EQ(t.NumRows(), 4u);
+  EXPECT_EQ(t.NumColumns(), 3u);
+  EXPECT_EQ(t.ColumnIndex("Price").value(), 2);
+  EXPECT_FALSE(t.ColumnIndex("Fuel").ok());
+  EXPECT_EQ(t.ColumnByName("Model").CategoryAt(2), "Prius");
+}
+
+TEST(TableTest, GatherReordersRows) {
+  Table t = MakeCarTable();
+  Table g = t.Gather({3, 0});
+  EXPECT_EQ(g.NumRows(), 2u);
+  EXPECT_EQ(g.ColumnByName("Model").CategoryAt(0), "Prius");
+  EXPECT_DOUBLE_EQ(g.ColumnByName("Price").NumericAt(1), 40000.0);
+}
+
+TEST(TableTest, WithoutRowsKeepsOrder) {
+  Table t = MakeCarTable();
+  Table w = t.WithoutRows({1, 1, 3});
+  EXPECT_EQ(w.NumRows(), 2u);
+  EXPECT_EQ(w.ColumnByName("Color").CategoryAt(0), "White");
+  EXPECT_EQ(w.ColumnByName("Model").CategoryAt(1), "Prius");
+}
+
+TEST(TableTest, ProjectSelectsColumns) {
+  Table t = MakeCarTable();
+  Table p = t.Project({2, 0});
+  EXPECT_EQ(p.NumColumns(), 2u);
+  EXPECT_EQ(p.schema().field(0).name, "Price");
+  EXPECT_EQ(p.schema().field(1).name, "Model");
+}
+
+TEST(TableTest, ConcatMergesDictionaries) {
+  TableBuilder b1;
+  b1.AddCategorical("c", {"x", "y"});
+  Table t1 = std::move(b1).Build().value();
+  TableBuilder b2;
+  b2.AddCategorical("c", {"z", "x"});
+  Table t2 = std::move(b2).Build().value();
+  Table merged = Table::Concat(t1, t2).value();
+  EXPECT_EQ(merged.NumRows(), 4u);
+  EXPECT_EQ(merged.ColumnByName("c").CategoryAt(2), "z");
+  EXPECT_EQ(merged.ColumnByName("c").CodeAt(0), merged.ColumnByName("c").CodeAt(3));
+}
+
+TEST(TableTest, ConcatRejectsMismatchedSchemas) {
+  TableBuilder b1;
+  b1.AddNumeric("a", {1.0});
+  Table t1 = std::move(b1).Build().value();
+  TableBuilder b2;
+  b2.AddCategorical("a", {"x"});
+  Table t2 = std::move(b2).Build().value();
+  EXPECT_FALSE(Table::Concat(t1, t2).ok());
+}
+
+TEST(TableTest, ConcatNumeric) {
+  TableBuilder b1;
+  b1.AddNumeric("a", {1.0, 2.0});
+  TableBuilder b2;
+  b2.AddNumeric("a", {3.0});
+  Table merged =
+      Table::Concat(std::move(b1).Build().value(), std::move(b2).Build().value()).value();
+  EXPECT_EQ(merged.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(merged.column(0).NumericAt(2), 3.0);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeCarTable();
+  std::string rendered = t.ToString(2);
+  EXPECT_NE(rendered.find("more rows"), std::string::npos);
+  EXPECT_NE(rendered.find("Model"), std::string::npos);
+}
+
+TEST(TableBuilderTest, EmptyTable) {
+  Table t = TableBuilder().Build().value();
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.NumColumns(), 0u);
+}
+
+TEST(TableBuilderTest, MismatchedLengthsRejected) {
+  TableBuilder b;
+  b.AddNumeric("a", {1.0, 2.0});
+  b.AddNumeric("b", {1.0});
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+}  // namespace
+}  // namespace scoded

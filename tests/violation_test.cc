@@ -1,0 +1,151 @@
+#include "core/violation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/scoded.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+// Figure 2 of the paper: the original car database (r1-r8) and the version
+// with inserted records r9-r16 that breaks Model ⊥ Color.
+Table OriginalCarTable() {
+  TableBuilder builder;
+  builder.AddCategorical("Model", {"BMW X1", "BMW X1", "BMW X1", "BMW X1", "Toyota Prius",
+                                   "Toyota Prius", "Toyota Prius", "Toyota Prius"});
+  builder.AddCategorical("Color",
+                         {"White", "Black", "White", "Black", "White", "White", "White", "Black"});
+  return std::move(builder).Build().value();
+}
+
+Table UpdatedCarTable() {
+  TableBuilder builder;
+  builder.AddCategorical(
+      "Model", {"BMW X1", "BMW X1", "BMW X1", "BMW X1", "Toyota Prius", "Toyota Prius",
+                "Toyota Prius", "Toyota Prius", "BMW X1", "BMW X1", "BMW X1", "BMW X1",
+                "Toyota Prius", "Toyota Prius", "Toyota Prius", "Toyota Prius"});
+  builder.AddCategorical("Color",
+                         {"White", "Black", "White", "Black", "White", "White", "White", "Black",
+                          "White", "White", "White", "Black", "Black", "Black", "Black", "Black"});
+  return std::move(builder).Build().value();
+}
+
+TEST(ViolationTest, CarExampleInsertWeakensIndependence) {
+  ApproximateSc asc{ParseConstraint("Model _||_ Color").value(), 0.4};
+  ViolationReport before = DetectViolation(OriginalCarTable(), asc).value();
+  ViolationReport after = DetectViolation(UpdatedCarTable(), asc).value();
+  EXPECT_FALSE(before.violated);
+  EXPECT_TRUE(after.violated);
+  EXPECT_LT(after.p_value, before.p_value);
+}
+
+TEST(ViolationTest, AlphaControlsTheDecision) {
+  // Same data, different α (Example 3 / Figure 4 of the paper).
+  Table t = UpdatedCarTable();
+  StatisticalConstraint sc = ParseConstraint("Model _||_ Color").value();
+  ViolationReport lenient = DetectViolation(t, {sc, 0.05}).value();
+  ViolationReport strict = DetectViolation(t, {sc, 0.99}).value();
+  EXPECT_FALSE(lenient.violated);
+  EXPECT_TRUE(strict.violated);
+}
+
+TEST(ViolationTest, DependenceScViolatedByIndependentData) {
+  // Under H0 the p-value is uniform, so a DSC with α=0.3 is flagged on
+  // independent data with probability 0.7 per draw; require a clear
+  // majority across ten fixed seeds.
+  int violated = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+      x.push_back(rng.Normal());
+      y.push_back(rng.Normal());
+    }
+    TableBuilder builder;
+    builder.AddNumeric("x", x);
+    builder.AddNumeric("y", y);
+    Table t = std::move(builder).Build().value();
+    ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+    violated += DetectViolation(t, asc).value().violated ? 1 : 0;
+  }
+  EXPECT_GE(violated, 5);
+}
+
+TEST(ViolationTest, DependenceScSatisfiedByCorrelatedData) {
+  Rng rng(2);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y.push_back(v + rng.Normal(0.0, 0.5));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y", y);
+  Table t = std::move(builder).Build().value();
+  ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
+  EXPECT_FALSE(DetectViolation(t, asc).value().violated);
+}
+
+TEST(ViolationTest, SetValuedScDecomposes) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y1;
+  std::vector<double> y2;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Normal();
+    x.push_back(v);
+    y1.push_back(rng.Normal());          // independent of x
+    y2.push_back(v + rng.Normal(0, 0.2));  // dependent on x
+  }
+  TableBuilder builder;
+  builder.AddNumeric("x", x);
+  builder.AddNumeric("y1", y1);
+  builder.AddNumeric("y2", y2);
+  Table t = std::move(builder).Build().value();
+  ApproximateSc asc{ParseConstraint("x _||_ y1, y2").value(), 0.05};
+  ViolationReport report = DetectViolation(t, asc).value();
+  EXPECT_TRUE(report.violated);  // the y2 component breaks the joint ISC
+  EXPECT_EQ(report.components.size(), 2u);
+}
+
+TEST(ViolationTest, InvalidAlphaRejected) {
+  ApproximateSc asc{ParseConstraint("Model _||_ Color").value(), 1.5};
+  EXPECT_FALSE(DetectViolation(OriginalCarTable(), asc).ok());
+}
+
+TEST(ViolationTest, UnknownColumnPropagates) {
+  ApproximateSc asc{ParseConstraint("Model _||_ Fuel").value(), 0.05};
+  EXPECT_FALSE(DetectViolation(OriginalCarTable(), asc).ok());
+}
+
+TEST(ScodedFacadeTest, ParseValidatesSchema) {
+  Scoded system(OriginalCarTable());
+  EXPECT_TRUE(system.Parse("Model _||_ Color").ok());
+  EXPECT_FALSE(system.Parse("Model _||_ Fuel").ok());
+  EXPECT_FALSE(system.Parse("garbage").ok());
+}
+
+TEST(ScodedFacadeTest, CheckViolationMatchesFreeFunction) {
+  ApproximateSc asc{ParseConstraint("Model _||_ Color").value(), 0.4};
+  Scoded system(UpdatedCarTable());
+  ViolationReport via_facade = system.CheckViolation(asc).value();
+  ViolationReport direct = DetectViolation(UpdatedCarTable(), asc).value();
+  EXPECT_EQ(via_facade.violated, direct.violated);
+  EXPECT_DOUBLE_EQ(via_facade.p_value, direct.p_value);
+}
+
+TEST(ScodedFacadeTest, ConsistencyPassThrough) {
+  std::vector<StatisticalConstraint> constraints = {
+      Independence({"A"}, {"B"}),
+      Dependence({"A"}, {"B"}),
+  };
+  EXPECT_FALSE(Scoded::CheckConstraintConsistency(constraints).value().consistent);
+}
+
+}  // namespace
+}  // namespace scoded

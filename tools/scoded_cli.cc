@@ -1,0 +1,449 @@
+// scoded — command-line interface to the SCODED library.
+//
+//   scoded profile     --csv FILE
+//   scoded check       --csv FILE --sc "A _||_ B" [--alpha 0.05]
+//   scoded drill       --csv FILE --sc "A !_||_ B" --k 50
+//                      [--strategy k|kc|auto] [--alpha 0.05]
+//   scoded partition   --csv FILE --sc "..." [--alpha 0.05]
+//                      [--max-removal 0.5] [--out cleaned.csv]
+//   scoded repair      --csv FILE --sc "..." --k 20 [--out repaired.csv]
+//   scoded monitor     --csv FILE --sc "A !_||_ B" [--alpha 0.3]
+//                      [--batch 100]   (streams rows; prints p per batch)
+//   scoded report      --csv FILE --sc C1 [--sc C2 ...] [--alpha A]
+//                      [--k 20] [--format md|json] [--out FILE] [--fdr Q]
+//   scoded discover    --csv FILE [--alpha 0.05] [--max-cond 2]
+//   scoded fds         --csv FILE [--max-g3 0.25]  (approximate FDs +
+//                      their Prop. 2 DSC translations)
+//   scoded consistency --sc "..." [--sc "..." ...]
+//
+// Exit codes: 0 success (constraint holds / command completed), 2 the
+// checked constraint is violated, 1 any error. The violation exit code
+// makes `scoded check` usable as a data-quality gate in pipelines.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/graphoid.h"
+#include "core/sc_monitor.h"
+#include "core/scoded.h"
+#include "discovery/fd_discovery.h"
+#include "discovery/pc.h"
+#include "eval/report.h"
+#include "repair/cell_repair.h"
+#include "stats/descriptive.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace scoded;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> constraints;  // repeated --sc
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency> "
+               "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
+               "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
+               "[--out FILE]\n");
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) {
+    return false;
+  }
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) {
+      return false;
+    }
+    std::string value = argv[++i];
+    if (flag == "--sc") {
+      out->constraints.push_back(value);
+    } else {
+      out->flags[flag.substr(2)] = value;
+    }
+  }
+  return true;
+}
+
+double FlagDouble(const Args& args, const std::string& name, double fallback) {
+  auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : std::stod(it->second);
+}
+
+int64_t FlagInt(const Args& args, const std::string& name, int64_t fallback) {
+  auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : std::stoll(it->second);
+}
+
+Result<Table> LoadCsv(const Args& args) {
+  auto it = args.flags.find("csv");
+  if (it == args.flags.end()) {
+    return InvalidArgumentError("--csv FILE is required for this command");
+  }
+  return csv::ReadFile(it->second);
+}
+
+Result<ApproximateSc> SingleConstraint(const Args& args) {
+  if (args.constraints.size() != 1) {
+    return InvalidArgumentError("exactly one --sc CONSTRAINT is required for this command");
+  }
+  SCODED_ASSIGN_OR_RETURN(StatisticalConstraint sc, ParseConstraint(args.constraints[0]));
+  return ApproximateSc{sc, FlagDouble(args, "alpha", 0.05)};
+}
+
+Strategy ParseStrategy(const Args& args) {
+  auto it = args.flags.find("strategy");
+  if (it == args.flags.end() || it->second == "auto") {
+    return Strategy::kAuto;
+  }
+  if (it->second == "k") {
+    return Strategy::kDirect;
+  }
+  return Strategy::kComplement;
+}
+
+int RunProfile(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu rows x %zu columns\n\n%s", table->NumRows(), table->NumColumns(),
+              DescribeTableText(*table).c_str());
+  return 0;
+}
+
+int RunCheck(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  Result<ApproximateSc> asc = SingleConstraint(args);
+  if (!table.ok() || !asc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
+    return 1;
+  }
+  Scoded system(std::move(table).value());
+  Result<ViolationReport> report = system.CheckViolation(*asc);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
+              asc->sc.ToString().c_str(), report->violated ? "VIOLATED" : "holds",
+              report->p_value, report->test.statistic,
+              std::string(TestMethodToString(report->test.method)).c_str(),
+              static_cast<long long>(report->test.n));
+  return report->violated ? 2 : 0;
+}
+
+int RunDrill(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  Result<ApproximateSc> asc = SingleConstraint(args);
+  if (!table.ok() || !asc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
+    return 1;
+  }
+  size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
+  Scoded system(std::move(table).value());
+  Result<DrillDownResult> result = system.DrillDown(*asc, k, ParseStrategy(args));
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("top-%zu suspicious records for %s (statistic %.4g -> %.4g):\n",
+              result->rows.size(), asc->sc.ToString().c_str(), result->initial_statistic,
+              result->final_statistic);
+  for (size_t row : result->rows) {
+    std::printf("%zu\n", row);
+  }
+  return 0;
+}
+
+int RunPartition(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  Result<ApproximateSc> asc = SingleConstraint(args);
+  if (!table.ok() || !asc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
+    return 1;
+  }
+  Scoded system(*table);
+  Result<PartitionResult> result =
+      system.Partition(*asc, FlagDouble(args, "max-removal", 0.5));
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("removed %zu records; p: %.4g -> %.4g; constraint %s\n",
+              result->removed_rows.size(), result->initial_p, result->final_p,
+              result->satisfied ? "restored" : "NOT restored within budget");
+  auto out = args.flags.find("out");
+  if (out != args.flags.end()) {
+    Table cleaned = table->WithoutRows(result->removed_rows);
+    Status write = csv::WriteFile(cleaned, out->second);
+    if (!write.ok()) {
+      std::fprintf(stderr, "error: %s\n", write.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu rows)\n", out->second.c_str(), cleaned.NumRows());
+  }
+  return 0;
+}
+
+int RunRepair(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  Result<ApproximateSc> asc = SingleConstraint(args);
+  if (!table.ok() || !asc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
+    return 1;
+  }
+  size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
+  Result<RepairPlan> plan = SuggestCellRepairs(*table, *asc, k);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu suggested repairs (statistic %.4g -> %.4g):\n", plan->repairs.size(),
+              plan->initial_statistic, plan->final_statistic);
+  for (const CellRepair& repair : plan->repairs) {
+    std::printf("  %s\n", repair.ToString(*table).c_str());
+  }
+  auto out = args.flags.find("out");
+  if (out != args.flags.end()) {
+    Result<Table> repaired = ApplyRepairs(*table, plan->repairs);
+    if (!repaired.ok()) {
+      std::fprintf(stderr, "error: %s\n", repaired.status().ToString().c_str());
+      return 1;
+    }
+    Status write = csv::WriteFile(*repaired, out->second);
+    if (!write.ok()) {
+      std::fprintf(stderr, "error: %s\n", write.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out->second.c_str());
+  }
+  return 0;
+}
+
+int RunReport(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  if (args.constraints.empty()) {
+    std::fprintf(stderr, "error: at least one --sc CONSTRAINT is required\n");
+    return 1;
+  }
+  double alpha = FlagDouble(args, "alpha", 0.05);
+  std::vector<ApproximateSc> constraints;
+  for (const std::string& text : args.constraints) {
+    Result<StatisticalConstraint> sc = ParseConstraint(text);
+    if (!sc.ok()) {
+      std::fprintf(stderr, "error: %s\n", sc.status().ToString().c_str());
+      return 1;
+    }
+    constraints.push_back({std::move(sc).value(), alpha});
+  }
+  ReportOptions options;
+  options.drilldown_k = static_cast<size_t>(FlagInt(args, "k", 20));
+  options.fdr_q = FlagDouble(args, "fdr", 0.05);
+  Result<CleaningReport> report = GenerateCleaningReport(*table, constraints, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  auto fmt = args.flags.find("format");
+  std::string rendered = (fmt != args.flags.end() && fmt->second == "json")
+                             ? report->ToJson(*table)
+                             : report->ToMarkdown(*table, options);
+  auto out = args.flags.find("out");
+  if (out != args.flags.end()) {
+    FILE* f = std::fopen(out->second.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", out->second.c_str());
+      return 1;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out->second.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return report->confirmed_violations > 0 ? 2 : 0;
+}
+
+int RunMonitor(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  Result<ApproximateSc> asc = SingleConstraint(args);
+  if (!table.ok() || !asc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
+    return 1;
+  }
+  size_t batch = static_cast<size_t>(FlagInt(args, "batch", 100));
+  if (batch == 0) {
+    std::fprintf(stderr, "error: --batch must be positive\n");
+    return 1;
+  }
+  Result<ScMonitor> monitor = ScMonitor::Create(*table, *asc);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "error: %s\n", monitor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-12s %-12s %-10s %s\n", "rows", "statistic", "p-value", "state");
+  for (size_t start = 0; start < table->NumRows(); start += batch) {
+    std::vector<size_t> rows;
+    for (size_t i = start; i < std::min(start + batch, table->NumRows()); ++i) {
+      rows.push_back(i);
+    }
+    Status status = monitor->Append(table->Gather(rows));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12zu %-12.4g %-10.4g %s\n", monitor->NumRecords(),
+                monitor->CurrentStatistic(), monitor->CurrentPValue(),
+                monitor->Violated() ? "VIOLATED" : "ok");
+  }
+  return monitor->Violated() ? 2 : 0;
+}
+
+int RunDiscover(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  PcOptions options;
+  options.alpha = FlagDouble(args, "alpha", 0.05);
+  options.max_conditioning = static_cast<int>(FlagInt(args, "max-cond", 2));
+  Result<PcResult> result = LearnPcStructure(*table, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("discovered constraints (PC, alpha = %g, max conditioning = %d):\n",
+              options.alpha, options.max_conditioning);
+  for (const StatisticalConstraint& sc : result->DiscoveredConstraints()) {
+    std::printf("  %s\n", sc.ToString().c_str());
+  }
+  if (!result->directed.empty()) {
+    std::printf("v-structure orientations:\n");
+    for (const auto& [from, to] : result->directed) {
+      std::printf("  %s -> %s\n", result->names[static_cast<size_t>(from)].c_str(),
+                  result->names[static_cast<size_t>(to)].c_str());
+    }
+  }
+  return 0;
+}
+
+int RunFds(const Args& args) {
+  Result<Table> table = LoadCsv(args);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  FdDiscoveryOptions options;
+  options.max_g3_ratio = FlagDouble(args, "max-g3", 0.25);
+  Result<std::vector<DiscoveredFd>> fds = DiscoverApproximateFds(*table, options);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("approximate FDs with g3 <= %g (Prop. 2 translation alongside):\n", options.max_g3_ratio);
+  std::printf("%-28s %-10s %-12s %s\n", "FD", "g3", "viol.pairs", "as DSC");
+  for (const DiscoveredFd& fd : *fds) {
+    std::printf("%-28s %-10.4f %-12.4f %s\n", fd.fd.ToString().c_str(), fd.g3_ratio,
+                fd.violating_pair_ratio, FdToDsc(fd.fd).ToString().c_str());
+  }
+  return 0;
+}
+
+int RunConsistency(const Args& args) {
+  if (args.constraints.empty()) {
+    std::fprintf(stderr, "error: at least one --sc CONSTRAINT is required\n");
+    return 1;
+  }
+  std::vector<StatisticalConstraint> scs;
+  for (const std::string& text : args.constraints) {
+    Result<StatisticalConstraint> sc = ParseConstraint(text);
+    if (!sc.ok()) {
+      std::fprintf(stderr, "error: %s\n", sc.status().ToString().c_str());
+      return 1;
+    }
+    scs.push_back(std::move(sc).value());
+  }
+  Result<ConsistencyReport> report = CheckConsistency(scs);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (report->consistent) {
+    std::printf("consistent (%zu constraints, closure size %zu)\n", scs.size(),
+                report->closure_size);
+    Result<std::vector<StatisticalConstraint>> minimal = MinimizeConstraints(scs);
+    if (minimal.ok() && minimal->size() < scs.size()) {
+      std::printf("minimal equivalent subset (%zu):\n", minimal->size());
+      for (const StatisticalConstraint& sc : *minimal) {
+        std::printf("  %s\n", sc.ToString().c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("INCONSISTENT:\n");
+  for (const std::string& conflict : report->conflicts) {
+    std::printf("  %s\n", conflict.c_str());
+  }
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (args.command == "profile") {
+    return RunProfile(args);
+  }
+  if (args.command == "check") {
+    return RunCheck(args);
+  }
+  if (args.command == "drill") {
+    return RunDrill(args);
+  }
+  if (args.command == "partition") {
+    return RunPartition(args);
+  }
+  if (args.command == "repair") {
+    return RunRepair(args);
+  }
+  if (args.command == "monitor") {
+    return RunMonitor(args);
+  }
+  if (args.command == "report") {
+    return RunReport(args);
+  }
+  if (args.command == "discover") {
+    return RunDiscover(args);
+  }
+  if (args.command == "fds") {
+    return RunFds(args);
+  }
+  if (args.command == "consistency") {
+    return RunConsistency(args);
+  }
+  return Usage();
+}
