@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conditional_scs"
+  "../bench/bench_conditional_scs.pdb"
+  "CMakeFiles/bench_conditional_scs.dir/bench_conditional_scs.cpp.o"
+  "CMakeFiles/bench_conditional_scs.dir/bench_conditional_scs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conditional_scs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_boston_dependence"
+  "../bench/bench_fig10_boston_dependence.pdb"
+  "CMakeFiles/bench_fig10_boston_dependence.dir/bench_fig10_boston_dependence.cpp.o"
+  "CMakeFiles/bench_fig10_boston_dependence.dir/bench_fig10_boston_dependence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_boston_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

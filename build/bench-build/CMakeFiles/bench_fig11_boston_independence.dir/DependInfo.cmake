@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_boston_independence.cpp" "bench-build/CMakeFiles/bench_fig11_boston_independence.dir/bench_fig11_boston_independence.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig11_boston_independence.dir/bench_fig11_boston_independence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/scoded_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/scoded_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/scoded_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/scoded_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scoded_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/scoded_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

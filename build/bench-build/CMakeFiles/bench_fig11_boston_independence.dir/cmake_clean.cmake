@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_boston_independence"
+  "../bench/bench_fig11_boston_independence.pdb"
+  "CMakeFiles/bench_fig11_boston_independence.dir/bench_fig11_boston_independence.cpp.o"
+  "CMakeFiles/bench_fig11_boston_independence.dir/bench_fig11_boston_independence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_boston_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

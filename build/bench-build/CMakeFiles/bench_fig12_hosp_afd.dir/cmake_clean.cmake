@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_hosp_afd"
+  "../bench/bench_fig12_hosp_afd.pdb"
+  "CMakeFiles/bench_fig12_hosp_afd.dir/bench_fig12_hosp_afd.cpp.o"
+  "CMakeFiles/bench_fig12_hosp_afd.dir/bench_fig12_hosp_afd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hosp_afd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

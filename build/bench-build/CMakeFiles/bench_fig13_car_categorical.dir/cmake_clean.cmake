@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_car_categorical"
+  "../bench/bench_fig13_car_categorical.pdb"
+  "CMakeFiles/bench_fig13_car_categorical.dir/bench_fig13_car_categorical.cpp.o"
+  "CMakeFiles/bench_fig13_car_categorical.dir/bench_fig13_car_categorical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_car_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_nebraska_pvalues"
+  "../bench/bench_fig8_nebraska_pvalues.pdb"
+  "CMakeFiles/bench_fig8_nebraska_pvalues.dir/bench_fig8_nebraska_pvalues.cpp.o"
+  "CMakeFiles/bench_fig8_nebraska_pvalues.dir/bench_fig8_nebraska_pvalues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nebraska_pvalues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

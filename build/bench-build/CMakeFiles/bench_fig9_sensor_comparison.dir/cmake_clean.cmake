@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_sensor_comparison"
+  "../bench/bench_fig9_sensor_comparison.pdb"
+  "CMakeFiles/bench_fig9_sensor_comparison.dir/bench_fig9_sensor_comparison.cpp.o"
+  "CMakeFiles/bench_fig9_sensor_comparison.dir/bench_fig9_sensor_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_entailments"
+  "../bench/bench_table1_entailments.pdb"
+  "CMakeFiles/bench_table1_entailments.dir/bench_table1_entailments.cpp.o"
+  "CMakeFiles/bench_table1_entailments.dir/bench_table1_entailments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_entailments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_counterexample"
+  "../bench/bench_table2_counterexample.pdb"
+  "CMakeFiles/bench_table2_counterexample.dir/bench_table2_counterexample.cpp.o"
+  "CMakeFiles/bench_table2_counterexample.dir/bench_table2_counterexample.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

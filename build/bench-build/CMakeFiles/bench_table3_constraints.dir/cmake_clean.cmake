@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_constraints"
+  "../bench/bench_table3_constraints.pdb"
+  "CMakeFiles/bench_table3_constraints.dir/bench_table3_constraints.cpp.o"
+  "CMakeFiles/bench_table3_constraints.dir/bench_table3_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_workflow.dir/discovery_workflow.cpp.o"
+  "CMakeFiles/discovery_workflow.dir/discovery_workflow.cpp.o.d"
+  "discovery_workflow"
+  "discovery_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hockey_model_construction.dir/hockey_model_construction.cpp.o"
+  "CMakeFiles/hockey_model_construction.dir/hockey_model_construction.cpp.o.d"
+  "hockey_model_construction"
+  "hockey_model_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hockey_model_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

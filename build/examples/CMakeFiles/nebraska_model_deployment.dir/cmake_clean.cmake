@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebraska_model_deployment.dir/nebraska_model_deployment.cpp.o"
+  "CMakeFiles/nebraska_model_deployment.dir/nebraska_model_deployment.cpp.o.d"
+  "nebraska_model_deployment"
+  "nebraska_model_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebraska_model_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_workflow.dir/repair_workflow.cpp.o"
+  "CMakeFiles/repair_workflow.dir/repair_workflow.cpp.o.d"
+  "repair_workflow"
+  "repair_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

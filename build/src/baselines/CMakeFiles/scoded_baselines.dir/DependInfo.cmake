@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/afd.cc" "src/baselines/CMakeFiles/scoded_baselines.dir/afd.cc.o" "gcc" "src/baselines/CMakeFiles/scoded_baselines.dir/afd.cc.o.d"
+  "/root/repo/src/baselines/dboost.cc" "src/baselines/CMakeFiles/scoded_baselines.dir/dboost.cc.o" "gcc" "src/baselines/CMakeFiles/scoded_baselines.dir/dboost.cc.o.d"
+  "/root/repo/src/baselines/dcdetect.cc" "src/baselines/CMakeFiles/scoded_baselines.dir/dcdetect.cc.o" "gcc" "src/baselines/CMakeFiles/scoded_baselines.dir/dcdetect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/scoded_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_baselines.dir/afd.cc.o"
+  "CMakeFiles/scoded_baselines.dir/afd.cc.o.d"
+  "CMakeFiles/scoded_baselines.dir/dboost.cc.o"
+  "CMakeFiles/scoded_baselines.dir/dboost.cc.o.d"
+  "CMakeFiles/scoded_baselines.dir/dcdetect.cc.o"
+  "CMakeFiles/scoded_baselines.dir/dcdetect.cc.o.d"
+  "libscoded_baselines.a"
+  "libscoded_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_common.dir/json.cc.o"
+  "CMakeFiles/scoded_common.dir/json.cc.o.d"
+  "CMakeFiles/scoded_common.dir/math.cc.o"
+  "CMakeFiles/scoded_common.dir/math.cc.o.d"
+  "CMakeFiles/scoded_common.dir/rng.cc.o"
+  "CMakeFiles/scoded_common.dir/rng.cc.o.d"
+  "CMakeFiles/scoded_common.dir/status.cc.o"
+  "CMakeFiles/scoded_common.dir/status.cc.o.d"
+  "CMakeFiles/scoded_common.dir/string_util.cc.o"
+  "CMakeFiles/scoded_common.dir/string_util.cc.o.d"
+  "libscoded_common.a"
+  "libscoded_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/denial_constraint.cc" "src/constraints/CMakeFiles/scoded_constraints.dir/denial_constraint.cc.o" "gcc" "src/constraints/CMakeFiles/scoded_constraints.dir/denial_constraint.cc.o.d"
+  "/root/repo/src/constraints/graphoid.cc" "src/constraints/CMakeFiles/scoded_constraints.dir/graphoid.cc.o" "gcc" "src/constraints/CMakeFiles/scoded_constraints.dir/graphoid.cc.o.d"
+  "/root/repo/src/constraints/ic.cc" "src/constraints/CMakeFiles/scoded_constraints.dir/ic.cc.o" "gcc" "src/constraints/CMakeFiles/scoded_constraints.dir/ic.cc.o.d"
+  "/root/repo/src/constraints/sc.cc" "src/constraints/CMakeFiles/scoded_constraints.dir/sc.cc.o" "gcc" "src/constraints/CMakeFiles/scoded_constraints.dir/sc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_constraints.dir/denial_constraint.cc.o"
+  "CMakeFiles/scoded_constraints.dir/denial_constraint.cc.o.d"
+  "CMakeFiles/scoded_constraints.dir/graphoid.cc.o"
+  "CMakeFiles/scoded_constraints.dir/graphoid.cc.o.d"
+  "CMakeFiles/scoded_constraints.dir/ic.cc.o"
+  "CMakeFiles/scoded_constraints.dir/ic.cc.o.d"
+  "CMakeFiles/scoded_constraints.dir/sc.cc.o"
+  "CMakeFiles/scoded_constraints.dir/sc.cc.o.d"
+  "libscoded_constraints.a"
+  "libscoded_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/drilldown.cc" "src/core/CMakeFiles/scoded_core.dir/drilldown.cc.o" "gcc" "src/core/CMakeFiles/scoded_core.dir/drilldown.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/scoded_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/scoded_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/sc_monitor.cc" "src/core/CMakeFiles/scoded_core.dir/sc_monitor.cc.o" "gcc" "src/core/CMakeFiles/scoded_core.dir/sc_monitor.cc.o.d"
+  "/root/repo/src/core/scoded.cc" "src/core/CMakeFiles/scoded_core.dir/scoded.cc.o" "gcc" "src/core/CMakeFiles/scoded_core.dir/scoded.cc.o.d"
+  "/root/repo/src/core/violation.cc" "src/core/CMakeFiles/scoded_core.dir/violation.cc.o" "gcc" "src/core/CMakeFiles/scoded_core.dir/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/scoded_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

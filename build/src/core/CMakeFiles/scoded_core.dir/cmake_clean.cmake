@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_core.dir/drilldown.cc.o"
+  "CMakeFiles/scoded_core.dir/drilldown.cc.o.d"
+  "CMakeFiles/scoded_core.dir/partition.cc.o"
+  "CMakeFiles/scoded_core.dir/partition.cc.o.d"
+  "CMakeFiles/scoded_core.dir/sc_monitor.cc.o"
+  "CMakeFiles/scoded_core.dir/sc_monitor.cc.o.d"
+  "CMakeFiles/scoded_core.dir/scoded.cc.o"
+  "CMakeFiles/scoded_core.dir/scoded.cc.o.d"
+  "CMakeFiles/scoded_core.dir/violation.cc.o"
+  "CMakeFiles/scoded_core.dir/violation.cc.o.d"
+  "libscoded_core.a"
+  "libscoded_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

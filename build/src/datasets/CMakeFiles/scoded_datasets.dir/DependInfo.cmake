@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/boston.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/boston.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/boston.cc.o.d"
+  "/root/repo/src/datasets/car.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/car.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/car.cc.o.d"
+  "/root/repo/src/datasets/errors.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/errors.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/errors.cc.o.d"
+  "/root/repo/src/datasets/hockey.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/hockey.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/hockey.cc.o.d"
+  "/root/repo/src/datasets/hosp.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/hosp.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/hosp.cc.o.d"
+  "/root/repo/src/datasets/nebraska.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/nebraska.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/nebraska.cc.o.d"
+  "/root/repo/src/datasets/sensor.cc" "src/datasets/CMakeFiles/scoded_datasets.dir/sensor.cc.o" "gcc" "src/datasets/CMakeFiles/scoded_datasets.dir/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_datasets.dir/boston.cc.o"
+  "CMakeFiles/scoded_datasets.dir/boston.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/car.cc.o"
+  "CMakeFiles/scoded_datasets.dir/car.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/errors.cc.o"
+  "CMakeFiles/scoded_datasets.dir/errors.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/hockey.cc.o"
+  "CMakeFiles/scoded_datasets.dir/hockey.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/hosp.cc.o"
+  "CMakeFiles/scoded_datasets.dir/hosp.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/nebraska.cc.o"
+  "CMakeFiles/scoded_datasets.dir/nebraska.cc.o.d"
+  "CMakeFiles/scoded_datasets.dir/sensor.cc.o"
+  "CMakeFiles/scoded_datasets.dir/sensor.cc.o.d"
+  "libscoded_datasets.a"
+  "libscoded_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

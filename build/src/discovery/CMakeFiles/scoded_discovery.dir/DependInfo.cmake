@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/association.cc" "src/discovery/CMakeFiles/scoded_discovery.dir/association.cc.o" "gcc" "src/discovery/CMakeFiles/scoded_discovery.dir/association.cc.o.d"
+  "/root/repo/src/discovery/chow_liu.cc" "src/discovery/CMakeFiles/scoded_discovery.dir/chow_liu.cc.o" "gcc" "src/discovery/CMakeFiles/scoded_discovery.dir/chow_liu.cc.o.d"
+  "/root/repo/src/discovery/dag.cc" "src/discovery/CMakeFiles/scoded_discovery.dir/dag.cc.o" "gcc" "src/discovery/CMakeFiles/scoded_discovery.dir/dag.cc.o.d"
+  "/root/repo/src/discovery/fd_discovery.cc" "src/discovery/CMakeFiles/scoded_discovery.dir/fd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/scoded_discovery.dir/fd_discovery.cc.o.d"
+  "/root/repo/src/discovery/pc.cc" "src/discovery/CMakeFiles/scoded_discovery.dir/pc.cc.o" "gcc" "src/discovery/CMakeFiles/scoded_discovery.dir/pc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/scoded_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_discovery.dir/association.cc.o"
+  "CMakeFiles/scoded_discovery.dir/association.cc.o.d"
+  "CMakeFiles/scoded_discovery.dir/chow_liu.cc.o"
+  "CMakeFiles/scoded_discovery.dir/chow_liu.cc.o.d"
+  "CMakeFiles/scoded_discovery.dir/dag.cc.o"
+  "CMakeFiles/scoded_discovery.dir/dag.cc.o.d"
+  "CMakeFiles/scoded_discovery.dir/fd_discovery.cc.o"
+  "CMakeFiles/scoded_discovery.dir/fd_discovery.cc.o.d"
+  "CMakeFiles/scoded_discovery.dir/pc.cc.o"
+  "CMakeFiles/scoded_discovery.dir/pc.cc.o.d"
+  "libscoded_discovery.a"
+  "libscoded_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_eval.dir/comparison.cc.o"
+  "CMakeFiles/scoded_eval.dir/comparison.cc.o.d"
+  "CMakeFiles/scoded_eval.dir/metrics.cc.o"
+  "CMakeFiles/scoded_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/scoded_eval.dir/report.cc.o"
+  "CMakeFiles/scoded_eval.dir/report.cc.o.d"
+  "CMakeFiles/scoded_eval.dir/scoded_detector.cc.o"
+  "CMakeFiles/scoded_eval.dir/scoded_detector.cc.o.d"
+  "libscoded_eval.a"
+  "libscoded_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_repair.dir/cell_repair.cc.o"
+  "CMakeFiles/scoded_repair.dir/cell_repair.cc.o.d"
+  "libscoded_repair.a"
+  "libscoded_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscoded_repair.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/scoded_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/stats/CMakeFiles/scoded_stats.dir/contingency.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/scoded_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/scoded_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/fisher.cc" "src/stats/CMakeFiles/scoded_stats.dir/fisher.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/fisher.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/scoded_stats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/kendall.cc" "src/stats/CMakeFiles/scoded_stats.dir/kendall.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/kendall.cc.o.d"
+  "/root/repo/src/stats/multiple_testing.cc" "src/stats/CMakeFiles/scoded_stats.dir/multiple_testing.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/multiple_testing.cc.o.d"
+  "/root/repo/src/stats/ranks.cc" "src/stats/CMakeFiles/scoded_stats.dir/ranks.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/ranks.cc.o.d"
+  "/root/repo/src/stats/segment_tree.cc" "src/stats/CMakeFiles/scoded_stats.dir/segment_tree.cc.o" "gcc" "src/stats/CMakeFiles/scoded_stats.dir/segment_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

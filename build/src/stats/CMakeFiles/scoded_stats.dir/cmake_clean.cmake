@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/scoded_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/contingency.cc.o"
+  "CMakeFiles/scoded_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/correlation.cc.o"
+  "CMakeFiles/scoded_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/descriptive.cc.o"
+  "CMakeFiles/scoded_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/fisher.cc.o"
+  "CMakeFiles/scoded_stats.dir/fisher.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/scoded_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/kendall.cc.o"
+  "CMakeFiles/scoded_stats.dir/kendall.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/multiple_testing.cc.o"
+  "CMakeFiles/scoded_stats.dir/multiple_testing.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/ranks.cc.o"
+  "CMakeFiles/scoded_stats.dir/ranks.cc.o.d"
+  "CMakeFiles/scoded_stats.dir/segment_tree.cc.o"
+  "CMakeFiles/scoded_stats.dir/segment_tree.cc.o.d"
+  "libscoded_stats.a"
+  "libscoded_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded_table.dir/column.cc.o"
+  "CMakeFiles/scoded_table.dir/column.cc.o.d"
+  "CMakeFiles/scoded_table.dir/csv.cc.o"
+  "CMakeFiles/scoded_table.dir/csv.cc.o.d"
+  "CMakeFiles/scoded_table.dir/group_by.cc.o"
+  "CMakeFiles/scoded_table.dir/group_by.cc.o.d"
+  "CMakeFiles/scoded_table.dir/ops.cc.o"
+  "CMakeFiles/scoded_table.dir/ops.cc.o.d"
+  "CMakeFiles/scoded_table.dir/schema.cc.o"
+  "CMakeFiles/scoded_table.dir/schema.cc.o.d"
+  "CMakeFiles/scoded_table.dir/table.cc.o"
+  "CMakeFiles/scoded_table.dir/table.cc.o.d"
+  "libscoded_table.a"
+  "libscoded_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

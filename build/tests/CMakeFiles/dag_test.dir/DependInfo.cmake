@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dag_test.cc" "tests/CMakeFiles/dag_test.dir/dag_test.cc.o" "gcc" "tests/CMakeFiles/dag_test.dir/dag_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scoded_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/scoded_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scoded_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/scoded_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scoded_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/scoded_discovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

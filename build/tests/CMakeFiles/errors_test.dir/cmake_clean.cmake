@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errors_test.dir/errors_test.cc.o"
+  "CMakeFiles/errors_test.dir/errors_test.cc.o.d"
+  "errors_test"
+  "errors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

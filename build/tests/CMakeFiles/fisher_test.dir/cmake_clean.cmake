@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fisher_test.dir/fisher_test.cc.o"
+  "CMakeFiles/fisher_test.dir/fisher_test.cc.o.d"
+  "fisher_test"
+  "fisher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fisher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

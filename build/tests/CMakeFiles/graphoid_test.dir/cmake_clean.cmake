@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphoid_test.dir/graphoid_test.cc.o"
+  "CMakeFiles/graphoid_test.dir/graphoid_test.cc.o.d"
+  "graphoid_test"
+  "graphoid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

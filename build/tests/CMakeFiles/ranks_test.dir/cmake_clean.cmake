@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranks_test.dir/ranks_test.cc.o"
+  "CMakeFiles/ranks_test.dir/ranks_test.cc.o.d"
+  "ranks_test"
+  "ranks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_monitor_test.dir/sc_monitor_test.cc.o"
+  "CMakeFiles/sc_monitor_test.dir/sc_monitor_test.cc.o.d"
+  "sc_monitor_test"
+  "sc_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

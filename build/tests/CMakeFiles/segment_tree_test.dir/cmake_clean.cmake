@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_tree_test.dir/segment_tree_test.cc.o"
+  "CMakeFiles/segment_tree_test.dir/segment_tree_test.cc.o.d"
+  "segment_tree_test"
+  "segment_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_test.dir/violation_test.cc.o"
+  "CMakeFiles/violation_test.dir/violation_test.cc.o.d"
+  "violation_test"
+  "violation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoded.dir/scoded_cli.cc.o"
+  "CMakeFiles/scoded.dir/scoded_cli.cc.o.d"
+  "scoded"
+  "scoded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
