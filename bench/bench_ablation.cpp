@@ -47,6 +47,7 @@ void StrategyPanel(const Table& table, const std::set<size_t>& truth, const char
 }  // namespace
 
 int main() {
+  scoded::bench::Init("ablation");
   using namespace scoded;
   std::printf("=== Ablation studies ===\n");
 

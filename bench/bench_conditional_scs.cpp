@@ -17,6 +17,7 @@
 #include "eval/scoded_detector.h"
 
 int main() {
+  scoded::bench::Init("conditional_scs");
   using namespace scoded;
   using bench::KSweep;
   using bench::PrintFScoreSweep;

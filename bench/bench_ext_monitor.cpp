@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/sc_monitor.h"
 #include "core/violation.h"
@@ -25,6 +26,7 @@ double Ms(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  scoded::bench::Init("ext_monitor");
   using namespace scoded;
   std::printf("=== Extension: streaming monitor vs batch re-testing ===\n");
 

@@ -17,6 +17,7 @@
 #include "eval/scoded_detector.h"
 
 int main() {
+  scoded::bench::Init("fig10_boston_dependence");
   using namespace scoded;
   using bench::KSweep;
   using bench::PrintFScoreSweep;

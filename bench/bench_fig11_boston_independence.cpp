@@ -14,6 +14,7 @@
 #include "eval/scoded_detector.h"
 
 int main() {
+  scoded::bench::Init("fig11_boston_independence");
   using namespace scoded;
   using bench::KSweep;
   using bench::PrintFScoreSweep;

@@ -41,6 +41,7 @@ void RunPanel(const char* title, const HospData& data, const FunctionalDependenc
 }  // namespace
 
 int main() {
+  scoded::bench::Init("fig12_hosp_afd");
   using namespace scoded;
   HospOptions options;
   options.rows = 20000;

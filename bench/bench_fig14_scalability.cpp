@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "core/drilldown.h"
 #include "datasets/boston.h"
 #include "datasets/hosp.h"
@@ -41,27 +42,34 @@ double TimeDrillDownMs(const Table& table, size_t k) {
 }  // namespace
 
 int main() {
+  scoded::bench::Init("fig14_scalability");
   using namespace scoded;
   std::printf("=== Figure 14: scalability (K strategy, N !_||_ D) ===\n");
   BostonOptions options;
   options.rows = 506;
   Table base = GenerateBostonData(options).value();
 
-  std::printf("\n(a) runtime vs n (k = 50):\n%-12s %-12s\n", "#records", "time(ms)");
+  bench::PrintTitle("(a) runtime vs n (k = 50)");
+  std::printf("%-12s %-12s\n", "#records", "time(ms)");
   for (size_t n : {10000, 50000, 100000, 250000, 500000, 1000000}) {
     Table big = ReplicateRows(base, n);
-    std::printf("%-12zu %-12.1f\n", n, TimeDrillDownMs(big, 50));
+    double ms = TimeDrillDownMs(big, 50);
+    bench::RecordValue("n=" + std::to_string(n), ms);
+    std::printf("%-12zu %-12.1f\n", n, ms);
   }
 
-  std::printf("\n(b) runtime vs k (n = 100000):\n%-12s %-12s\n", "k", "time(ms)");
+  bench::PrintTitle("(b) runtime vs k (n = 100000)");
+  std::printf("%-12s %-12s\n", "k", "time(ms)");
   Table fixed = ReplicateRows(base, 100000);
   for (size_t k : {10, 25, 50, 100, 200, 400}) {
-    std::printf("%-12zu %-12.1f\n", k, TimeDrillDownMs(fixed, k));
+    double ms = TimeDrillDownMs(fixed, k);
+    bench::RecordValue("k=" + std::to_string(k), ms);
+    std::printf("%-12zu %-12.1f\n", k, ms);
   }
   // (c) Extension panel: the categorical (G) engine scales in the number
   // of live contingency cells per step, not records.
-  std::printf("\n(c) categorical engine, runtime vs n (k = 50, Zip !_||_ City):\n%-12s %-12s\n",
-              "#records", "time(ms)");
+  bench::PrintTitle("(c) categorical engine, runtime vs n (k = 50, Zip !_||_ City)");
+  std::printf("%-12s %-12s\n", "#records", "time(ms)");
   for (size_t n : {20000, 50000, 100000, 200000}) {
     HospOptions options;
     options.rows = n;
@@ -72,8 +80,9 @@ int main() {
     auto start = std::chrono::steady_clock::now();
     (void)DrillDown(data.table, asc, 50, drill).value();
     auto end = std::chrono::steady_clock::now();
-    std::printf("%-12zu %-12.1f\n", n,
-                std::chrono::duration<double, std::milli>(end - start).count());
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    bench::RecordValue("n=" + std::to_string(n), ms);
+    std::printf("%-12zu %-12.1f\n", n, ms);
   }
   std::printf("\nexpected shape: ~O(n log n) growth in (a); ~linear growth in (b)\n"
               "after the fixed O(n log n) initialisation cost; near-linear in (c)\n"

@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "core/scoded.h"
 #include "table/table.h"
 
 int main() {
+  scoded::bench::Init("fig2_car_example");
   using namespace scoded;
   std::printf("=== Figure 2: car database insert example ===\n");
 

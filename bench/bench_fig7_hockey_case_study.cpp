@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_util.h"
 #include "core/scoded.h"
 #include "datasets/hockey.h"
 #include "eval/metrics.h"
 
 int main() {
+  scoded::bench::Init("fig7_hockey_case_study");
   using namespace scoded;
   std::printf("=== Figure 7: hockey top-50 drill-down ===\n");
 

@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/scoded.h"
 #include "datasets/nebraska.h"
 #include "table/ops.h"
@@ -26,6 +27,7 @@ std::vector<size_t> RowsOfYear(const Table& table, int year) {
 }  // namespace
 
 int main() {
+  scoded::bench::Init("fig8_nebraska_pvalues");
   using namespace scoded;
   std::printf("=== Figure 8: Nebraska per-year p-values (alpha = 0.3) ===\n");
 

@@ -19,6 +19,7 @@
 #include "eval/scoded_detector.h"
 
 int main() {
+  scoded::bench::Init("fig9_sensor_comparison");
   using namespace scoded;
   using bench::KSweep;
   using bench::PrintFScoreSweep;

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "constraints/ic.h"
 #include "table/table.h"
@@ -57,6 +58,7 @@ void Report(const char* name, int holds, int applicable) {
 }  // namespace
 
 int main() {
+  scoded::bench::Init("table1_entailments");
   using namespace scoded;
   std::printf("=== Table 1: entailments between SCs and ICs ===\n");
   Rng rng(7);

@@ -9,11 +9,13 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "constraints/ic.h"
 #include "table/group_by.h"
 #include "table/table.h"
 
 int main() {
+  scoded::bench::Init("table2_counterexample");
   using namespace scoded;
   std::printf("=== Table 2: EMVD holds but ISC fails ===\n");
 

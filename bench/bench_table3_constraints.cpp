@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "constraints/denial_constraint.h"
 #include "constraints/ic.h"
 #include "core/violation.h"
@@ -29,6 +30,7 @@ void Row(const Table& table, const char* dataset, const char* sc_text, double al
 }  // namespace
 
 int main() {
+  scoded::bench::Init("table3_constraints");
   using namespace scoded;
   std::printf("=== Table 3: constraints used by SCODED and the IC baselines ===\n");
   std::printf("(clean generated data: every SC should hold)\n\n");

@@ -5,27 +5,174 @@
 // regenerates one table/figure of the paper and prints the corresponding
 // rows/series; the sweep machinery itself lives in the library
 // (`eval/comparison.h`) so applications can reuse it.
+//
+// A binary that calls Init("fig9_sensor") additionally writes
+// BENCH_fig9_sensor.json into the working directory at exit: per-section
+// wall-clock (sections are delimited by PrintTitle calls), every F-score
+// sweep as structured data (including per-detector runtime), and any
+// scalar series recorded with RecordValue. The CI/driver scripts diff
+// these artefacts instead of scraping stdout.
 
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "eval/comparison.h"
+#include "obs/trace.h"
 #include "table/table.h"
 
 namespace scoded::bench {
 
+/// Collects the machine-readable run record of one bench binary.
+/// Header-only singleton so adopting it is a single Init() line per main.
+class Reporter {
+ public:
+  static Reporter& Global() {
+    static Reporter* reporter = new Reporter;
+    return *reporter;
+  }
+
+  /// Names the artefact (BENCH_<name>.json) and arms the at-exit write.
+  void Init(std::string name) {
+    name_ = std::move(name);
+    if (!atexit_armed_) {
+      atexit_armed_ = true;
+      std::atexit([] { Global().Write(); });
+    }
+  }
+
+  /// Closes the previous section (recording its wall-clock) and opens a
+  /// new one. Sections map 1:1 to PrintTitle calls.
+  void StartSection(const std::string& title) {
+    CloseSection();
+    sections_.push_back(Section{title, obs::NowMicros(), -1.0, {}, {}});
+  }
+
+  /// Attaches a structured F-score sweep to the current section.
+  void RecordSweep(const ComparisonResult& result) {
+    EnsureSection();
+    sections_.back().sweeps.push_back(result.ToJson());
+  }
+
+  /// Attaches one labelled scalar (e.g. a runtime measurement) to the
+  /// current section.
+  void RecordValue(const std::string& label, double value) {
+    EnsureSection();
+    sections_.back().values.emplace_back(label, value);
+  }
+
+  /// Writes BENCH_<name>.json; a no-op unless Init() was called.
+  void Write() {
+    if (name_.empty() || written_) {
+      return;
+    }
+    written_ = true;
+    CloseSection();
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench").String(name_);
+    json.Key("total_ms").Double(TotalMs());
+    json.Key("sections").BeginArray();
+    for (const Section& section : sections_) {
+      json.BeginObject();
+      json.Key("title").String(section.title);
+      json.Key("ms").Double(section.ms);
+      if (!section.sweeps.empty()) {
+        json.Key("sweeps").BeginArray();
+        for (const std::string& sweep : section.sweeps) {
+          json.Raw(sweep);
+        }
+        json.EndArray();
+      }
+      if (!section.values.empty()) {
+        json.Key("values").BeginArray();
+        for (const auto& [label, value] : section.values) {
+          json.BeginObject();
+          json.Key("label").String(label);
+          json.Key("value").Double(value);
+          json.EndObject();
+        }
+        json.EndArray();
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Section {
+    std::string title;
+    int64_t start_us = 0;
+    double ms = -1.0;
+    std::vector<std::string> sweeps;  // pre-rendered ComparisonResult JSON
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  void EnsureSection() {
+    if (sections_.empty()) {
+      StartSection("main");
+    }
+  }
+
+  void CloseSection() {
+    if (!sections_.empty() && sections_.back().ms < 0.0) {
+      sections_.back().ms =
+          static_cast<double>(obs::NowMicros() - sections_.back().start_us) / 1000.0;
+    }
+  }
+
+  double TotalMs() const {
+    double total = 0.0;
+    for (const Section& section : sections_) {
+      total += section.ms > 0.0 ? section.ms : 0.0;
+    }
+    return total;
+  }
+
+  std::string name_;
+  bool atexit_armed_ = false;
+  bool written_ = false;
+  std::vector<Section> sections_;
+};
+
+/// Names this binary's BENCH_<name>.json artefact and arms its at-exit
+/// write. Call once at the top of main().
+inline void Init(const std::string& name) { Reporter::Global().Init(name); }
+
 inline void PrintTitle(const std::string& title) {
+  Reporter::Global().StartSection(title);
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Records one labelled scalar (runtime, p-value, ...) into the current
+/// section of the JSON artefact.
+inline void RecordValue(const std::string& label, double value) {
+  Reporter::Global().RecordValue(label, value);
+}
+
 /// Runs every detector once (ranking up to max(ks)) and prints an
-/// F-score@K sweep table: one row per k, one column per detector.
+/// F-score@K sweep table: one row per k, one column per detector, plus a
+/// per-detector runtime row. The sweep also lands in the JSON artefact.
 inline void PrintFScoreSweep(const Table& table, const std::set<size_t>& truth,
                              const std::vector<ErrorDetector*>& detectors,
                              const std::vector<size_t>& ks) {
-  std::fputs(CompareDetectors(table, truth, detectors, ks).ToText().c_str(), stdout);
+  ComparisonResult result = CompareDetectors(table, truth, detectors, ks);
+  Reporter::Global().RecordSweep(result);
+  std::fputs(result.ToText().c_str(), stdout);
 }
 
 /// Standard k sweep: fractions of the ground-truth size.

@@ -1,7 +1,9 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace scoded {
 
@@ -94,6 +96,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
 void JsonWriter::Escape(std::string_view value) {
   out_.push_back('"');
   for (char c : value) {
@@ -125,5 +133,271 @@ void JsonWriter::Escape(std::string_view value) {
   }
   out_.push_back('"');
 }
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : object) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) {
+      return status;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the top-level value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& message) const {
+    return Status(StatusCode::kInvalidArgument,
+                  "JSON parse error at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false", out);
+      case 'n':
+        return ParseKeyword("null", out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(std::string_view keyword, JsonValue* out) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      return Error("invalid literal");
+    }
+    pos_ += keyword.size();
+    if (keyword == "null") {
+      out->kind = JsonValue::Kind::kNull;
+    } else {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = keyword == "true";
+    }
+    return OkStatus();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid value");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error("invalid number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return OkStatus();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return OkStatus();
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(escape);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape digit");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // combined; the writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return OkStatus();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) {
+        return status;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) {
+        return status;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return OkStatus();
+    }
+    while (true) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) {
+        return status;
+      }
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return OkStatus();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) { return JsonParser(text).Parse(); }
 
 }  // namespace scoded

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
 
 namespace scoded {
 
@@ -35,6 +39,10 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
+  /// Splices pre-rendered JSON in as one value. The caller guarantees
+  /// `json` is itself valid JSON (e.g. the output of another JsonWriter).
+  JsonWriter& Raw(std::string_view json);
+
   const std::string& str() const { return out_; }
 
  private:
@@ -46,6 +54,36 @@ class JsonWriter {
   std::string need_comma_stack_ = "0";  // one char per depth: '0' or '1'
   bool after_key_ = false;
 };
+
+/// Parsed JSON value: a small DOM used to read back machine-readable
+/// artefacts (trace files, metrics snapshots, bench JSON) in tests and
+/// tools. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict RFC 8259 parser for the subset this codebase emits: all value
+/// kinds, string escapes including \uXXXX (BMP code points, encoded back
+/// to UTF-8), and a nesting-depth limit of 256. Trailing garbage after
+/// the top-level value is an error.
+Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace scoded
 

@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "stats/kendall.h"
 #include "stats/ranks.h"
 #include "table/group_by.h"
@@ -482,13 +484,28 @@ Result<DrillDownResult> DrillDown(const Table& table, const ApproximateSc& asc, 
 Result<DrillDownResult> DrillDown(const Table& table, const ApproximateSc& asc, size_t k,
                                   const std::vector<size_t>& rows,
                                   const DrillDownOptions& options) {
-  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, ChooseComponent(table, asc, rows, options.test));
-  SCODED_ASSIGN_OR_RETURN(
-      std::unique_ptr<DrilldownEngine> engine,
-      internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, options.test,
-                           options.g_objective));
-
+  static obs::Counter* const removals_counter =
+      obs::Metrics::Global().FindOrCreateCounter("core.drilldown_removals");
   DrillDownResult result;
+  obs::PhaseTimer timer(&result.telemetry, "core/drilldown");
+  if (timer.span().active()) {
+    timer.span().Arg("k", static_cast<int64_t>(k)).Arg("rows", static_cast<int64_t>(rows.size()));
+  }
+
+  BoundConstraint bound;
+  std::unique_ptr<DrilldownEngine> engine;
+  {
+    obs::PhaseTimer choose(&result.telemetry, "core/drilldown/choose_component");
+    SCODED_ASSIGN_OR_RETURN(bound, ChooseComponent(table, asc, rows, options.test));
+  }
+  {
+    obs::PhaseTimer build(&result.telemetry, "core/drilldown/build_engine");
+    SCODED_ASSIGN_OR_RETURN(
+        engine, internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, options.test,
+                                     options.g_objective));
+  }
+  obs::PhaseTimer greedy(&result.telemetry, "core/drilldown/greedy");
+
   result.initial_statistic = engine->CurrentStatistic();
   result.initial_p = engine->CurrentPValue();
   Strategy strategy = ResolveStrategy(asc, options.strategy);
@@ -508,6 +525,10 @@ Result<DrillDownResult> DrillDown(const Table& table, const ApproximateSc& asc, 
     }
     result.final_statistic = engine->CurrentStatistic();
     result.final_p = engine->CurrentPValue();
+    result.telemetry.removals += static_cast<int64_t>(result.rows.size());
+    removals_counter->Add(static_cast<int64_t>(result.rows.size()));
+    greedy.Stop();
+    timer.Stop();
     return result;
   }
 
@@ -537,12 +558,20 @@ Result<DrillDownResult> DrillDown(const Table& table, const ApproximateSc& asc, 
   }
   result.rows.assign(removal_order.rbegin(),
                      removal_order.rbegin() + static_cast<ptrdiff_t>(k));
+  result.telemetry.removals += static_cast<int64_t>(removal_order.size());
+  removals_counter->Add(static_cast<int64_t>(removal_order.size()));
+  greedy.Stop();
+  timer.Stop();
   return result;
 }
 
 Result<std::vector<size_t>> RankSuspiciousRecords(const Table& table, const ApproximateSc& asc,
                                                   size_t max_rank,
                                                   const DrillDownOptions& options) {
+  obs::ScopedSpan span("core/rank_suspicious");
+  if (span.active()) {
+    span.Arg("max_rank", static_cast<int64_t>(max_rank));
+  }
   std::vector<size_t> rows = AllRows(table);
   SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, ChooseComponent(table, asc, rows, options.test));
   SCODED_ASSIGN_OR_RETURN(

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "obs/metrics.h"
 #include "stats/kendall.h"
 
 namespace scoded {
@@ -53,6 +54,14 @@ Result<ScMonitor> ScMonitor::Create(const Table& prototype, const ApproximateSc&
 }
 
 Status ScMonitor::Append(const Table& batch) {
+  static obs::Counter* const batches_counter =
+      obs::Metrics::Global().FindOrCreateCounter("core.monitor_batches");
+  batches_counter->Add();
+  obs::PhaseTimer timer(&telemetry_, "core/monitor/append");
+  if (timer.span().active()) {
+    timer.span().Arg("rows", static_cast<int64_t>(batch.NumRows()));
+  }
+  telemetry_.AddCount("batches", 1);
   SCODED_ASSIGN_OR_RETURN(int x_col, batch.ColumnIndex(asc_.sc.x[0]));
   SCODED_ASSIGN_OR_RETURN(int y_col, batch.ColumnIndex(asc_.sc.y[0]));
   std::vector<int> z_cols;
@@ -67,7 +76,9 @@ Status ScMonitor::Append(const Table& batch) {
   const Column& yc = batch.column(static_cast<size_t>(y_col));
   for (size_t i = 0; i < batch.NumRows(); ++i) {
     ++records_;
+    ++telemetry_.rows_scanned;
     if (xc.IsNull(i) || yc.IsNull(i)) {
+      telemetry_.AddCount("null_rows_skipped", 1);
       continue;
     }
     // Stratum key: the conditioning categories joined with an unlikely
@@ -104,6 +115,7 @@ Status ScMonitor::AppendNumeric(double x, double y) {
     return FailedPreconditionError("AppendNumeric on a conditional monitor; use Append");
   }
   ++records_;
+  ++telemetry_.rows_scanned;
   AddNumericPair(StratumFor(""), x, y);
   return OkStatus();
 }
@@ -116,6 +128,7 @@ Status ScMonitor::AppendCategorical(const std::string& x, const std::string& y) 
     return FailedPreconditionError("AppendCategorical on a conditional monitor; use Append");
   }
   ++records_;
+  ++telemetry_.rows_scanned;
   auto [xit, xi] = x_dict_.emplace(x, static_cast<int32_t>(x_dict_.size()));
   auto [yit, yi] = y_dict_.emplace(y, static_cast<int32_t>(y_dict_.size()));
   AddCategoricalCodes(StratumFor(""), xit->second, yit->second);

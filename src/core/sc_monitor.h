@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/approximate_sc.h"
+#include "obs/telemetry.h"
 #include "stats/hypothesis.h"
 #include "table/table.h"
 
@@ -65,6 +66,11 @@ class ScMonitor {
 
   const ApproximateSc& constraint() const { return asc_; }
 
+  /// Ingest-cost summary: wall-clock of batch appends, batches ingested,
+  /// rows appended / skipped for nulls. Accumulates over the monitor's
+  /// lifetime (phases and counters merge by name).
+  const obs::RunTelemetry& telemetry() const { return telemetry_; }
+
  private:
   ScMonitor() = default;
 
@@ -93,6 +99,7 @@ class ScMonitor {
 
   ApproximateSc asc_;
   TestOptions options_;
+  obs::RunTelemetry telemetry_;
   bool is_tau_ = false;
   size_t records_ = 0;
   std::map<std::string, int32_t> x_dict_;

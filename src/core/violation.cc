@@ -21,6 +21,7 @@ Result<ViolationReport> DetectViolation(const Table& table, const ApproximateSc&
   }
   ViolationReport report;
   report.alpha = asc.alpha;
+  obs::PhaseTimer timer(&report.telemetry, "core/detect_violation");
 
   std::vector<StatisticalConstraint> components = DecomposeToSingletons(asc.sc);
   bool is_independence = asc.sc.is_independence();
@@ -42,10 +43,17 @@ Result<ViolationReport> DetectViolation(const Table& table, const ApproximateSc&
       report.test = test;
       have_component = true;
     }
+    ++report.telemetry.tests_executed;
+    report.telemetry.rows_scanned += test.n;
+    (test.used_exact ? report.telemetry.exact_tests : report.telemetry.asymptotic_tests) += 1;
+    report.telemetry.strata_used += static_cast<int64_t>(test.strata_used);
+    report.telemetry.strata_skipped += static_cast<int64_t>(test.strata_skipped);
     report.components.push_back(ComponentResult{component, test});
   }
+  report.telemetry.AddCount("components", static_cast<int64_t>(components.size()));
   report.p_value = decision_p;
   report.violated = is_independence ? (decision_p < asc.alpha) : (decision_p > asc.alpha);
+  timer.Stop();
   return report;
 }
 

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "constraints/sc.h"
 #include "core/approximate_sc.h"
+#include "obs/telemetry.h"
 #include "stats/hypothesis.h"
 #include "table/table.h"
 
@@ -32,6 +33,9 @@ struct ViolationReport {
   /// One entry per decomposed singleton component (size 1 when X and Y
   /// were already singletons).
   std::vector<ComponentResult> components;
+  /// Cost summary: wall-clock of the detect phase, tests executed,
+  /// exact-vs-asymptotic split, rows scanned, strata used/skipped.
+  obs::RunTelemetry telemetry;
 };
 
 /// Algorithm 1: evaluates the approximate SC on `table` via hypothesis

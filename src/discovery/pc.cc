@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace scoded {
 
@@ -101,6 +102,11 @@ Result<PcResult> LearnPcStructure(const Table& table, const PcOptions& options) 
   }
 
   // Skeleton phase: prune with conditioning sets of growing size.
+  obs::PhaseTimer full_timer(&result.telemetry, "discovery/pc");
+  if (full_timer.span().active()) {
+    full_timer.span().Arg("columns", static_cast<int64_t>(n));
+  }
+  obs::PhaseTimer skeleton_timer(&result.telemetry, "discovery/pc/skeleton");
   Status test_error = OkStatus();
   for (int level = 0; level <= options.max_conditioning; ++level) {
     for (int i = 0; i < n; ++i) {
@@ -123,10 +129,18 @@ Result<PcResult> LearnPcStructure(const Table& table, const PcOptions& options) 
             test_error = test.status();
             return true;  // abort subset search; error propagated below
           }
+          ++result.telemetry.tests_executed;
+          result.telemetry.AddCount("ci_tests", 1);
+          result.telemetry.rows_scanned += test->n;
+          (test->used_exact ? result.telemetry.exact_tests
+                            : result.telemetry.asymptotic_tests) += 1;
+          result.telemetry.strata_used += static_cast<int64_t>(test->strata_used);
+          result.telemetry.strata_skipped += static_cast<int64_t>(test->strata_skipped);
           if (test->p_value > options.alpha) {
             result.adjacent[static_cast<size_t>(i)][static_cast<size_t>(j)] = false;
             result.adjacent[static_cast<size_t>(j)][static_cast<size_t>(i)] = false;
             result.separating_sets[{i, j}] = subset;
+            result.telemetry.AddCount("edges_pruned", 1);
             return true;
           }
           return false;
@@ -137,6 +151,9 @@ Result<PcResult> LearnPcStructure(const Table& table, const PcOptions& options) 
       }
     }
   }
+
+  skeleton_timer.Stop();
+  obs::PhaseTimer orient_timer(&result.telemetry, "discovery/pc/orient");
 
   // V-structure phase: for every i - k - j with i, j non-adjacent and k
   // outside sep(i, j), orient i -> k <- j.
@@ -214,6 +231,8 @@ Result<PcResult> LearnPcStructure(const Table& table, const PcOptions& options) 
     }
   }
   std::sort(result.directed.begin(), result.directed.end());
+  orient_timer.Stop();
+  full_timer.Stop();
   return result;
 }
 

@@ -4,6 +4,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/json.h"
+#include "obs/trace.h"
+
 namespace scoded {
 
 ComparisonResult CompareDetectors(const Table& table, const std::set<size_t>& ground_truth,
@@ -18,7 +21,9 @@ ComparisonResult CompareDetectors(const Table& table, const std::set<size_t>& gr
   for (ErrorDetector* detector : detectors) {
     DetectorCurve curve;
     curve.name = detector->Name();
+    int64_t start_us = obs::NowMicros();
     Result<std::vector<size_t>> ranking = detector->Rank(table, max_k);
+    curve.rank_ms = static_cast<double>(obs::NowMicros() - start_us) / 1000.0;
     if (!ranking.ok()) {
       curve.error = ranking.status().ToString();
       curve.at_k.assign(ks.size(), PrecisionRecall{});
@@ -58,12 +63,54 @@ std::string ComparisonResult::ToText() const {
     os << std::setw(16) << cell.str();
   }
   os << "\n";
+  os << std::left << std::setw(8) << "time";
+  for (const DetectorCurve& curve : curves) {
+    std::ostringstream cell;
+    cell << std::fixed << std::setprecision(1) << curve.rank_ms << "ms";
+    os << std::setw(16) << cell.str();
+  }
+  os << "\n";
   for (const DetectorCurve& curve : curves) {
     if (!curve.error.empty()) {
       os << "  " << curve.name << " failed: " << curve.error << "\n";
     }
   }
   return os.str();
+}
+
+std::string ComparisonResult::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ks").BeginArray();
+  for (size_t k : ks) {
+    json.Uint(k);
+  }
+  json.EndArray();
+  json.Key("detectors").BeginArray();
+  for (const DetectorCurve& curve : curves) {
+    json.BeginObject();
+    json.Key("name").String(curve.name);
+    json.Key("rank_ms").Double(curve.rank_ms);
+    if (!curve.error.empty()) {
+      json.Key("error").String(curve.error);
+    }
+    json.Key("f_at_k").BeginArray();
+    for (const PrecisionRecall& pr : curve.at_k) {
+      json.BeginObject();
+      json.Key("k").Uint(pr.k);
+      json.Key("precision").Double(pr.precision);
+      json.Key("recall").Double(pr.recall);
+      json.Key("f").Double(pr.f_score);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("best_f").Double(curve.best.f_score);
+    json.Key("best_k").Uint(curve.best.k);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 std::vector<size_t> StandardKSweep(size_t truth_size) {

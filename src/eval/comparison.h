@@ -20,6 +20,8 @@ struct DetectorCurve {
   std::vector<PrecisionRecall> at_k;
   /// Best F-score over the full ranking.
   PrecisionRecall best;
+  /// Wall-clock of the detector's single Rank() call, in milliseconds.
+  double rank_ms = 0.0;
   /// Error message when the detector failed (curve entries are zeroed).
   std::string error;
 };
@@ -32,6 +34,10 @@ struct ComparisonResult {
 
   /// Fixed-width text rendering (the format the bench binaries print).
   std::string ToText() const;
+
+  /// Machine-readable rendering for the BENCH_*.json artefacts: per
+  /// detector the F-curve, best F, runtime, and any error.
+  std::string ToJson() const;
 };
 
 /// Runs each detector once (ranking to max k) and evaluates prefix

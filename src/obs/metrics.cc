@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include "common/json.h"
+
+namespace scoded::obs {
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (int b = 0; b <= kBuckets; ++b) {
+    total += BucketCount(b);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  int64_t count = Count();
+  return count > 0 ? static_cast<double>(Sum()) / static_cast<double>(count) : 0.0;
+}
+
+int64_t Histogram::ApproxQuantile(double q) const {
+  int64_t count = Count();
+  if (count == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(count - 1)) + 1;
+  int64_t seen = 0;
+  for (int b = 0; b <= kBuckets; ++b) {
+    seen += BucketCount(b);
+    if (seen >= target) {
+      // Upper bound of bucket b: 2^b - 1 (bucket 0 holds only zeros).
+      return b == 0 ? 0 : (b >= 63 ? INT64_MAX : (int64_t{1} << b) - 1);
+    }
+  }
+  return INT64_MAX;
+}
+
+void Histogram::Reset() {
+  for (int b = 0; b <= kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();  // leaked: outlives all users
+  return *metrics;
+}
+
+Counter* Metrics::FindOrCreateCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Metrics::FindOrCreateGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Metrics::FindOrCreateHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+std::string Metrics::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name).Int(counter->Value());
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name).Double(gauge->Value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name).BeginObject();
+    json.Key("count").Int(histogram->Count());
+    json.Key("sum").Int(histogram->Sum());
+    json.Key("mean").Double(histogram->Mean());
+    json.Key("p50").Int(histogram->ApproxQuantile(0.50));
+    json.Key("p90").Int(histogram->ApproxQuantile(0.90));
+    json.Key("p99").Int(histogram->ApproxQuantile(0.99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+void Metrics::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace scoded::obs

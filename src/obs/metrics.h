@@ -1,0 +1,112 @@
+#ifndef SCODED_OBS_METRICS_H_
+#define SCODED_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace scoded::obs {
+
+/// Monotonically increasing event count. `Add` is a single relaxed atomic
+/// increment — safe and cheap enough for per-test / per-removal hot paths.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (e.g. rows held by a monitor).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(std::bit_cast<int64_t>(value), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  // Stored as the bit pattern so a plain integer atomic suffices
+  // (bit_cast<int64_t>(0.0) == 0, so zero-init is correct).
+  std::atomic<int64_t> bits_{0};
+};
+
+/// Log-scale histogram for non-negative integer samples (durations in µs,
+/// row counts, ...). Sample v lands in bucket bit_width(v), i.e. bucket b
+/// covers [2^(b-1), 2^b); 0 lands in bucket 0. Observing is two relaxed
+/// atomic adds — no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t value) {
+    if (value < 0) {
+      value = 0;
+    }
+    int bucket = std::bit_width(static_cast<uint64_t>(value));
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t Count() const;
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  int64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]); a
+  /// coarse estimate, exact to within the 2x bucket resolution.
+  int64_t ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets + 1]{};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Process-wide registry of named instruments. Registration (FindOrCreate*)
+/// takes a mutex and allocates once per name; the returned pointer is
+/// stable for the process lifetime, so hot paths register once (function-
+/// local static) and then touch only the atomic instrument.
+///
+///   static obs::Counter* const tests =
+///       obs::Metrics::Global().FindOrCreateCounter("stats.tests_executed");
+///   tests->Add();
+class Metrics {
+ public:
+  static Metrics& Global();
+
+  Counter* FindOrCreateCounter(std::string_view name);
+  Gauge* FindOrCreateGauge(std::string_view name);
+  Histogram* FindOrCreateHistogram(std::string_view name);
+
+  /// Point-in-time JSON snapshot:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"mean":..,"p50":..,
+  ///                          "p90":..,"p99":..},...}}
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered instrument (pointers stay valid). For tests
+  /// and for scoping a CLI run's snapshot to that run.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_METRICS_H_

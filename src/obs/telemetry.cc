@@ -1,0 +1,103 @@
+#include "obs/telemetry.h"
+
+namespace scoded::obs {
+
+void RunTelemetry::AddPhase(std::string_view name, double ms) {
+  for (Phase& phase : phases) {
+    if (phase.name == name) {
+      phase.ms += ms;
+      ++phase.calls;
+      return;
+    }
+  }
+  phases.push_back(Phase{std::string(name), ms, 1});
+}
+
+void RunTelemetry::AddCount(std::string_view name, int64_t delta) {
+  for (auto& [key, value] : counters) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters.emplace_back(std::string(name), delta);
+}
+
+int64_t RunTelemetry::Count(std::string_view name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+double RunTelemetry::TotalMs() const {
+  double total = 0.0;
+  for (const Phase& phase : phases) {
+    total += phase.ms;
+  }
+  return total;
+}
+
+void RunTelemetry::Merge(const RunTelemetry& other) {
+  for (const Phase& phase : other.phases) {
+    bool merged = false;
+    for (Phase& mine : phases) {
+      if (mine.name == phase.name) {
+        mine.ms += phase.ms;
+        mine.calls += phase.calls;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      phases.push_back(phase);
+    }
+  }
+  rows_scanned += other.rows_scanned;
+  tests_executed += other.tests_executed;
+  exact_tests += other.exact_tests;
+  asymptotic_tests += other.asymptotic_tests;
+  strata_used += other.strata_used;
+  strata_skipped += other.strata_skipped;
+  removals += other.removals;
+  for (const auto& [key, value] : other.counters) {
+    AddCount(key, value);
+  }
+}
+
+void RunTelemetry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("total_ms").Double(TotalMs());
+  json.Key("phases").BeginArray();
+  for (const Phase& phase : phases) {
+    json.BeginObject();
+    json.Key("name").String(phase.name);
+    json.Key("ms").Double(phase.ms);
+    json.Key("calls").Int(phase.calls);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("rows_scanned").Int(rows_scanned);
+  json.Key("tests_executed").Int(tests_executed);
+  json.Key("exact_tests").Int(exact_tests);
+  json.Key("asymptotic_tests").Int(asymptotic_tests);
+  json.Key("strata_used").Int(strata_used);
+  json.Key("strata_skipped").Int(strata_skipped);
+  json.Key("removals").Int(removals);
+  json.Key("counters").BeginObject();
+  for (const auto& [key, value] : counters) {
+    json.Key(key).Int(value);
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string RunTelemetry::ToJson() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.str();
+}
+
+}  // namespace scoded::obs

@@ -1,0 +1,107 @@
+#ifndef SCODED_OBS_TELEMETRY_H_
+#define SCODED_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace scoded::obs {
+
+/// Machine-readable summary of one pipeline run (a violation check, a
+/// drill-down, a partition, a monitor ingest, a PC discovery, a CLI
+/// invocation). Attached to the corresponding result structs so callers
+/// always get the cost of what they just ran; the CLI aggregates these
+/// under `--stats`.
+///
+/// Phases and ad-hoc counters merge by name, so repeated operations (e.g.
+/// per-batch monitor appends) accumulate instead of growing the vectors.
+struct RunTelemetry {
+  struct Phase {
+    std::string name;
+    double ms = 0.0;      ///< accumulated wall-clock
+    int64_t calls = 0;    ///< number of accumulated timings
+  };
+
+  /// Wall-clock per phase, in execution order of first occurrence.
+  std::vector<Phase> phases;
+
+  /// Rows fed through statistic evaluation (per test; a row scanned by
+  /// two tests counts twice — this measures work, not data size).
+  int64_t rows_scanned = 0;
+  /// Hypothesis tests executed (Algorithm 1 components, CI tests, ...).
+  int64_t tests_executed = 0;
+  /// Of those, how many used an exact null (Kendall exact, Fisher,
+  /// permutation) vs the asymptotic χ²/Gaussian approximation.
+  int64_t exact_tests = 0;
+  int64_t asymptotic_tests = 0;
+  /// Conditioning strata included / skipped across all tests.
+  int64_t strata_used = 0;
+  int64_t strata_skipped = 0;
+  /// Greedy engine removals performed (drill-down / partition).
+  int64_t removals = 0;
+
+  /// Named ad-hoc counters (e.g. "ci_tests", "batches", "edges_pruned").
+  std::vector<std::pair<std::string, int64_t>> counters;
+
+  /// Accumulates `ms` into the phase named `name` (created on first use).
+  void AddPhase(std::string_view name, double ms);
+  /// Accumulates `delta` into the ad-hoc counter named `name`.
+  void AddCount(std::string_view name, int64_t delta);
+  /// Returns the ad-hoc counter's value (0 when absent).
+  int64_t Count(std::string_view name) const;
+  /// Total wall-clock across phases.
+  double TotalMs() const;
+  /// Field-wise accumulation of another run's telemetry into this one.
+  void Merge(const RunTelemetry& other);
+
+  /// Embeds this telemetry as a JSON object into an in-progress writer
+  /// (after a Key() or inside an array).
+  void WriteJson(JsonWriter& json) const;
+  /// Standalone JSON rendering.
+  std::string ToJson() const;
+};
+
+/// RAII phase timer: adds the elapsed wall-clock to `telemetry` under
+/// `name` on destruction, and opens a trace span of the same name so the
+/// phase shows up in `--trace-out` output too. `telemetry` may be null
+/// (span only).
+class PhaseTimer {
+ public:
+  PhaseTimer(RunTelemetry* telemetry, const char* name)
+      : telemetry_(telemetry), name_(name), start_us_(NowMicros()), span_(name) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { Stop(); }
+
+  /// Records the elapsed time now and disarms the destructor. Call this
+  /// just before `return result;` when `telemetry` lives inside the result
+  /// object — otherwise the move into the return value happens first and
+  /// the timing lands in the moved-from husk. The trace span still closes
+  /// at scope exit.
+  void Stop() {
+    if (telemetry_ != nullptr) {
+      telemetry_->AddPhase(name_, static_cast<double>(NowMicros() - start_us_) / 1000.0);
+      telemetry_ = nullptr;
+    }
+  }
+
+  /// The underlying span, for attaching arguments.
+  ScopedSpan& span() { return span_; }
+
+ private:
+  RunTelemetry* telemetry_;
+  const char* name_;
+  int64_t start_us_;
+  ScopedSpan span_;
+};
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_TELEMETRY_H_

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace scoded::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the epoch as early as possible so timestamps are process-relative.
+[[maybe_unused]] const auto kEpochInit = ProcessStart();
+
+}  // namespace
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - ProcessStart())
+      .count();
+}
+
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all users
+  return *tracer;
+}
+
+void Tracer::Record(const char* name, int64_t ts_us, int64_t dur_us, uint32_t tid,
+                    std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{name, ts_us, dur_us, tid, std::move(args_json)});
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginArray();
+  for (const TraceEvent& event : events_) {
+    json.BeginObject();
+    json.Key("name").String(event.name);
+    json.Key("ph").String("X");
+    json.Key("ts").Int(event.ts_us);
+    json.Key("dur").Int(event.dur_us);
+    json.Key("pid").Int(1);
+    json.Key("tid").Int(static_cast<int64_t>(event.tid));
+    if (!event.args_json.empty()) {
+      json.Key("args").Raw(event.args_json);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  return json.str();
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::string text = ToJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound, "cannot open trace output file: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_error = std::fclose(f);
+  if (written != text.size() || close_error != 0) {
+    return Status(StatusCode::kDataLoss, "short write to trace output file: " + path);
+  }
+  return OkStatus();
+}
+
+#if !defined(SCODED_OBS_DISABLED)
+
+JsonWriter& ScopedSpan::ArgsWriter() {
+  if (!has_args_) {
+    args_.BeginObject();
+    has_args_ = true;
+  }
+  return args_;
+}
+
+ScopedSpan& ScopedSpan::Arg(std::string_view key, int64_t value) {
+  if (active_) {
+    ArgsWriter().Key(key).Int(value);
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::Arg(std::string_view key, double value) {
+  if (active_) {
+    ArgsWriter().Key(key).Double(value);
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::Arg(std::string_view key, std::string_view value) {
+  if (active_) {
+    ArgsWriter().Key(key).String(value);
+  }
+  return *this;
+}
+
+void ScopedSpan::Finish() {
+  int64_t end = NowMicros();
+  if (has_args_) {
+    args_.EndObject();
+  }
+  Tracer::Global().Record(name_, start_us_, end - start_us_, CurrentTid(),
+                          has_args_ ? args_.str() : std::string());
+}
+
+#endif  // !SCODED_OBS_DISABLED
+
+}  // namespace scoded::obs

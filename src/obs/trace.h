@@ -1,0 +1,126 @@
+#ifndef SCODED_OBS_TRACE_H_
+#define SCODED_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace scoded::obs {
+
+/// Microseconds elapsed since process start (steady clock).
+int64_t NowMicros();
+
+/// Small dense id of the calling thread (0 for the first thread observed).
+uint32_t CurrentTid();
+
+/// One Chrome trace-event "complete" event (ph = "X").
+struct TraceEvent {
+  const char* name;       ///< static string (span names are literals)
+  int64_t ts_us = 0;      ///< start, µs since process start
+  int64_t dur_us = 0;     ///< duration, µs
+  uint32_t tid = 0;
+  std::string args_json;  ///< pre-rendered JSON object, or empty
+};
+
+/// Process-wide trace collector. Disabled by default: the only cost an
+/// instrumented path pays then is one relaxed atomic load per span.
+/// When enabled, finished spans append under a mutex (spans are coarse —
+/// one per test / drill-down phase — so contention is negligible).
+///
+/// The JSON output is the Chrome trace-event array format: load it in
+/// chrome://tracing or https://ui.perfetto.dev.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* name, int64_t ts_us, int64_t dur_us, uint32_t tid,
+              std::string args_json);
+
+  size_t NumEvents() const;
+  void Clear();
+
+  /// Renders all collected events as a JSON array of trace events.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+#if defined(SCODED_OBS_DISABLED)
+
+/// Compile-to-nothing span: every member is an empty inline, so -O1+
+/// erases instrumented paths entirely. Selected by defining
+/// SCODED_OBS_DISABLED (CMake option SCODED_DISABLE_OBS).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan& Arg(std::string_view, int64_t) { return *this; }
+  ScopedSpan& Arg(std::string_view, double) { return *this; }
+  ScopedSpan& Arg(std::string_view, std::string_view) { return *this; }
+  bool active() const { return false; }
+};
+
+#else
+
+/// RAII span: captures a start timestamp at construction and records one
+/// complete ("X") trace event at destruction. Spans nest naturally —
+/// Perfetto reconstructs the hierarchy from containment of [ts, ts+dur]
+/// per thread. When the tracer is disabled the constructor is one atomic
+/// load and everything else is a no-op.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : active_(Tracer::Global().enabled()),
+        name_(name),
+        start_us_(active_ ? NowMicros() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (active_) {
+      Finish();
+    }
+  }
+
+  /// Attaches a key/value argument shown in the trace viewer's detail
+  /// panel (stratum count, n, dof, ...). No-ops when the span is inactive.
+  ScopedSpan& Arg(std::string_view key, int64_t value);
+  ScopedSpan& Arg(std::string_view key, double value);
+  ScopedSpan& Arg(std::string_view key, std::string_view value);
+
+  bool active() const { return active_; }
+
+ private:
+  void Finish();
+  JsonWriter& ArgsWriter();
+
+  bool active_;
+  bool has_args_ = false;
+  const char* name_;
+  int64_t start_us_;
+  JsonWriter args_;
+};
+
+#endif  // SCODED_OBS_DISABLED
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_TRACE_H_

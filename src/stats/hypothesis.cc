@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/contingency.h"
 #include "stats/correlation.h"
 #include "stats/fisher.h"
@@ -245,9 +247,13 @@ TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<d
   return result;
 }
 
-Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
-                                    const std::vector<int>& z_cols,
-                                    const std::vector<size_t>& rows, const TestOptions& options) {
+namespace {
+
+// Core dispatcher; the public wrapper below adds metrics and tracing.
+Result<TestResult> IndependenceTestImpl(const Table& table, int x_col, int y_col,
+                                        const std::vector<int>& z_cols,
+                                        const std::vector<size_t>& rows,
+                                        const TestOptions& options) {
   if (x_col < 0 || static_cast<size_t>(x_col) >= table.NumColumns() || y_col < 0 ||
       static_cast<size_t>(y_col) >= table.NumColumns()) {
     return InvalidArgumentError("IndependenceTest: column index out of range");
@@ -372,6 +378,9 @@ Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
       }
       result.p_value = FisherExact2x2TwoSided(a, b, c, d);
       result.used_exact = true;
+      static obs::Counter* const fisher_tests =
+          obs::Metrics::Global().FindOrCreateCounter("stats.fisher_exact_tests");
+      fisher_tests->Add();
       return result;
     }
   }
@@ -418,6 +427,69 @@ Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
     result.p_value = (static_cast<double>(at_least) + 1.0) /
                      (static_cast<double>(options.permutation_fallback_iterations) + 1.0);
     result.used_exact = true;
+    static obs::Counter* const fallbacks =
+        obs::Metrics::Global().FindOrCreateCounter("stats.permutation_fallbacks");
+    fallbacks->Add();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<TestResult> IndependenceTest(const Table& table, int x_col, int y_col,
+                                    const std::vector<int>& z_cols,
+                                    const std::vector<size_t>& rows, const TestOptions& options) {
+  static obs::Counter* const tests_executed =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_executed");
+  static obs::Counter* const tests_g =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_g");
+  static obs::Counter* const tests_tau =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_tau");
+  static obs::Counter* const tests_spearman =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_spearman");
+  static obs::Counter* const tests_exact =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_exact");
+  static obs::Counter* const tests_asymptotic =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_asymptotic");
+  static obs::Counter* const rows_scanned =
+      obs::Metrics::Global().FindOrCreateCounter("stats.rows_scanned");
+  static obs::Counter* const strata_used =
+      obs::Metrics::Global().FindOrCreateCounter("stats.strata_used");
+  static obs::Counter* const strata_skipped =
+      obs::Metrics::Global().FindOrCreateCounter("stats.strata_skipped");
+  static obs::Histogram* const test_rows =
+      obs::Metrics::Global().FindOrCreateHistogram("stats.test_n_rows");
+
+  obs::ScopedSpan span("stats/independence_test");
+  Result<TestResult> result = IndependenceTestImpl(table, x_col, y_col, z_cols, rows, options);
+  if (result.ok()) {
+    tests_executed->Add();
+    rows_scanned->Add(result->n);
+    test_rows->Observe(result->n);
+    strata_used->Add(static_cast<int64_t>(result->strata_used));
+    strata_skipped->Add(static_cast<int64_t>(result->strata_skipped));
+    (result->used_exact ? tests_exact : tests_asymptotic)->Add();
+    switch (result->method) {
+      case TestMethod::kGTest:
+        tests_g->Add();
+        break;
+      case TestMethod::kTauTest:
+        tests_tau->Add();
+        break;
+      case TestMethod::kSpearmanTest:
+        tests_spearman->Add();
+        break;
+      case TestMethod::kPermutation:
+        break;  // counted by PermutationIndependenceTest
+    }
+    if (span.active()) {
+      span.Arg("n", result->n)
+          .Arg("method", TestMethodToString(result->method))
+          .Arg("strata_used", static_cast<int64_t>(result->strata_used))
+          .Arg("dof", result->dof)
+          .Arg("p", result->p_value)
+          .Arg("exact", static_cast<int64_t>(result->used_exact ? 1 : 0));
+    }
   }
   return result;
 }
@@ -437,6 +509,13 @@ Result<TestResult> PermutationIndependenceTest(const Table& table, int x_col, in
   if (iterations == 0) {
     return InvalidArgumentError("PermutationIndependenceTest: iterations must be positive");
   }
+  static obs::Counter* const tests_permutation =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_permutation");
+  obs::ScopedSpan span("stats/permutation_test");
+  if (span.active()) {
+    span.Arg("iterations", static_cast<int64_t>(iterations));
+  }
+  tests_permutation->Add();
   std::vector<size_t> rows(table.NumRows());
   for (size_t i = 0; i < rows.size(); ++i) {
     rows[i] = i;

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/ranks.h"
 #include "stats/segment_tree.h"
 
@@ -177,6 +179,11 @@ KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<do
 
 KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  // KendallTau sits inside the permutation loops, so keep instrumentation to
+  // one relaxed counter add — no span, no histogram.
+  static obs::Counter* const tau_calls =
+      obs::Metrics::Global().FindOrCreateCounter("stats.kendall_tau_calls");
+  tau_calls->Add();
   size_t n = x.size();
   KendallResult result;
   result.n = static_cast<int64_t>(n);
@@ -291,6 +298,13 @@ double KendallExactPValue(int64_t s, int64_t n) {
 std::vector<int64_t> ComputeTauBenefits(const std::vector<double>& x,
                                         const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  static obs::Counter* const benefit_calls =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tau_benefit_calls");
+  benefit_calls->Add();
+  obs::ScopedSpan span("stats/tau_benefits");
+  if (span.active()) {
+    span.Arg("n", static_cast<int64_t>(x.size()));
+  }
   size_t n = x.size();
   std::vector<int64_t> benefits(n, 0);
   if (n < 2) {

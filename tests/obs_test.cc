@@ -1,0 +1,393 @@
+// Tests for the observability layer: metrics registry, tracer, run
+// telemetry, the JSON parser they rely on, and an end-to-end check that
+// the CLI's --stats/--trace-out surface real numbers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace scoded {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterBasics) {
+  obs::Metrics metrics;
+  obs::Counter* counter = metrics.FindOrCreateCounter("test.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42);
+  // Same name returns the same counter.
+  EXPECT_EQ(metrics.FindOrCreateCounter("test.counter"), counter);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0);
+}
+
+TEST(MetricsTest, GaugeStoresDoubles) {
+  obs::Metrics metrics;
+  obs::Gauge* gauge = metrics.FindOrCreateGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(3.25);
+  EXPECT_EQ(gauge->Value(), 3.25);
+  gauge->Set(-1e300);
+  EXPECT_EQ(gauge->Value(), -1e300);
+}
+
+TEST(MetricsTest, ConcurrentCountersAreExact) {
+  obs::Metrics metrics;
+  obs::Counter* counter = metrics.FindOrCreateCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsTest, ConcurrentHistogramKeepsEveryObservation) {
+  obs::Metrics metrics;
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("test.histogram");
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kObservations; ++i) {
+        histogram->Observe(i % 1000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram->Count(), int64_t{kThreads} * kObservations);
+  // Σ (i % 1000) over one thread's loop, times kThreads.
+  int64_t one_thread = 0;
+  for (int i = 0; i < kObservations; ++i) {
+    one_thread += i % 1000;
+  }
+  EXPECT_EQ(histogram->Sum(), kThreads * one_thread);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreBucketUpperBounds) {
+  obs::Metrics metrics;
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("test.quantiles");
+  for (int i = 0; i < 100; ++i) {
+    histogram->Observe(10);  // bucket [8, 16) -> upper bound 15
+  }
+  EXPECT_EQ(histogram->ApproxQuantile(0.5), 15);
+  EXPECT_EQ(histogram->ApproxQuantile(0.99), 15);
+}
+
+TEST(MetricsTest, SnapshotJsonIsValidAndComplete) {
+  obs::Metrics metrics;
+  metrics.FindOrCreateCounter("a.count")->Add(7);
+  metrics.FindOrCreateGauge("b.gauge")->Set(2.5);
+  metrics.FindOrCreateHistogram("c.hist")->Observe(100);
+  Result<JsonValue> parsed = ParseJson(metrics.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* a = counters->Find("a.count");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->number, 7.0);
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("b.gauge")->number, 2.5);
+  const JsonValue* hist = parsed->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* c = hist->Find("c.hist");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Find("count")->number, 1.0);
+  EXPECT_EQ(c->Find("sum")->number, 100.0);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Disable();
+  tracer.Clear();
+  {
+    obs::ScopedSpan span("should_not_appear");
+    span.Arg("key", int64_t{1});
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  EXPECT_EQ(tracer.ToJson(), "[]");
+}
+
+// With SCODED_OBS_DISABLED, ScopedSpan is the compile-to-nothing shell:
+// no events are ever produced, so the recording tests don't apply.
+#if !defined(SCODED_OBS_DISABLED)
+
+TEST(TracerTest, NestedSpansProduceWellFormedTraceJson) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    obs::ScopedSpan outer("outer");
+    outer.Arg("n", int64_t{42}).Arg("label", "hello \"quoted\"").Arg("ratio", 0.5);
+    {
+      obs::ScopedSpan inner("inner");
+    }
+  }
+  tracer.Disable();
+  ASSERT_EQ(tracer.NumEvents(), 2u);
+
+  Result<JsonValue> parsed = ParseJson(tracer.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->array.size(), 2u);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& event : parsed->array) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_EQ(event.Find("ph")->string_value, "X");
+    ASSERT_TRUE(event.Find("ts")->is_number());
+    ASSERT_TRUE(event.Find("dur")->is_number());
+    if (event.Find("name")->string_value == "outer") {
+      outer = &event;
+    } else if (event.Find("name")->string_value == "inner") {
+      inner = &event;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Nesting: the inner span's interval is contained in the outer's.
+  double outer_start = outer->Find("ts")->number;
+  double outer_end = outer_start + outer->Find("dur")->number;
+  double inner_start = inner->Find("ts")->number;
+  double inner_end = inner_start + inner->Find("dur")->number;
+  EXPECT_GE(inner_start, outer_start);
+  EXPECT_LE(inner_end, outer_end);
+  // Arguments survive the round trip.
+  const JsonValue* args = outer->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("n")->number, 42.0);
+  EXPECT_EQ(args->Find("label")->string_value, "hello \"quoted\"");
+  EXPECT_EQ(args->Find("ratio")->number, 0.5);
+  tracer.Clear();
+}
+
+TEST(TracerTest, SpanCapturesEnableStateAtConstruction) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Disable();
+  {
+    obs::ScopedSpan span("constructed_disabled");
+    tracer.Enable();  // too late for this span
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+}
+
+#endif  // !SCODED_OBS_DISABLED
+
+// -------------------------------------------------------------- telemetry
+
+TEST(TelemetryTest, PhasesMergeByName) {
+  obs::RunTelemetry telemetry;
+  telemetry.AddPhase("load", 2.0);
+  telemetry.AddPhase("test", 1.0);
+  telemetry.AddPhase("load", 3.0);
+  ASSERT_EQ(telemetry.phases.size(), 2u);
+  EXPECT_EQ(telemetry.phases[0].name, "load");
+  EXPECT_EQ(telemetry.phases[0].ms, 5.0);
+  EXPECT_EQ(telemetry.phases[0].calls, 2);
+  EXPECT_EQ(telemetry.TotalMs(), 6.0);
+}
+
+TEST(TelemetryTest, CountersMergeByName) {
+  obs::RunTelemetry telemetry;
+  telemetry.AddCount("batches", 2);
+  telemetry.AddCount("batches", 3);
+  EXPECT_EQ(telemetry.Count("batches"), 5);
+  EXPECT_EQ(telemetry.Count("missing"), 0);
+}
+
+TEST(TelemetryTest, MergeAccumulatesFieldWise) {
+  obs::RunTelemetry a;
+  a.AddPhase("test", 1.0);
+  a.tests_executed = 3;
+  a.exact_tests = 1;
+  a.AddCount("ci_tests", 3);
+  obs::RunTelemetry b;
+  b.AddPhase("test", 2.0);
+  b.tests_executed = 4;
+  b.asymptotic_tests = 4;
+  b.AddCount("ci_tests", 2);
+  a.Merge(b);
+  EXPECT_EQ(a.phases.size(), 1u);
+  EXPECT_EQ(a.phases[0].ms, 3.0);
+  EXPECT_EQ(a.tests_executed, 7);
+  EXPECT_EQ(a.exact_tests, 1);
+  EXPECT_EQ(a.asymptotic_tests, 4);
+  EXPECT_EQ(a.Count("ci_tests"), 5);
+}
+
+TEST(TelemetryTest, ToJsonRoundTrips) {
+  obs::RunTelemetry telemetry;
+  telemetry.AddPhase("detect", 1.5);
+  telemetry.tests_executed = 9;
+  telemetry.rows_scanned = 1000;
+  telemetry.AddCount("components", 2);
+  Result<JsonValue> parsed = ParseJson(telemetry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("tests_executed")->number, 9.0);
+  EXPECT_EQ(parsed->Find("rows_scanned")->number, 1000.0);
+  const JsonValue* phases = parsed->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->array.size(), 1u);
+  EXPECT_EQ(phases->array[0].Find("name")->string_value, "detect");
+  EXPECT_EQ(parsed->Find("counters")->Find("components")->number, 2.0);
+}
+
+TEST(TelemetryTest, PhaseTimerRecordsOnceWithExplicitStop) {
+  obs::RunTelemetry telemetry;
+  {
+    obs::PhaseTimer timer(&telemetry, "work");
+    timer.Stop();
+    // Destructor must not double-record after Stop().
+  }
+  ASSERT_EQ(telemetry.phases.size(), 1u);
+  EXPECT_EQ(telemetry.phases[0].calls, 1);
+}
+
+TEST(TelemetryTest, PhaseTimerToleratesNullTelemetry) {
+  obs::PhaseTimer timer(nullptr, "span_only");
+  timer.Stop();  // must not crash
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(JsonParserTest, ParsesAllValueKinds) {
+  Result<JsonValue> parsed =
+      ParseJson(R"({"a": 1.5, "b": [true, false, null], "c": "x\ny", "d": {"e": -2e3}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("a")->number, 1.5);
+  const JsonValue* b = parsed->Find("b");
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].bool_value);
+  EXPECT_FALSE(b->array[1].bool_value);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(parsed->Find("c")->string_value, "x\ny");
+  EXPECT_EQ(parsed->Find("d")->Find("e")->number, -2000.0);
+}
+
+TEST(JsonParserTest, UnicodeEscapesDecodeToUtf8) {
+  Result<JsonValue> parsed = ParseJson(R"("Aé€")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value, "A\xC3\xA9\xE2\x82\xAC");  // A é €
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1.2.3").ok());
+}
+
+TEST(JsonParserTest, WriterOutputParsesBack) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("esc").String("tab\there \"and\" backslash\\");
+  json.Key("nums").BeginArray().Int(-5).Double(0.125).Uint(1u << 30).EndArray();
+  json.EndObject();
+  Result<JsonValue> parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("esc")->string_value, "tab\there \"and\" backslash\\");
+  EXPECT_EQ(parsed->Find("nums")->array[2].number, static_cast<double>(1u << 30));
+}
+
+// -------------------------------------------------- CLI integration check
+
+#if defined(SCODED_CLI_BIN) && defined(SCODED_FIXTURE_CSV)
+
+std::string ReadAll(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return "";
+  }
+  std::string out;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+TEST(CliObservabilityTest, CheckWithStatsReportsExecutedTests) {
+  std::string stats_path = ::testing::TempDir() + "/scoded_stats.json";
+  std::string trace_path = ::testing::TempDir() + "/scoded_trace.json";
+  std::string command = std::string(SCODED_CLI_BIN) + " check --csv " + SCODED_FIXTURE_CSV +
+                        " --sc \"Model _||_ Color\" --alpha 0.05 --trace-out " + trace_path +
+                        " --stats " + stats_path + " > /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  ASSERT_EQ(rc, 0) << "command failed: " << command;
+
+  // --stats: telemetry with nonzero tests_executed and per-phase timings,
+  // plus the process-wide metrics snapshot.
+  Result<JsonValue> stats = ParseJson(ReadAll(stats_path));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const JsonValue* telemetry = stats->Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_GT(telemetry->Find("tests_executed")->number, 0.0);
+  const JsonValue* phases = telemetry->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_FALSE(phases->array.empty());
+  const JsonValue* metrics = stats->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* executed = counters->Find("stats.tests_executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_GT(executed->number, 0.0);
+
+  // --trace-out: a Chrome trace-event array of complete events. (Empty
+  // but still valid JSON when spans are compiled out.)
+  Result<JsonValue> trace = ParseJson(ReadAll(trace_path));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_TRUE(trace->is_array());
+#if !defined(SCODED_OBS_DISABLED)
+  EXPECT_FALSE(trace->array.empty());
+#endif
+  for (const JsonValue& event : trace->array) {
+    EXPECT_EQ(event.Find("ph")->string_value, "X");
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_TRUE(event.Find("dur")->is_number());
+    EXPECT_FALSE(event.Find("name")->string_value.empty());
+  }
+  std::remove(stats_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+#endif  // SCODED_CLI_BIN && SCODED_FIXTURE_CSV
+
+}  // namespace
+}  // namespace scoded

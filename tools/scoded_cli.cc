@@ -16,6 +16,13 @@
 //                      their Prop. 2 DSC translations)
 //   scoded consistency --sc "..." [--sc "..." ...]
 //
+// Observability (any subcommand):
+//   --trace-out FILE   write a Chrome trace-event JSON of the run
+//                      (load in chrome://tracing or ui.perfetto.dev)
+//   --stats [FILE]     emit a JSON run summary (phase wall-clock, tests
+//                      executed, counters, metrics snapshot); without a
+//                      FILE it goes to stderr
+//
 // Exit codes: 0 success (constraint holds / command completed), 2 the
 // checked constraint is violated, 1 any error. The violation exit code
 // makes `scoded check` usable as a data-quality gate in pipelines.
@@ -25,12 +32,16 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "constraints/graphoid.h"
 #include "core/sc_monitor.h"
 #include "core/scoded.h"
 #include "discovery/fd_discovery.h"
 #include "discovery/pc.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "repair/cell_repair.h"
 #include "stats/descriptive.h"
 #include "table/csv.h"
@@ -38,6 +49,11 @@
 namespace {
 
 using namespace scoded;
+
+// Run-level telemetry for --stats: command handlers merge the telemetry of
+// the results they produce, and main() wraps the whole dispatch in one
+// "cli/main" phase.
+obs::RunTelemetry g_telemetry;
 
 struct Args {
   std::string command;
@@ -50,7 +66,8 @@ int Usage() {
                "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency> "
                "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
-               "[--out FILE]\n");
+               "[--out FILE]\n"
+               "              [--trace-out FILE] [--stats [FILE]]\n");
   return 1;
 }
 
@@ -61,7 +78,16 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   out->command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (flag.rfind("--", 0) != 0) {
+      return false;
+    }
+    // --stats may appear valueless (summary goes to stderr) or with a FILE.
+    if (flag == "--stats" &&
+        (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      out->flags["stats"] = "-";
+      continue;
+    }
+    if (i + 1 >= argc) {
       return false;
     }
     std::string value = argv[++i];
@@ -136,6 +162,7 @@ int RunCheck(const Args& args) {
     std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
     return 1;
   }
+  g_telemetry.Merge(report->telemetry);
   std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
               asc->sc.ToString().c_str(), report->violated ? "VIOLATED" : "holds",
               report->p_value, report->test.statistic,
@@ -159,6 +186,7 @@ int RunDrill(const Args& args) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  g_telemetry.Merge(result->telemetry);
   std::printf("top-%zu suspicious records for %s (statistic %.4g -> %.4g):\n",
               result->rows.size(), asc->sc.ToString().c_str(), result->initial_statistic,
               result->final_statistic);
@@ -183,6 +211,7 @@ int RunPartition(const Args& args) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  g_telemetry.Merge(result->telemetry);
   std::printf("removed %zu records; p: %.4g -> %.4g; constraint %s\n",
               result->removed_rows.size(), result->initial_p, result->final_p,
               result->satisfied ? "restored" : "NOT restored within budget");
@@ -316,6 +345,7 @@ int RunMonitor(const Args& args) {
                 monitor->CurrentStatistic(), monitor->CurrentPValue(),
                 monitor->Violated() ? "VIOLATED" : "ok");
   }
+  g_telemetry.Merge(monitor->telemetry());
   return monitor->Violated() ? 2 : 0;
 }
 
@@ -333,6 +363,7 @@ int RunDiscover(const Args& args) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  g_telemetry.Merge(result->telemetry);
   std::printf("discovered constraints (PC, alpha = %g, max conditioning = %d):\n",
               options.alpha, options.max_conditioning);
   for (const StatisticalConstraint& sc : result->DiscoveredConstraints()) {
@@ -408,13 +439,7 @@ int RunConsistency(const Args& args) {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) {
-    return Usage();
-  }
+int Dispatch(const Args& args) {
   if (args.command == "profile") {
     return RunProfile(args);
   }
@@ -446,4 +471,64 @@ int main(int argc, char** argv) {
     return RunConsistency(args);
   }
   return Usage();
+}
+
+// Writes the trace file and/or the --stats summary after the command ran.
+// An observability failure never masks the command's exit code, but turns
+// a success into an error.
+int EmitObservability(const Args& args, int rc) {
+  auto trace = args.flags.find("trace-out");
+  if (trace != args.flags.end()) {
+    Status status = obs::Tracer::Global().WriteFile(trace->second);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
+                 obs::Tracer::Global().NumEvents(), trace->second.c_str());
+  }
+  auto stats = args.flags.find("stats");
+  if (stats != args.flags.end()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("command").String(args.command);
+    json.Key("exit_code").Int(rc);
+    json.Key("telemetry");
+    g_telemetry.WriteJson(json);
+    json.Key("metrics").Raw(obs::Metrics::Global().SnapshotJson());
+    json.EndObject();
+    if (stats->second == "-") {
+      std::fprintf(stderr, "%s\n", json.str().c_str());
+    } else {
+      FILE* f = std::fopen(stats->second.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s\n", stats->second.c_str());
+        return rc == 0 ? 1 : rc;
+      }
+      std::fputs(json.str().c_str(), f);
+      std::fclose(f);
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (args.flags.count("trace-out") > 0) {
+    obs::Tracer::Global().Enable();
+  }
+  int rc = 1;
+  {
+    obs::PhaseTimer timer(&g_telemetry, "cli/main");
+    if (timer.span().active()) {
+      timer.span().Arg("command", args.command);
+    }
+    rc = Dispatch(args);
+  }
+  return EmitObservability(args, rc);
 }
