@@ -9,9 +9,17 @@
 // A binary that calls Init("fig9_sensor") additionally writes
 // BENCH_fig9_sensor.json into the working directory at exit: per-section
 // wall-clock (sections are delimited by PrintTitle calls), every F-score
-// sweep as structured data (including per-detector runtime), and any
-// scalar series recorded with RecordValue. The CI/driver scripts diff
-// these artefacts instead of scraping stdout.
+// sweep as structured data (including per-detector runtime), any scalar
+// series recorded with RecordValue, a "build" stanza identifying the
+// binary, and — since the profiler is on by default in bench binaries —
+// a "profile" stanza with per-span self-time aggregates. The CI/driver
+// scripts diff these artefacts (tools/benchdiff) instead of scraping
+// stdout.
+//
+// Environment knobs:
+//   SCODED_BENCH_PROFILE=0    disable the default-on span profiler
+//   SCODED_BENCH_TRACE=FILE   also record a Chrome trace and write it to
+//                             FILE at exit (for profile-vs-trace checks)
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +28,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/json.h"
 #include "eval/comparison.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "table/table.h"
 
@@ -36,9 +48,18 @@ class Reporter {
     return *reporter;
   }
 
-  /// Names the artefact (BENCH_<name>.json) and arms the at-exit write.
+  /// Names the artefact (BENCH_<name>.json), arms the at-exit write, and
+  /// turns the span profiler on (opt out with SCODED_BENCH_PROFILE=0).
   void Init(std::string name) {
     name_ = std::move(name);
+    const char* profile = std::getenv("SCODED_BENCH_PROFILE");
+    if (profile == nullptr || std::string(profile) != "0") {
+      obs::EnableProfiler();
+    }
+    if (const char* trace = std::getenv("SCODED_BENCH_TRACE")) {
+      trace_path_ = trace;
+      obs::Tracer::Global().Enable();
+    }
     if (!atexit_armed_) {
       atexit_armed_ = true;
       std::atexit([] { Global().Write(); });
@@ -65,7 +86,8 @@ class Reporter {
     sections_.back().values.emplace_back(label, value);
   }
 
-  /// Writes BENCH_<name>.json; a no-op unless Init() was called.
+  /// Writes BENCH_<name>.json (and the SCODED_BENCH_TRACE trace file, when
+  /// requested); a no-op unless Init() was called.
   void Write() {
     if (name_.empty() || written_) {
       return;
@@ -75,6 +97,7 @@ class Reporter {
     JsonWriter json;
     json.BeginObject();
     json.Key("bench").String(name_);
+    json.Key("build").Raw(obs::BuildInfoJson());
     json.Key("total_ms").Double(TotalMs());
     json.Key("sections").BeginArray();
     for (const Section& section : sections_) {
@@ -101,16 +124,30 @@ class Reporter {
       json.EndObject();
     }
     json.EndArray();
+    if (obs::Profiler::Global().NumSpanNames() > 0) {
+      json.Key("profile").Raw(obs::Profiler::Global().SnapshotJson());
+    }
     json.EndObject();
     std::string path = "BENCH_" + name_ + ".json";
-    FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    Status write = WriteTextFile(path, json.str());
+    if (!write.ok()) {
+      obs::LogError("cannot write bench artefact", {{"error", write.ToString()}});
       return;
     }
-    std::fputs(json.str().c_str(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    obs::LogInfo("wrote bench artefact", {{"path", path}});
+    if (obs::Profiler::Global().NumSpanNames() > 0) {
+      // The self-time table goes to stderr: stdout stays reserved for the
+      // paper table/figure the binary reproduces.
+      std::fputs(obs::Profiler::Global().FlatTableText(20).c_str(), stderr);
+    }
+    if (!trace_path_.empty()) {
+      Status trace = obs::Tracer::Global().WriteFile(trace_path_);
+      if (!trace.ok()) {
+        obs::LogError("cannot write bench trace", {{"error", trace.ToString()}});
+      } else {
+        obs::LogInfo("wrote bench trace", {{"path", trace_path_}});
+      }
+    }
   }
 
  private:
@@ -144,6 +181,7 @@ class Reporter {
   }
 
   std::string name_;
+  std::string trace_path_;
   bool atexit_armed_ = false;
   bool written_ = false;
   std::vector<Section> sections_;

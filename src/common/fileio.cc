@@ -1,0 +1,56 @@
+#include "common/fileio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace scoded {
+
+Status WriteTextFile(const std::string& path, std::string_view contents) {
+  std::filesystem::path fs_path(path);
+  std::filesystem::path parent = fs_path.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status(StatusCode::kNotFound, "cannot create parent directory " +
+                                               parent.string() + " for " + path + ": " +
+                                               ec.message());
+    }
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "cannot open " + path + " for writing: " + std::strerror(errno));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_error = std::fclose(f);
+  if (written != contents.size() || close_error != 0) {
+    return Status(StatusCode::kDataLoss, "short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "cannot open " + path + " for reading: " + std::strerror(errno));
+  }
+  std::string out;
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status(StatusCode::kDataLoss, "short read from " + path);
+  }
+  return out;
+}
+
+}  // namespace scoded

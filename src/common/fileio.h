@@ -1,0 +1,24 @@
+#ifndef SCODED_COMMON_FILEIO_H_
+#define SCODED_COMMON_FILEIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace scoded {
+
+/// Writes `contents` to `path`, creating missing parent directories first.
+/// Every error names the failing path (and the OS reason), so artefact
+/// flags like --trace-out/--stats/--profile can surface actionable
+/// messages instead of a bare status.
+Status WriteTextFile(const std::string& path, std::string_view contents);
+
+/// Reads the whole file into a string. kNotFound when the file cannot be
+/// opened, kDataLoss on a short read; both errors name the path.
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace scoded
+
+#endif  // SCODED_COMMON_FILEIO_H_

@@ -1,0 +1,37 @@
+#include "obs/build_info.h"
+
+#include "common/json.h"
+
+// The CMake list file for src/obs stamps these onto this one source file;
+// the fallbacks keep other build systems (and IDE parses) working.
+#ifndef SCODED_GIT_DESCRIBE
+#define SCODED_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SCODED_BUILD_TYPE
+#define SCODED_BUILD_TYPE "unknown"
+#endif
+
+namespace scoded::obs {
+
+BuildInfo GetBuildInfo() {
+  return BuildInfo{SCODED_GIT_DESCRIBE, SCODED_BUILD_TYPE,
+#if defined(SCODED_OBS_DISABLED)
+                   true
+#else
+                   false
+#endif
+  };
+}
+
+std::string BuildInfoJson() {
+  BuildInfo info = GetBuildInfo();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("git_describe").String(info.git_describe);
+  json.Key("build_type").String(info.build_type);
+  json.Key("obs_disabled").Bool(info.obs_disabled);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace scoded::obs

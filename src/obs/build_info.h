@@ -1,0 +1,26 @@
+#ifndef SCODED_OBS_BUILD_INFO_H_
+#define SCODED_OBS_BUILD_INFO_H_
+
+#include <string>
+#include <string_view>
+
+namespace scoded::obs {
+
+/// Identity of the running binary, baked in at configure time, so stats/
+/// trace/profile/bench artefacts can be attributed to the build that
+/// produced them (`scoded version`, the "build" section of --stats and
+/// BENCH_<name>.json).
+struct BuildInfo {
+  std::string_view git_describe;  ///< `git describe --always --dirty` or "unknown"
+  std::string_view build_type;    ///< CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  bool obs_disabled;              ///< true when built with SCODED_DISABLE_OBS
+};
+
+BuildInfo GetBuildInfo();
+
+/// {"git_describe":...,"build_type":...,"obs_disabled":...}
+std::string BuildInfoJson();
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_BUILD_INFO_H_

@@ -1,0 +1,123 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace scoded::obs {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("SCODED_LOG");
+  if (env == nullptr) {
+    return LogLevel::kInfo;
+  }
+  Result<LogLevel> parsed = ParseLogLevel(env);
+  return parsed.ok() ? *parsed : LogLevel::kInfo;
+}
+
+std::atomic<int>& MinLevelStore() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: outlives all users
+  return *mu;
+}
+
+}  // namespace
+
+Result<LogLevel> ParseLogLevel(std::string_view text) {
+  if (text == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (text == "info") {
+    return LogLevel::kInfo;
+  }
+  if (text == "warn") {
+    return LogLevel::kWarn;
+  }
+  if (text == "error") {
+    return LogLevel::kError;
+  }
+  if (text == "off") {
+    return LogLevel::kOff;
+  }
+  return InvalidArgumentError("unknown log level \"" + std::string(text) +
+                              "\" (expected debug|info|warn|error|off)");
+}
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(MinLevelStore().load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string FormatLogRecord(LogLevel level, std::string_view msg,
+                            std::initializer_list<LogField> fields, uint64_t span_id,
+                            int64_t ts_us) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ts_us").Int(ts_us);
+  json.Key("level").String(LogLevelName(level));
+  if (span_id != 0) {
+    json.Key("span").Uint(span_id);
+  }
+  json.Key("msg").String(msg);
+  for (const LogField& field : fields) {
+    json.Key(field.key);
+    switch (field.kind) {
+      case LogField::Kind::kString:
+        json.String(field.str);
+        break;
+      case LogField::Kind::kInt:
+        json.Int(field.integer);
+        break;
+      case LogField::Kind::kDouble:
+        json.Double(field.number);
+        break;
+      case LogField::Kind::kBool:
+        json.Bool(field.boolean);
+        break;
+    }
+  }
+  json.EndObject();
+  return json.str();
+}
+
+void LogAt(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level) || level == LogLevel::kOff) {
+    return;
+  }
+  std::string line = FormatLogRecord(level, msg, fields, CurrentSpanId(), NowMicros());
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace scoded::obs

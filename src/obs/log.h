@@ -1,0 +1,90 @@
+#ifndef SCODED_OBS_LOG_H_
+#define SCODED_OBS_LOG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/result.h"
+
+namespace scoded::obs {
+
+/// Leveled, structured (JSONL-to-stderr) logging. One line per record:
+///
+///   {"ts_us":1234,"level":"warn","span":7,"msg":"...","key":value,...}
+///
+/// `span` is the id of the innermost active trace/profile span on the
+/// logging thread (omitted when none), so log lines can be joined against
+/// --trace-out / --profile output. The minimum level comes from the
+/// SCODED_LOG environment variable (debug|info|warn|error|off) and can be
+/// overridden programmatically (the CLI's --log-level flag). Default: info.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug"|"info"|"warn"|"error"|"off" -> level; error on anything else.
+Result<LogLevel> ParseLogLevel(std::string_view text);
+std::string_view LogLevelName(LogLevel level);
+
+/// Current minimum level (records below it are dropped). Initialised from
+/// SCODED_LOG on first use.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+inline bool LogEnabled(LogLevel level) { return level >= MinLogLevel(); }
+
+/// One key/value attachment on a log record. Accepts strings, integers,
+/// doubles and bools without the caller spelling a type.
+struct LogField {
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  LogField(std::string_view key, std::string_view value)
+      : key(key), kind(Kind::kString), str(value) {}
+  LogField(std::string_view key, const char* value)
+      : key(key), kind(Kind::kString), str(value) {}
+  LogField(std::string_view key, const std::string& value)
+      : key(key), kind(Kind::kString), str(value) {}
+  LogField(std::string_view key, bool value)
+      : key(key), kind(Kind::kBool), boolean(value) {}
+  template <typename T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                                         int> = 0>
+  LogField(std::string_view key, T value)
+      : key(key), kind(Kind::kInt), integer(static_cast<int64_t>(value)) {}
+  template <typename T, std::enable_if_t<std::is_floating_point_v<T>, int> = 0>
+  LogField(std::string_view key, T value)
+      : key(key), kind(Kind::kDouble), number(static_cast<double>(value)) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  int64_t integer = 0;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+/// Renders one record as a single JSON line (no trailing newline). Pure —
+/// exposed so tests can check the wire format without capturing stderr.
+std::string FormatLogRecord(LogLevel level, std::string_view msg,
+                            std::initializer_list<LogField> fields, uint64_t span_id,
+                            int64_t ts_us);
+
+/// Emits one record to stderr if `level` clears the minimum. Writes are
+/// serialized under a mutex so concurrent records never interleave.
+void LogAt(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+
+inline void LogDebug(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  LogAt(LogLevel::kDebug, msg, fields);
+}
+inline void LogInfo(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  LogAt(LogLevel::kInfo, msg, fields);
+}
+inline void LogWarn(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  LogAt(LogLevel::kWarn, msg, fields);
+}
+inline void LogError(std::string_view msg, std::initializer_list<LogField> fields = {}) {
+  LogAt(LogLevel::kError, msg, fields);
+}
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_LOG_H_

@@ -1,0 +1,169 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace scoded::obs {
+
+void EnableProfiler() { internal::AddSpanSink(internal::kProfileSink); }
+void DisableProfiler() { internal::RemoveSpanSink(internal::kProfileSink); }
+bool ProfilerEnabled() {
+  return (internal::SpanSinks() & internal::kProfileSink) != 0;
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // leaked: outlives all users
+  return *profiler;
+}
+
+void Profiler::RecordSpan(std::string_view name, std::string_view parent,
+                          std::string_view stack, int64_t dur_us, int64_t self_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    it = spans_.try_emplace(std::string(name)).first;
+  }
+  PerName& per_name = it->second;
+  per_name.count += 1;
+  per_name.total_us += dur_us;
+  per_name.self_us += self_us;
+  per_name.hist.Observe(dur_us);
+  if (!parent.empty()) {
+    PerEdge& edge = edges_[{std::string(parent), std::string(name)}];
+    edge.count += 1;
+    edge.total_us += dur_us;
+  }
+  auto stack_it = stacks_.find(stack);
+  if (stack_it == stacks_.end()) {
+    stacks_.emplace(std::string(stack), self_us);
+  } else {
+    stack_it->second += self_us;
+  }
+}
+
+size_t Profiler::NumSpanNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  edges_.clear();
+  stacks_.clear();
+}
+
+namespace {
+
+// Names sorted by self time, descending; ties broken by name for
+// deterministic output.
+template <typename Map>
+std::vector<const typename Map::value_type*> BySelfTimeDesc(const Map& spans) {
+  std::vector<const typename Map::value_type*> sorted;
+  sorted.reserve(spans.size());
+  for (const auto& entry : spans) {
+    sorted.push_back(&entry);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    if (a->second.self_us != b->second.self_us) {
+      return a->second.self_us > b->second.self_us;
+    }
+    return a->first < b->first;
+  });
+  return sorted;
+}
+
+}  // namespace
+
+std::string Profiler::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans").BeginArray();
+  for (const auto* entry : BySelfTimeDesc(spans_)) {
+    const PerName& stats = entry->second;
+    json.BeginObject();
+    json.Key("name").String(entry->first);
+    json.Key("count").Int(stats.count);
+    json.Key("total_ms").Double(static_cast<double>(stats.total_us) / 1000.0);
+    json.Key("self_ms").Double(static_cast<double>(stats.self_us) / 1000.0);
+    json.Key("p50_us").Int(stats.hist.ApproxQuantile(0.50));
+    json.Key("p95_us").Int(stats.hist.ApproxQuantile(0.95));
+    json.Key("p99_us").Int(stats.hist.ApproxQuantile(0.99));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("edges").BeginArray();
+  for (const auto& [key, edge] : edges_) {
+    json.BeginObject();
+    json.Key("parent").String(key.first);
+    json.Key("child").String(key.second);
+    json.Key("count").Int(edge.count);
+    json.Key("total_ms").Double(static_cast<double>(edge.total_us) / 1000.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("stacks").BeginArray();
+  for (const auto& [stack, self_us] : stacks_) {
+    json.BeginObject();
+    json.Key("stack").String(stack);
+    json.Key("self_us").Int(self_us);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string Profiler::FlatTableText(size_t top_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "profile: spans by self time\n"
+      "span                                      calls    total_ms     self_ms"
+      "      p50_us      p95_us      p99_us\n";
+  size_t rows = 0;
+  for (const auto* entry : BySelfTimeDesc(spans_)) {
+    if (top_n != 0 && rows >= top_n) {
+      break;
+    }
+    ++rows;
+    const PerName& stats = entry->second;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-40s %6lld %11.3f %11.3f %11lld %11lld %11lld\n",
+                  entry->first.c_str(), static_cast<long long>(stats.count),
+                  static_cast<double>(stats.total_us) / 1000.0,
+                  static_cast<double>(stats.self_us) / 1000.0,
+                  static_cast<long long>(stats.hist.ApproxQuantile(0.50)),
+                  static_cast<long long>(stats.hist.ApproxQuantile(0.95)),
+                  static_cast<long long>(stats.hist.ApproxQuantile(0.99)));
+    out += line;
+  }
+  if (rows == 0) {
+    out += "(no spans recorded)\n";
+  }
+  return out;
+}
+
+std::string Profiler::CollapsedStacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [stack, self_us] : stacks_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(self_us);
+    out += '\n';
+  }
+  return out;
+}
+
+Status Profiler::WriteFile(const std::string& path) const {
+  return WriteTextFile(path, SnapshotJson());
+}
+
+}  // namespace scoded::obs

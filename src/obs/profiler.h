@@ -1,0 +1,84 @@
+#ifndef SCODED_OBS_PROFILER_H_
+#define SCODED_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace scoded::obs {
+
+/// Turns span-sink bit kProfileSink on/off for the whole process. While
+/// enabled, every finished ScopedSpan is folded into Profiler::Global()
+/// in-process — no trace file or viewer needed to see where time goes.
+void EnableProfiler();
+void DisableProfiler();
+bool ProfilerEnabled();
+
+/// In-process span aggregator. Spans feed it three ways at once:
+///  - per-name stats: call count, total and *self* wall-clock (self =
+///    total minus time spent in child spans), and p50/p95/p99 duration
+///    estimates from a log2-bucket histogram (2x resolution);
+///  - parent->child edges, so a caller/callee breakdown can be rendered;
+///  - collapsed stacks ("a;b;c <self_us>"), the flamegraph input format.
+///
+/// Aggregation happens at span finish under a mutex; spans are coarse
+/// (pipeline phases, whole hypothesis tests), so contention is negligible
+/// and a disabled profiler costs instrumented paths nothing beyond the
+/// shared one-relaxed-load sink check.
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// Folds one finished span into the aggregate. `parent` is empty for a
+  /// root span; `stack` is the ";"-joined ancestor path ending in `name`.
+  void RecordSpan(std::string_view name, std::string_view parent, std::string_view stack,
+                  int64_t dur_us, int64_t self_us);
+
+  /// Number of distinct span names seen (0 until something records).
+  size_t NumSpanNames() const;
+  void Clear();
+
+  /// {"spans":[{name,count,total_ms,self_ms,p50_us,p95_us,p99_us}...],
+  ///  "edges":[{parent,child,count,total_ms}...],
+  ///  "stacks":[{stack,self_us}...]}
+  /// Spans are sorted by self time, descending.
+  std::string SnapshotJson() const;
+
+  /// Human-readable flat table, sorted by self time descending. `top_n`
+  /// limits the rows (0 = all).
+  std::string FlatTableText(size_t top_n = 0) const;
+
+  /// One "stack self_us" line per distinct stack — feed straight into
+  /// flamegraph.pl / speedscope ("collapsed stacks" format).
+  std::string CollapsedStacks() const;
+
+  /// Writes SnapshotJson() to `path`, creating parent directories.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct PerName {
+    int64_t count = 0;
+    int64_t total_us = 0;
+    int64_t self_us = 0;
+    Histogram hist;  // span durations in µs
+  };
+  struct PerEdge {
+    int64_t count = 0;
+    int64_t total_us = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerName, std::less<>> spans_;
+  std::map<std::pair<std::string, std::string>, PerEdge> edges_;
+  std::map<std::string, int64_t, std::less<>> stacks_;  // path -> self_us
+};
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_PROFILER_H_

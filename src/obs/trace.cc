@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
 #include <chrono>
-#include <cstdio>
+
+#include "common/fileio.h"
+#include "obs/profiler.h"
 
 namespace scoded::obs {
 
@@ -16,6 +18,22 @@ std::chrono::steady_clock::time_point ProcessStart() {
 // Touch the epoch as early as possible so timestamps are process-relative.
 [[maybe_unused]] const auto kEpochInit = ProcessStart();
 
+// One live stack frame per active RAII span on this thread. `child_us`
+// accumulates the durations of direct children so the parent's self time
+// is total minus children at finish.
+struct SpanFrame {
+  const char* name;
+  uint64_t id;
+  int64_t child_us;
+};
+
+thread_local std::vector<SpanFrame> t_span_stack;
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int64_t NowMicros() {
@@ -29,6 +47,61 @@ uint32_t CurrentTid() {
   thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
+
+uint64_t CurrentSpanId() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back().id;
+}
+
+namespace internal {
+
+std::atomic<uint32_t> g_span_sinks{0};
+
+void AddSpanSink(uint32_t bit) {
+  g_span_sinks.fetch_or(bit, std::memory_order_relaxed);
+}
+
+void RemoveSpanSink(uint32_t bit) {
+  g_span_sinks.fetch_and(~bit, std::memory_order_relaxed);
+}
+
+void PushSpanFrame(const char* name) {
+  t_span_stack.push_back(SpanFrame{name, NextSpanId(), 0});
+}
+
+void FinishSpanFrame(uint32_t sinks, const char* name, int64_t start_us,
+                     std::string args_json) {
+  int64_t end_us = NowMicros();
+  int64_t dur_us = end_us - start_us;
+  int64_t child_us = 0;
+  if (!t_span_stack.empty()) {
+    // RAII spans nest strictly, so the top frame is this span's.
+    child_us = t_span_stack.back().child_us;
+    t_span_stack.pop_back();
+  }
+  const char* parent = t_span_stack.empty() ? nullptr : t_span_stack.back().name;
+  if (!t_span_stack.empty()) {
+    t_span_stack.back().child_us += dur_us;
+  }
+  if ((sinks & kTraceSink) != 0) {
+    Tracer::Global().Record(name, start_us, dur_us, CurrentTid(), std::move(args_json));
+  }
+  if ((sinks & kProfileSink) != 0) {
+    std::string stack;
+    for (const SpanFrame& frame : t_span_stack) {
+      stack += frame.name;
+      stack += ';';
+    }
+    stack += name;
+    int64_t self_us = dur_us - child_us;
+    if (self_us < 0) {
+      self_us = 0;
+    }
+    Profiler::Global().RecordSpan(name, parent == nullptr ? std::string_view() : parent,
+                                  stack, dur_us, self_us);
+  }
+}
+
+}  // namespace internal
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();  // leaked: outlives all users
@@ -73,17 +146,7 @@ std::string Tracer::ToJson() const {
 }
 
 Status Tracer::WriteFile(const std::string& path) const {
-  std::string text = ToJson();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status(StatusCode::kNotFound, "cannot open trace output file: " + path);
-  }
-  size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  int close_error = std::fclose(f);
-  if (written != text.size() || close_error != 0) {
-    return Status(StatusCode::kDataLoss, "short write to trace output file: " + path);
-  }
-  return OkStatus();
+  return WriteTextFile(path, ToJson());
 }
 
 #if !defined(SCODED_OBS_DISABLED)
@@ -97,33 +160,32 @@ JsonWriter& ScopedSpan::ArgsWriter() {
 }
 
 ScopedSpan& ScopedSpan::Arg(std::string_view key, int64_t value) {
-  if (active_) {
+  if (tracing()) {
     ArgsWriter().Key(key).Int(value);
   }
   return *this;
 }
 
 ScopedSpan& ScopedSpan::Arg(std::string_view key, double value) {
-  if (active_) {
+  if (tracing()) {
     ArgsWriter().Key(key).Double(value);
   }
   return *this;
 }
 
 ScopedSpan& ScopedSpan::Arg(std::string_view key, std::string_view value) {
-  if (active_) {
+  if (tracing()) {
     ArgsWriter().Key(key).String(value);
   }
   return *this;
 }
 
 void ScopedSpan::Finish() {
-  int64_t end = NowMicros();
   if (has_args_) {
     args_.EndObject();
   }
-  Tracer::Global().Record(name_, start_us_, end - start_us_, CurrentTid(),
-                          has_args_ ? args_.str() : std::string());
+  internal::FinishSpanFrame(sinks_, name_, start_us_,
+                            has_args_ ? args_.str() : std::string());
 }
 
 #endif  // !SCODED_OBS_DISABLED

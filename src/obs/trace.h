@@ -19,6 +19,38 @@ int64_t NowMicros();
 /// Small dense id of the calling thread (0 for the first thread observed).
 uint32_t CurrentTid();
 
+/// Id of the innermost active span on this thread, 0 when none. Spans get
+/// ids only while a sink (tracer or profiler) is on; structured log
+/// records carry this id so logs can be joined against trace/profile
+/// output.
+uint64_t CurrentSpanId();
+
+namespace internal {
+
+/// Bitmask of active span sinks. ScopedSpan checks it once at
+/// construction — one relaxed load covers both the tracer and the
+/// profiler — so idle instrumented paths stay as cheap as before the
+/// profiler existed.
+inline constexpr uint32_t kTraceSink = 1u;
+inline constexpr uint32_t kProfileSink = 2u;
+extern std::atomic<uint32_t> g_span_sinks;
+
+inline uint32_t SpanSinks() { return g_span_sinks.load(std::memory_order_relaxed); }
+void AddSpanSink(uint32_t bit);
+void RemoveSpanSink(uint32_t bit);
+
+/// Pushes a frame onto the calling thread's span stack (RAII spans nest
+/// strictly, so the stack mirrors the live call tree).
+void PushSpanFrame(const char* name);
+
+/// Pops the top frame and dispatches the finished span to every sink in
+/// `sinks`: a Chrome trace event (with pre-rendered `args_json`) and/or a
+/// profiler record with self-time and ancestor-stack attribution.
+void FinishSpanFrame(uint32_t sinks, const char* name, int64_t start_us,
+                     std::string args_json);
+
+}  // namespace internal
+
 /// One Chrome trace-event "complete" event (ph = "X").
 struct TraceEvent {
   const char* name;       ///< static string (span names are literals)
@@ -39,9 +71,11 @@ class Tracer {
  public:
   static Tracer& Global();
 
-  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
-  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { internal::AddSpanSink(internal::kTraceSink); }
+  void Disable() { internal::RemoveSpanSink(internal::kTraceSink); }
+  bool enabled() const {
+    return (internal::SpanSinks() & internal::kTraceSink) != 0;
+  }
 
   void Record(const char* name, int64_t ts_us, int64_t dur_us, uint32_t tid,
               std::string args_json);
@@ -52,11 +86,10 @@ class Tracer {
   /// Renders all collected events as a JSON array of trace events.
   std::string ToJson() const;
 
-  /// Writes ToJson() to `path`.
+  /// Writes ToJson() to `path`, creating parent directories.
   Status WriteFile(const std::string& path) const;
 
  private:
-  std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
@@ -79,40 +112,48 @@ class ScopedSpan {
 
 #else
 
-/// RAII span: captures a start timestamp at construction and records one
-/// complete ("X") trace event at destruction. Spans nest naturally —
-/// Perfetto reconstructs the hierarchy from containment of [ts, ts+dur]
-/// per thread. When the tracer is disabled the constructor is one atomic
-/// load and everything else is a no-op.
+/// RAII span: captures a start timestamp at construction and, at
+/// destruction, feeds every active sink — a complete ("X") trace event
+/// for the tracer, a self-time/stack record for the profiler. Spans nest
+/// naturally; the per-thread frame stack tracks parenthood so the
+/// profiler can attribute self time and Perfetto reconstructs the
+/// hierarchy from interval containment. When no sink is on the
+/// constructor is one relaxed atomic load and everything else is a no-op.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
-      : active_(Tracer::Global().enabled()),
+      : sinks_(static_cast<uint8_t>(internal::SpanSinks())),
         name_(name),
-        start_us_(active_ ? NowMicros() : 0) {}
+        start_us_(sinks_ != 0 ? NowMicros() : 0) {
+    if (sinks_ != 0) {
+      internal::PushSpanFrame(name_);
+    }
+  }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
-    if (active_) {
+    if (sinks_ != 0) {
       Finish();
     }
   }
 
   /// Attaches a key/value argument shown in the trace viewer's detail
-  /// panel (stratum count, n, dof, ...). No-ops when the span is inactive.
+  /// panel (stratum count, n, dof, ...). Arguments are a trace-surface
+  /// feature; they no-op unless the tracer sink is on.
   ScopedSpan& Arg(std::string_view key, int64_t value);
   ScopedSpan& Arg(std::string_view key, double value);
   ScopedSpan& Arg(std::string_view key, std::string_view value);
 
-  bool active() const { return active_; }
+  bool active() const { return sinks_ != 0; }
 
  private:
   void Finish();
   JsonWriter& ArgsWriter();
+  bool tracing() const { return (sinks_ & internal::kTraceSink) != 0; }
 
-  bool active_;
+  uint8_t sinks_;
   bool has_args_ = false;
   const char* name_;
   int64_t start_us_;

@@ -1,0 +1,137 @@
+// End-to-end tests for the bench perf-regression gate. Each case spawns
+// the real benchdiff binary against committed fixtures under
+// tests/data/benchdiff/ and asserts the exit-code contract:
+//   0 = ok (includes improvements, within-noise drift, missing baselines)
+//   2 = at least one regression
+//   1 = operational error (e.g. malformed BENCH json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fileio.h"
+#include "common/json.h"
+
+namespace scoded {
+namespace {
+
+#if defined(SCODED_BENCHDIFF_BIN) && defined(SCODED_BENCHDIFF_DATA)
+
+std::string DataDir() { return SCODED_BENCHDIFF_DATA; }
+
+int RunBenchdiff(const std::string& extra_args) {
+  std::string command = std::string(SCODED_BENCHDIFF_BIN) + " " + extra_args +
+                        " > /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  return WEXITSTATUS(rc);
+}
+
+int RunAgainstBaseline(const std::string& current_dir, const std::string& extra_args = "") {
+  return RunBenchdiff("--baseline " + DataDir() + "/baseline --current " + DataDir() + "/" +
+                      current_dir + (extra_args.empty() ? "" : " " + extra_args));
+}
+
+TEST(BenchdiffTest, UnmodifiedRerunPasses) {
+  EXPECT_EQ(RunAgainstBaseline("current_same"), 0);
+}
+
+TEST(BenchdiffTest, WithinNoiseDriftPasses) {
+  // +12% on 100ms is over neither the 15% relative nor the 20ms absolute
+  // threshold, so it must not gate.
+  EXPECT_EQ(RunAgainstBaseline("current_noise"), 0);
+}
+
+TEST(BenchdiffTest, ImprovementPasses) {
+  EXPECT_EQ(RunAgainstBaseline("current_improved"), 0);
+}
+
+TEST(BenchdiffTest, TwoTimesSlowdownFailsTheGate) {
+  EXPECT_EQ(RunAgainstBaseline("current_regress"), 2);
+}
+
+TEST(BenchdiffTest, WarnOnlyDowngradesRegressionToExitZero) {
+  EXPECT_EQ(RunAgainstBaseline("current_regress", "--warn-only"), 0);
+}
+
+TEST(BenchdiffTest, MissingBaselineIsReportedNotFatal) {
+  EXPECT_EQ(RunAgainstBaseline("current_missing"), 0);
+}
+
+TEST(BenchdiffTest, MalformedBenchJsonIsAnError) {
+  EXPECT_EQ(RunAgainstBaseline("current_malformed"), 1);
+}
+
+TEST(BenchdiffTest, ThresholdFlagsChangeTheVerdict) {
+  // With a loose enough gate even a 2x slowdown passes...
+  EXPECT_EQ(RunAgainstBaseline("current_regress", "--rel 2.0 --abs-ms 500"), 0);
+  // ...and with a tight one, within-noise drift regresses.
+  EXPECT_EQ(RunAgainstBaseline("current_noise", "--rel 0.01 --abs-ms 1"), 2);
+}
+
+TEST(BenchdiffTest, WritesMarkdownAndJsonReports) {
+  std::string dir = ::testing::TempDir();
+  std::string md_path = dir + "/benchdiff_report.md";
+  std::string json_path = dir + "/benchdiff_report.json";
+  EXPECT_EQ(RunAgainstBaseline("current_regress",
+                               "--md " + md_path + " --json " + json_path),
+            2);
+
+  Result<std::string> md = ReadTextFile(md_path);
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  EXPECT_NE(md->find("| bench |"), std::string::npos);
+  EXPECT_NE(md->find("regression"), std::string::npos);
+
+  Result<std::string> json_text = ReadTextFile(json_path);
+  ASSERT_TRUE(json_text.ok()) << json_text.status().ToString();
+  Result<JsonValue> report = ParseJson(*json_text);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->Find("regressions")->number, 3.0);
+  EXPECT_EQ(report->Find("improvements")->number, 0.0);
+  const JsonValue* benches = report->Find("benches");
+  ASSERT_NE(benches, nullptr);
+  ASSERT_EQ(benches->array.size(), 1u);
+  EXPECT_EQ(benches->array[0].Find("status")->string_value, "compared");
+
+  std::remove(md_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(BenchdiffTest, JsonReportRecordsMissingBaselines) {
+  std::string json_path = ::testing::TempDir() + "/benchdiff_missing.json";
+  EXPECT_EQ(RunAgainstBaseline("current_missing", "--json " + json_path), 0);
+  Result<std::string> json_text = ReadTextFile(json_path);
+  ASSERT_TRUE(json_text.ok()) << json_text.status().ToString();
+  Result<JsonValue> report = ParseJson(*json_text);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->Find("missing_baselines")->number, 1.0);
+  const JsonValue* benches = report->Find("benches");
+  ASSERT_NE(benches, nullptr);
+  ASSERT_EQ(benches->array.size(), 1u);
+  EXPECT_EQ(benches->array[0].Find("status")->string_value, "missing-baseline");
+  std::remove(json_path.c_str());
+}
+
+TEST(BenchdiffTest, UnreadableCurrentDirectoryIsAnError) {
+  EXPECT_EQ(RunBenchdiff("--baseline " + DataDir() + "/baseline --current " +
+                         DataDir() + "/does-not-exist"),
+            1);
+}
+
+TEST(BenchdiffTest, AbsentBaselineDirectoryOnlyWarns) {
+  // A baseline directory that doesn't exist yet degrades every bench to
+  // missing-baseline — the bootstrap state before baselines are recorded.
+  EXPECT_EQ(RunBenchdiff("--baseline " + DataDir() + "/does-not-exist --current " +
+                         DataDir() + "/current_same"),
+            0);
+}
+
+TEST(BenchdiffTest, BadFlagsAreAnError) {
+  EXPECT_EQ(RunBenchdiff("--current-only-no-baseline"), 1);
+}
+
+#endif  // SCODED_BENCHDIFF_BIN && SCODED_BENCHDIFF_DATA
+
+}  // namespace
+}  // namespace scoded

@@ -8,9 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "common/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -96,6 +99,63 @@ TEST(MetricsTest, HistogramQuantilesAreBucketUpperBounds) {
   }
   EXPECT_EQ(histogram->ApproxQuantile(0.5), 15);
   EXPECT_EQ(histogram->ApproxQuantile(0.99), 15);
+}
+
+TEST(MetricsTest, QuantilesAreWithinTheLog2BucketBound) {
+  // Log2 bucketing guarantees an estimate in [q, 2q): the reported value is
+  // the upper bound of the bucket holding the true quantile, and buckets
+  // are power-of-two wide. Check across a uniform 1..1024 population.
+  obs::Metrics metrics;
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("test.accuracy");
+  for (int64_t v = 1; v <= 1024; ++v) {
+    histogram->Observe(v);
+  }
+  for (double q : {0.50, 0.95, 0.99}) {
+    int64_t truth = static_cast<int64_t>(q * 1024);
+    int64_t estimate = histogram->ApproxQuantile(q);
+    EXPECT_GE(estimate, truth) << "q=" << q;
+    EXPECT_LE(estimate, 2 * truth) << "q=" << q;
+  }
+  // Degenerate quantiles stay in range.
+  EXPECT_GE(histogram->ApproxQuantile(0.0), 1);
+  EXPECT_LE(histogram->ApproxQuantile(1.0), 2047);
+}
+
+TEST(MetricsTest, SnapshotDuringConcurrentObservesStaysConsistent) {
+  // Readers snapshot while writers observe; every snapshot must be valid
+  // JSON and counts must be monotone non-decreasing across snapshots.
+  obs::Metrics metrics;
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("test.race");
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr int kMinObservations = 10000;  // guaranteed even if snapshots win the race
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([histogram, &stop] {
+      int64_t v = 1;
+      int done = 0;
+      while (done < kMinObservations || !stop.load(std::memory_order_relaxed)) {
+        histogram->Observe(v);
+        v = v % 4096 + 1;
+        ++done;
+      }
+    });
+  }
+  double last_count = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    Result<JsonValue> parsed = ParseJson(metrics.SnapshotJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const JsonValue* hist = parsed->Find("histograms")->Find("test.race");
+    ASSERT_NE(hist, nullptr);
+    double count = hist->Find("count")->number;
+    EXPECT_GE(count, last_count);
+    last_count = count;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  EXPECT_GE(histogram->Count(), int64_t{kWriters} * kMinObservations);
 }
 
 TEST(MetricsTest, SnapshotJsonIsValidAndComplete) {
@@ -321,6 +381,67 @@ TEST(JsonParserTest, WriterOutputParsesBack) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->Find("esc")->string_value, "tab\there \"and\" backslash\\");
   EXPECT_EQ(parsed->Find("nums")->array[2].number, static_cast<double>(1u << 30));
+}
+
+// ------------------------------------------------------ structured logging
+
+TEST(LogTest, FormatLogRecordIsParseableJsonWithFlattenedFields) {
+  std::string record = obs::FormatLogRecord(
+      obs::LogLevel::kWarn, "load \"failed\"",
+      {{"path", "a/b.csv"}, {"rows", 128}, {"ratio", 0.5}, {"retry", true}},
+      /*span_id=*/7, /*ts_us=*/123456);
+  Result<JsonValue> parsed = ParseJson(record);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\nrecord: " << record;
+  EXPECT_EQ(parsed->Find("ts_us")->number, 123456.0);
+  EXPECT_EQ(parsed->Find("level")->string_value, "warn");
+  EXPECT_EQ(parsed->Find("span")->number, 7.0);
+  EXPECT_EQ(parsed->Find("msg")->string_value, "load \"failed\"");
+  EXPECT_EQ(parsed->Find("path")->string_value, "a/b.csv");
+  EXPECT_EQ(parsed->Find("rows")->number, 128.0);
+  EXPECT_EQ(parsed->Find("ratio")->number, 0.5);
+  EXPECT_TRUE(parsed->Find("retry")->bool_value);
+  // Exactly one line, no trailing newline (the sink appends it).
+  EXPECT_EQ(record.find('\n'), std::string::npos);
+}
+
+TEST(LogTest, SpanIdZeroIsOmitted) {
+  std::string record =
+      obs::FormatLogRecord(obs::LogLevel::kInfo, "no span", {}, /*span_id=*/0, 1);
+  Result<JsonValue> parsed = ParseJson(record);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("span"), nullptr);
+}
+
+TEST(LogTest, ParseLogLevelAcceptsTheDocumentedNamesOnly) {
+  struct Case {
+    const char* text;
+    obs::LogLevel level;
+  };
+  for (const Case& c : {Case{"debug", obs::LogLevel::kDebug},
+                        Case{"info", obs::LogLevel::kInfo},
+                        Case{"warn", obs::LogLevel::kWarn},
+                        Case{"error", obs::LogLevel::kError},
+                        Case{"off", obs::LogLevel::kOff}}) {
+    Result<obs::LogLevel> parsed = obs::ParseLogLevel(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text;
+    EXPECT_EQ(*parsed, c.level) << c.text;
+    EXPECT_EQ(obs::LogLevelName(c.level), c.text);
+  }
+  EXPECT_FALSE(obs::ParseLogLevel("").ok());
+  EXPECT_FALSE(obs::ParseLogLevel("verbose").ok());
+  EXPECT_FALSE(obs::ParseLogLevel("WARN").ok());
+}
+
+TEST(LogTest, MinLevelFiltersLowerLevels) {
+  obs::LogLevel saved = obs::MinLogLevel();
+  obs::SetMinLogLevel(obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::LogEnabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(obs::LogEnabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::LogEnabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(obs::LogEnabled(obs::LogLevel::kError));
+  obs::SetMinLogLevel(obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::LogEnabled(obs::LogLevel::kError));
+  obs::SetMinLogLevel(saved);
 }
 
 // -------------------------------------------------- CLI integration check

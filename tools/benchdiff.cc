@@ -1,0 +1,351 @@
+// benchdiff — the perf-regression gate over BENCH_*.json artefacts.
+//
+//   benchdiff --current DIR --baseline DIR
+//             [--rel 0.15] [--abs-ms 20] [--warn-only]
+//             [--md FILE] [--json FILE]
+//
+// Compares every BENCH_*.json in --current against the file of the same
+// name in --baseline (the committed baselines live in bench/baselines/).
+// Each bench contributes its "total_ms" plus one metric per section; a
+// metric regresses only when BOTH noise-aware thresholds trip:
+//
+//   current > baseline * (1 + rel)     relative slowdown, and
+//   current - baseline > abs-ms        an absolute floor, so micro-
+//                                      sections jittering by a few ms
+//                                      never gate.
+//
+// Improvements are flagged symmetrically (informational). A current file
+// with no baseline is reported as missing-baseline (warn, not a failure)
+// so new benches can land before their baselines. Malformed JSON on
+// either side is an error.
+//
+// Output: a markdown report on stdout (and to --md FILE), a structured
+// JSON report to --json FILE. Exit codes: 0 clean (or --warn-only),
+// 2 at least one regression, 1 any error (bad flags, unreadable or
+// malformed artefacts).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/json.h"
+#include "obs/log.h"
+
+using namespace scoded;
+
+namespace {
+
+struct Thresholds {
+  double rel = 0.15;
+  double abs_ms = 20.0;
+};
+
+enum class MetricStatus { kOk, kImprovement, kRegression };
+
+struct MetricDiff {
+  std::string metric;  // "total" or "section: <title>"
+  double baseline_ms = 0.0;
+  double current_ms = 0.0;
+  MetricStatus status = MetricStatus::kOk;
+};
+
+struct BenchDiff {
+  std::string file;
+  std::string status;  // "compared" | "missing-baseline" | "error"
+  std::string error;
+  std::vector<MetricDiff> metrics;
+};
+
+const char* MetricStatusName(MetricStatus status) {
+  switch (status) {
+    case MetricStatus::kOk:
+      return "ok";
+    case MetricStatus::kImprovement:
+      return "improvement";
+    case MetricStatus::kRegression:
+      return "regression";
+  }
+  return "ok";
+}
+
+MetricStatus Classify(double baseline_ms, double current_ms, const Thresholds& t) {
+  double delta = current_ms - baseline_ms;
+  if (delta > baseline_ms * t.rel && delta > t.abs_ms) {
+    return MetricStatus::kRegression;
+  }
+  if (-delta > baseline_ms * t.rel && -delta > t.abs_ms) {
+    return MetricStatus::kImprovement;
+  }
+  return MetricStatus::kOk;
+}
+
+// One bench artefact reduced to named wall-clock metrics.
+struct BenchMetrics {
+  std::vector<std::pair<std::string, double>> values;
+};
+
+Result<BenchMetrics> LoadBenchMetrics(const std::string& path) {
+  SCODED_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  Result<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  "malformed bench artefact " + path + ": " + parsed.status().message());
+  }
+  BenchMetrics metrics;
+  const JsonValue* total = parsed->Find("total_ms");
+  if (total == nullptr || !total->is_number()) {
+    return InvalidArgumentError("bench artefact " + path + " has no numeric total_ms");
+  }
+  metrics.values.emplace_back("total", total->number);
+  const JsonValue* sections = parsed->Find("sections");
+  if (sections != nullptr && sections->is_array()) {
+    for (const JsonValue& section : sections->array) {
+      const JsonValue* title = section.Find("title");
+      const JsonValue* ms = section.Find("ms");
+      if (title != nullptr && title->is_string() && ms != nullptr && ms->is_number()) {
+        metrics.values.emplace_back("section: " + title->string_value, ms->number);
+      }
+    }
+  }
+  return metrics;
+}
+
+double DeltaPct(const MetricDiff& diff) {
+  if (diff.baseline_ms <= 0.0) {
+    return 0.0;
+  }
+  return (diff.current_ms - diff.baseline_ms) / diff.baseline_ms * 100.0;
+}
+
+std::string RenderMarkdown(const std::vector<BenchDiff>& benches, const Thresholds& t,
+                           int regressions, int improvements, int errors, int missing) {
+  std::string out = "# benchdiff report\n\n";
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "thresholds: relative %.0f%%, absolute floor %.0f ms (a metric must "
+                "exceed both to gate)\n\n",
+                t.rel * 100.0, t.abs_ms);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "summary: %d regression(s), %d improvement(s), %d missing baseline(s), "
+                "%d error(s)\n\n",
+                regressions, improvements, missing, errors);
+  out += line;
+  out += "| bench | metric | baseline ms | current ms | delta | status |\n";
+  out += "|---|---|---|---|---|---|\n";
+  for (const BenchDiff& bench : benches) {
+    if (bench.status == "error") {
+      std::snprintf(line, sizeof(line), "| %s | — | — | — | — | error: %s |\n",
+                    bench.file.c_str(), bench.error.c_str());
+      out += line;
+      continue;
+    }
+    if (bench.status == "missing-baseline") {
+      std::snprintf(line, sizeof(line), "| %s | — | — | — | — | missing baseline |\n",
+                    bench.file.c_str());
+      out += line;
+      continue;
+    }
+    for (const MetricDiff& metric : bench.metrics) {
+      std::snprintf(line, sizeof(line), "| %s | %s | %.2f | %.2f | %+.1f%% | %s |\n",
+                    bench.file.c_str(), metric.metric.c_str(), metric.baseline_ms,
+                    metric.current_ms, DeltaPct(metric), MetricStatusName(metric.status));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<BenchDiff>& benches, const Thresholds& t,
+                       int regressions, int improvements, int errors, int missing) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("thresholds").BeginObject();
+  json.Key("rel").Double(t.rel);
+  json.Key("abs_ms").Double(t.abs_ms);
+  json.EndObject();
+  json.Key("regressions").Int(regressions);
+  json.Key("improvements").Int(improvements);
+  json.Key("missing_baselines").Int(missing);
+  json.Key("errors").Int(errors);
+  json.Key("benches").BeginArray();
+  for (const BenchDiff& bench : benches) {
+    json.BeginObject();
+    json.Key("file").String(bench.file);
+    json.Key("status").String(bench.status);
+    if (!bench.error.empty()) {
+      json.Key("error").String(bench.error);
+    }
+    json.Key("metrics").BeginArray();
+    for (const MetricDiff& metric : bench.metrics) {
+      json.BeginObject();
+      json.Key("metric").String(metric.metric);
+      json.Key("baseline_ms").Double(metric.baseline_ms);
+      json.Key("current_ms").Double(metric.current_ms);
+      json.Key("delta_pct").Double(DeltaPct(metric));
+      json.Key("status").String(MetricStatusName(metric.status));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff --current DIR --baseline DIR [--rel F] [--abs-ms MS]\n"
+               "                 [--warn-only] [--md FILE] [--json FILE]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string current_dir;
+  std::string baseline_dir;
+  std::string md_path;
+  std::string json_path;
+  Thresholds thresholds;
+  bool warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--warn-only") {
+      warn_only = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Usage();
+    }
+    std::string value = argv[++i];
+    if (flag == "--current") {
+      current_dir = value;
+    } else if (flag == "--baseline") {
+      baseline_dir = value;
+    } else if (flag == "--rel") {
+      thresholds.rel = std::stod(value);
+    } else if (flag == "--abs-ms") {
+      thresholds.abs_ms = std::stod(value);
+    } else if (flag == "--md") {
+      md_path = value;
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (current_dir.empty() || baseline_dir.empty()) {
+    return Usage();
+  }
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(current_dir, ec);
+  if (ec) {
+    obs::LogError("cannot read current directory",
+                  {{"path", current_dir}, {"reason", ec.message()}});
+    return 1;
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    obs::LogWarn("no BENCH_*.json artefacts in current directory",
+                 {{"path", current_dir}});
+  }
+
+  std::vector<BenchDiff> benches;
+  int regressions = 0;
+  int improvements = 0;
+  int errors = 0;
+  int missing = 0;
+  for (const std::string& file : files) {
+    BenchDiff bench;
+    bench.file = file;
+    Result<BenchMetrics> current = LoadBenchMetrics(current_dir + "/" + file);
+    if (!current.ok()) {
+      bench.status = "error";
+      bench.error = current.status().message();
+      ++errors;
+      benches.push_back(std::move(bench));
+      continue;
+    }
+    std::string baseline_path = baseline_dir + "/" + file;
+    if (!std::filesystem::exists(baseline_path)) {
+      bench.status = "missing-baseline";
+      ++missing;
+      benches.push_back(std::move(bench));
+      continue;
+    }
+    Result<BenchMetrics> baseline = LoadBenchMetrics(baseline_path);
+    if (!baseline.ok()) {
+      bench.status = "error";
+      bench.error = baseline.status().message();
+      ++errors;
+      benches.push_back(std::move(bench));
+      continue;
+    }
+    bench.status = "compared";
+    for (const auto& [metric, current_ms] : current->values) {
+      auto match = std::find_if(baseline->values.begin(), baseline->values.end(),
+                                [&](const auto& kv) { return kv.first == metric; });
+      if (match == baseline->values.end()) {
+        continue;  // new section: nothing to gate against yet
+      }
+      MetricDiff diff;
+      diff.metric = metric;
+      diff.baseline_ms = match->second;
+      diff.current_ms = current_ms;
+      diff.status = Classify(diff.baseline_ms, diff.current_ms, thresholds);
+      if (diff.status == MetricStatus::kRegression) {
+        ++regressions;
+      } else if (diff.status == MetricStatus::kImprovement) {
+        ++improvements;
+      }
+      bench.metrics.push_back(std::move(diff));
+    }
+    benches.push_back(std::move(bench));
+  }
+
+  std::string markdown =
+      RenderMarkdown(benches, thresholds, regressions, improvements, errors, missing);
+  std::fputs(markdown.c_str(), stdout);
+  if (!md_path.empty()) {
+    Status write = WriteTextFile(md_path, markdown);
+    if (!write.ok()) {
+      obs::LogError(write.message());
+      return 1;
+    }
+  }
+  if (!json_path.empty()) {
+    Status write = WriteTextFile(
+        json_path, RenderJson(benches, thresholds, regressions, improvements, errors,
+                              missing));
+    if (!write.ok()) {
+      obs::LogError(write.message());
+      return 1;
+    }
+  }
+  if (errors > 0) {
+    return 1;
+  }
+  if (regressions > 0) {
+    if (warn_only) {
+      obs::LogWarn("regressions detected but --warn-only is set",
+                   {{"regressions", regressions}});
+      return 0;
+    }
+    return 2;
+  }
+  return 0;
+}

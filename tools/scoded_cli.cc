@@ -15,13 +15,20 @@
 //   scoded fds         --csv FILE [--max-g3 0.25]  (approximate FDs +
 //                      their Prop. 2 DSC translations)
 //   scoded consistency --sc "..." [--sc "..." ...]
+//   scoded version     (build identity: git describe, build type, obs mode)
 //
 // Observability (any subcommand):
 //   --trace-out FILE   write a Chrome trace-event JSON of the run
 //                      (load in chrome://tracing or ui.perfetto.dev)
 //   --stats [FILE]     emit a JSON run summary (phase wall-clock, tests
-//                      executed, counters, metrics snapshot); without a
-//                      FILE it goes to stderr
+//                      executed, counters, metrics snapshot, build info);
+//                      without a FILE it goes to stderr
+//   --profile [FILE]   aggregate spans in-process: without a FILE, print
+//                      a self-time table to stderr; with a FILE, write the
+//                      full profile JSON (flat stats + caller/callee edges
+//                      + collapsed stacks)
+//   --log-level LVL    debug|info|warn|error|off (overrides SCODED_LOG);
+//                      diagnostics are JSONL records on stderr
 //
 // Exit codes: 0 success (constraint holds / command completed), 2 the
 // checked constraint is violated, 1 any error. The violation exit code
@@ -32,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/json.h"
 #include "constraints/graphoid.h"
 #include "core/sc_monitor.h"
@@ -39,7 +47,10 @@
 #include "discovery/fd_discovery.h"
 #include "discovery/pc.h"
 #include "eval/report.h"
+#include "obs/build_info.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "repair/cell_repair.h"
@@ -63,11 +74,23 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency> "
+               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|version> "
                "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
                "[--out FILE]\n"
-               "              [--trace-out FILE] [--stats [FILE]]\n");
+               "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
+               "[--log-level debug|info|warn|error]\n");
+  return 1;
+}
+
+// Structured error reporting: one JSONL record on stderr, exit code 1.
+int Fail(const Status& status) {
+  obs::LogError(status.message(), {{"code", StatusCodeToString(status.code())}});
+  return 1;
+}
+
+int FailMessage(std::string_view message) {
+  obs::LogError(message);
   return 1;
 }
 
@@ -81,10 +104,11 @@ bool ParseArgs(int argc, char** argv, Args* out) {
     if (flag.rfind("--", 0) != 0) {
       return false;
     }
-    // --stats may appear valueless (summary goes to stderr) or with a FILE.
-    if (flag == "--stats" &&
+    // --stats / --profile may appear valueless (output goes to stderr) or
+    // with a FILE.
+    if ((flag == "--stats" || flag == "--profile") &&
         (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
-      out->flags["stats"] = "-";
+      out->flags[flag.substr(2)] = "-";
       continue;
     }
     if (i + 1 >= argc) {
@@ -140,8 +164,7 @@ Strategy ParseStrategy(const Args& args) {
 int RunProfile(const Args& args) {
   Result<Table> table = LoadCsv(args);
   if (!table.ok()) {
-    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
+    return Fail(table.status());
   }
   std::printf("%zu rows x %zu columns\n\n%s", table->NumRows(), table->NumColumns(),
               DescribeTableText(*table).c_str());
@@ -152,15 +175,12 @@ int RunCheck(const Args& args) {
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
-    return 1;
+    return Fail(!table.ok() ? table.status() : asc.status());
   }
   Scoded system(std::move(table).value());
   Result<ViolationReport> report = system.CheckViolation(*asc);
   if (!report.ok()) {
-    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
-    return 1;
+    return Fail(report.status());
   }
   g_telemetry.Merge(report->telemetry);
   std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
@@ -175,16 +195,13 @@ int RunDrill(const Args& args) {
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
-    return 1;
+    return Fail(!table.ok() ? table.status() : asc.status());
   }
   size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
   Scoded system(std::move(table).value());
   Result<DrillDownResult> result = system.DrillDown(*asc, k, ParseStrategy(args));
   if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status());
   }
   g_telemetry.Merge(result->telemetry);
   std::printf("top-%zu suspicious records for %s (statistic %.4g -> %.4g):\n",
@@ -200,16 +217,13 @@ int RunPartition(const Args& args) {
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
-    return 1;
+    return Fail(!table.ok() ? table.status() : asc.status());
   }
   Scoded system(*table);
   Result<PartitionResult> result =
       system.Partition(*asc, FlagDouble(args, "max-removal", 0.5));
   if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status());
   }
   g_telemetry.Merge(result->telemetry);
   std::printf("removed %zu records; p: %.4g -> %.4g; constraint %s\n",
@@ -220,8 +234,7 @@ int RunPartition(const Args& args) {
     Table cleaned = table->WithoutRows(result->removed_rows);
     Status write = csv::WriteFile(cleaned, out->second);
     if (!write.ok()) {
-      std::fprintf(stderr, "error: %s\n", write.ToString().c_str());
-      return 1;
+      return Fail(write);
     }
     std::printf("wrote %s (%zu rows)\n", out->second.c_str(), cleaned.NumRows());
   }
@@ -232,15 +245,12 @@ int RunRepair(const Args& args) {
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
-    return 1;
+    return Fail(!table.ok() ? table.status() : asc.status());
   }
   size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
   Result<RepairPlan> plan = SuggestCellRepairs(*table, *asc, k);
   if (!plan.ok()) {
-    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
-    return 1;
+    return Fail(plan.status());
   }
   std::printf("%zu suggested repairs (statistic %.4g -> %.4g):\n", plan->repairs.size(),
               plan->initial_statistic, plan->final_statistic);
@@ -251,13 +261,11 @@ int RunRepair(const Args& args) {
   if (out != args.flags.end()) {
     Result<Table> repaired = ApplyRepairs(*table, plan->repairs);
     if (!repaired.ok()) {
-      std::fprintf(stderr, "error: %s\n", repaired.status().ToString().c_str());
-      return 1;
+      return Fail(repaired.status());
     }
     Status write = csv::WriteFile(*repaired, out->second);
     if (!write.ok()) {
-      std::fprintf(stderr, "error: %s\n", write.ToString().c_str());
-      return 1;
+      return Fail(write);
     }
     std::printf("wrote %s\n", out->second.c_str());
   }
@@ -267,20 +275,17 @@ int RunRepair(const Args& args) {
 int RunReport(const Args& args) {
   Result<Table> table = LoadCsv(args);
   if (!table.ok()) {
-    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
+    return Fail(table.status());
   }
   if (args.constraints.empty()) {
-    std::fprintf(stderr, "error: at least one --sc CONSTRAINT is required\n");
-    return 1;
+    return FailMessage("at least one --sc CONSTRAINT is required");
   }
   double alpha = FlagDouble(args, "alpha", 0.05);
   std::vector<ApproximateSc> constraints;
   for (const std::string& text : args.constraints) {
     Result<StatisticalConstraint> sc = ParseConstraint(text);
     if (!sc.ok()) {
-      std::fprintf(stderr, "error: %s\n", sc.status().ToString().c_str());
-      return 1;
+      return Fail(sc.status());
     }
     constraints.push_back({std::move(sc).value(), alpha});
   }
@@ -289,8 +294,7 @@ int RunReport(const Args& args) {
   options.fdr_q = FlagDouble(args, "fdr", 0.05);
   Result<CleaningReport> report = GenerateCleaningReport(*table, constraints, options);
   if (!report.ok()) {
-    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
-    return 1;
+    return Fail(report.status());
   }
   auto fmt = args.flags.find("format");
   std::string rendered = (fmt != args.flags.end() && fmt->second == "json")
@@ -298,13 +302,10 @@ int RunReport(const Args& args) {
                              : report->ToMarkdown(*table, options);
   auto out = args.flags.find("out");
   if (out != args.flags.end()) {
-    FILE* f = std::fopen(out->second.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s\n", out->second.c_str());
-      return 1;
+    Status write = WriteTextFile(out->second, rendered);
+    if (!write.ok()) {
+      return Fail(write);
     }
-    std::fputs(rendered.c_str(), f);
-    std::fclose(f);
     std::printf("wrote %s\n", out->second.c_str());
   } else {
     std::fputs(rendered.c_str(), stdout);
@@ -316,19 +317,15 @@ int RunMonitor(const Args& args) {
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!table.ok() ? table.status() : asc.status()).ToString().c_str());
-    return 1;
+    return Fail(!table.ok() ? table.status() : asc.status());
   }
   size_t batch = static_cast<size_t>(FlagInt(args, "batch", 100));
   if (batch == 0) {
-    std::fprintf(stderr, "error: --batch must be positive\n");
-    return 1;
+    return FailMessage("--batch must be positive");
   }
   Result<ScMonitor> monitor = ScMonitor::Create(*table, *asc);
   if (!monitor.ok()) {
-    std::fprintf(stderr, "error: %s\n", monitor.status().ToString().c_str());
-    return 1;
+    return Fail(monitor.status());
   }
   std::printf("%-12s %-12s %-10s %s\n", "rows", "statistic", "p-value", "state");
   for (size_t start = 0; start < table->NumRows(); start += batch) {
@@ -338,8 +335,7 @@ int RunMonitor(const Args& args) {
     }
     Status status = monitor->Append(table->Gather(rows));
     if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
+      return Fail(status);
     }
     std::printf("%-12zu %-12.4g %-10.4g %s\n", monitor->NumRecords(),
                 monitor->CurrentStatistic(), monitor->CurrentPValue(),
@@ -352,16 +348,14 @@ int RunMonitor(const Args& args) {
 int RunDiscover(const Args& args) {
   Result<Table> table = LoadCsv(args);
   if (!table.ok()) {
-    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
+    return Fail(table.status());
   }
   PcOptions options;
   options.alpha = FlagDouble(args, "alpha", 0.05);
   options.max_conditioning = static_cast<int>(FlagInt(args, "max-cond", 2));
   Result<PcResult> result = LearnPcStructure(*table, options);
   if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+    return Fail(result.status());
   }
   g_telemetry.Merge(result->telemetry);
   std::printf("discovered constraints (PC, alpha = %g, max conditioning = %d):\n",
@@ -382,15 +376,13 @@ int RunDiscover(const Args& args) {
 int RunFds(const Args& args) {
   Result<Table> table = LoadCsv(args);
   if (!table.ok()) {
-    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
+    return Fail(table.status());
   }
   FdDiscoveryOptions options;
   options.max_g3_ratio = FlagDouble(args, "max-g3", 0.25);
   Result<std::vector<DiscoveredFd>> fds = DiscoverApproximateFds(*table, options);
   if (!fds.ok()) {
-    std::fprintf(stderr, "error: %s\n", fds.status().ToString().c_str());
-    return 1;
+    return Fail(fds.status());
   }
   std::printf("approximate FDs with g3 <= %g (Prop. 2 translation alongside):\n", options.max_g3_ratio);
   std::printf("%-28s %-10s %-12s %s\n", "FD", "g3", "viol.pairs", "as DSC");
@@ -403,22 +395,19 @@ int RunFds(const Args& args) {
 
 int RunConsistency(const Args& args) {
   if (args.constraints.empty()) {
-    std::fprintf(stderr, "error: at least one --sc CONSTRAINT is required\n");
-    return 1;
+    return FailMessage("at least one --sc CONSTRAINT is required");
   }
   std::vector<StatisticalConstraint> scs;
   for (const std::string& text : args.constraints) {
     Result<StatisticalConstraint> sc = ParseConstraint(text);
     if (!sc.ok()) {
-      std::fprintf(stderr, "error: %s\n", sc.status().ToString().c_str());
-      return 1;
+      return Fail(sc.status());
     }
     scs.push_back(std::move(sc).value());
   }
   Result<ConsistencyReport> report = CheckConsistency(scs);
   if (!report.ok()) {
-    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
-    return 1;
+    return Fail(report.status());
   }
   if (report->consistent) {
     std::printf("consistent (%zu constraints, closure size %zu)\n", scs.size(),
@@ -437,6 +426,15 @@ int RunConsistency(const Args& args) {
     std::printf("  %s\n", conflict.c_str());
   }
   return 2;
+}
+
+int RunVersion() {
+  obs::BuildInfo info = obs::GetBuildInfo();
+  std::printf("scoded %s\n", std::string(info.git_describe).c_str());
+  std::printf("build type: %s\n", std::string(info.build_type).c_str());
+  std::printf("observability: %s\n",
+              info.obs_disabled ? "compiled out (SCODED_DISABLE_OBS)" : "compiled in");
+  return 0;
 }
 
 int Dispatch(const Args& args) {
@@ -470,22 +468,41 @@ int Dispatch(const Args& args) {
   if (args.command == "consistency") {
     return RunConsistency(args);
   }
+  if (args.command == "version") {
+    return RunVersion();
+  }
   return Usage();
 }
 
-// Writes the trace file and/or the --stats summary after the command ran.
-// An observability failure never masks the command's exit code, but turns
-// a success into an error.
+// Writes the trace file, profile output, and/or the --stats summary after
+// the command ran. An observability failure never masks the command's exit
+// code, but turns a success into an error.
 int EmitObservability(const Args& args, int rc) {
   auto trace = args.flags.find("trace-out");
   if (trace != args.flags.end()) {
     Status status = obs::Tracer::Global().WriteFile(trace->second);
     if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      obs::LogError(status.message(), {{"code", StatusCodeToString(status.code())}});
       return rc == 0 ? 1 : rc;
     }
-    std::fprintf(stderr, "trace: wrote %zu events to %s\n",
-                 obs::Tracer::Global().NumEvents(), trace->second.c_str());
+    obs::LogInfo("wrote trace",
+                 {{"path", trace->second},
+                  {"events", static_cast<int64_t>(obs::Tracer::Global().NumEvents())}});
+  }
+  auto profile = args.flags.find("profile");
+  if (profile != args.flags.end()) {
+    if (profile->second == "-") {
+      std::fputs(obs::Profiler::Global().FlatTableText(20).c_str(), stderr);
+    } else {
+      Status status = obs::Profiler::Global().WriteFile(profile->second);
+      if (!status.ok()) {
+        obs::LogError(status.message(), {{"code", StatusCodeToString(status.code())}});
+        return rc == 0 ? 1 : rc;
+      }
+      obs::LogInfo("wrote profile",
+                   {{"path", profile->second},
+                    {"spans", static_cast<int64_t>(obs::Profiler::Global().NumSpanNames())}});
+    }
   }
   auto stats = args.flags.find("stats");
   if (stats != args.flags.end()) {
@@ -493,20 +510,22 @@ int EmitObservability(const Args& args, int rc) {
     json.BeginObject();
     json.Key("command").String(args.command);
     json.Key("exit_code").Int(rc);
+    json.Key("build").Raw(obs::BuildInfoJson());
     json.Key("telemetry");
     g_telemetry.WriteJson(json);
     json.Key("metrics").Raw(obs::Metrics::Global().SnapshotJson());
+    if (obs::Profiler::Global().NumSpanNames() > 0) {
+      json.Key("profile").Raw(obs::Profiler::Global().SnapshotJson());
+    }
     json.EndObject();
     if (stats->second == "-") {
       std::fprintf(stderr, "%s\n", json.str().c_str());
     } else {
-      FILE* f = std::fopen(stats->second.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "error: cannot open %s\n", stats->second.c_str());
+      Status status = WriteTextFile(stats->second, json.str());
+      if (!status.ok()) {
+        obs::LogError(status.message(), {{"code", StatusCodeToString(status.code())}});
         return rc == 0 ? 1 : rc;
       }
-      std::fputs(json.str().c_str(), f);
-      std::fclose(f);
     }
   }
   return rc;
@@ -519,8 +538,19 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     return Usage();
   }
+  auto log_level = args.flags.find("log-level");
+  if (log_level != args.flags.end()) {
+    Result<obs::LogLevel> level = obs::ParseLogLevel(log_level->second);
+    if (!level.ok()) {
+      return Fail(level.status());
+    }
+    obs::SetMinLogLevel(*level);
+  }
   if (args.flags.count("trace-out") > 0) {
     obs::Tracer::Global().Enable();
+  }
+  if (args.flags.count("profile") > 0) {
+    obs::EnableProfiler();
   }
   int rc = 1;
   {
