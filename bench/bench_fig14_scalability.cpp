@@ -8,9 +8,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "core/drilldown.h"
+#include "core/scoded.h"
 #include "datasets/boston.h"
 #include "datasets/hosp.h"
 #include "table/table.h"
@@ -84,8 +87,52 @@ int main() {
     bench::RecordValue("n=" + std::to_string(n), ms);
     std::printf("%-12zu %-12.1f\n", n, ms);
   }
+  // (d) Extension panel: thread scaling of the parallel execution layer on
+  // a composite workload (a four-constraint CheckAll batch plus one K-
+  // strategy drill-down, n = 100000). Speedups are relative to threads=1
+  // (the fully serial path) and only materialise on multi-core hardware;
+  // on a single core the sweep doubles as an overhead regression check —
+  // all entries should be within noise of each other.
+  bench::PrintTitle("(d) thread scaling (CheckAll + drill-down, n = 100000)");
+  std::printf("%-12s %-12s %-12s\n", "threads", "time(ms)", "speedup");
+  {
+    Table big = ReplicateRows(base, 100000);
+    std::vector<ApproximateSc> batch = {
+        {ParseConstraint("N !_||_ D").value(), 0.05},
+        {ParseConstraint("R _||_ B").value(), 0.05},
+        {ParseConstraint("TX !_||_ B | C").value(), 0.05},
+        {ParseConstraint("N _||_ B | TX").value(), 0.05},
+    };
+    ApproximateSc drill_target{ParseConstraint("N !_||_ D").value(), 0.05};
+    DrillDownOptions drill;
+    drill.strategy = Strategy::kDirect;
+    std::vector<int> sweep = {1, 2, 4};
+    if (parallel::HardwareThreads() > 4) {
+      sweep.push_back(parallel::HardwareThreads());
+    }
+    double serial_ms = 0.0;
+    for (int threads : sweep) {
+      parallel::SetThreads(threads);
+      auto start = std::chrono::steady_clock::now();
+      Scoded system(big);
+      (void)system.CheckAll(batch).value();
+      (void)DrillDown(big, drill_target, 50, drill).value();
+      auto end = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(end - start).count();
+      if (threads == 1) {
+        serial_ms = ms;
+      }
+      double speedup = serial_ms > 0.0 ? serial_ms / ms : 1.0;
+      bench::RecordValue("threads=" + std::to_string(threads) + "_ms", ms);
+      bench::RecordValue("threads=" + std::to_string(threads) + "_speedup_vs_1", speedup);
+      std::printf("%-12d %-12.1f %-12.2f\n", threads, ms, speedup);
+    }
+    parallel::SetThreads(0);
+  }
+
   std::printf("\nexpected shape: ~O(n log n) growth in (a); ~linear growth in (b)\n"
               "after the fixed O(n log n) initialisation cost; near-linear in (c)\n"
-              "(per-step cost depends on live cells, not records).\n");
+              "(per-step cost depends on live cells, not records); in (d),\n"
+              "speedup tracks the core count (flat on a single-core host).\n");
   return 0;
 }

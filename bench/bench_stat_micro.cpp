@@ -1,14 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the statistical kernels that
 // determine SCODED's throughput: Kendall τ (naive vs O(n log n)), the
-// Algorithm 2 segment-tree benefit initialisation, the G-test, and raw
-// segment-tree vs Fenwick-tree index operations.
+// Algorithm 2 segment-tree benefit initialisation, the G-test, raw
+// segment-tree vs Fenwick-tree index operations, and the stratified
+// conditional tests at 1 vs N pool threads (the per-stratum fan-out of
+// the parallel execution layer).
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "stats/contingency.h"
+#include "stats/hypothesis.h"
 #include "stats/kendall.h"
 #include "stats/segment_tree.h"
+#include "table/table.h"
 
 namespace {
 
@@ -105,6 +110,63 @@ void BM_FenwickTreeOps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FenwickTreeOps)->Range(1024, 1048576);
+
+// ---------------------------------------------------------------------------
+// Stratified conditional tests, serial vs parallel. Arg 0 is the row
+// count, arg 1 the pool thread count (1 = the fully serial path). On a
+// multi-core host the parallel rows should approach threads× the serial
+// throughput; on a single core they measure the fork/join overhead.
+// ---------------------------------------------------------------------------
+
+// X ⊥̸ Y | Z with ~64 strata: numeric X/Y driven by a shared signal,
+// categorical Z as the conditioning set.
+Table StratifiedTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<std::string> z(n);
+  std::vector<std::string> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    double signal = rng.Normal();
+    x[i] = signal + rng.Normal(0.0, 0.5);
+    y[i] = signal + rng.Normal(0.0, 0.5);
+    z[i] = "z" + std::to_string(rng.UniformInt(0, 63));
+    w[i] = "w" + std::to_string(rng.UniformInt(0, 7));
+  }
+  TableBuilder builder;
+  builder.AddNumeric("X", std::move(x));
+  builder.AddNumeric("Y", std::move(y));
+  builder.AddCategorical("Z", std::move(z));
+  builder.AddCategorical("W", std::move(w));
+  return std::move(builder).Build().value();
+}
+
+void BM_StratifiedTau(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 8);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceTest(table, 0, 1, {2}).value());
+  }
+  parallel::SetThreads(0);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StratifiedTau)
+    ->ArgsProduct({{16384, 65536}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+void BM_StratifiedG(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 9);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    // W vs discretised X given Z: the categorical branch of the dispatcher.
+    benchmark::DoNotOptimize(IndependenceTest(table, 3, 0, {2}).value());
+  }
+  parallel::SetThreads(0);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StratifiedG)
+    ->ArgsProduct({{16384, 65536}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
 
 }  // namespace
 

@@ -58,7 +58,16 @@ double GammaQContinuedFraction(double a, double x) {
 
 }  // namespace
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam` and is therefore not
+  // thread-safe; strata are tested in parallel, so use the reentrant form.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double RegularizedGammaP(double a, double x) {
   SCODED_CHECK(a > 0.0);

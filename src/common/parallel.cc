@@ -1,0 +1,225 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scoded::parallel {
+
+namespace {
+
+// Explicit override (SetThreads / ScodedOptions::threads / --threads).
+// 0 means "not set": fall back to SCODED_THREADS, then the hardware.
+std::atomic<int> g_thread_override{0};
+
+// Safety valve: a pool larger than this is never useful for SCODED's
+// coarse-grained tasks and only costs memory.
+constexpr int kMaxWorkers = 256;
+
+thread_local bool t_in_worker = false;
+
+int EnvThreads() {
+  static const int env_threads = [] {
+    const char* env = std::getenv("SCODED_THREADS");
+    if (env == nullptr || *env == '\0') {
+      return 0;
+    }
+    int value = std::atoi(env);
+    return value > 0 ? value : 0;
+  }();
+  return env_threads;
+}
+
+// One fork/join invocation. Workers claim chunk indices via `next`; the
+// final finisher flips `finished` under `mu` so the submitting thread can
+// block on `cv` without missed wakeups.
+//
+// Lifetime: jobs are heap-allocated and shared between the queue, the
+// submitter, and any worker that picked the job up. A worker scheduled
+// late (after every chunk is already claimed) may still touch `next`, so
+// the job must outlive Run() until the last holder drops its reference.
+// `task` itself points into the submitter's frame, but it is only invoked
+// for successfully claimed chunks, and all chunks are claimed-and-executed
+// before `finished` flips — so the pointer is never dereferenced after
+// Run() returns.
+struct Job {
+  const std::function<void(size_t)>* task = nullptr;
+  size_t num_chunks = 0;
+  int64_t submit_us = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+};
+
+/// Lazily started global pool. Leaked on purpose (like the obs
+/// singletons): workers idle on the queue condition variable until
+/// process exit, so no static-destruction-order hazards.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& task) {
+    static obs::Counter* const runs_counter =
+        obs::Metrics::Global().FindOrCreateCounter("parallel.runs");
+    runs_counter->Add();
+
+    std::shared_ptr<Job> job = std::make_shared<Job>();
+    job->task = &task;
+    job->num_chunks = num_chunks;
+    job->submit_us = obs::NowMicros();
+    size_t helpers = num_chunks - 1;
+    size_t max_helpers = static_cast<size_t>(Threads() - 1);
+    if (helpers > max_helpers) {
+      helpers = max_helpers;
+    }
+    EnsureWorkers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(job);
+    }
+    work_cv_.notify_all();
+    // The submitting thread works too; while draining it counts as a
+    // worker so nested primitives fall back to serial execution.
+    {
+      bool saved = t_in_worker;
+      t_in_worker = true;
+      DrainJob(job.get());
+      t_in_worker = saved;
+    }
+    {
+      std::unique_lock<std::mutex> lock(job->mu);
+      job->cv.wait(lock, [&] { return job->finished; });
+    }
+    // Retire the queue entry ourselves: with few chunks no worker may ever
+    // wake to pop it, and the queue must not accumulate finished jobs.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), job), queue_.end());
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(size_t target) {
+    if (target > static_cast<size_t>(kMaxWorkers)) {
+      target = static_cast<size_t>(kMaxWorkers);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < target) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // Claims and executes chunks of `job` until none are left.
+  void DrainJob(Job* job) {
+    static obs::Counter* const tasks_counter =
+        obs::Metrics::Global().FindOrCreateCounter("parallel.tasks");
+    static obs::Histogram* const wait_histogram =
+        obs::Metrics::Global().FindOrCreateHistogram("parallel.steal_or_queue_wait_us");
+    for (;;) {
+      size_t chunk = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job->num_chunks) {
+        return;
+      }
+      tasks_counter->Add();
+      wait_histogram->Observe(obs::NowMicros() - job->submit_us);
+      {
+        obs::ScopedSpan span("parallel/task");
+        (*job->task)(chunk);
+      }
+      // acq_rel: the final increment observes every worker's slot writes,
+      // and the submitting thread observes them via job->mu below.
+      if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->num_chunks) {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->finished = true;
+        job->cv.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_worker = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return !queue_.empty(); });
+      // Hold a reference while working outside the lock: the submitter may
+      // finish, erase the queue entry, and return before this thread runs.
+      std::shared_ptr<Job> job = queue_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->num_chunks) {
+        // Fully claimed: retire it from the queue and look again.
+        queue_.pop_front();
+        continue;
+      }
+      lock.unlock();
+      DrainJob(job.get());
+      lock.lock();
+      if (!queue_.empty() && queue_.front() == job) {
+        queue_.pop_front();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::thread> workers_;  // never joined: the pool is leaked
+};
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void SetThreads(int n) {
+  g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int Threads() {
+  int override_threads = g_thread_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) {
+    return override_threads;
+  }
+  int env_threads = EnvThreads();
+  if (env_threads > 0) {
+    return env_threads;
+  }
+  return HardwareThreads();
+}
+
+bool InWorker() { return t_in_worker; }
+
+namespace internal {
+
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& task) {
+  if (num_chunks == 0) {
+    return;
+  }
+  if (num_chunks == 1 || Threads() <= 1 || InWorker()) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      task(chunk);
+    }
+    return;
+  }
+  ThreadPool::Global().Run(num_chunks, task);
+}
+
+}  // namespace internal
+
+}  // namespace scoded::parallel

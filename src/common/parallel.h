@@ -1,0 +1,194 @@
+#ifndef SCODED_COMMON_PARALLEL_H_
+#define SCODED_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scoded::parallel {
+
+/// SCODED's parallel execution layer: a lazily-initialised global thread
+/// pool plus deterministic fork/join primitives. Design rules:
+///
+///  * **Determinism.** Work is split into chunks whose boundaries depend
+///    only on (range, grain) — never on the thread count — and results are
+///    written into pre-sized slots. Callers reduce those slots in index
+///    order on their own thread, so p-values, drill-down rankings and PC
+///    skeletons are bit-identical at any thread count.
+///  * **Serial fallback.** With an effective thread count of 1 every
+///    primitive runs inline on the caller thread: no pool is started, no
+///    task is queued, and the code path is exactly the pre-parallel one.
+///  * **Error propagation.** Worker exceptions and non-OK `Status` values
+///    are captured per chunk and re-raised on the caller thread; when
+///    several chunks fail, the lowest chunk index wins (again matching the
+///    serial order of events).
+///  * **Nesting.** A primitive invoked from inside a pool worker runs
+///    serially inline — the pool never deadlocks on itself.
+///
+/// Configuration resolution order for the effective thread count:
+/// `SetThreads()` (e.g. from `ScodedOptions::threads` or the CLI's global
+/// `--threads N` flag) > the `SCODED_THREADS` environment variable > the
+/// hardware concurrency.
+
+/// Hardware concurrency, clamped to at least 1.
+int HardwareThreads();
+
+/// Overrides the effective thread count. `n <= 0` restores the default
+/// (environment variable, then hardware concurrency).
+void SetThreads(int n);
+
+/// The effective thread count used by the primitives below (>= 1).
+int Threads();
+
+/// True while the calling thread is a pool worker executing a task.
+bool InWorker();
+
+namespace internal {
+
+/// Runs `task(chunk)` for chunk in [0, num_chunks) on the global pool,
+/// using up to Threads() workers (caller included). Blocks until all
+/// chunks finished. `task` must not throw (the public templates wrap it).
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& task);
+
+/// Fixed chunk grid: boundaries depend only on (count, grain). Returns the
+/// number of chunks; chunk c covers [c * grain, min((c + 1) * grain, count)).
+inline size_t NumChunks(size_t count, size_t grain) {
+  if (count == 0) {
+    return 0;
+  }
+  if (grain == 0) {
+    grain = 1;
+  }
+  return (count + grain - 1) / grain;
+}
+
+}  // namespace internal
+
+/// Parallel loop: invokes `fn(i)` for every i in [begin, end). Iterations
+/// are grouped into chunks of `grain` consecutive indices; chunk
+/// boundaries are thread-count independent. Exceptions thrown by `fn`
+/// propagate to the caller (lowest chunk first). With Threads() == 1 (or a
+/// range smaller than one grain, or when already inside a pool worker)
+/// this is a plain serial loop.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn) {
+  if (begin >= end) {
+    return;
+  }
+  size_t count = end - begin;
+  if (grain == 0) {
+    grain = 1;
+  }
+  size_t num_chunks = internal::NumChunks(count, grain);
+  if (Threads() <= 1 || num_chunks <= 1 || InWorker()) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(num_chunks);
+  internal::RunChunks(num_chunks, [&](size_t chunk) {
+    size_t lo = begin + chunk * grain;
+    size_t hi = lo + grain < end ? lo + grain : end;
+    try {
+      for (size_t i = lo; i < hi; ++i) {
+        fn(i);
+      }
+    } catch (...) {
+      errors[chunk] = std::current_exception();
+    }
+  });
+  for (std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+/// As ParallelFor, but `fn(i)` returns a Status; the first non-OK status
+/// in index order is returned (remaining chunks still run to completion —
+/// workers are never cancelled mid-flight).
+template <typename Fn>
+Status ParallelForStatus(size_t begin, size_t end, size_t grain, Fn&& fn) {
+  if (begin >= end) {
+    return OkStatus();
+  }
+  size_t count = end - begin;
+  if (grain == 0) {
+    grain = 1;
+  }
+  size_t num_chunks = internal::NumChunks(count, grain);
+  if (Threads() <= 1 || num_chunks <= 1 || InWorker()) {
+    for (size_t i = begin; i < end; ++i) {
+      Status status = fn(i);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return OkStatus();
+  }
+  // One slot per index: the first non-OK in *index* order wins, matching
+  // what the serial loop would have reported first.
+  std::vector<Status> statuses(count);
+  std::vector<std::exception_ptr> errors(num_chunks);
+  internal::RunChunks(num_chunks, [&](size_t chunk) {
+    size_t lo = chunk * grain;
+    size_t hi = lo + grain < count ? lo + grain : count;
+    try {
+      for (size_t i = lo; i < hi; ++i) {
+        statuses[i] = fn(begin + i);
+      }
+    } catch (...) {
+      errors[chunk] = std::current_exception();
+    }
+  });
+  for (std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  for (Status& status : statuses) {
+    if (!status.ok()) {
+      return std::move(status);
+    }
+  }
+  return OkStatus();
+}
+
+/// Parallel map: returns {fn(0), ..., fn(count - 1)} with every slot
+/// written by exactly one worker. `T` must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t count, size_t grain, Fn&& fn) {
+  std::vector<T> out(count);
+  ParallelFor(0, count, grain, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Chunked reduction helper: splits [0, count) into the same fixed chunk
+/// grid as ParallelFor, evaluates `chunk_fn(lo, hi)` per chunk in
+/// parallel, and returns the per-chunk partials *in chunk order* so the
+/// caller can fold them serially. Because the grid depends only on
+/// (count, grain), the partials — and any in-order fold of them — are
+/// identical at every thread count.
+template <typename T, typename Fn>
+std::vector<T> ParallelChunks(size_t count, size_t grain, Fn&& chunk_fn) {
+  if (grain == 0) {
+    grain = 1;
+  }
+  size_t num_chunks = internal::NumChunks(count, grain);
+  std::vector<T> partials(num_chunks);
+  ParallelFor(0, num_chunks, 1, [&](size_t chunk) {
+    size_t lo = chunk * grain;
+    size_t hi = lo + grain < count ? lo + grain : count;
+    partials[chunk] = chunk_fn(lo, hi);
+  });
+  return partials;
+}
+
+}  // namespace scoded::parallel
+
+#endif  // SCODED_COMMON_PARALLEL_H_

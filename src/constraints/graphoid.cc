@@ -199,6 +199,16 @@ Result<std::vector<StatisticalConstraint>> MinimizeConstraints(
 
 Result<ConsistencyReport> CheckConsistency(
     const std::vector<StatisticalConstraint>& constraints) {
+  std::vector<const StatisticalConstraint*> pointers;
+  pointers.reserve(constraints.size());
+  for (const StatisticalConstraint& sc : constraints) {
+    pointers.push_back(&sc);
+  }
+  return CheckConsistency(pointers);
+}
+
+Result<ConsistencyReport> CheckConsistency(
+    const std::vector<const StatisticalConstraint*>& constraints) {
   // Assign variable ids.
   std::map<std::string, int> var_ids;
   auto id_of = [&](const std::string& name) -> int {
@@ -220,7 +230,9 @@ Result<ConsistencyReport> CheckConsistency(
 
   std::vector<CiTriple> independencies;
   std::vector<std::pair<CiTriple, std::string>> dependencies;
-  for (const StatisticalConstraint& sc : constraints) {
+  for (const StatisticalConstraint* sc_ptr : constraints) {
+    SCODED_CHECK(sc_ptr != nullptr);
+    const StatisticalConstraint& sc = *sc_ptr;
     if (sc.x.empty() || sc.y.empty()) {
       return InvalidArgumentError("constraint with empty X or Y: " + sc.ToString());
     }

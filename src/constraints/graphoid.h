@@ -56,6 +56,12 @@ struct ConsistencyReport {
 /// Supports at most 16 distinct variables across all constraints.
 Result<ConsistencyReport> CheckConsistency(const std::vector<StatisticalConstraint>& constraints);
 
+/// As above over non-owning pointers, so batch callers whose constraints
+/// live inside larger objects (e.g. ApproximateSc) can check them without
+/// copying each one. Pointers must be non-null.
+Result<ConsistencyReport> CheckConsistency(
+    const std::vector<const StatisticalConstraint*>& constraints);
+
 /// The semi-graphoid closure of a set of independence triples over
 /// `num_vars` variables. Exposed for tests and for downstream use (e.g.
 /// pruning redundant SCs before violation detection).

@@ -7,8 +7,10 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "stats/encoding_cache.h"
 #include "stats/kendall.h"
 #include "stats/ranks.h"
 #include "table/group_by.h"
@@ -21,6 +23,18 @@ namespace {
 
 // t·ln t with the 0·ln 0 := 0 convention.
 double XLogX(double t) { return t > 0.0 ? t * std::log(t) : 0.0; }
+
+// Chunk grain for the greedy loops' parallel scans. Fixed (never derived
+// from the thread count) so the chunk grid — and the in-order fold of the
+// per-chunk argmax winners — is identical at every thread count; also the
+// serial cutoff: scans below one grain run inline with zero pool traffic.
+constexpr size_t kScanGrain = 4096;
+
+// Per-chunk argmax candidate for the greedy selection scans.
+struct BestCandidate {
+  double improvement = -std::numeric_limits<double>::infinity();
+  size_t index = SIZE_MAX;
+};
 
 // --------------------------------------------------------------------------
 // τ engine: benefits initialised by two segment-tree passes (Algorithm 2),
@@ -75,19 +89,42 @@ class TauEngine : public DrilldownEngine {
       return false;
     }
     double current_abs = std::fabs(static_cast<double>(total_s_));
+    // Chunked argmax: each chunk reports its best candidate under the
+    // serial rule — max improvement, ties broken by the smaller row id —
+    // and the winners fold in chunk order. The rule is a total order over
+    // (improvement, row id), so the fold reproduces the serial pick
+    // exactly at any thread count.
+    std::vector<BestCandidate> partials = parallel::ParallelChunks<BestCandidate>(
+        x_.size(), kScanGrain, [&](size_t lo, size_t hi) {
+          BestCandidate best;
+          for (size_t i = lo; i < hi; ++i) {
+            if (!alive_[i]) {
+              continue;
+            }
+            double after_abs = std::fabs(static_cast<double>(total_s_ - benefit_[i]));
+            double improvement = goal == RemovalGoal::kReduceDependence
+                                     ? current_abs - after_abs
+                                     : after_abs - current_abs;
+            if (improvement > best.improvement ||
+                (improvement == best.improvement && best.index != SIZE_MAX &&
+                 row_[i] < row_[best.index])) {
+              best.improvement = improvement;
+              best.index = i;
+            }
+          }
+          return best;
+        });
     double best_improvement = -std::numeric_limits<double>::infinity();
     size_t best = SIZE_MAX;
-    for (size_t i = 0; i < x_.size(); ++i) {
-      if (!alive_[i]) {
+    for (const BestCandidate& candidate : partials) {
+      if (candidate.index == SIZE_MAX) {
         continue;
       }
-      double after_abs = std::fabs(static_cast<double>(total_s_ - benefit_[i]));
-      double improvement = goal == RemovalGoal::kReduceDependence ? current_abs - after_abs
-                                                                  : after_abs - current_abs;
-      if (improvement > best_improvement ||
-          (improvement == best_improvement && best != SIZE_MAX && row_[i] < row_[best])) {
-        best_improvement = improvement;
-        best = i;
+      if (candidate.improvement > best_improvement ||
+          (candidate.improvement == best_improvement && best != SIZE_MAX &&
+           row_[candidate.index] < row_[best])) {
+        best_improvement = candidate.improvement;
+        best = candidate.index;
       }
     }
     SCODED_CHECK(best != SIZE_MAX);
@@ -126,12 +163,16 @@ class TauEngine : public DrilldownEngine {
     alive_[i] = false;
     --alive_count_;
     --stratum_alive_[s];
-    for (size_t j : members_[s]) {
+    // Each member's benefit slot is written by exactly one iteration and
+    // alive_/x_/y_ are read-only here, so the updates parallelise freely.
+    const std::vector<size_t>& member = members_[s];
+    parallel::ParallelFor(0, member.size(), kScanGrain, [&](size_t m) {
+      size_t j = member[m];
       if (!alive_[j]) {
-        continue;
+        return;
       }
       benefit_[j] -= PairWeight(x_[i], y_[i], x_[j], y_[j]);
-    }
+    });
   }
 
   std::vector<double> x_;
@@ -214,22 +255,36 @@ class GEngine : public DrilldownEngine {
     // Using raw G would mis-handle removals that empty a whole category —
     // e.g. deleting a typo'd Zipcode deletes one row category and ~C dof
     // with it, a large significance gain invisible to ΔG alone.
+    // Chunked argmax with the serial tie rule (strict > keeps the first
+    // cell index); folding the chunk winners in chunk order keeps exactly
+    // the first-lowest-index maximiser the serial scan would pick.
+    std::vector<BestCandidate> partials = parallel::ParallelChunks<BestCandidate>(
+        cells_.size(), kScanGrain, [&](size_t lo, size_t hi) {
+          BestCandidate best;
+          for (size_t c = lo; c < hi; ++c) {
+            const Cell& cell = cells_[c];
+            if (cell.count == 0) {
+              continue;
+            }
+            double delta_excess = 2.0 * RemovalDeltaHalf(cell);
+            if (objective_ == GObjective::kExcess) {
+              delta_excess -= RemovalDeltaDof(cell);
+            }
+            double improvement =
+                goal == RemovalGoal::kReduceDependence ? -delta_excess : delta_excess;
+            if (improvement > best.improvement) {
+              best.improvement = improvement;
+              best.index = c;
+            }
+          }
+          return best;
+        });
     double best_improvement = -std::numeric_limits<double>::infinity();
     size_t best = SIZE_MAX;
-    for (size_t c = 0; c < cells_.size(); ++c) {
-      const Cell& cell = cells_[c];
-      if (cell.count == 0) {
-        continue;
-      }
-      double delta_excess = 2.0 * RemovalDeltaHalf(cell);
-      if (objective_ == GObjective::kExcess) {
-        delta_excess -= RemovalDeltaDof(cell);
-      }
-      double improvement =
-          goal == RemovalGoal::kReduceDependence ? -delta_excess : delta_excess;
-      if (improvement > best_improvement) {
-        best_improvement = improvement;
-        best = c;
+    for (const BestCandidate& candidate : partials) {
+      if (candidate.index != SIZE_MAX && candidate.improvement > best_improvement) {
+        best_improvement = candidate.improvement;
+        best = candidate.index;
       }
     }
     SCODED_CHECK(best != SIZE_MAX);
@@ -366,38 +421,19 @@ Result<std::unique_ptr<DrilldownEngine>> MakeEngine(const Table& table, int x_co
         new TauEngine(std::move(x), std::move(y), std::move(st), std::move(ids), num_strata));
   }
 
-  // G engine: encode both columns as categorical codes. A numeric column
-  // paired with a categorical one is quantile-discretised over the
-  // candidate rows (consistent with the violation-detection dispatcher).
-  auto encode = [&](const Column& column, size_t* cardinality) -> std::vector<int32_t> {
-    std::vector<int32_t> codes(rows.size(), -1);
-    if (column.type() == ColumnType::kCategorical) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        codes[i] = column.CodeAt(rows[i]);
-      }
-      *cardinality = column.NumCategories();
-      return codes;
-    }
-    std::vector<double> values;
-    std::vector<size_t> positions;
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (column.IsNull(rows[i])) {
-        continue;
-      }
-      values.push_back(column.NumericAt(rows[i]));
-      positions.push_back(i);
-    }
-    std::vector<int32_t> bins = QuantileBins(values, options.discretize_bins);
-    for (size_t i = 0; i < positions.size(); ++i) {
-      codes[positions[i]] = bins[i];
-    }
-    *cardinality = static_cast<size_t>(options.discretize_bins);
-    return codes;
-  };
-  size_t cx = 0;
-  size_t cy = 0;
-  std::vector<int32_t> x_codes = encode(xc, &cx);
-  std::vector<int32_t> y_codes = encode(yc, &cy);
+  // G engine: encode both columns as categorical codes via the shared
+  // hypothesis-layer encoder (a numeric column is quantile-discretised
+  // over the candidate rows, consistent with the violation-detection
+  // dispatcher) — so a drill-down after a violation check on the same
+  // rows hits the batch's encoding cache instead of re-encoding.
+  ColumnEncodingCache* cache = options.encoding_cache;
+  uint64_t rows_sig = cache != nullptr ? ColumnEncodingCache::RowsSignature(rows) : 0;
+  auto x_enc = EncodeAsCategoricalCached(xc, rows, options.discretize_bins, cache, rows_sig);
+  auto y_enc = EncodeAsCategoricalCached(yc, rows, options.discretize_bins, cache, rows_sig);
+  size_t cx = x_enc->cardinality;
+  size_t cy = y_enc->cardinality;
+  const std::vector<int32_t>& x_codes = x_enc->codes;
+  const std::vector<int32_t>& y_codes = y_enc->codes;
   std::vector<int32_t> fx;
   std::vector<int32_t> fy;
   std::vector<size_t> st;
@@ -492,16 +528,24 @@ Result<DrillDownResult> DrillDown(const Table& table, const ApproximateSc& asc, 
     timer.span().Arg("k", static_cast<int64_t>(k)).Arg("rows", static_cast<int64_t>(rows.size()));
   }
 
+  // Component choice and engine construction encode the same columns over
+  // the same rows; a call-scoped cache (unless the caller installed one)
+  // makes the second pass free.
+  ColumnEncodingCache local_cache;
+  TestOptions test_options = options.test;
+  if (test_options.encoding_cache == nullptr) {
+    test_options.encoding_cache = &local_cache;
+  }
   BoundConstraint bound;
   std::unique_ptr<DrilldownEngine> engine;
   {
     obs::PhaseTimer choose(&result.telemetry, "core/drilldown/choose_component");
-    SCODED_ASSIGN_OR_RETURN(bound, ChooseComponent(table, asc, rows, options.test));
+    SCODED_ASSIGN_OR_RETURN(bound, ChooseComponent(table, asc, rows, test_options));
   }
   {
     obs::PhaseTimer build(&result.telemetry, "core/drilldown/build_engine");
     SCODED_ASSIGN_OR_RETURN(
-        engine, internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, options.test,
+        engine, internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, test_options,
                                      options.g_objective));
   }
   obs::PhaseTimer greedy(&result.telemetry, "core/drilldown/greedy");
@@ -573,10 +617,15 @@ Result<std::vector<size_t>> RankSuspiciousRecords(const Table& table, const Appr
     span.Arg("max_rank", static_cast<int64_t>(max_rank));
   }
   std::vector<size_t> rows = AllRows(table);
-  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, ChooseComponent(table, asc, rows, options.test));
+  ColumnEncodingCache local_cache;
+  TestOptions test_options = options.test;
+  if (test_options.encoding_cache == nullptr) {
+    test_options.encoding_cache = &local_cache;
+  }
+  SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, ChooseComponent(table, asc, rows, test_options));
   SCODED_ASSIGN_OR_RETURN(
       std::unique_ptr<DrilldownEngine> engine,
-      internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, options.test,
+      internal::MakeEngine(table, bound.x[0], bound.y[0], bound.z, rows, test_options,
                            options.g_objective));
   Strategy strategy = ResolveStrategy(asc, options.strategy);
   RemovalGoal direct = DirectGoal(asc);

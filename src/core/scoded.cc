@@ -1,6 +1,19 @@
 #include "core/scoded.h"
 
+#include <optional>
+
+#include "common/parallel.h"
+#include "obs/trace.h"
+#include "stats/encoding_cache.h"
+
 namespace scoded {
+
+Scoded::Scoded(Table table, const ScodedOptions& options)
+    : table_(std::move(table)), options_(options.test) {
+  if (options.threads > 0) {
+    parallel::SetThreads(options.threads);
+  }
+}
 
 Result<StatisticalConstraint> Scoded::Parse(const std::string& text) const {
   SCODED_ASSIGN_OR_RETURN(StatisticalConstraint sc, ParseConstraint(text));
@@ -45,11 +58,17 @@ Result<ConsistencyReport> Scoded::CheckConstraintConsistency(
 
 Result<Scoded::BatchCheckResult> Scoded::CheckAll(
     const std::vector<ApproximateSc>& constraints) const {
+  obs::ScopedSpan span("core/check_all");
+  if (span.active()) {
+    span.Arg("constraints", static_cast<int64_t>(constraints.size()));
+  }
   BatchCheckResult out;
-  std::vector<StatisticalConstraint> scs;
+  // Consistency over borrowed pointers: the constraints already live in
+  // `constraints`, no per-SC copy needed.
+  std::vector<const StatisticalConstraint*> scs;
   scs.reserve(constraints.size());
   for (const ApproximateSc& asc : constraints) {
-    scs.push_back(asc.sc);
+    scs.push_back(&asc.sc);
   }
   SCODED_ASSIGN_OR_RETURN(out.consistency, CheckConsistency(scs));
   if (!out.consistency.consistent) {
@@ -57,10 +76,29 @@ Result<Scoded::BatchCheckResult> Scoded::CheckAll(
         "constraint set is inconsistent; resolve the conflicts before enforcement: " +
         (out.consistency.conflicts.empty() ? std::string() : out.consistency.conflicts[0]));
   }
+  // One encoding cache for the whole batch: constraints referencing the
+  // same columns (the common case — discovery emits overlapping SCs)
+  // encode each (column, row set) once instead of once per constraint.
+  ColumnEncodingCache cache;
+  TestOptions batch_options = options_;
+  batch_options.encoding_cache = &cache;
+  // Check constraints in parallel; each writes its own slot, and the
+  // fold below consumes the slots in input order, so reports, violation
+  // counts and error selection match the serial run exactly.
+  std::vector<std::optional<Result<ViolationReport>>> slots =
+      parallel::ParallelMap<std::optional<Result<ViolationReport>>>(
+          constraints.size(), /*grain=*/1, [&](size_t i) {
+            return std::optional<Result<ViolationReport>>(
+                DetectViolation(table_, constraints[i], batch_options));
+          });
   out.reports.reserve(constraints.size());
-  for (const ApproximateSc& asc : constraints) {
-    SCODED_ASSIGN_OR_RETURN(ViolationReport report, CheckViolation(asc));
+  for (std::optional<Result<ViolationReport>>& slot : slots) {
+    if (!slot->ok()) {
+      return slot->status();
+    }
+    ViolationReport& report = slot->value();
     out.violations += report.violated ? 1 : 0;
+    out.telemetry.Merge(report.telemetry);
     out.reports.push_back(std::move(report));
   }
   return out;

@@ -11,9 +11,22 @@
 #include "core/drilldown.h"
 #include "core/partition.h"
 #include "core/violation.h"
+#include "obs/telemetry.h"
 #include "table/table.h"
 
 namespace scoded {
+
+/// System-wide knobs: hypothesis-test tuning plus execution settings.
+struct ScodedOptions {
+  TestOptions test;
+  /// Worker threads for the parallel primitives (batch checking,
+  /// stratified tests, drill-down, discovery). 0 keeps the global default
+  /// (the `SCODED_THREADS` environment variable, then the hardware
+  /// concurrency); 1 forces fully serial execution. Applied process-wide
+  /// at construction — the thread pool is global, mirroring the CLI's
+  /// `--threads` flag.
+  int threads = 0;
+};
 
 /// The SCODED system facade (Fig. 3): holds a dataset and exposes the four
 /// architecture components —
@@ -38,6 +51,9 @@ class Scoded {
   /// (discretisation bins, stratum minimums, exact-test thresholds).
   explicit Scoded(Table table, TestOptions options = {})
       : table_(std::move(table)), options_(options) {}
+
+  /// As above with execution settings (see ScodedOptions::threads).
+  explicit Scoded(Table table, const ScodedOptions& options);
 
   const Table& table() const { return table_; }
   const TestOptions& options() const { return options_; }
@@ -69,12 +85,19 @@ class Scoded {
 
   /// Batch violation check: first verifies the constraint set is mutually
   /// consistent (Fig. 3's Consistency Checking stage), then runs
-  /// Algorithm 1 per constraint. `reports` is parallel to the input.
+  /// Algorithm 1 per constraint — constraints are checked in parallel
+  /// (deterministically: `reports` matches the input order and every
+  /// report is bit-identical to a serial run), sharing one
+  /// ColumnEncodingCache so constraints over the same columns encode them
+  /// once. `reports` is parallel to the input.
   struct BatchCheckResult {
     ConsistencyReport consistency;
     std::vector<ViolationReport> reports;
     /// Number of constraints flagged as violated.
     size_t violations = 0;
+    /// Batch-wide cost totals: per-constraint telemetry merged in input
+    /// order (tests executed, rows scanned, exact/asymptotic split, ...).
+    obs::RunTelemetry telemetry;
   };
   Result<BatchCheckResult> CheckAll(const std::vector<ApproximateSc>& constraints) const;
 

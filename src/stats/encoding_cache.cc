@@ -1,0 +1,129 @@
+#include "stats/encoding_cache.h"
+
+#include "obs/metrics.h"
+
+namespace scoded {
+
+namespace {
+
+obs::Counter* CacheHits() {
+  static obs::Counter* const hits =
+      obs::Metrics::Global().FindOrCreateCounter("stats.encode_cache_hits");
+  return hits;
+}
+
+obs::Counter* CacheMisses() {
+  static obs::Counter* const misses =
+      obs::Metrics::Global().FindOrCreateCounter("stats.encode_cache_misses");
+  return misses;
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t ColumnEncodingCache::RowsSignature(const std::vector<size_t>& rows) {
+  uint64_t hash = FnvMix(kFnvOffset, static_cast<uint64_t>(rows.size()));
+  for (size_t row : rows) {
+    hash = FnvMix(hash, static_cast<uint64_t>(row));
+  }
+  return hash;
+}
+
+size_t ColumnEncodingCache::KeyHash::operator()(const Key& key) const {
+  uint64_t hash = FnvMix(kFnvOffset, reinterpret_cast<uintptr_t>(key.column));
+  hash = FnvMix(hash, key.rows_sig);
+  hash = FnvMix(hash, static_cast<uint64_t>(key.param_and_kind));
+  return static_cast<size_t>(hash);
+}
+
+std::shared_ptr<const ColumnEncodingCache::Encoding> ColumnEncodingCache::GetOrComputeCodes(
+    const Column& column, uint64_t rows_sig, int param,
+    const std::function<Encoding()>& compute) {
+  Key key{&column, rows_sig,
+          (static_cast<int64_t>(param) << 8) |
+              static_cast<int64_t>(Kind::kCategoricalCodes)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.encoding != nullptr) {
+      ++hits_;
+      CacheHits()->Add();
+      return it->second.encoding;
+    }
+  }
+  auto computed = std::make_shared<const Encoding>(compute());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  CacheMisses()->Add();
+  EvictIfFullLocked();
+  Entry& entry = entries_[key];
+  if (entry.encoding == nullptr) {
+    entry.encoding = computed;
+  }
+  return entry.encoding;
+}
+
+std::shared_ptr<const std::vector<int64_t>> ColumnEncodingCache::GetOrComputeKeys(
+    const Column& column, uint64_t rows_sig, int param,
+    const std::function<std::vector<int64_t>()>& compute) {
+  Key key{&column, rows_sig,
+          (static_cast<int64_t>(param) << 8) |
+              static_cast<int64_t>(Kind::kStratumKeys)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.keys != nullptr) {
+      ++hits_;
+      CacheHits()->Add();
+      return it->second.keys;
+    }
+  }
+  auto computed = std::make_shared<const std::vector<int64_t>>(compute());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  CacheMisses()->Add();
+  EvictIfFullLocked();
+  Entry& entry = entries_[key];
+  if (entry.keys == nullptr) {
+    entry.keys = computed;
+  }
+  return entry.keys;
+}
+
+void ColumnEncodingCache::EvictIfFullLocked() {
+  if (entries_.size() >= max_entries_) {
+    entries_.clear();
+  }
+}
+
+void ColumnEncodingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t ColumnEncodingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t ColumnEncodingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ColumnEncodingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace scoded

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/contingency.h"
@@ -68,6 +69,47 @@ std::vector<int32_t> EncodeAsCategorical(const Column& column, const std::vector
   return codes;
 }
 
+// Strata below this many total rows are not worth shipping to the pool:
+// per-chunk overhead (queueing, span, counter) would dominate the
+// statistic itself. Below the threshold the primitives run with one chunk,
+// i.e. fully inline.
+constexpr size_t kMinParallelRows = 2048;
+
+// Chunk grain for a per-stratum parallel loop. Depends only on the input
+// sizes (never on the thread count) so the chunk grid — and therefore any
+// in-order fold over it — is identical at every thread count.
+size_t StrataGrain(size_t num_groups, size_t num_rows) {
+  if (num_groups <= 1) {
+    return 1;
+  }
+  if (num_rows < kMinParallelRows) {
+    return num_groups;  // one chunk: inline serial execution
+  }
+  return std::max<size_t>(1, num_groups / 64);
+}
+
+// The scalars AddG needs from a per-stratum contingency table; computed in
+// parallel per stratum, folded serially in stratum order.
+struct GPieces {
+  double g = 0.0;
+  double dof = 0.0;
+  double min_expected = 0.0;
+  double cramers_v = 0.0;
+  int64_t total = 0;
+};
+
+GPieces PiecesOf(const ContingencyTable& ct) {
+  GPieces pieces;
+  pieces.total = ct.total();
+  if (pieces.total >= 2) {
+    pieces.g = ct.GStatistic();
+    pieces.dof = ct.Dof();
+    pieces.min_expected = ct.MinExpectedCount();
+    pieces.cramers_v = ct.CramersV();
+  }
+  return pieces;
+}
+
 // Accumulator combining per-stratum results per Sec. 4.3 ("conditional
 // tests": each Z=z slice is tested and the evidence pooled).
 struct StratifiedAccumulator {
@@ -86,17 +128,17 @@ struct StratifiedAccumulator {
   size_t used = 0;
   size_t skipped = 0;
 
-  void AddG(const ContingencyTable& ct) {
-    if (ct.total() < 2) {
+  void AddG(const GPieces& pieces) {
+    if (pieces.total < 2) {
       ++skipped;
       return;
     }
-    g_total += ct.GStatistic();
-    dof_total += ct.Dof();
-    min_expected = std::min(min_expected, ct.MinExpectedCount());
-    effect_sum += ct.CramersV() * static_cast<double>(ct.total());
-    effect_weight += static_cast<double>(ct.total());
-    n_total += ct.total();
+    g_total += pieces.g;
+    dof_total += pieces.dof;
+    min_expected = std::min(min_expected, pieces.min_expected);
+    effect_sum += pieces.cramers_v * static_cast<double>(pieces.total);
+    effect_weight += static_cast<double>(pieces.total);
+    n_total += pieces.total;
     ++used;
   }
 
@@ -143,6 +185,45 @@ struct StratifiedAccumulator {
   }
 };
 
+// Per-row stratification keys for one conditioning column: a numeric
+// column with many distinct values is quantile-binned, everything else is
+// keyed by its exact (encoded) value. Pure function of (column, rows,
+// binning policy) — the contract ColumnEncodingCache requires.
+std::vector<int64_t> ComputeStratumKeys(const Column& column, const std::vector<size_t>& rows,
+                                        const TestOptions& options) {
+  std::vector<int64_t> keys(rows.size());
+  if (column.type() == ColumnType::kNumeric) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t row : rows) {
+      if (!column.IsNull(row)) {
+        values.push_back(column.NumericAt(row));
+      }
+    }
+    size_t distinct = 0;
+    DenseRanks(values, &distinct);
+    if (distinct > options.condition_max_distinct) {
+      std::vector<int32_t> bins = QuantileBins(values, options.condition_bins);
+      size_t vi = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        keys[i] = column.IsNull(rows[i]) ? INT64_MIN : bins[vi++];
+      }
+      return keys;
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    keys[i] = EncodeCellKey(column, rows[i]);
+  }
+  return keys;
+}
+
+// Packs the binning policy into the cache key's `param` slot.
+int StratumKeyParam(const TestOptions& options) {
+  int max_distinct = static_cast<int>(
+      std::min<size_t>(options.condition_max_distinct, 0x7fff));
+  return (options.condition_bins << 16) | max_distinct;
+}
+
 }  // namespace
 
 Stratification StratifyRows(const Table& table, const std::vector<int>& z_cols,
@@ -153,41 +234,26 @@ Stratification StratifyRows(const Table& table, const std::vector<int>& z_cols,
     result.group_of_row.assign(rows.size(), 0);
     return result;
   }
-  // Per-row composite keys; numeric columns with many distinct values are
-  // quantile-binned, everything else keyed by exact (encoded) value.
-  std::vector<std::vector<int64_t>> keys(rows.size(), std::vector<int64_t>(z_cols.size()));
+  // Per-column key vectors, memoised across tests that condition on the
+  // same column over the same row set (every PC level does).
+  ColumnEncodingCache* cache = options.encoding_cache;
+  uint64_t rows_sig = cache != nullptr ? ColumnEncodingCache::RowsSignature(rows) : 0;
+  std::vector<std::shared_ptr<const std::vector<int64_t>>> col_keys(z_cols.size());
   for (size_t c = 0; c < z_cols.size(); ++c) {
     const Column& column = table.column(static_cast<size_t>(z_cols[c]));
-    bool bin = false;
-    if (column.type() == ColumnType::kNumeric) {
-      std::vector<double> values;
-      values.reserve(rows.size());
-      for (size_t row : rows) {
-        if (!column.IsNull(row)) {
-          values.push_back(column.NumericAt(row));
-        }
-      }
-      size_t distinct = 0;
-      DenseRanks(values, &distinct);
-      bin = distinct > options.condition_max_distinct;
-      if (bin) {
-        std::vector<int32_t> bins = QuantileBins(values, options.condition_bins);
-        size_t vi = 0;
-        for (size_t i = 0; i < rows.size(); ++i) {
-          keys[i][c] = column.IsNull(rows[i]) ? INT64_MIN : bins[vi++];
-        }
-      }
-    }
-    if (!bin) {
-      for (size_t i = 0; i < rows.size(); ++i) {
-        keys[i][c] = EncodeCellKey(column, rows[i]);
-      }
-    }
+    auto compute = [&] { return ComputeStratumKeys(column, rows, options); };
+    col_keys[c] = cache != nullptr
+                      ? cache->GetOrComputeKeys(column, rows_sig, StratumKeyParam(options), compute)
+                      : std::make_shared<const std::vector<int64_t>>(compute());
   }
   std::map<std::vector<int64_t>, size_t> index;
   result.group_of_row.reserve(rows.size());
+  std::vector<int64_t> key(z_cols.size());
   for (size_t i = 0; i < rows.size(); ++i) {
-    auto [it, inserted] = index.emplace(keys[i], result.groups.size());
+    for (size_t c = 0; c < z_cols.size(); ++c) {
+      key[c] = (*col_keys[c])[i];
+    }
+    auto [it, inserted] = index.emplace(key, result.groups.size());
     if (inserted) {
       result.groups.emplace_back();
     }
@@ -195,6 +261,23 @@ Stratification StratifyRows(const Table& table, const std::vector<int>& z_cols,
     result.group_of_row.push_back(it->second);
   }
   return result;
+}
+
+std::shared_ptr<const ColumnEncodingCache::Encoding> EncodeAsCategoricalCached(
+    const Column& column, const std::vector<size_t>& rows, int bins,
+    ColumnEncodingCache* cache, uint64_t rows_sig) {
+  auto compute = [&] {
+    ColumnEncodingCache::Encoding encoding;
+    encoding.codes = EncodeAsCategorical(column, rows, bins, &encoding.cardinality);
+    return encoding;
+  };
+  if (cache == nullptr) {
+    return std::make_shared<const ColumnEncodingCache::Encoding>(compute());
+  }
+  if (rows_sig == 0) {
+    rows_sig = ColumnEncodingCache::RowsSignature(rows);
+  }
+  return cache->GetOrComputeCodes(column, rows_sig, bins, compute);
 }
 
 std::string_view TestMethodToString(TestMethod method) {
@@ -213,14 +296,14 @@ std::string_view TestMethodToString(TestMethod method) {
 
 TestResult GTestIndependence(const Column& x, const Column& y, const std::vector<size_t>& rows,
                              const TestOptions& options) {
-  size_t cx = 0;
-  size_t cy = 0;
-  std::vector<int32_t> x_codes = EncodeAsCategorical(x, rows, options.discretize_bins, &cx);
-  std::vector<int32_t> y_codes = EncodeAsCategorical(y, rows, options.discretize_bins, &cy);
-  ContingencyTable ct(x_codes, y_codes, cx, cy);
+  ColumnEncodingCache* cache = options.encoding_cache;
+  uint64_t rows_sig = cache != nullptr ? ColumnEncodingCache::RowsSignature(rows) : 0;
+  auto x_enc = EncodeAsCategoricalCached(x, rows, options.discretize_bins, cache, rows_sig);
+  auto y_enc = EncodeAsCategoricalCached(y, rows, options.discretize_bins, cache, rows_sig);
+  ContingencyTable ct(x_enc->codes, y_enc->codes, x_enc->cardinality, y_enc->cardinality);
   StratifiedAccumulator acc;
   acc.is_tau = false;
-  acc.AddG(ct);
+  acc.AddG(PiecesOf(ct));
   return acc.Finish(options);
 }
 
@@ -297,54 +380,95 @@ Result<TestResult> IndependenceTestImpl(const Table& table, int x_col, int y_col
     Stratification strata = StratifyRows(table, z_cols, rows, options);
     StratifiedAccumulator acc;
     acc.is_tau = true;
-    for (const std::vector<size_t>& stratum : strata.groups) {
-      if (stratum.size() < options.min_stratum_size) {
+    // Per-stratum Kendall statistics in parallel; the pooled S / Var(S)
+    // sums are folded serially in stratum order so the combined z (and
+    // hence the p-value) is bit-identical at any thread count.
+    struct TauSlot {
+      bool small = false;
+      KendallResult kr;
+    };
+    std::vector<TauSlot> slots = parallel::ParallelMap<TauSlot>(
+        strata.groups.size(), StrataGrain(strata.groups.size(), rows.size()), [&](size_t gi) {
+          TauSlot slot;
+          const std::vector<size_t>& stratum = strata.groups[gi];
+          if (stratum.size() < options.min_stratum_size) {
+            slot.small = true;
+            return slot;
+          }
+          std::vector<double> x;
+          std::vector<double> y;
+          ExtractNumericPair(xc, yc, stratum, &x, &y);
+          slot.kr = KendallTau(x, y);
+          return slot;
+        });
+    for (const TauSlot& slot : slots) {
+      if (slot.small) {
         ++acc.skipped;
-        continue;
+      } else {
+        acc.AddTau(slot.kr);
       }
-      std::vector<double> x;
-      std::vector<double> y;
-      ExtractNumericPair(xc, yc, stratum, &x, &y);
-      acc.AddTau(KendallTau(x, y));
     }
     return acc.Finish(options);
   }
 
   // G path: encode strata once so a permutation fallback can reuse them.
+  // Encoding and the per-stratum contingency statistic run in parallel;
+  // the accumulator folds the per-stratum pieces serially in stratum order
+  // (both the pooled G/dof sums and the `encoded` vector the fallbacks
+  // read keep their serial order).
   struct EncodedStratum {
     std::vector<int32_t> x;
     std::vector<int32_t> y;
     size_t cx = 0;
     size_t cy = 0;
+    GPieces pieces;
+    bool small = false;
+  };
+  ColumnEncodingCache* cache = options.encoding_cache;
+  // `enforce_min` applies only to conditioning strata: the unconditional
+  // test always runs (degenerate tables are skipped inside AddG instead).
+  auto encode_stratum = [&](const std::vector<size_t>& stratum, bool enforce_min) {
+    EncodedStratum e;
+    if (enforce_min && stratum.size() < options.min_stratum_size) {
+      e.small = true;
+      return e;
+    }
+    uint64_t sig = cache != nullptr ? ColumnEncodingCache::RowsSignature(stratum) : 0;
+    auto x_enc = EncodeAsCategoricalCached(xc, stratum, options.discretize_bins, cache, sig);
+    auto y_enc = EncodeAsCategoricalCached(yc, stratum, options.discretize_bins, cache, sig);
+    e.cx = x_enc->cardinality;
+    e.cy = y_enc->cardinality;
+    e.pieces = PiecesOf(ContingencyTable(x_enc->codes, y_enc->codes, e.cx, e.cy));
+    // Keep only complete pairs: the permutation below shuffles Y within the
+    // stratum and must preserve the marginals, which nulls would break.
+    for (size_t i = 0; i < x_enc->codes.size(); ++i) {
+      if (x_enc->codes[i] >= 0 && y_enc->codes[i] >= 0) {
+        e.x.push_back(x_enc->codes[i]);
+        e.y.push_back(y_enc->codes[i]);
+      }
+    }
+    return e;
   };
   std::vector<EncodedStratum> encoded;
   StratifiedAccumulator acc;
   acc.is_tau = false;
-  auto add_stratum = [&](const std::vector<size_t>& stratum) {
-    EncodedStratum e;
-    std::vector<int32_t> x_codes = EncodeAsCategorical(xc, stratum, options.discretize_bins, &e.cx);
-    std::vector<int32_t> y_codes = EncodeAsCategorical(yc, stratum, options.discretize_bins, &e.cy);
-    acc.AddG(ContingencyTable(x_codes, y_codes, e.cx, e.cy));
-    // Keep only complete pairs: the permutation below shuffles Y within the
-    // stratum and must preserve the marginals, which nulls would break.
-    for (size_t i = 0; i < x_codes.size(); ++i) {
-      if (x_codes[i] >= 0 && y_codes[i] >= 0) {
-        e.x.push_back(x_codes[i]);
-        e.y.push_back(y_codes[i]);
-      }
-    }
-    encoded.push_back(std::move(e));
-  };
   if (z_cols.empty()) {
-    add_stratum(rows);
+    EncodedStratum e = encode_stratum(rows, /*enforce_min=*/false);
+    acc.AddG(e.pieces);
+    encoded.push_back(std::move(e));
   } else {
     Stratification strata = StratifyRows(table, z_cols, rows, options);
-    for (const std::vector<size_t>& stratum : strata.groups) {
-      if (stratum.size() < options.min_stratum_size) {
+    std::vector<EncodedStratum> slots = parallel::ParallelMap<EncodedStratum>(
+        strata.groups.size(), StrataGrain(strata.groups.size(), rows.size()),
+        [&](size_t gi) { return encode_stratum(strata.groups[gi], /*enforce_min=*/true); });
+    encoded.reserve(slots.size());
+    for (EncodedStratum& e : slots) {
+      if (e.small) {
         ++acc.skipped;
         continue;
       }
-      add_stratum(stratum);
+      acc.AddG(e.pieces);
+      encoded.push_back(std::move(e));
     }
   }
   TestResult result = acc.Finish(options);
@@ -553,8 +677,17 @@ Result<TestResult> PermutationIndependenceTest(const Table& table, int x_col, in
         continue;
       }
     } else {
-      d.x_codes = EncodeAsCategorical(xc, stratum, options.discretize_bins, &d.cx);
-      d.y_codes = EncodeAsCategorical(yc, stratum, options.discretize_bins, &d.cy);
+      uint64_t sig = options.encoding_cache != nullptr
+                         ? ColumnEncodingCache::RowsSignature(stratum)
+                         : 0;
+      auto x_enc = EncodeAsCategoricalCached(xc, stratum, options.discretize_bins,
+                                             options.encoding_cache, sig);
+      auto y_enc = EncodeAsCategoricalCached(yc, stratum, options.discretize_bins,
+                                             options.encoding_cache, sig);
+      d.x_codes = x_enc->codes;
+      d.y_codes = y_enc->codes;
+      d.cx = x_enc->cardinality;
+      d.cy = y_enc->cardinality;
       if (d.x_codes.size() < 2) {
         continue;
       }

@@ -6,8 +6,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/result.h"
 #include "common/rng.h"
+#include "stats/encoding_cache.h"
 #include "table/table.h"
 
 namespace scoded {
@@ -91,6 +94,12 @@ struct TestOptions {
   /// so the asymptotic pipeline stays the paper-faithful baseline.
   bool use_fisher_for_2x2 = false;
   int64_t fisher_max_n = 200;
+  /// Optional per-run memo for column encodings and stratification keys
+  /// (see ColumnEncodingCache). Non-owning; the pointed-to cache must be
+  /// scoped to one immutable table and outlive every test using these
+  /// options. Batch drivers (Scoded::CheckAll, LearnPcStructure) install
+  /// one automatically; nullptr disables memoisation.
+  ColumnEncodingCache* encoding_cache = nullptr;
 };
 
 /// Strata of `rows` induced by the conditioning columns `z_cols` under the
@@ -102,6 +111,17 @@ struct Stratification {
 
 Stratification StratifyRows(const Table& table, const std::vector<int>& z_cols,
                             const std::vector<size_t>& rows, const TestOptions& options);
+
+/// Encodes `column` over `rows` as categorical codes: a categorical column
+/// keeps its dictionary codes, a numeric column is quantile-discretised
+/// into `bins` buckets over these rows, nulls map to -1. Routed through
+/// `cache` when non-null (pass the precomputed `rows_sig` to amortise the
+/// row-set hash across columns; 0 means "compute it here"). This is the
+/// encoding primitive shared by the G-test dispatcher and the drill-down
+/// engine builder.
+std::shared_ptr<const ColumnEncodingCache::Encoding> EncodeAsCategoricalCached(
+    const Column& column, const std::vector<size_t>& rows, int bins,
+    ColumnEncodingCache* cache, uint64_t rows_sig = 0);
 
 /// G-test of independence between two categorical columns over `rows`.
 TestResult GTestIndependence(const Column& x, const Column& y, const std::vector<size_t>& rows,

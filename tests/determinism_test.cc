@@ -1,0 +1,164 @@
+// The parallel layer's contract: results are bit-identical at any thread
+// count. Batch checking, drill-down, ranking and PC discovery are each run
+// at threads = 1 (fully serial: the pre-parallel code path), 4, and the
+// hardware concurrency, and every output — p-values, statistics, removal
+// orders, skeleton adjacency, separating sets — must match exactly.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/scoded.h"
+#include "discovery/pc.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+struct ThreadsGuard {
+  explicit ThreadsGuard(int n) { parallel::SetThreads(n); }
+  ~ThreadsGuard() { parallel::SetThreads(0); }
+};
+
+std::vector<int> ThreadCounts() { return {1, 4, parallel::HardwareThreads()}; }
+
+// Mixed-type table with injected structure: `model` drives `price`,
+// `price` drives `mileage`, `color` is independent noise.
+Table MakeTable() {
+  Rng rng(1234);
+  std::vector<std::string> model;
+  std::vector<std::string> color;
+  std::vector<double> price;
+  std::vector<double> mileage;
+  const char* models[] = {"civic", "corolla", "focus", "golf"};
+  const char* colors[] = {"red", "blue", "white"};
+  for (int i = 0; i < 400; ++i) {
+    int m = static_cast<int>(rng.UniformInt(0, 3));
+    model.push_back(models[m]);
+    color.push_back(colors[static_cast<int>(rng.UniformInt(0, 2))]);
+    double p = 10.0 + 3.0 * m + rng.Normal(0.0, 1.0);
+    price.push_back(p);
+    mileage.push_back(100.0 - 4.0 * p + rng.Normal(0.0, 2.0));
+  }
+  TableBuilder builder;
+  builder.AddCategorical("model", model);
+  builder.AddCategorical("color", color);
+  builder.AddNumeric("price", price);
+  builder.AddNumeric("mileage", mileage);
+  return std::move(builder).Build().value();
+}
+
+TEST(DeterminismTest, CheckAllIsThreadCountInvariant) {
+  Table table = MakeTable();
+  std::vector<ApproximateSc> constraints = {
+      {Independence({"model"}, {"color"}), 0.05},
+      {Dependence({"model"}, {"price"}), 0.05},
+      {Dependence({"price"}, {"mileage"}), 0.05},
+      {Independence({"model"}, {"mileage"}, {"price"}), 0.01},
+  };
+
+  Scoded::BatchCheckResult baseline;
+  {
+    ThreadsGuard guard(1);
+    Scoded system(MakeTable());
+    baseline = system.CheckAll(constraints).value();
+  }
+  for (int threads : ThreadCounts()) {
+    ThreadsGuard guard(threads);
+    Scoded system(MakeTable());
+    Scoded::BatchCheckResult result = system.CheckAll(constraints).value();
+    ASSERT_EQ(result.reports.size(), baseline.reports.size()) << "threads=" << threads;
+    EXPECT_EQ(result.violations, baseline.violations) << "threads=" << threads;
+    for (size_t i = 0; i < result.reports.size(); ++i) {
+      const ViolationReport& got = result.reports[i];
+      const ViolationReport& want = baseline.reports[i];
+      EXPECT_EQ(got.violated, want.violated) << "threads=" << threads << " sc=" << i;
+      EXPECT_EQ(got.p_value, want.p_value) << "threads=" << threads << " sc=" << i;
+      EXPECT_EQ(got.test.statistic, want.test.statistic) << "threads=" << threads << " sc=" << i;
+      EXPECT_EQ(got.test.n, want.test.n) << "threads=" << threads << " sc=" << i;
+      EXPECT_EQ(got.test.strata_used, want.test.strata_used)
+          << "threads=" << threads << " sc=" << i;
+    }
+    // Work totals (tests executed, rows scanned) are deterministic too.
+    EXPECT_EQ(result.telemetry.tests_executed, baseline.telemetry.tests_executed)
+        << "threads=" << threads;
+    EXPECT_EQ(result.telemetry.rows_scanned, baseline.telemetry.rows_scanned)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, DrillDownIsThreadCountInvariant) {
+  std::vector<ApproximateSc> targets = {
+      {Dependence({"price"}, {"mileage"}), 0.05},  // tau engine
+      {Dependence({"model"}, {"price"}), 0.05},    // G engine (mixed pair)
+      {Independence({"model"}, {"color"}), 0.05},  // complement strategy
+  };
+  for (size_t t = 0; t < targets.size(); ++t) {
+    DrillDownResult baseline;
+    {
+      ThreadsGuard guard(1);
+      Scoded system(MakeTable());
+      baseline = system.DrillDown(targets[t], 25).value();
+    }
+    for (int threads : ThreadCounts()) {
+      ThreadsGuard guard(threads);
+      Scoded system(MakeTable());
+      DrillDownResult result = system.DrillDown(targets[t], 25).value();
+      EXPECT_EQ(result.rows, baseline.rows) << "threads=" << threads << " target=" << t;
+      EXPECT_EQ(result.initial_statistic, baseline.initial_statistic)
+          << "threads=" << threads << " target=" << t;
+      EXPECT_EQ(result.final_statistic, baseline.final_statistic)
+          << "threads=" << threads << " target=" << t;
+      EXPECT_EQ(result.final_p, baseline.final_p) << "threads=" << threads << " target=" << t;
+    }
+  }
+}
+
+TEST(DeterminismTest, RankingIsThreadCountInvariant) {
+  ApproximateSc target{Dependence({"price"}, {"mileage"}), 0.05};
+  std::vector<size_t> baseline;
+  {
+    ThreadsGuard guard(1);
+    Scoded system(MakeTable());
+    baseline = system.RankRecords(target, 50).value();
+  }
+  ASSERT_EQ(baseline.size(), 50u);
+  for (int threads : ThreadCounts()) {
+    ThreadsGuard guard(threads);
+    Scoded system(MakeTable());
+    EXPECT_EQ(system.RankRecords(target, 50).value(), baseline) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, PcSkeletonIsThreadCountInvariant) {
+  Table table = MakeTable();
+  PcResult baseline;
+  {
+    ThreadsGuard guard(1);
+    baseline = LearnPcStructure(table).value();
+  }
+  std::vector<std::string> baseline_text;
+  for (const StatisticalConstraint& sc : baseline.DiscoveredConstraints()) {
+    baseline_text.push_back(sc.ToString());
+  }
+  for (int threads : ThreadCounts()) {
+    ThreadsGuard guard(threads);
+    PcResult result = LearnPcStructure(table).value();
+    EXPECT_EQ(result.adjacent, baseline.adjacent) << "threads=" << threads;
+    EXPECT_EQ(result.separating_sets, baseline.separating_sets) << "threads=" << threads;
+    EXPECT_EQ(result.directed, baseline.directed) << "threads=" << threads;
+    std::vector<std::string> text;
+    for (const StatisticalConstraint& sc : result.DiscoveredConstraints()) {
+      text.push_back(sc.ToString());
+    }
+    EXPECT_EQ(text, baseline_text) << "threads=" << threads;
+    EXPECT_EQ(result.telemetry.tests_executed, baseline.telemetry.tests_executed)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,268 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/encoding_cache.h"
+#include "table/table.h"
+
+namespace scoded {
+namespace {
+
+// Restores the global thread override on scope exit so tests cannot leak
+// a thread-count setting into each other.
+struct ThreadsGuard {
+  explicit ThreadsGuard(int n) { parallel::SetThreads(n); }
+  ~ThreadsGuard() { parallel::SetThreads(0); }
+};
+
+TEST(ParallelTest, ThreadsResolution) {
+  ThreadsGuard guard(3);
+  EXPECT_EQ(parallel::Threads(), 3);
+  parallel::SetThreads(0);
+  EXPECT_GE(parallel::Threads(), 1);
+  EXPECT_GE(parallel::HardwareThreads(), 1);
+}
+
+TEST(ParallelTest, EmptyRangeIsNoOp) {
+  ThreadsGuard guard(4);
+  std::atomic<int> calls{0};
+  parallel::ParallelFor(5, 5, 1, [&](size_t) { calls.fetch_add(1); });
+  parallel::ParallelFor(7, 3, 1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  std::vector<int> mapped = parallel::ParallelMap<int>(0, 1, [](size_t) { return 1; });
+  EXPECT_TRUE(mapped.empty());
+  std::vector<int> chunks =
+      parallel::ParallelChunks<int>(0, 4, [](size_t, size_t) { return 1; });
+  EXPECT_TRUE(chunks.empty());
+  EXPECT_TRUE(parallel::ParallelForStatus(2, 2, 1, [](size_t) { return OkStatus(); }).ok());
+}
+
+TEST(ParallelTest, GrainLargerThanRangeRunsInlineOnCaller) {
+  ThreadsGuard guard(4);
+  // One chunk: the primitive must not touch the pool — the body runs on
+  // the calling thread, outside any worker context.
+  std::vector<int> hits(3, 0);
+  bool saw_worker = false;
+  parallel::ParallelFor(0, 3, 100, [&](size_t i) {
+    hits[i] += 1;
+    saw_worker = saw_worker || parallel::InWorker();
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+  EXPECT_FALSE(saw_worker);
+}
+
+TEST(ParallelTest, EveryIndexVisitedExactlyOnce) {
+  ThreadsGuard guard(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel::ParallelFor(0, kCount, 7, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, MapSlotsMatchSerialAtAnyThreadCount) {
+  std::vector<int> serial;
+  {
+    ThreadsGuard guard(1);
+    serial = parallel::ParallelMap<int>(257, 8, [](size_t i) { return static_cast<int>(i * i); });
+  }
+  for (int threads : {2, 4, 8}) {
+    ThreadsGuard guard(threads);
+    std::vector<int> mapped =
+        parallel::ParallelMap<int>(257, 8, [](size_t i) { return static_cast<int>(i * i); });
+    EXPECT_EQ(mapped, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTest, ChunkGridDependsOnlyOnCountAndGrain) {
+  ThreadsGuard guard(4);
+  // count=10, grain=3 -> [0,3) [3,6) [6,9) [9,10) at every thread count.
+  std::vector<std::pair<size_t, size_t>> bounds = parallel::ParallelChunks<std::pair<size_t, size_t>>(
+      10, 3, [](size_t lo, size_t hi) { return std::make_pair(lo, hi); });
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(bounds[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(bounds[2], (std::pair<size_t, size_t>{6, 9}));
+  EXPECT_EQ(bounds[3], (std::pair<size_t, size_t>{9, 10}));
+}
+
+TEST(ParallelTest, StatusPropagatesFirstFailureInIndexOrder) {
+  ThreadsGuard guard(4);
+  std::atomic<int> executed{0};
+  Status status = parallel::ParallelForStatus(0, 64, 1, [&](size_t i) -> Status {
+    executed.fetch_add(1);
+    if (i == 41 || i == 13) {
+      return InvalidArgumentError("fail at " + std::to_string(i));
+    }
+    return OkStatus();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "fail at 13");
+  // Workers are never cancelled mid-flight: every index still ran.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ParallelTest, ExceptionPropagatesLowestChunkFirst) {
+  ThreadsGuard guard(4);
+  try {
+    parallel::ParallelFor(0, 32, 1, [&](size_t i) {
+      if (i == 21 || i == 6) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected the worker exception to be rethrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom 6");
+  }
+}
+
+TEST(ParallelTest, NestedCallsFallBackToSerial) {
+  ThreadsGuard guard(4);
+  std::atomic<int> outer_in_worker{0};
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inner_in_worker_only{0};
+  parallel::ParallelFor(0, 8, 1, [&](size_t) {
+    if (parallel::InWorker()) {
+      outer_in_worker.fetch_add(1);
+    }
+    // The nested primitive must run inline on this worker thread — the
+    // pool never queues work from inside itself (no self-deadlock).
+    parallel::ParallelFor(0, 4, 1, [&](size_t) {
+      inner_total.fetch_add(1);
+      if (parallel::InWorker()) {
+        inner_in_worker_only.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(outer_in_worker.load(), 8);
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_EQ(inner_in_worker_only.load(), 32);
+}
+
+TEST(ParallelTest, SerialModeNeverEntersWorkerContext) {
+  ThreadsGuard guard(1);
+  bool saw_worker = false;
+  parallel::ParallelFor(0, 100, 1, [&](size_t) { saw_worker = saw_worker || parallel::InWorker(); });
+  EXPECT_FALSE(saw_worker);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnEncodingCache
+// ---------------------------------------------------------------------------
+
+Table SmallTable() {
+  TableBuilder builder;
+  builder.AddCategorical("color", {"red", "blue", "red", "green", "blue", "red"});
+  builder.AddNumeric("price", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  return std::move(builder).Build().value();
+}
+
+TEST(ColumnEncodingCacheTest, MemoisesCodesPerKey) {
+  Table table = SmallTable();
+  const Column& color = table.column(0);
+  std::vector<size_t> rows{0, 1, 2, 3, 4, 5};
+  uint64_t sig = ColumnEncodingCache::RowsSignature(rows);
+
+  ColumnEncodingCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    ColumnEncodingCache::Encoding encoding;
+    encoding.codes = {0, 1, 0, 2, 1, 0};
+    encoding.cardinality = 3;
+    return encoding;
+  };
+  auto first = cache.GetOrComputeCodes(color, sig, 4, compute);
+  auto second = cache.GetOrComputeCodes(color, sig, 4, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A different parameter (bin count) is a distinct entry.
+  auto third = cache.GetOrComputeCodes(color, sig, 8, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_NE(first.get(), third.get());
+
+  // A different row set is a distinct entry.
+  std::vector<size_t> subset{0, 2, 4};
+  auto fourth =
+      cache.GetOrComputeCodes(color, ColumnEncodingCache::RowsSignature(subset), 4, compute);
+  EXPECT_EQ(computes, 3);
+  EXPECT_NE(first.get(), fourth.get());
+}
+
+TEST(ColumnEncodingCacheTest, CodesAndKeysDoNotCollide) {
+  Table table = SmallTable();
+  const Column& price = table.column(1);
+  std::vector<size_t> rows{0, 1, 2, 3, 4, 5};
+  uint64_t sig = ColumnEncodingCache::RowsSignature(rows);
+
+  ColumnEncodingCache cache;
+  auto codes = cache.GetOrComputeCodes(price, sig, 4, [] {
+    ColumnEncodingCache::Encoding encoding;
+    encoding.codes = {0, 0, 1, 1, 2, 2};
+    encoding.cardinality = 3;
+    return encoding;
+  });
+  auto keys = cache.GetOrComputeKeys(price, sig, 4, [] {
+    return std::vector<int64_t>{9, 9, 9, 9, 9, 9};
+  });
+  EXPECT_EQ(codes->codes.size(), 6u);
+  EXPECT_EQ(keys->size(), 6u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ColumnEncodingCacheTest, ClearAndEviction) {
+  Table table = SmallTable();
+  const Column& color = table.column(0);
+  ColumnEncodingCache cache(/*max_entries=*/2);
+  auto compute = [] {
+    ColumnEncodingCache::Encoding encoding;
+    encoding.codes = {0};
+    encoding.cardinality = 1;
+    return encoding;
+  };
+  cache.GetOrComputeCodes(color, 1, 4, compute);
+  cache.GetOrComputeCodes(color, 2, 4, compute);
+  EXPECT_EQ(cache.size(), 2u);
+  // Hitting the cap clears wholesale before inserting the next entry.
+  cache.GetOrComputeCodes(color, 3, 4, compute);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  // A borrowed encoding survives eviction/clear.
+  auto borrowed = cache.GetOrComputeCodes(color, 4, 4, compute);
+  cache.Clear();
+  EXPECT_EQ(borrowed->codes.size(), 1u);
+}
+
+TEST(ColumnEncodingCacheTest, ConcurrentLookupsAreSafeAndConsistent) {
+  Table table = SmallTable();
+  const Column& color = table.column(0);
+  ColumnEncodingCache cache;
+  ThreadsGuard guard(4);
+  std::vector<const ColumnEncodingCache::Encoding*> seen(64, nullptr);
+  parallel::ParallelFor(0, 64, 1, [&](size_t i) {
+    auto encoding = cache.GetOrComputeCodes(color, /*rows_sig=*/7, 4, [] {
+      ColumnEncodingCache::Encoding enc;
+      enc.codes = {0, 1, 0, 2, 1, 0};
+      enc.cardinality = 3;
+      return enc;
+    });
+    seen[i] = encoding.get();
+  });
+  // All callers observe the same stored entry (first inserter wins).
+  for (const auto* pointer : seen) {
+    EXPECT_EQ(pointer, seen[0]);
+  }
+}
+
+}  // namespace
+}  // namespace scoded

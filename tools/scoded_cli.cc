@@ -30,17 +30,26 @@
 //   --log-level LVL    debug|info|warn|error|off (overrides SCODED_LOG);
 //                      diagnostics are JSONL records on stderr
 //
+// Execution (any subcommand):
+//   --threads N        worker threads for batch checking, stratified
+//                      tests, drill-down and discovery (N=1 forces fully
+//                      serial execution; results are identical at any N).
+//                      Overrides the SCODED_THREADS environment variable;
+//                      the default is the hardware concurrency.
+//
 // Exit codes: 0 success (constraint holds / command completed), 2 the
 // checked constraint is violated, 1 any error. The violation exit code
 // makes `scoded check` usable as a data-quality gate in pipelines.
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/fileio.h"
 #include "common/json.h"
+#include "common/parallel.h"
 #include "constraints/graphoid.h"
 #include "core/sc_monitor.h"
 #include "core/scoded.h"
@@ -79,7 +88,7 @@ int Usage() {
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
                "[--out FILE]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
-               "[--log-level debug|info|warn|error]\n");
+               "[--log-level debug|info|warn|error] [--threads N]\n");
   return 1;
 }
 
@@ -124,14 +133,33 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   return true;
 }
 
-double FlagDouble(const Args& args, const std::string& name, double fallback) {
+// Numeric flag parsing is strict: a value that does not fully parse is a
+// usage error, not a silent fallback (and never an uncaught std::stoll
+// exception).
+Result<double> FlagDouble(const Args& args, const std::string& name, double fallback) {
   auto it = args.flags.find(name);
-  return it == args.flags.end() ? fallback : std::stod(it->second);
+  if (it == args.flags.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    return InvalidArgumentError("--" + name + " expects a number, got '" + it->second + "'");
+  }
+  return value;
 }
 
-int64_t FlagInt(const Args& args, const std::string& name, int64_t fallback) {
+Result<int64_t> FlagInt(const Args& args, const std::string& name, int64_t fallback) {
   auto it = args.flags.find(name);
-  return it == args.flags.end() ? fallback : std::stoll(it->second);
+  if (it == args.flags.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0') {
+    return InvalidArgumentError("--" + name + " expects an integer, got '" + it->second + "'");
+  }
+  return value;
 }
 
 Result<Table> LoadCsv(const Args& args) {
@@ -147,7 +175,8 @@ Result<ApproximateSc> SingleConstraint(const Args& args) {
     return InvalidArgumentError("exactly one --sc CONSTRAINT is required for this command");
   }
   SCODED_ASSIGN_OR_RETURN(StatisticalConstraint sc, ParseConstraint(args.constraints[0]));
-  return ApproximateSc{sc, FlagDouble(args, "alpha", 0.05)};
+  SCODED_ASSIGN_OR_RETURN(double alpha, FlagDouble(args, "alpha", 0.05));
+  return ApproximateSc{sc, alpha};
 }
 
 Strategy ParseStrategy(const Args& args) {
@@ -197,9 +226,13 @@ int RunDrill(const Args& args) {
   if (!table.ok() || !asc.ok()) {
     return Fail(!table.ok() ? table.status() : asc.status());
   }
-  size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
+  Result<int64_t> k = FlagInt(args, "k", 10);
+  if (!k.ok()) {
+    return Fail(k.status());
+  }
   Scoded system(std::move(table).value());
-  Result<DrillDownResult> result = system.DrillDown(*asc, k, ParseStrategy(args));
+  Result<DrillDownResult> result =
+      system.DrillDown(*asc, static_cast<size_t>(*k), ParseStrategy(args));
   if (!result.ok()) {
     return Fail(result.status());
   }
@@ -219,9 +252,12 @@ int RunPartition(const Args& args) {
   if (!table.ok() || !asc.ok()) {
     return Fail(!table.ok() ? table.status() : asc.status());
   }
+  Result<double> max_removal = FlagDouble(args, "max-removal", 0.5);
+  if (!max_removal.ok()) {
+    return Fail(max_removal.status());
+  }
   Scoded system(*table);
-  Result<PartitionResult> result =
-      system.Partition(*asc, FlagDouble(args, "max-removal", 0.5));
+  Result<PartitionResult> result = system.Partition(*asc, *max_removal);
   if (!result.ok()) {
     return Fail(result.status());
   }
@@ -247,8 +283,11 @@ int RunRepair(const Args& args) {
   if (!table.ok() || !asc.ok()) {
     return Fail(!table.ok() ? table.status() : asc.status());
   }
-  size_t k = static_cast<size_t>(FlagInt(args, "k", 10));
-  Result<RepairPlan> plan = SuggestCellRepairs(*table, *asc, k);
+  Result<int64_t> k = FlagInt(args, "k", 10);
+  if (!k.ok()) {
+    return Fail(k.status());
+  }
+  Result<RepairPlan> plan = SuggestCellRepairs(*table, *asc, static_cast<size_t>(*k));
   if (!plan.ok()) {
     return Fail(plan.status());
   }
@@ -280,18 +319,23 @@ int RunReport(const Args& args) {
   if (args.constraints.empty()) {
     return FailMessage("at least one --sc CONSTRAINT is required");
   }
-  double alpha = FlagDouble(args, "alpha", 0.05);
+  Result<double> alpha = FlagDouble(args, "alpha", 0.05);
+  Result<int64_t> k = FlagInt(args, "k", 20);
+  Result<double> fdr_q = FlagDouble(args, "fdr", 0.05);
+  if (!alpha.ok() || !k.ok() || !fdr_q.ok()) {
+    return Fail(!alpha.ok() ? alpha.status() : !k.ok() ? k.status() : fdr_q.status());
+  }
   std::vector<ApproximateSc> constraints;
   for (const std::string& text : args.constraints) {
     Result<StatisticalConstraint> sc = ParseConstraint(text);
     if (!sc.ok()) {
       return Fail(sc.status());
     }
-    constraints.push_back({std::move(sc).value(), alpha});
+    constraints.push_back({std::move(sc).value(), *alpha});
   }
   ReportOptions options;
-  options.drilldown_k = static_cast<size_t>(FlagInt(args, "k", 20));
-  options.fdr_q = FlagDouble(args, "fdr", 0.05);
+  options.drilldown_k = static_cast<size_t>(*k);
+  options.fdr_q = *fdr_q;
   Result<CleaningReport> report = GenerateCleaningReport(*table, constraints, options);
   if (!report.ok()) {
     return Fail(report.status());
@@ -319,10 +363,14 @@ int RunMonitor(const Args& args) {
   if (!table.ok() || !asc.ok()) {
     return Fail(!table.ok() ? table.status() : asc.status());
   }
-  size_t batch = static_cast<size_t>(FlagInt(args, "batch", 100));
-  if (batch == 0) {
+  Result<int64_t> batch_flag = FlagInt(args, "batch", 100);
+  if (!batch_flag.ok()) {
+    return Fail(batch_flag.status());
+  }
+  if (*batch_flag <= 0) {
     return FailMessage("--batch must be positive");
   }
+  size_t batch = static_cast<size_t>(*batch_flag);
   Result<ScMonitor> monitor = ScMonitor::Create(*table, *asc);
   if (!monitor.ok()) {
     return Fail(monitor.status());
@@ -350,9 +398,14 @@ int RunDiscover(const Args& args) {
   if (!table.ok()) {
     return Fail(table.status());
   }
+  Result<double> alpha = FlagDouble(args, "alpha", 0.05);
+  Result<int64_t> max_cond = FlagInt(args, "max-cond", 2);
+  if (!alpha.ok() || !max_cond.ok()) {
+    return Fail(!alpha.ok() ? alpha.status() : max_cond.status());
+  }
   PcOptions options;
-  options.alpha = FlagDouble(args, "alpha", 0.05);
-  options.max_conditioning = static_cast<int>(FlagInt(args, "max-cond", 2));
+  options.alpha = *alpha;
+  options.max_conditioning = static_cast<int>(*max_cond);
   Result<PcResult> result = LearnPcStructure(*table, options);
   if (!result.ok()) {
     return Fail(result.status());
@@ -378,8 +431,12 @@ int RunFds(const Args& args) {
   if (!table.ok()) {
     return Fail(table.status());
   }
+  Result<double> max_g3 = FlagDouble(args, "max-g3", 0.25);
+  if (!max_g3.ok()) {
+    return Fail(max_g3.status());
+  }
   FdDiscoveryOptions options;
-  options.max_g3_ratio = FlagDouble(args, "max-g3", 0.25);
+  options.max_g3_ratio = *max_g3;
   Result<std::vector<DiscoveredFd>> fds = DiscoverApproximateFds(*table, options);
   if (!fds.ok()) {
     return Fail(fds.status());
@@ -545,6 +602,13 @@ int main(int argc, char** argv) {
       return Fail(level.status());
     }
     obs::SetMinLogLevel(*level);
+  }
+  if (args.flags.count("threads") > 0) {
+    Result<int64_t> threads = FlagInt(args, "threads", 0);
+    if (!threads.ok() || *threads <= 0) {
+      return FailMessage("--threads expects a positive integer");
+    }
+    parallel::SetThreads(static_cast<int>(*threads));
   }
   if (args.flags.count("trace-out") > 0) {
     obs::Tracer::Global().Enable();
