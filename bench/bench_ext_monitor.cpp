@@ -117,8 +117,8 @@ int main() {
     }
   }
   std::printf("\nexpected shape: the categorical monitor's O(1) appends dominate batch\n"
-              "re-testing outright; the tau monitor's O(n) appends beat the\n"
-              "O(n log n)-per-check batch re-test whenever alarms must fire\n"
-              "per row (for sparse check cadences, batch re-testing suffices).\n");
+              "re-testing outright; the tau monitor's amortised O(log^2 n) appends\n"
+              "(concordance index, see bench_monitor_stream) beat the\n"
+              "O(n log n)-per-check batch re-test at every check cadence.\n");
   return 0;
 }

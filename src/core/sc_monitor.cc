@@ -20,10 +20,47 @@ void TieTerms(double t, double* t1, double* t2, double* t3) {
   *t3 = t * (t - 1.0) * (2.0 * t + 5.0);
 }
 
+// Adds (+1) or removes (-1) one occurrence of `value` from a tie-group
+// map, keeping the three τ-variance sums in step.
+void BumpTieGroup(std::unordered_map<double, int64_t>& counts, double value, int direction,
+                  double* t1, double* t2, double* t3) {
+  int64_t& count = counts[value];
+  double o1;
+  double o2;
+  double o3;
+  TieTerms(static_cast<double>(count), &o1, &o2, &o3);
+  *t1 -= o1;
+  *t2 -= o2;
+  *t3 -= o3;
+  count += direction;
+  SCODED_CHECK(count >= 0);
+  TieTerms(static_cast<double>(count), &o1, &o2, &o3);
+  *t1 += o1;
+  *t2 += o2;
+  *t3 += o3;
+  if (count == 0) {
+    counts.erase(value);
+  }
+}
+
+// Adds or removes one occurrence of `key` in a contingency marginal,
+// keeping the Σ f(·) sum in step.
+void BumpMarginal(std::map<int32_t, int64_t>& marginal, int32_t key, int direction,
+                  double* sum) {
+  int64_t& count = marginal[key];
+  *sum -= XLogX(static_cast<double>(count));
+  count += direction;
+  SCODED_CHECK(count >= 0);
+  *sum += XLogX(static_cast<double>(count));
+  if (count == 0) {
+    marginal.erase(key);
+  }
+}
+
 }  // namespace
 
 Result<ScMonitor> ScMonitor::Create(const Table& prototype, const ApproximateSc& asc,
-                                    TestOptions options) {
+                                    TestOptions options, MonitorOptions monitor_options) {
   if (asc.sc.x.size() != 1 || asc.sc.y.size() != 1) {
     return UnimplementedError("ScMonitor requires singleton X and Y");
   }
@@ -49,31 +86,48 @@ Result<ScMonitor> ScMonitor::Create(const Table& prototype, const ApproximateSc&
   ScMonitor monitor;
   monitor.asc_ = asc;
   monitor.options_ = options;
+  monitor.monitor_options_ = monitor_options;
   monitor.is_tau_ = x_numeric;
   return monitor;
+}
+
+Result<ScMonitor::BoundColumns> ScMonitor::ResolveBatch(const Table& batch) const {
+  BoundColumns bound;
+  SCODED_ASSIGN_OR_RETURN(bound.x, batch.ColumnIndex(asc_.sc.x[0]));
+  SCODED_ASSIGN_OR_RETURN(bound.y, batch.ColumnIndex(asc_.sc.y[0]));
+  for (const std::string& name : asc_.sc.z) {
+    SCODED_ASSIGN_OR_RETURN(int z, batch.ColumnIndex(name));
+    if (batch.column(static_cast<size_t>(z)).type() != ColumnType::kCategorical) {
+      return InvalidArgumentError("conditioning column '" + name + "' must be categorical");
+    }
+    bound.z.push_back(z);
+  }
+  ColumnType expected = is_tau_ ? ColumnType::kNumeric : ColumnType::kCategorical;
+  if (batch.column(static_cast<size_t>(bound.x)).type() != expected ||
+      batch.column(static_cast<size_t>(bound.y)).type() != expected) {
+    return InvalidArgumentError("batch column types do not match the monitor");
+  }
+  return bound;
+}
+
+Status ScMonitor::ValidateBatch(const Table& batch) const {
+  return ResolveBatch(batch).status();
 }
 
 Status ScMonitor::Append(const Table& batch) {
   static obs::Counter* const batches_counter =
       obs::Metrics::Global().FindOrCreateCounter("core.monitor_batches");
+  // Validate the whole batch before touching any state: a failed Append
+  // must leave the monitor exactly as it was.
+  SCODED_ASSIGN_OR_RETURN(BoundColumns bound, ResolveBatch(batch));
   batches_counter->Add();
   obs::PhaseTimer timer(&telemetry_, "core/monitor/append");
   if (timer.span().active()) {
     timer.span().Arg("rows", static_cast<int64_t>(batch.NumRows()));
   }
   telemetry_.AddCount("batches", 1);
-  SCODED_ASSIGN_OR_RETURN(int x_col, batch.ColumnIndex(asc_.sc.x[0]));
-  SCODED_ASSIGN_OR_RETURN(int y_col, batch.ColumnIndex(asc_.sc.y[0]));
-  std::vector<int> z_cols;
-  for (const std::string& name : asc_.sc.z) {
-    SCODED_ASSIGN_OR_RETURN(int z, batch.ColumnIndex(name));
-    if (batch.column(static_cast<size_t>(z)).type() != ColumnType::kCategorical) {
-      return InvalidArgumentError("conditioning column '" + name + "' must be categorical");
-    }
-    z_cols.push_back(z);
-  }
-  const Column& xc = batch.column(static_cast<size_t>(x_col));
-  const Column& yc = batch.column(static_cast<size_t>(y_col));
+  const Column& xc = batch.column(static_cast<size_t>(bound.x));
+  const Column& yc = batch.column(static_cast<size_t>(bound.y));
   for (size_t i = 0; i < batch.NumRows(); ++i) {
     ++records_;
     ++telemetry_.rows_scanned;
@@ -84,21 +138,15 @@ Status ScMonitor::Append(const Table& batch) {
     // Stratum key: the conditioning categories joined with an unlikely
     // separator (nulls form their own stratum).
     std::string key;
-    for (int z : z_cols) {
+    for (int z : bound.z) {
       const Column& zc = batch.column(static_cast<size_t>(z));
       key += zc.IsNull(i) ? std::string("\x01<null>") : zc.CategoryAt(i);
       key.push_back('\x1f');
     }
     Stratum& stratum = StratumFor(key);
     if (is_tau_) {
-      if (xc.type() != ColumnType::kNumeric || yc.type() != ColumnType::kNumeric) {
-        return InvalidArgumentError("batch column types do not match the monitor");
-      }
       AddNumericPair(stratum, xc.NumericAt(i), yc.NumericAt(i));
     } else {
-      if (xc.type() != ColumnType::kCategorical || yc.type() != ColumnType::kCategorical) {
-        return InvalidArgumentError("batch column types do not match the monitor");
-      }
       auto [xit, xi] = x_dict_.emplace(xc.CategoryAt(i), static_cast<int32_t>(x_dict_.size()));
       auto [yit, yi] = y_dict_.emplace(yc.CategoryAt(i), static_cast<int32_t>(y_dict_.size()));
       AddCategoricalCodes(stratum, xit->second, yit->second);
@@ -136,47 +184,89 @@ Status ScMonitor::AppendCategorical(const std::string& x, const std::string& y) 
 }
 
 void ScMonitor::AddCategoricalCodes(Stratum& stratum, int32_t x, int32_t y) {
-  auto bump = [](std::map<int32_t, int64_t>& marginal, int32_t key, double* sum) {
-    int64_t& count = marginal[key];
-    *sum -= XLogX(static_cast<double>(count));
-    ++count;
-    *sum += XLogX(static_cast<double>(count));
-  };
-  bump(stratum.row_marginal, x, &stratum.sum_f_rows);
-  bump(stratum.col_marginal, y, &stratum.sum_f_cols);
+  BumpMarginal(stratum.row_marginal, x, +1, &stratum.sum_f_rows);
+  BumpMarginal(stratum.col_marginal, y, +1, &stratum.sum_f_cols);
   int64_t& cell = stratum.cells[{x, y}];
   stratum.sum_f_cells -= XLogX(static_cast<double>(cell));
   ++cell;
   stratum.sum_f_cells += XLogX(static_cast<double>(cell));
   ++stratum.n;
+  ++live_rows_;
+  if (monitor_options_.window > 0) {
+    FifoEntry entry;
+    entry.stratum = &stratum;
+    entry.x_code = x;
+    entry.y_code = y;
+    fifo_.push_back(entry);
+    EvictIfFull();
+  }
 }
 
 void ScMonitor::AddNumericPair(Stratum& stratum, double x, double y) {
-  // Pair scan against the stratum's existing observations: O(n_stratum).
-  for (size_t j = 0; j < stratum.xs.size(); ++j) {
-    stratum.s += PairWeight(x, y, stratum.xs[j], stratum.ys[j]);
+  if (monitor_options_.window == 0) {
+    // On-line Algorithm 2: quadrant counts against everything already
+    // indexed give the S increment in amortised O(log^2 n_stratum).
+    stratum.s += stratum.index.InsertAndScore(x, y);
+  } else {
+    // Bounded-memory mode: exact pair scan against the live window.
+    for (const auto& [px, py] : stratum.window) {
+      stratum.s += PairWeight(x, y, px, py);
+    }
+    stratum.window.emplace_back(x, y);
   }
-  // Tie-group bookkeeping in O(log n).
-  auto bump = [](std::map<double, int64_t>& counts, double value, double* t1, double* t2,
-                 double* t3) {
-    int64_t& count = counts[value];
-    double o1;
-    double o2;
-    double o3;
-    TieTerms(static_cast<double>(count), &o1, &o2, &o3);
-    *t1 -= o1;
-    *t2 -= o2;
-    *t3 -= o3;
-    ++count;
-    TieTerms(static_cast<double>(count), &o1, &o2, &o3);
-    *t1 += o1;
-    *t2 += o2;
-    *t3 += o3;
-  };
-  bump(stratum.x_counts, x, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
-  bump(stratum.y_counts, y, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
-  stratum.xs.push_back(x);
-  stratum.ys.push_back(y);
+  BumpTieGroup(stratum.x_counts, x, +1, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
+  BumpTieGroup(stratum.y_counts, y, +1, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
+  ++stratum.pairs;
+  ++live_rows_;
+  if (monitor_options_.window > 0) {
+    FifoEntry entry;
+    entry.stratum = &stratum;
+    entry.x = x;
+    entry.y = y;
+    fifo_.push_back(entry);
+    EvictIfFull();
+  }
+}
+
+void ScMonitor::EvictIfFull() {
+  while (live_rows_ > monitor_options_.window) {
+    EvictOldest();
+  }
+}
+
+void ScMonitor::EvictOldest() {
+  SCODED_CHECK(!fifo_.empty());
+  FifoEntry entry = fifo_.front();
+  fifo_.pop_front();
+  Stratum& stratum = *entry.stratum;
+  if (is_tau_) {
+    // Per-stratum windows preserve arrival order, so the globally oldest
+    // observation is the front of its stratum's deque.
+    SCODED_CHECK(!stratum.window.empty());
+    SCODED_CHECK(stratum.window.front().first == entry.x &&
+                 stratum.window.front().second == entry.y);
+    stratum.window.pop_front();
+    for (const auto& [px, py] : stratum.window) {
+      stratum.s -= PairWeight(entry.x, entry.y, px, py);
+    }
+    BumpTieGroup(stratum.x_counts, entry.x, -1, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
+    BumpTieGroup(stratum.y_counts, entry.y, -1, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
+    --stratum.pairs;
+  } else {
+    BumpMarginal(stratum.row_marginal, entry.x_code, -1, &stratum.sum_f_rows);
+    BumpMarginal(stratum.col_marginal, entry.y_code, -1, &stratum.sum_f_cols);
+    auto cell = stratum.cells.find({entry.x_code, entry.y_code});
+    SCODED_CHECK(cell != stratum.cells.end() && cell->second > 0);
+    stratum.sum_f_cells -= XLogX(static_cast<double>(cell->second));
+    --cell->second;
+    stratum.sum_f_cells += XLogX(static_cast<double>(cell->second));
+    if (cell->second == 0) {
+      stratum.cells.erase(cell);
+    }
+    --stratum.n;
+  }
+  --live_rows_;
+  telemetry_.AddCount("rows_evicted", 1);
 }
 
 double ScMonitor::CurrentStatistic() const {
@@ -208,7 +298,7 @@ double ScMonitor::CurrentPValue() const {
     double total_var = 0.0;
     for (const auto& [key, stratum] : strata_) {
       (void)key;
-      double n = static_cast<double>(stratum.xs.size());
+      double n = static_cast<double>(stratum.pairs);
       if (n < 2.0) {
         continue;
       }

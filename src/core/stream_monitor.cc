@@ -1,0 +1,81 @@
+#include "core/stream_monitor.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace scoded {
+
+Result<StreamMonitor> StreamMonitor::Create(const Table& prototype,
+                                            const std::vector<ApproximateSc>& constraints,
+                                            StreamMonitorOptions options) {
+  StreamMonitor stream;
+  stream.monitors_.reserve(constraints.size());
+  for (const ApproximateSc& asc : constraints) {
+    SCODED_ASSIGN_OR_RETURN(ScMonitor monitor,
+                            ScMonitor::Create(prototype, asc, options.test, options.monitor));
+    stream.monitors_.push_back(std::move(monitor));
+  }
+  return stream;
+}
+
+Status StreamMonitor::Append(const Table& batch) {
+  static obs::Counter* const batches_counter =
+      obs::Metrics::Global().FindOrCreateCounter("core.monitor_stream_batches");
+  static obs::Counter* const rows_counter =
+      obs::Metrics::Global().FindOrCreateCounter("core.monitor_stream_rows");
+  // All-or-nothing across the group: every monitor validates the batch
+  // before any monitor ingests it (each ScMonitor::Append additionally
+  // validates before mutating, so the fan-out below cannot half-apply).
+  for (const ScMonitor& monitor : monitors_) {
+    SCODED_RETURN_IF_ERROR(monitor.ValidateBatch(batch));
+  }
+  obs::PhaseTimer timer(&telemetry_, "core/stream/append");
+  if (timer.span().active()) {
+    timer.span().Arg("rows", static_cast<int64_t>(batch.NumRows()));
+    timer.span().Arg("monitors", static_cast<int64_t>(monitors_.size()));
+  }
+  batches_counter->Add();
+  rows_counter->Add(static_cast<int64_t>(batch.NumRows()));
+  telemetry_.AddCount("stream_batches", 1);
+  records_ += batch.NumRows();
+  // Deterministic fan-out: monitors are independent, each processes the
+  // whole batch serially, so any thread count gives bit-identical state.
+  return parallel::ParallelForStatus(0, monitors_.size(), 1,
+                                     [&](size_t i) { return monitors_[i].Append(batch); });
+}
+
+std::vector<StreamMonitor::ConstraintState> StreamMonitor::States() const {
+  std::vector<ConstraintState> states;
+  states.reserve(monitors_.size());
+  for (const ScMonitor& monitor : monitors_) {
+    ConstraintState state;
+    state.constraint = monitor.constraint().sc.ToString();
+    state.statistic = monitor.CurrentStatistic();
+    state.p_value = monitor.CurrentPValue();
+    state.violated = monitor.Violated();
+    state.records = monitor.NumRecords();
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
+bool StreamMonitor::AnyViolated() const {
+  for (const ScMonitor& monitor : monitors_) {
+    if (monitor.Violated()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+obs::RunTelemetry StreamMonitor::AggregateTelemetry() const {
+  obs::RunTelemetry merged = telemetry_;
+  for (const ScMonitor& monitor : monitors_) {
+    merged.Merge(monitor.telemetry());
+  }
+  return merged;
+}
+
+}  // namespace scoded

@@ -117,7 +117,11 @@ std::vector<size_t> StandardKSweep(size_t truth_size) {
   std::vector<size_t> ks;
   for (double f : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5}) {
     size_t k = static_cast<size_t>(f * static_cast<double>(truth_size));
-    if (k > 0) {
+    // Small truth sets make adjacent fractions collide on the same k;
+    // emitting duplicates would double-count sweep points in F-score
+    // curves and BENCH JSON. The fractions are increasing, so comparing
+    // against the last emitted k dedupes while preserving order.
+    if (k > 0 && (ks.empty() || ks.back() != k)) {
       ks.push_back(k);
     }
   }

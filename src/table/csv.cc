@@ -10,16 +10,45 @@ namespace scoded::csv {
 
 namespace {
 
-// Splits one CSV record honouring double-quote quoting ("" escapes a quote).
-std::vector<std::string> SplitRecord(std::string_view line, char delimiter) {
-  std::vector<std::string> fields;
+// One parsed cell: quoted fields keep their content verbatim (including
+// whitespace and newlines); unquoted fields are whitespace-trimmed.
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Scans the whole input into records with a single quote-aware pass, so a
+// quoted field may contain newlines, delimiters, and "" quote escapes.
+// Record terminators are '\n' or '\r\n' outside quotes; completely empty
+// records (blank lines) are skipped.
+Result<std::vector<std::vector<RawField>>> ScanRecords(std::string_view text, char delimiter) {
+  std::vector<std::vector<RawField>> records;
+  std::vector<RawField> record;
   std::string current;
+  bool current_quoted = false;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  bool record_has_chars = false;
+  auto end_field = [&] {
+    RawField field;
+    field.quoted = current_quoted;
+    field.text = current_quoted ? std::move(current) : std::string(Trim(current));
+    record.push_back(std::move(field));
+    current.clear();
+    current_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    if (record_has_chars) {
+      records.push_back(std::move(record));
+    }
+    record.clear();
+    record_has_chars = false;
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
           current.push_back('"');
           ++i;
         } else {
@@ -30,21 +59,41 @@ std::vector<std::string> SplitRecord(std::string_view line, char delimiter) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      current_quoted = true;
+      record_has_chars = true;
     } else if (c == delimiter) {
-      fields.push_back(std::move(current));
-      current.clear();
+      end_field();
+      record_has_chars = true;
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r' && (i + 1 >= text.size() || text[i + 1] == '\n')) {
+      // Part of a \r\n terminator (or a trailing \r at end of input): the
+      // following '\n' or EOF closes the record.
     } else {
       current.push_back(c);
+      record_has_chars = true;
     }
   }
-  fields.push_back(std::move(current));
-  return fields;
+  if (in_quotes) {
+    return InvalidArgumentError("CSV input ends inside a quoted field");
+  }
+  if (record_has_chars || !record.empty() || !current.empty()) {
+    end_record();
+  }
+  return records;
 }
 
 bool NeedsQuoting(std::string_view value, char delimiter) {
-  return value.find(delimiter) != std::string_view::npos ||
+  if (value.empty()) {
+    return false;
+  }
+  // Leading/trailing whitespace must be quoted to survive the reader's
+  // unquoted-field trim; '\r' must be quoted to survive line-end handling.
+  bool edge_space = Trim(value).size() != value.size();
+  return edge_space || value.find(delimiter) != std::string_view::npos ||
          value.find('"') != std::string_view::npos ||
-         value.find('\n') != std::string_view::npos;
+         value.find('\n') != std::string_view::npos ||
+         value.find('\r') != std::string_view::npos;
 }
 
 std::string QuoteField(std::string_view value) {
@@ -63,29 +112,8 @@ std::string QuoteField(std::string_view value) {
 }  // namespace
 
 Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
-  std::vector<std::vector<std::string>> rows;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    std::string_view line;
-    if (end == std::string_view::npos) {
-      line = text.substr(start);
-      start = text.size() + 1;
-    } else {
-      line = text.substr(start, end - start);
-      start = end + 1;
-    }
-    if (!line.empty() && line.back() == '\r') {
-      line.remove_suffix(1);
-    }
-    if (line.empty() && start > text.size()) {
-      break;  // trailing newline
-    }
-    if (line.empty()) {
-      continue;
-    }
-    rows.push_back(SplitRecord(line, options.delimiter));
-  }
+  SCODED_ASSIGN_OR_RETURN(std::vector<std::vector<RawField>> rows,
+                          ScanRecords(text, options.delimiter));
   if (rows.empty()) {
     return InvalidArgumentError("CSV input is empty");
   }
@@ -93,8 +121,8 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
   std::vector<std::string> names;
   size_t first_data_row = 0;
   if (options.has_header) {
-    for (const std::string& name : rows[0]) {
-      names.emplace_back(Trim(name));
+    for (const RawField& name : rows[0]) {
+      names.push_back(name.text);
     }
     first_data_row = 1;
   } else {
@@ -117,7 +145,7 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
     if (numeric) {
       bool any_value = false;
       for (size_t r = first_data_row; r < rows.size(); ++r) {
-        std::string_view cell = Trim(rows[r][c]);
+        const std::string& cell = rows[r][c].text;
         if (cell.empty()) {
           continue;
         }
@@ -138,7 +166,7 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
       valid.reserve(rows.size() - first_data_row);
       bool has_null = false;
       for (size_t r = first_data_row; r < rows.size(); ++r) {
-        std::optional<double> value = ParseDouble(Trim(rows[r][c]));
+        std::optional<double> value = ParseDouble(rows[r][c].text);
         values.push_back(value.value_or(0.0));
         valid.push_back(value.has_value());
         has_null = has_null || !value.has_value();
@@ -155,7 +183,7 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
       std::unordered_map<std::string, int32_t> index;
       codes.reserve(rows.size() - first_data_row);
       for (size_t r = first_data_row; r < rows.size(); ++r) {
-        std::string value(Trim(rows[r][c]));
+        std::string value = rows[r][c].text;
         if (value.empty()) {
           codes.push_back(-1);
           continue;

@@ -7,8 +7,10 @@
 //   scoded partition   --csv FILE --sc "..." [--alpha 0.05]
 //                      [--max-removal 0.5] [--out cleaned.csv]
 //   scoded repair      --csv FILE --sc "..." --k 20 [--out repaired.csv]
-//   scoded monitor     --csv FILE --sc "A !_||_ B" [--alpha 0.3]
-//                      [--batch 100]   (streams rows; prints p per batch)
+//   scoded monitor     --csv FILE --sc C1 [--sc C2 ...] [--alpha 0.3]
+//                      [--batch 100] [--window W]   (streams rows in
+//                      batches; prints one line per constraint per batch;
+//                      --window keeps only the last W rows per monitor)
 //   scoded report      --csv FILE --sc C1 [--sc C2 ...] [--alpha A]
 //                      [--k 20] [--format md|json] [--out FILE] [--fdr Q]
 //   scoded discover    --csv FILE [--alpha 0.05] [--max-cond 2]
@@ -51,8 +53,8 @@
 #include "common/json.h"
 #include "common/parallel.h"
 #include "constraints/graphoid.h"
-#include "core/sc_monitor.h"
 #include "core/scoded.h"
+#include "core/stream_monitor.h"
 #include "discovery/fd_discovery.h"
 #include "discovery/pc.h"
 #include "eval/report.h"
@@ -359,38 +361,58 @@ int RunReport(const Args& args) {
 
 int RunMonitor(const Args& args) {
   Result<Table> table = LoadCsv(args);
-  Result<ApproximateSc> asc = SingleConstraint(args);
-  if (!table.ok() || !asc.ok()) {
-    return Fail(!table.ok() ? table.status() : asc.status());
+  if (!table.ok()) {
+    return Fail(table.status());
   }
+  if (args.constraints.empty()) {
+    return FailMessage("at least one --sc CONSTRAINT is required");
+  }
+  Result<double> alpha = FlagDouble(args, "alpha", 0.05);
   Result<int64_t> batch_flag = FlagInt(args, "batch", 100);
-  if (!batch_flag.ok()) {
-    return Fail(batch_flag.status());
+  Result<int64_t> window_flag = FlagInt(args, "window", 0);
+  if (!alpha.ok() || !batch_flag.ok() || !window_flag.ok()) {
+    return Fail(!alpha.ok() ? alpha.status()
+                            : !batch_flag.ok() ? batch_flag.status() : window_flag.status());
   }
   if (*batch_flag <= 0) {
     return FailMessage("--batch must be positive");
   }
-  size_t batch = static_cast<size_t>(*batch_flag);
-  Result<ScMonitor> monitor = ScMonitor::Create(*table, *asc);
-  if (!monitor.ok()) {
-    return Fail(monitor.status());
+  if (*window_flag < 0) {
+    return FailMessage("--window must be non-negative (0 = unbounded)");
   }
-  std::printf("%-12s %-12s %-10s %s\n", "rows", "statistic", "p-value", "state");
+  size_t batch = static_cast<size_t>(*batch_flag);
+  std::vector<ApproximateSc> constraints;
+  for (const std::string& text : args.constraints) {
+    Result<StatisticalConstraint> sc = ParseConstraint(text);
+    if (!sc.ok()) {
+      return Fail(sc.status());
+    }
+    constraints.push_back({std::move(sc).value(), *alpha});
+  }
+  StreamMonitorOptions options;
+  options.monitor.window = static_cast<size_t>(*window_flag);
+  Result<StreamMonitor> stream = StreamMonitor::Create(*table, constraints, options);
+  if (!stream.ok()) {
+    return Fail(stream.status());
+  }
+  std::printf("%-12s %-28s %-12s %-10s %s\n", "rows", "constraint", "statistic", "p-value",
+              "state");
   for (size_t start = 0; start < table->NumRows(); start += batch) {
     std::vector<size_t> rows;
     for (size_t i = start; i < std::min(start + batch, table->NumRows()); ++i) {
       rows.push_back(i);
     }
-    Status status = monitor->Append(table->Gather(rows));
+    Status status = stream->Append(table->Gather(rows));
     if (!status.ok()) {
       return Fail(status);
     }
-    std::printf("%-12zu %-12.4g %-10.4g %s\n", monitor->NumRecords(),
-                monitor->CurrentStatistic(), monitor->CurrentPValue(),
-                monitor->Violated() ? "VIOLATED" : "ok");
+    for (const StreamMonitor::ConstraintState& state : stream->States()) {
+      std::printf("%-12zu %-28s %-12.4g %-10.4g %s\n", state.records, state.constraint.c_str(),
+                  state.statistic, state.p_value, state.violated ? "VIOLATED" : "ok");
+    }
   }
-  g_telemetry.Merge(monitor->telemetry());
-  return monitor->Violated() ? 2 : 0;
+  g_telemetry.Merge(stream->AggregateTelemetry());
+  return stream->AnyViolated() ? 2 : 0;
 }
 
 int RunDiscover(const Args& args) {
