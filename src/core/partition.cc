@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 
 #include "common/check.h"
@@ -83,10 +84,9 @@ Result<PartitionResult> PartitionDataset(const Table& table, const ApproximateSc
   return result;
 }
 
-Result<DrillDownResult> TopKViaPartitionOracle(const Table& table,
-                                               const StatisticalConstraint& sc, size_t k,
-                                               const PartitionOptions& options) {
-  if (!sc.is_independence()) {
+Result<DrillDownResult> TopKViaPartitionOracle(const Table& table, const ApproximateSc& asc,
+                                               size_t k, const PartitionOptions& options) {
+  if (!asc.sc.is_independence()) {
     return UnimplementedError("TopKViaPartitionOracle demonstrates the reduction for ISCs");
   }
   if (k > table.NumRows()) {
@@ -103,30 +103,53 @@ Result<DrillDownResult> TopKViaPartitionOracle(const Table& table,
   PartitionOptions oracle = options;
   oracle.max_removal_fraction = 1.0;
   std::vector<size_t> best_rows;
-  for (int iter = 0; iter < 40; ++iter) {
+  // Early-exit bookkeeping: the size function of α' is a step function, so
+  // once probes on both sides of the interval keep reproducing the same
+  // sizes the interval sits inside a single step boundary and no further
+  // midpoint can reach k. A partition with size s < k is flat on
+  // (α', final_p] (the greedy prefix achieves exactly p = final_p after s
+  // removals), so the lower bound jumps straight to that step edge instead
+  // of creeping toward it by halving.
+  size_t prev_lo_size = SIZE_MAX;
+  size_t prev_hi_size = SIZE_MAX;
+  int stalled = 0;
+  for (int iter = 0; iter < 40 && lo < hi && stalled < 2; ++iter) {
     double alpha = (lo + hi) / 2.0;
-    SCODED_ASSIGN_OR_RETURN(PartitionResult part, PartitionDataset(table, {sc, alpha}, oracle));
-    if (part.removed_rows.size() == k) {
+    SCODED_ASSIGN_OR_RETURN(PartitionResult part,
+                            PartitionDataset(table, {asc.sc, alpha}, oracle));
+    size_t size = part.removed_rows.size();
+    if (size == k) {
       best_rows = part.removed_rows;
       break;
     }
-    if (part.removed_rows.size() < k) {
-      if (part.removed_rows.size() > best_rows.size()) {
+    bool size_changed;
+    if (size < k) {
+      if (size > best_rows.size()) {
         best_rows = part.removed_rows;
       }
-      lo = alpha;  // need a stricter level to force more removals
+      if (!part.satisfied) {
+        break;  // even the unbounded budget cannot remove k rows at any level
+      }
+      size_changed = size != prev_lo_size;
+      prev_lo_size = size;
+      lo = std::min(hi, std::max(alpha, part.final_p));
     } else {
+      size_changed = size != prev_hi_size;
+      prev_hi_size = size;
       hi = alpha;
     }
+    stalled = size_changed ? 0 : stalled + 1;
   }
   DrillDownResult result;
   result.strategy_used = Strategy::kDirect;
   if (best_rows.size() < k) {
-    // Top up via the greedy prefix (identical ordering to the oracle).
+    // Top up via the greedy prefix (identical ordering to the oracle),
+    // under the caller's α and test options — the oracle and the top-up
+    // must share thread/cache configuration to stay prefix-consistent.
     DrillDownOptions drill;
     drill.strategy = Strategy::kDirect;
     drill.test = options.test;
-    SCODED_ASSIGN_OR_RETURN(DrillDownResult direct, DrillDown(table, {sc, 0.05}, k, drill));
+    SCODED_ASSIGN_OR_RETURN(DrillDownResult direct, DrillDown(table, asc, k, drill));
     result.rows = std::move(direct.rows);
     result.initial_statistic = direct.initial_statistic;
     result.final_statistic = direct.final_statistic;

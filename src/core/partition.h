@@ -48,12 +48,15 @@ Result<PartitionResult> PartitionDataset(const Table& table, const ApproximateSc
 /// using only a dataset-partition oracle. Binary-searches the significance
 /// level α' until the partition removes exactly k records (the partition
 /// size is monotone in α' for an ISC: a stricter level demands more
-/// removals), then returns that removal set. Exists to demonstrate the
-/// mutual poly-time reduction; `DrillDown` is the practical API.
-/// Requires a singleton, currently-independence SC.
-Result<DrillDownResult> TopKViaPartitionOracle(const Table& table,
-                                               const StatisticalConstraint& sc, size_t k,
-                                               const PartitionOptions& options = {});
+/// removals), then returns that removal set. The search exits early once
+/// the α interval stops changing the partition size (the remaining
+/// interval sits inside one step of the size function, so no further probe
+/// can reach k); a greedy top-up under the caller's `asc` and
+/// `options.test` completes the set when k is between achievable sizes.
+/// Exists to demonstrate the mutual poly-time reduction; `DrillDown` is
+/// the practical API. Requires a singleton, currently-independence SC.
+Result<DrillDownResult> TopKViaPartitionOracle(const Table& table, const ApproximateSc& asc,
+                                               size_t k, const PartitionOptions& options = {});
 
 }  // namespace scoded
 

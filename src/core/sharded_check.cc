@@ -1,0 +1,247 @@
+#include "core/sharded_check.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/shard_stats.h"
+
+namespace scoded {
+
+namespace {
+
+// Mirrors the per-test counter updates of the IndependenceTest wrapper so
+// global metrics look the same whichever execution path ran the test.
+void RecordTestMetrics(const TestResult& test) {
+  static obs::Counter* const tests_executed =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_executed");
+  static obs::Counter* const tests_g =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_g");
+  static obs::Counter* const tests_tau =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_tau");
+  static obs::Counter* const tests_exact =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_exact");
+  static obs::Counter* const tests_asymptotic =
+      obs::Metrics::Global().FindOrCreateCounter("stats.tests_asymptotic");
+  static obs::Counter* const rows_scanned =
+      obs::Metrics::Global().FindOrCreateCounter("stats.rows_scanned");
+  static obs::Counter* const strata_used =
+      obs::Metrics::Global().FindOrCreateCounter("stats.strata_used");
+  static obs::Counter* const strata_skipped =
+      obs::Metrics::Global().FindOrCreateCounter("stats.strata_skipped");
+  tests_executed->Add();
+  rows_scanned->Add(test.n);
+  strata_used->Add(static_cast<int64_t>(test.strata_used));
+  strata_skipped->Add(static_cast<int64_t>(test.strata_skipped));
+  (test.used_exact ? tests_exact : tests_asymptotic)->Add();
+  (test.method == TestMethod::kTauTest ? tests_tau : tests_g)->Add();
+}
+
+// One decomposed singleton component and its streaming state.
+struct ComponentState {
+  size_t constraint_index = 0;
+  StatisticalConstraint component;
+  PairwiseShardSummary::Spec spec;
+  PairwiseShardSummary summary;
+  TestResult result;
+  bool needs_row_pass = false;
+  std::vector<PermutationStratum> permutation_strata;
+};
+
+}  // namespace
+
+Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
+                                           const std::vector<ApproximateSc>& constraints,
+                                           const ShardedCheckOptions& options) {
+  obs::ScopedSpan span("core/sharded_check_all");
+  if (span.active()) {
+    span.Arg("constraints", static_cast<int64_t>(constraints.size()))
+        .Arg("shard_rows", static_cast<int64_t>(options.reader.shard_rows));
+  }
+  if (options.threads > 0) {
+    parallel::SetThreads(options.threads);
+  }
+  static obs::Counter* const shard_rows_counter =
+      obs::Metrics::Global().FindOrCreateCounter("shard.rows");
+  static obs::Counter* const shard_merges_counter =
+      obs::Metrics::Global().FindOrCreateCounter("shard.merges");
+
+  SCODED_ASSIGN_OR_RETURN(csv::ShardReader reader,
+                          csv::ShardReader::Open(path, options.reader));
+  SCODED_ASSIGN_OR_RETURN(Table schema, reader.EmptyTable());
+
+  ShardedCheckResult out;
+  // Consistency first, exactly as Scoded::CheckAll.
+  std::vector<const StatisticalConstraint*> scs;
+  scs.reserve(constraints.size());
+  for (const ApproximateSc& asc : constraints) {
+    scs.push_back(&asc.sc);
+  }
+  SCODED_ASSIGN_OR_RETURN(out.consistency, CheckConsistency(scs));
+  if (!out.consistency.consistent) {
+    return InvalidArgumentError(
+        "constraint set is inconsistent; resolve the conflicts before enforcement: " +
+        (out.consistency.conflicts.empty() ? std::string() : out.consistency.conflicts[0]));
+  }
+
+  // Decompose and bind every component up front, preserving the error
+  // order of the in-memory path: per constraint, the alpha check precedes
+  // the component bindings.
+  std::vector<ComponentState> components;
+  std::vector<std::pair<size_t, size_t>> component_range(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const ApproximateSc& asc = constraints[i];
+    if (asc.alpha < 0.0 || asc.alpha > 1.0) {
+      return InvalidArgumentError("alpha must lie in [0, 1]");
+    }
+    std::vector<StatisticalConstraint> singles = DecomposeToSingletons(asc.sc);
+    component_range[i] = {components.size(), components.size() + singles.size()};
+    for (StatisticalConstraint& single : singles) {
+      SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(single, schema));
+      ComponentState state;
+      state.constraint_index = i;
+      state.component = std::move(single);
+      state.spec = {bound.x[0], bound.y[0], bound.z};
+      if (options.test.numeric_method == NumericMethod::kSpearman && bound.z.empty() &&
+          schema.column(static_cast<size_t>(bound.x[0])).type() == ColumnType::kNumeric &&
+          schema.column(static_cast<size_t>(bound.y[0])).type() == ColumnType::kNumeric) {
+        // Fail before streaming anything; PairwiseShardSummary::Finish
+        // would refuse this component anyway.
+        return UnimplementedError(
+            "sharded checking does not support numeric_method=Spearman; "
+            "use Kendall's tau or the in-memory path");
+      }
+      state.summary = PairwiseShardSummary(schema, state.spec);
+      components.push_back(std::move(state));
+    }
+  }
+
+  // Stream the file in waves: read up to `wave` shards serially, summarise
+  // every (shard, component) pair on the pool, then fold the partial
+  // summaries serially in (shard, component) order — the fold order, and
+  // hence every result, is thread-count independent.
+  const size_t wave = std::max<size_t>(1, std::min<size_t>(parallel::Threads(), 4));
+  uint64_t row_offset = 0;
+  while (true) {
+    std::vector<Table> shards;
+    std::vector<uint64_t> offsets;
+    shards.reserve(wave);
+    while (shards.size() < wave) {
+      SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, reader.Next());
+      if (!shard.has_value()) {
+        break;
+      }
+      offsets.push_back(row_offset);
+      row_offset += shard->NumRows();
+      shards.push_back(std::move(*shard));
+    }
+    if (shards.empty()) {
+      break;
+    }
+    obs::ScopedSpan wave_span("core/shard_summarize");
+    if (wave_span.active()) {
+      wave_span.Arg("shards", static_cast<int64_t>(shards.size()))
+          .Arg("components", static_cast<int64_t>(components.size()));
+    }
+    size_t tasks = shards.size() * components.size();
+    std::vector<PairwiseShardSummary> partials =
+        parallel::ParallelMap<PairwiseShardSummary>(tasks, /*grain=*/1, [&](size_t t) {
+          size_t s = t / components.size();
+          size_t c = t % components.size();
+          return PairwiseShardSummary::FromShard(shards[s], components[c].spec, offsets[s]);
+        });
+    for (size_t t = 0; t < tasks; ++t) {
+      components[t % components.size()].summary.Merge(partials[t]);
+    }
+    for (const Table& shard : shards) {
+      shard_rows_counter->Add(static_cast<int64_t>(shard.NumRows()));
+    }
+    shard_merges_counter->Add(static_cast<int64_t>(tasks));
+    out.shards += shards.size();
+  }
+  out.rows = row_offset;
+
+  // Finish every component; components whose G-test needs the permutation
+  // fallback get their row-order code vectors from a second pass.
+  bool any_row_pass = false;
+  for (ComponentState& state : components) {
+    SCODED_ASSIGN_OR_RETURN(PairwiseShardSummary::FinishOutcome outcome,
+                            state.summary.Finish(options.test));
+    state.result = outcome.result;
+    state.needs_row_pass = outcome.needs_row_pass;
+    if (state.needs_row_pass) {
+      state.permutation_strata.resize(state.summary.NumPermutationStrata());
+      any_row_pass = true;
+    }
+  }
+  if (any_row_pass) {
+    obs::ScopedSpan pass_span("core/shard_permutation_pass");
+    SCODED_ASSIGN_OR_RETURN(csv::ShardReader second,
+                            csv::ShardReader::Open(path, options.reader));
+    while (true) {
+      SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, second.Next());
+      if (!shard.has_value()) {
+        break;
+      }
+      for (ComponentState& state : components) {
+        if (state.needs_row_pass) {
+          state.summary.CollectPermutationCodes(*shard, &state.permutation_strata);
+        }
+      }
+    }
+    for (ComponentState& state : components) {
+      if (!state.needs_row_pass) {
+        continue;
+      }
+      state.result.p_value = GPermutationFallbackPValue(
+          state.permutation_strata, options.test.permutation_fallback_iterations,
+          options.test.permutation_seed);
+      state.result.used_exact = true;
+      state.permutation_strata.clear();
+      state.permutation_strata.shrink_to_fit();
+    }
+  }
+
+  // Assemble one ViolationReport per constraint exactly as DetectViolation
+  // does from its per-component test results.
+  out.reports.reserve(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const ApproximateSc& asc = constraints[i];
+    ViolationReport report;
+    report.alpha = asc.alpha;
+    obs::PhaseTimer timer(&report.telemetry, "core/detect_violation");
+    bool is_independence = asc.sc.is_independence();
+    double decision_p = 1.0;
+    bool have_component = false;
+    auto [begin, end] = component_range[i];
+    for (size_t c = begin; c < end; ++c) {
+      ComponentState& state = components[c];
+      const TestResult& test = state.result;
+      if (!have_component || test.p_value < decision_p) {
+        decision_p = test.p_value;
+        report.test = test;
+        have_component = true;
+      }
+      ++report.telemetry.tests_executed;
+      report.telemetry.rows_scanned += test.n;
+      (test.used_exact ? report.telemetry.exact_tests : report.telemetry.asymptotic_tests) += 1;
+      report.telemetry.strata_used += static_cast<int64_t>(test.strata_used);
+      report.telemetry.strata_skipped += static_cast<int64_t>(test.strata_skipped);
+      report.components.push_back(ComponentResult{state.component, test});
+      RecordTestMetrics(test);
+    }
+    report.telemetry.AddCount("components", static_cast<int64_t>(end - begin));
+    report.p_value = decision_p;
+    report.violated = is_independence ? (decision_p < asc.alpha) : (decision_p > asc.alpha);
+    timer.Stop();
+    out.violations += report.violated ? 1 : 0;
+    out.telemetry.Merge(report.telemetry);
+    out.reports.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace scoded

@@ -1,0 +1,61 @@
+#ifndef SCODED_CORE_SHARDED_CHECK_H_
+#define SCODED_CORE_SHARDED_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/graphoid.h"
+#include "core/approximate_sc.h"
+#include "core/violation.h"
+#include "obs/telemetry.h"
+#include "stats/hypothesis.h"
+#include "table/csv_stream.h"
+
+namespace scoded {
+
+/// Options for the out-of-core batch checker.
+struct ShardedCheckOptions {
+  TestOptions test;
+  /// CSV parsing, shard size, and read-buffer size (csv::ShardReader).
+  csv::ShardReaderOptions reader;
+  /// Worker threads for per-shard summarisation; <= 0 keeps the current
+  /// parallel::Threads() setting (same convention as ScodedOptions).
+  int threads = 0;
+};
+
+/// Outcome of an out-of-core batch check; `reports` / `violations` /
+/// `consistency` match Scoded::BatchCheckResult field for field.
+struct ShardedCheckResult {
+  ConsistencyReport consistency;
+  std::vector<ViolationReport> reports;
+  size_t violations = 0;
+  /// Number of shards streamed and total data rows in the file.
+  size_t shards = 0;
+  uint64_t rows = 0;
+  obs::RunTelemetry telemetry;
+};
+
+/// Out-of-core equivalent of loading `path` with csv::ReadFile and running
+/// Scoded::CheckAll: streams the file in bounded-size shards, folds one
+/// mergeable PairwiseShardSummary per decomposed SC component
+/// (stats/shard_stats.h), and finishes each summary into the exact test
+/// result the in-memory path computes — same p-values bit for bit, same
+/// reports, same violation decisions — with peak memory O(shard + cells)
+/// instead of O(file).
+///
+/// Shards are summarised on the worker pool in waves and the partial
+/// summaries folded serially in (shard, component) order, so results do
+/// not depend on the thread count. When a component's G-test falls back to
+/// the Monte-Carlo permutation null the file is streamed a second time to
+/// rebuild the row-order code vectors that fallback permutes.
+///
+/// Unsupported in sharded form: `numeric_method = kSpearman` (row-order
+/// float summation; returns Unimplemented).
+Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
+                                           const std::vector<ApproximateSc>& constraints,
+                                           const ShardedCheckOptions& options = {});
+
+}  // namespace scoded
+
+#endif  // SCODED_CORE_SHARDED_CHECK_H_

@@ -141,6 +141,13 @@ Result<InjectionResult> InjectImputationErrorOnRows(const Table& table, int col,
     }
     out.table = ReplaceColumn(table, col, Column::Numeric(std::move(values)));
   } else {
+    if (column.NumCategories() == 0) {
+      // All-null categorical column: there is no mode to impute, and
+      // counts[mode] below would index an empty vector.
+      return InvalidArgumentError(
+          "imputation injection requires at least one non-null category in column " +
+          table.schema().field(static_cast<size_t>(col)).name);
+    }
     std::vector<int64_t> counts(column.NumCategories(), 0);
     for (size_t i = 0; i < column.size(); ++i) {
       if (!column.IsNull(i)) {

@@ -15,7 +15,10 @@ PrecisionRecall EvaluateTopK(const std::vector<size_t>& ranking,
   for (size_t i = 0; i < considered; ++i) {
     out.hits += ground_truth.count(ranking[i]);
   }
-  out.precision = static_cast<double>(out.hits) / static_cast<double>(k);
+  // Precision is over the guesses actually made: a ranking shorter than k
+  // must not be penalised for entries it never emitted.
+  out.precision =
+      considered > 0 ? static_cast<double>(out.hits) / static_cast<double>(considered) : 0.0;
   out.recall = ground_truth.empty()
                    ? 0.0
                    : static_cast<double>(out.hits) / static_cast<double>(ground_truth.size());

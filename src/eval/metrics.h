@@ -18,8 +18,10 @@ struct PrecisionRecall {
 };
 
 /// Evaluates the first `k` entries of `ranking` against `ground_truth`.
-/// A ranking shorter than k is evaluated as-is but divided by k (missing
-/// guesses count as misses).
+/// A ranking shorter than k is evaluated as-is: precision divides by
+/// min(k, |ranking|) — the guesses actually made — while recall still
+/// divides by |truth| (entries never emitted stay missed). `BestFScore`
+/// below is consistent with this, since it only considers k <= |ranking|.
 PrecisionRecall EvaluateTopK(const std::vector<size_t>& ranking,
                              const std::set<size_t>& ground_truth, size_t k);
 

@@ -29,6 +29,22 @@ ContingencyTable::ContingencyTable(const std::vector<int32_t>& x_codes,
   }
 }
 
+ContingencyTable ContingencyTable::FromCounts(const std::vector<int64_t>& counts,
+                                              size_t x_cardinality, size_t y_cardinality) {
+  SCODED_CHECK(counts.size() == x_cardinality * y_cardinality);
+  ContingencyTable table(x_cardinality, y_cardinality);
+  for (size_t x = 0; x < x_cardinality; ++x) {
+    for (size_t y = 0; y < y_cardinality; ++y) {
+      int64_t count = counts[x * y_cardinality + y];
+      SCODED_CHECK(count >= 0);
+      if (count > 0) {
+        table.Adjust(x, y, count);
+      }
+    }
+  }
+  return table;
+}
+
 ContingencyTable ContingencyTable::FromColumns(const Column& x, const Column& y,
                                                const std::vector<size_t>& rows) {
   SCODED_CHECK(x.type() == ColumnType::kCategorical);

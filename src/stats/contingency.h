@@ -23,6 +23,13 @@ class ContingencyTable {
   static ContingencyTable FromColumns(const Column& x, const Column& y,
                                       const std::vector<size_t>& rows);
 
+  /// Builds from a dense row-major count matrix (`counts[x * y_cardinality
+  /// + y]`, all entries >= 0). Used by the mergeable shard summaries
+  /// (stats/shard_stats.h) to reconstruct the whole-table statistic from
+  /// accumulated joint counts.
+  static ContingencyTable FromCounts(const std::vector<int64_t>& counts, size_t x_cardinality,
+                                     size_t y_cardinality);
+
   size_t num_x() const { return nx_; }
   size_t num_y() const { return ny_; }
   int64_t total() const { return total_; }

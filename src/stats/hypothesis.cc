@@ -14,6 +14,7 @@
 #include "stats/fisher.h"
 #include "stats/kendall.h"
 #include "stats/ranks.h"
+#include "stats/stratified.h"
 #include "table/group_by.h"
 
 namespace scoded {
@@ -87,103 +88,6 @@ size_t StrataGrain(size_t num_groups, size_t num_rows) {
   }
   return std::max<size_t>(1, num_groups / 64);
 }
-
-// The scalars AddG needs from a per-stratum contingency table; computed in
-// parallel per stratum, folded serially in stratum order.
-struct GPieces {
-  double g = 0.0;
-  double dof = 0.0;
-  double min_expected = 0.0;
-  double cramers_v = 0.0;
-  int64_t total = 0;
-};
-
-GPieces PiecesOf(const ContingencyTable& ct) {
-  GPieces pieces;
-  pieces.total = ct.total();
-  if (pieces.total >= 2) {
-    pieces.g = ct.GStatistic();
-    pieces.dof = ct.Dof();
-    pieces.min_expected = ct.MinExpectedCount();
-    pieces.cramers_v = ct.CramersV();
-  }
-  return pieces;
-}
-
-// Accumulator combining per-stratum results per Sec. 4.3 ("conditional
-// tests": each Z=z slice is tested and the evidence pooled).
-struct StratifiedAccumulator {
-  bool is_tau = false;
-  // G path
-  double g_total = 0.0;
-  double dof_total = 0.0;
-  double min_expected = 1e300;
-  double effect_weight = 0.0;
-  double effect_sum = 0.0;
-  // tau path
-  double s_total = 0.0;
-  double var_total = 0.0;
-  double pairs_total = 0.0;
-  int64_t n_total = 0;
-  size_t used = 0;
-  size_t skipped = 0;
-
-  void AddG(const GPieces& pieces) {
-    if (pieces.total < 2) {
-      ++skipped;
-      return;
-    }
-    g_total += pieces.g;
-    dof_total += pieces.dof;
-    min_expected = std::min(min_expected, pieces.min_expected);
-    effect_sum += pieces.cramers_v * static_cast<double>(pieces.total);
-    effect_weight += static_cast<double>(pieces.total);
-    n_total += pieces.total;
-    ++used;
-  }
-
-  void AddTau(const KendallResult& kr) {
-    if (kr.n < 2) {
-      ++skipped;
-      return;
-    }
-    s_total += static_cast<double>(kr.s);
-    var_total += kr.var_s;
-    pairs_total += static_cast<double>(kr.n) * (static_cast<double>(kr.n) - 1.0) / 2.0;
-    n_total += kr.n;
-    ++used;
-  }
-
-  TestResult Finish(const TestOptions& options) const {
-    TestResult result;
-    result.n = n_total;
-    result.strata_used = used;
-    result.strata_skipped = skipped;
-    if (is_tau) {
-      result.method = TestMethod::kTauTest;
-      if (var_total > 0.0) {
-        double z = s_total / std::sqrt(var_total);
-        result.statistic = std::fabs(z);
-        result.p_value = NormalTwoSidedP(z);
-      } else {
-        result.statistic = 0.0;
-        result.p_value = 1.0;
-      }
-      result.effect = pairs_total > 0.0 ? s_total / pairs_total : 0.0;
-      result.approximation_suspect =
-          n_total > 0 && static_cast<size_t>(n_total) <= options.tau_exact_max_n;
-    } else {
-      result.method = TestMethod::kGTest;
-      result.statistic = g_total;
-      result.dof = std::max(1.0, dof_total);
-      result.p_value = used > 0 ? ChiSquaredSf(g_total, result.dof) : 1.0;
-      result.effect = effect_weight > 0.0 ? effect_sum / effect_weight : 0.0;
-      result.approximation_suspect = used > 0 && min_expected < options.g_min_expected;
-      result.min_expected = used > 0 ? min_expected : 0.0;
-    }
-    return result;
-  }
-};
 
 // Per-row stratification keys for one conditioning column: a numeric
 // column with many distinct values is quantile-binned, everything else is
@@ -307,9 +211,7 @@ TestResult GTestIndependence(const Column& x, const Column& y, const std::vector
   return acc.Finish(options);
 }
 
-TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<double>& y,
-                               const TestOptions& options) {
-  KendallResult kr = KendallTau(x, y);
+TestResult TauTestFromKendall(const KendallResult& kr, const TestOptions& options) {
   TestResult result;
   result.method = TestMethod::kTauTest;
   result.n = kr.n;
@@ -328,6 +230,72 @@ TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<d
     }
   }
   return result;
+}
+
+TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<double>& y,
+                               const TestOptions& options) {
+  return TauTestFromKendall(KendallTau(x, y), options);
+}
+
+std::optional<double> FisherExact2x2FromContingency(const ContingencyTable& ct) {
+  // Collapse to live codes; Fisher applies only when exactly 2×2.
+  std::vector<size_t> live_x;
+  std::vector<size_t> live_y;
+  for (size_t x = 0; x < ct.num_x() && live_x.size() <= 2; ++x) {
+    if (ct.RowMarginal(x) > 0) {
+      live_x.push_back(x);
+    }
+  }
+  for (size_t y = 0; y < ct.num_y() && live_y.size() <= 2; ++y) {
+    if (ct.ColMarginal(y) > 0) {
+      live_y.push_back(y);
+    }
+  }
+  if (live_x.size() != 2 || live_y.size() != 2) {
+    return std::nullopt;
+  }
+  static obs::Counter* const fisher_tests =
+      obs::Metrics::Global().FindOrCreateCounter("stats.fisher_exact_tests");
+  fisher_tests->Add();
+  return FisherExact2x2TwoSided(ct.Count(live_x[0], live_y[0]), ct.Count(live_x[0], live_y[1]),
+                                ct.Count(live_x[1], live_y[0]), ct.Count(live_x[1], live_y[1]));
+}
+
+double GPermutationFallbackPValue(const std::vector<PermutationStratum>& strata,
+                                  size_t iterations, uint64_t seed) {
+  auto joint_xlogx = [](const std::vector<int32_t>& x, const std::vector<int32_t>& y) {
+    std::map<int64_t, int64_t> cells;
+    for (size_t i = 0; i < x.size(); ++i) {
+      ++cells[(static_cast<int64_t>(x[i]) << 32) | static_cast<uint32_t>(y[i])];
+    }
+    double sum = 0.0;
+    for (const auto& [key, count] : cells) {
+      (void)key;
+      double c = static_cast<double>(count);
+      sum += c * std::log(c);
+    }
+    return sum;
+  };
+  double observed = 0.0;
+  for (const PermutationStratum& s : strata) {
+    observed += joint_xlogx(s.x, s.y);
+  }
+  Rng rng(seed);
+  size_t at_least = 0;
+  std::vector<PermutationStratum> permuted = strata;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    double stat = 0.0;
+    for (PermutationStratum& s : permuted) {
+      rng.Shuffle(s.y);
+      stat += joint_xlogx(s.x, s.y);
+    }
+    at_least += stat >= observed ? 1 : 0;
+  }
+  static obs::Counter* const fallbacks =
+      obs::Metrics::Global().FindOrCreateCounter("stats.permutation_fallbacks");
+  fallbacks->Add();
+  return (static_cast<double>(at_least) + 1.0) /
+         (static_cast<double>(iterations) + 1.0);
 }
 
 namespace {
@@ -478,33 +446,11 @@ Result<TestResult> IndependenceTestImpl(const Table& table, int x_col, int y_col
   if (options.use_fisher_for_2x2 && encoded.size() == 1 && result.strata_used == 1 &&
       result.n > 0 && result.n <= options.fisher_max_n) {
     const auto& stratum = encoded[0];
-    // Collapse to live codes; Fisher applies only when exactly 2×2.
-    std::map<int32_t, int64_t> x_live;
-    std::map<int32_t, int64_t> y_live;
-    for (size_t i = 0; i < stratum.x.size(); ++i) {
-      ++x_live[stratum.x[i]];
-      ++y_live[stratum.y[i]];
-    }
-    if (x_live.size() == 2 && y_live.size() == 2) {
-      int32_t x0 = x_live.begin()->first;
-      int32_t y0 = y_live.begin()->first;
-      int64_t a = 0;
-      int64_t b = 0;
-      int64_t c = 0;
-      int64_t d = 0;
-      for (size_t i = 0; i < stratum.x.size(); ++i) {
-        bool first_row = stratum.x[i] == x0;
-        bool first_col = stratum.y[i] == y0;
-        a += (first_row && first_col) ? 1 : 0;
-        b += (first_row && !first_col) ? 1 : 0;
-        c += (!first_row && first_col) ? 1 : 0;
-        d += (!first_row && !first_col) ? 1 : 0;
-      }
-      result.p_value = FisherExact2x2TwoSided(a, b, c, d);
+    std::optional<double> fisher_p = FisherExact2x2FromContingency(
+        ContingencyTable(stratum.x, stratum.y, stratum.cx, stratum.cy));
+    if (fisher_p.has_value()) {
+      result.p_value = *fisher_p;
       result.used_exact = true;
-      static obs::Counter* const fisher_tests =
-          obs::Metrics::Global().FindOrCreateCounter("stats.fisher_exact_tests");
-      fisher_tests->Add();
       return result;
     }
   }
@@ -520,40 +466,14 @@ Result<TestResult> IndependenceTestImpl(const Table& table, int x_col, int y_col
                              result.min_expected < options.g_severe_min_expected);
   if (options.allow_exact && grossly_inadequate &&
       options.permutation_fallback_iterations > 0) {
-    auto joint_xlogx = [](const std::vector<int32_t>& x, const std::vector<int32_t>& y) {
-      std::map<int64_t, int64_t> cells;
-      for (size_t i = 0; i < x.size(); ++i) {
-        ++cells[(static_cast<int64_t>(x[i]) << 32) | static_cast<uint32_t>(y[i])];
-      }
-      double sum = 0.0;
-      for (const auto& [key, count] : cells) {
-        (void)key;
-        double c = static_cast<double>(count);
-        sum += c * std::log(c);
-      }
-      return sum;
-    };
-    double observed = 0.0;
-    for (const EncodedStratum& e : encoded) {
-      observed += joint_xlogx(e.x, e.y);
+    std::vector<PermutationStratum> perm;
+    perm.reserve(encoded.size());
+    for (EncodedStratum& e : encoded) {
+      perm.push_back(PermutationStratum{std::move(e.x), std::move(e.y)});
     }
-    Rng rng(options.permutation_seed);
-    size_t at_least = 0;
-    std::vector<EncodedStratum> permuted = encoded;
-    for (size_t iter = 0; iter < options.permutation_fallback_iterations; ++iter) {
-      double stat = 0.0;
-      for (EncodedStratum& e : permuted) {
-        rng.Shuffle(e.y);
-        stat += joint_xlogx(e.x, e.y);
-      }
-      at_least += stat >= observed ? 1 : 0;
-    }
-    result.p_value = (static_cast<double>(at_least) + 1.0) /
-                     (static_cast<double>(options.permutation_fallback_iterations) + 1.0);
+    result.p_value = GPermutationFallbackPValue(perm, options.permutation_fallback_iterations,
+                                                options.permutation_seed);
     result.used_exact = true;
-    static obs::Counter* const fallbacks =
-        obs::Metrics::Global().FindOrCreateCounter("stats.permutation_fallbacks");
-    fallbacks->Add();
   }
   return result;
 }

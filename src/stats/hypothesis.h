@@ -7,10 +7,13 @@
 #include <vector>
 
 #include <memory>
+#include <optional>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "stats/contingency.h"
 #include "stats/encoding_cache.h"
+#include "stats/kendall.h"
 #include "table/table.h"
 
 namespace scoded {
@@ -130,6 +133,35 @@ TestResult GTestIndependence(const Column& x, const Column& y, const std::vector
 /// Kendall τ test of independence between two numeric vectors.
 TestResult TauTestIndependence(const std::vector<double>& x, const std::vector<double>& y,
                                const TestOptions& options = {});
+
+/// The decision layer of TauTestIndependence applied to an
+/// already-computed KendallResult (Gaussian p, exact-null escape hatch for
+/// small tie-free samples). Exposed so the mergeable shard summaries
+/// (stats/shard_stats.h), which rebuild the KendallResult from accumulated
+/// counts, share the exact routing logic with the in-memory path.
+TestResult TauTestFromKendall(const KendallResult& kr, const TestOptions& options = {});
+
+/// Collapses `ct` to its live (positive-marginal) categories and, when the
+/// live table is exactly 2×2, returns Fisher's exact two-sided p-value;
+/// nullopt otherwise. Shared by the in-memory dispatcher's Fisher routing
+/// and the shard summaries so the a/b/c/d cells come from one code path.
+std::optional<double> FisherExact2x2FromContingency(const ContingencyTable& ct);
+
+/// One stratum's complete-pair codes for the G permutation fallback.
+struct PermutationStratum {
+  std::vector<int32_t> x;
+  std::vector<int32_t> y;
+};
+
+/// The Sec. 4.3 Monte-Carlo "exact test" fallback p-value for the G path:
+/// shuffles each stratum's y codes `iterations` times (one Rng seeded with
+/// `seed`, strata consumed in order each round) and compares Σ c·log c
+/// over joint cells against the observed value, with the (r+1)/(iters+1)
+/// correction. Strata must be passed in stratum order with rows in row
+/// order; the in-memory dispatcher and the sharded second pass share this
+/// function so their fallback p-values are bit-identical.
+double GPermutationFallbackPValue(const std::vector<PermutationStratum>& strata,
+                                  size_t iterations, uint64_t seed);
 
 /// The full dispatcher behind Algorithm 1:
 ///  * picks G vs τ from the column types (mixed pairs: the numeric column

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 
 #include "common/check.h"
@@ -51,6 +52,33 @@ std::vector<int64_t> TieGroupSizes(std::vector<double> values) {
   return sizes;
 }
 
+// NaN guard shared by every τ entry point: raw `<` is not a strict weak
+// ordering once NaN appears (every comparison is false), so sorting on it
+// is undefined behaviour and pair counts become arbitrary. When any
+// coordinate is NaN, both vectors are replaced by their dense ranks, whose
+// NanAwareLess order puts all NaNs in one tie group after every number —
+// the same convention KendallTauFromCounts applies. Ranks preserve the
+// ordering and tie structure the pair counts depend on, and every
+// downstream float is a function of those counts alone, so NaN-free
+// inputs are untouched bit for bit.
+bool AnyNan(const std::vector<double>& values) {
+  for (double v : values) {
+    if (std::isnan(v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> RanksAsDoubles(const std::vector<double>& values) {
+  std::vector<size_t> ranks = DenseRanks(values);
+  std::vector<double> out(ranks.size());
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    out[i] = static_cast<double>(ranks[i]);
+  }
+  return out;
+}
+
 // Merge-sort inversion count of `values` (pairs i<j with values[i] > values[j]).
 int64_t CountInversions(std::vector<double>& values, std::vector<double>& scratch, size_t lo,
                         size_t hi) {
@@ -82,9 +110,10 @@ int64_t CountInversions(std::vector<double>& values, std::vector<double>& scratc
   return inversions;
 }
 
-// Fills tau_a/tau_b/var_s/z/p from the raw pair counts and tie groups.
-void FinishResult(KendallResult& result, const std::vector<int64_t>& x_ties,
-                  const std::vector<int64_t>& y_ties) {
+}  // namespace
+
+void CompleteKendallResult(KendallResult& result, const std::vector<int64_t>& x_ties,
+                           const std::vector<int64_t>& y_ties) {
   int64_t n = result.n;
   if (n < 2) {
     result.p_two_sided = 1.0;
@@ -139,8 +168,6 @@ void FinishResult(KendallResult& result, const std::vector<int64_t>& x_ties,
   }
 }
 
-}  // namespace
-
 int PairWeight(double xi, double yi, double xj, double yj) {
   if ((xi > xj && yi > yj) || (xi < xj && yi < yj)) {
     return 1;
@@ -153,6 +180,9 @@ int PairWeight(double xi, double yi, double xj, double yj) {
 
 KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  if (AnyNan(x) || AnyNan(y)) {
+    return KendallTauNaive(RanksAsDoubles(x), RanksAsDoubles(y));
+  }
   KendallResult result;
   result.n = static_cast<int64_t>(x.size());
   for (size_t i = 0; i < x.size(); ++i) {
@@ -173,12 +203,15 @@ KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<do
     }
   }
   result.s = result.concordant - result.discordant;
-  FinishResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  CompleteKendallResult(result, TieGroupSizes(x), TieGroupSizes(y));
   return result;
 }
 
 KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  if (AnyNan(x) || AnyNan(y)) {
+    return KendallTau(RanksAsDoubles(x), RanksAsDoubles(y));
+  }
   // KendallTau sits inside the permutation loops, so keep instrumentation to
   // one relaxed counter add — no span, no histogram.
   static obs::Counter* const tau_calls =
@@ -246,7 +279,101 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
   result.ties_x = n1 - n3;
   result.ties_y = n2 - n3;
   result.s = result.concordant - result.discordant;
-  FinishResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  CompleteKendallResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  return result;
+}
+
+KendallResult KendallTauFromCounts(std::vector<WeightedPoint> points) {
+  // Canonical point order: (x, y) lexicographic with NaN after every
+  // number, then duplicates merged so multiplicities are additive.
+  NanAwareLess less;
+  auto point_less = [&](const WeightedPoint& a, const WeightedPoint& b) {
+    if (!NanAwareEqual(a.x, b.x)) {
+      return less(a.x, b.x);
+    }
+    return less(a.y, b.y);
+  };
+  std::sort(points.begin(), points.end(), point_less);
+  std::vector<WeightedPoint> merged;
+  merged.reserve(points.size());
+  int64_t n = 0;
+  for (const WeightedPoint& p : points) {
+    SCODED_CHECK(p.count >= 0);
+    if (p.count == 0) {
+      continue;
+    }
+    n += p.count;
+    if (!merged.empty() && NanAwareEqual(merged.back().x, p.x) &&
+        NanAwareEqual(merged.back().y, p.y)) {
+      merged.back().count += p.count;
+    } else {
+      merged.push_back(p);
+    }
+  }
+  KendallResult result;
+  result.n = n;
+  if (n < 2) {
+    result.p_two_sided = 1.0;
+    return result;
+  }
+
+  // Y marginal in ascending order: dense ranks, tie-pair count n2, and the
+  // tie-group sizes for the variance correction.
+  std::map<double, int64_t, NanAwareLess> y_marginal;
+  for (const WeightedPoint& p : merged) {
+    y_marginal[p.y] += p.count;
+  }
+  std::map<double, size_t, NanAwareLess> y_rank;
+  std::vector<int64_t> y_ties;
+  int64_t n2 = 0;
+  for (const auto& [value, count] : y_marginal) {
+    y_rank.emplace(value, y_rank.size());
+    n2 += count * (count - 1) / 2;
+    if (count > 1) {
+      y_ties.push_back(count);
+    }
+  }
+
+  // One ascending-x sweep: within an x-run query the tree first (points
+  // already inserted all have strictly smaller x), then insert the whole
+  // run — pairs between them have distinct x, and a discordant pair is one
+  // where the earlier (smaller-x) point has the larger y.
+  SegmentTree tree(y_rank.size());
+  std::vector<int64_t> x_ties;
+  int64_t n1 = 0;
+  int64_t n3 = 0;
+  int64_t discordant = 0;
+  size_t i = 0;
+  while (i < merged.size()) {
+    size_t j = i;
+    int64_t run_total = 0;
+    while (j < merged.size() && NanAwareEqual(merged[j].x, merged[i].x)) {
+      run_total += merged[j].count;
+      n3 += merged[j].count * (merged[j].count - 1) / 2;
+      ++j;
+    }
+    n1 += run_total * (run_total - 1) / 2;
+    if (run_total > 1) {
+      x_ties.push_back(run_total);
+    }
+    for (size_t k = i; k < j; ++k) {
+      size_t rank = y_rank.find(merged[k].y)->second;
+      discordant += merged[k].count * tree.SuffixSum(rank + 1);
+    }
+    for (size_t k = i; k < j; ++k) {
+      tree.Add(y_rank.find(merged[k].y)->second, merged[k].count);
+    }
+    i = j;
+  }
+
+  int64_t n0 = n * (n - 1) / 2;
+  result.discordant = discordant;
+  result.concordant = n0 - n1 - n2 + n3 - discordant;
+  result.ties_xy = n3;
+  result.ties_x = n1 - n3;
+  result.ties_y = n2 - n3;
+  result.s = result.concordant - result.discordant;
+  CompleteKendallResult(result, x_ties, y_ties);
   return result;
 }
 
@@ -298,6 +425,9 @@ double KendallExactPValue(int64_t s, int64_t n) {
 std::vector<int64_t> ComputeTauBenefits(const std::vector<double>& x,
                                         const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  if (AnyNan(x) || AnyNan(y)) {
+    return ComputeTauBenefits(RanksAsDoubles(x), RanksAsDoubles(y));
+  }
   static obs::Counter* const benefit_calls =
       obs::Metrics::Global().FindOrCreateCounter("stats.tau_benefit_calls");
   benefit_calls->Add();
@@ -373,6 +503,9 @@ std::vector<int64_t> ComputeTauBenefits(const std::vector<double>& x,
 std::vector<int64_t> ComputeTauBenefitsNaive(const std::vector<double>& x,
                                              const std::vector<double>& y) {
   SCODED_CHECK(x.size() == y.size());
+  if (AnyNan(x) || AnyNan(y)) {
+    return ComputeTauBenefitsNaive(RanksAsDoubles(x), RanksAsDoubles(y));
+  }
   size_t n = x.size();
   std::vector<int64_t> benefits(n, 0);
   for (size_t i = 0; i < n; ++i) {

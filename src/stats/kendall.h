@@ -25,6 +25,10 @@ struct KendallResult {
 
 /// O(n²) reference implementation (used in tests as ground truth and for
 /// very small inputs).
+///
+/// NaN convention (all τ entry points, including KendallTauFromCounts and
+/// ComputeTauBenefits): all NaNs form one tie group ordered after every
+/// number (NanAwareLess). NaN-free inputs are unaffected.
 KendallResult KendallTauNaive(const std::vector<double>& x, const std::vector<double>& y);
 
 /// O(n log n) implementation (Knight's algorithm: sort by x, count
@@ -38,6 +42,32 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
 /// layer uses it below the Gaussian-approximation threshold (n <= 60,
 /// following the NIST rule cited in Sec. 4.3).
 double KendallExactPValue(int64_t s, int64_t n);
+
+/// Fills tau_a/tau_b/var_s/z/p_two_sided from the raw pair counts already
+/// present in `result` (n, concordant, discordant, s) and the tie-group
+/// sizes of each margin (run lengths > 1, as produced by sorting the
+/// values). This is the final step of KendallTau, exposed so mergeable
+/// shard summaries (stats/shard_stats.h) can reproduce its output
+/// bit-for-bit from accumulated counts.
+void CompleteKendallResult(KendallResult& result, const std::vector<int64_t>& x_ties,
+                           const std::vector<int64_t>& y_ties);
+
+/// One distinct (x, y) point with its multiplicity in a weighted sample.
+struct WeightedPoint {
+  double x = 0.0;
+  double y = 0.0;
+  int64_t count = 0;
+};
+
+/// Kendall statistics from distinct (x, y) points with multiplicities —
+/// the out-of-core form of KendallTau: all pair counts (concordant,
+/// discordant, tie classes) are exact integers computed from the counts
+/// alone, so the result is bit-identical to KendallTau on any expansion of
+/// the points into n rows (row order never matters to τ). Points need not
+/// be sorted or deduplicated; NaN coordinates are ordered after all
+/// numbers (NanAwareLess), matching no-NaN inputs exactly. O(m log m) in
+/// the number of distinct points, independent of Σ count.
+KendallResult KendallTauFromCounts(std::vector<WeightedPoint> points);
 
 /// Pair weight per Sec. 5.3: +1 concordant, -1 discordant, 0 tied.
 int PairWeight(double xi, double yi, double xj, double yj);

@@ -1,0 +1,118 @@
+#ifndef SCODED_STATS_STRATIFIED_H_
+#define SCODED_STATS_STRATIFIED_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/math.h"
+#include "stats/contingency.h"
+#include "stats/hypothesis.h"
+#include "stats/kendall.h"
+
+namespace scoded {
+
+/// The scalars the pooled G accumulator needs from one stratum's
+/// contingency table; computed per stratum (possibly in parallel), folded
+/// serially in stratum order.
+struct GPieces {
+  double g = 0.0;
+  double dof = 0.0;
+  double min_expected = 0.0;
+  double cramers_v = 0.0;
+  int64_t total = 0;
+};
+
+inline GPieces PiecesOf(const ContingencyTable& ct) {
+  GPieces pieces;
+  pieces.total = ct.total();
+  if (pieces.total >= 2) {
+    pieces.g = ct.GStatistic();
+    pieces.dof = ct.Dof();
+    pieces.min_expected = ct.MinExpectedCount();
+    pieces.cramers_v = ct.CramersV();
+  }
+  return pieces;
+}
+
+/// Accumulator combining per-stratum results per Sec. 4.3 ("conditional
+/// tests": each Z=z slice is tested and the evidence pooled). Shared by
+/// the in-memory dispatcher (hypothesis.cc) and the mergeable shard
+/// summaries (shard_stats.cc): both must fold the same scalars in the same
+/// stratum order for the pooled statistic and p-value to be bit-identical.
+struct StratifiedAccumulator {
+  bool is_tau = false;
+  // G path
+  double g_total = 0.0;
+  double dof_total = 0.0;
+  double min_expected = 1e300;
+  double effect_weight = 0.0;
+  double effect_sum = 0.0;
+  // tau path
+  double s_total = 0.0;
+  double var_total = 0.0;
+  double pairs_total = 0.0;
+  int64_t n_total = 0;
+  size_t used = 0;
+  size_t skipped = 0;
+
+  void AddG(const GPieces& pieces) {
+    if (pieces.total < 2) {
+      ++skipped;
+      return;
+    }
+    g_total += pieces.g;
+    dof_total += pieces.dof;
+    min_expected = std::min(min_expected, pieces.min_expected);
+    effect_sum += pieces.cramers_v * static_cast<double>(pieces.total);
+    effect_weight += static_cast<double>(pieces.total);
+    n_total += pieces.total;
+    ++used;
+  }
+
+  void AddTau(const KendallResult& kr) {
+    if (kr.n < 2) {
+      ++skipped;
+      return;
+    }
+    s_total += static_cast<double>(kr.s);
+    var_total += kr.var_s;
+    pairs_total += static_cast<double>(kr.n) * (static_cast<double>(kr.n) - 1.0) / 2.0;
+    n_total += kr.n;
+    ++used;
+  }
+
+  TestResult Finish(const TestOptions& options) const {
+    TestResult result;
+    result.n = n_total;
+    result.strata_used = used;
+    result.strata_skipped = skipped;
+    if (is_tau) {
+      result.method = TestMethod::kTauTest;
+      if (var_total > 0.0) {
+        double z = s_total / std::sqrt(var_total);
+        result.statistic = std::fabs(z);
+        result.p_value = NormalTwoSidedP(z);
+      } else {
+        result.statistic = 0.0;
+        result.p_value = 1.0;
+      }
+      result.effect = pairs_total > 0.0 ? s_total / pairs_total : 0.0;
+      result.approximation_suspect =
+          n_total > 0 && static_cast<size_t>(n_total) <= options.tau_exact_max_n;
+    } else {
+      result.method = TestMethod::kGTest;
+      result.statistic = g_total;
+      result.dof = std::max(1.0, dof_total);
+      result.p_value = used > 0 ? ChiSquaredSf(g_total, result.dof) : 1.0;
+      result.effect = effect_weight > 0.0 ? effect_sum / effect_weight : 0.0;
+      result.approximation_suspect = used > 0 && min_expected < options.g_min_expected;
+      result.min_expected = used > 0 ? min_expected : 0.0;
+    }
+    return result;
+  }
+};
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_STRATIFIED_H_

@@ -2,84 +2,23 @@
 
 #include <fstream>
 #include <sstream>
-#include <unordered_map>
 
 #include "common/string_util.h"
+#include "table/csv_scan.h"
 
 namespace scoded::csv {
 
 namespace {
 
-// One parsed cell: quoted fields keep their content verbatim (including
-// whitespace and newlines); unquoted fields are whitespace-trimmed.
-struct RawField {
-  std::string text;
-  bool quoted = false;
-};
-
-// Scans the whole input into records with a single quote-aware pass, so a
-// quoted field may contain newlines, delimiters, and "" quote escapes.
-// Record terminators are '\n' or '\r\n' outside quotes; completely empty
-// records (blank lines) are skipped.
-Result<std::vector<std::vector<RawField>>> ScanRecords(std::string_view text, char delimiter) {
-  std::vector<std::vector<RawField>> records;
-  std::vector<RawField> record;
-  std::string current;
-  bool current_quoted = false;
-  bool in_quotes = false;
-  bool record_has_chars = false;
-  auto end_field = [&] {
-    RawField field;
-    field.quoted = current_quoted;
-    field.text = current_quoted ? std::move(current) : std::string(Trim(current));
-    record.push_back(std::move(field));
-    current.clear();
-    current_quoted = false;
-  };
-  auto end_record = [&] {
-    end_field();
-    if (record_has_chars) {
-      records.push_back(std::move(record));
-    }
-    record.clear();
-    record_has_chars = false;
-  };
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          current.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        current.push_back(c);
-      }
-    } else if (c == '"') {
-      in_quotes = true;
-      current_quoted = true;
-      record_has_chars = true;
-    } else if (c == delimiter) {
-      end_field();
-      record_has_chars = true;
-    } else if (c == '\n') {
-      end_record();
-    } else if (c == '\r' && (i + 1 >= text.size() || text[i + 1] == '\n')) {
-      // Part of a \r\n terminator (or a trailing \r at end of input): the
-      // following '\n' or EOF closes the record.
-    } else {
-      current.push_back(c);
-      record_has_chars = true;
-    }
-  }
-  if (in_quotes) {
-    return InvalidArgumentError("CSV input ends inside a quoted field");
-  }
-  if (record_has_chars || !record.empty() || !current.empty()) {
-    end_record();
-  }
+// Scans the whole input into records with a single quote-aware pass (see
+// RecordScanner for the field/record semantics). The incremental scanner
+// is the one implementation of those semantics, so the in-memory and
+// chunked shard paths cannot diverge.
+Result<std::vector<RawRecord>> ScanRecords(std::string_view text, char delimiter) {
+  RecordScanner scanner(delimiter);
+  std::vector<RawRecord> records;
+  scanner.Consume(text, &records);
+  SCODED_RETURN_IF_ERROR(scanner.Finish(&records));
   return records;
 }
 
@@ -112,8 +51,7 @@ std::string QuoteField(std::string_view value) {
 }  // namespace
 
 Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
-  SCODED_ASSIGN_OR_RETURN(std::vector<std::vector<RawField>> rows,
-                          ScanRecords(text, options.delimiter));
+  SCODED_ASSIGN_OR_RETURN(std::vector<RawRecord> rows, ScanRecords(text, options.delimiter));
   if (rows.empty()) {
     return InvalidArgumentError("CSV input is empty");
   }
@@ -139,10 +77,10 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
     }
   }
 
-  TableBuilder builder;
+  std::vector<bool> numeric(num_cols, false);
   for (size_t c = 0; c < num_cols; ++c) {
-    bool numeric = options.infer_types;
-    if (numeric) {
+    bool is_numeric = options.infer_types;
+    if (is_numeric) {
       bool any_value = false;
       for (size_t r = first_data_row; r < rows.size(); ++r) {
         const std::string& cell = rows[r][c].text;
@@ -151,54 +89,17 @@ Result<Table> ReadString(std::string_view text, const ReadOptions& options) {
         }
         any_value = true;
         if (!ParseDouble(cell).has_value()) {
-          numeric = false;
+          is_numeric = false;
           break;
         }
       }
       if (!any_value) {
-        numeric = false;  // all-null columns default to categorical
+        is_numeric = false;  // all-null columns default to categorical
       }
     }
-    if (numeric) {
-      std::vector<double> values;
-      std::vector<bool> valid;
-      values.reserve(rows.size() - first_data_row);
-      valid.reserve(rows.size() - first_data_row);
-      bool has_null = false;
-      for (size_t r = first_data_row; r < rows.size(); ++r) {
-        std::optional<double> value = ParseDouble(rows[r][c].text);
-        values.push_back(value.value_or(0.0));
-        valid.push_back(value.has_value());
-        has_null = has_null || !value.has_value();
-      }
-      if (has_null) {
-        builder.AddNumericWithNulls(names[c], std::move(values), std::move(valid));
-      } else {
-        builder.AddNumeric(names[c], std::move(values));
-      }
-    } else {
-      // Categorical: empty cells become nulls (code -1).
-      std::vector<int32_t> codes;
-      std::vector<std::string> dictionary;
-      std::unordered_map<std::string, int32_t> index;
-      codes.reserve(rows.size() - first_data_row);
-      for (size_t r = first_data_row; r < rows.size(); ++r) {
-        std::string value = rows[r][c].text;
-        if (value.empty()) {
-          codes.push_back(-1);
-          continue;
-        }
-        auto [it, inserted] = index.emplace(value, static_cast<int32_t>(dictionary.size()));
-        if (inserted) {
-          dictionary.push_back(value);
-        }
-        codes.push_back(it->second);
-      }
-      builder.AddColumn(names[c],
-                        Column::CategoricalFromCodes(std::move(codes), std::move(dictionary)));
-    }
+    numeric[c] = is_numeric;
   }
-  return std::move(builder).Build();
+  return BuildTableFromRecords(rows, first_data_row, names, numeric);
 }
 
 Result<Table> ReadFile(const std::string& path, const ReadOptions& options) {

@@ -1,0 +1,142 @@
+#include "table/csv_scan.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace scoded::csv {
+
+void RecordScanner::EndField() {
+  RawField field;
+  field.quoted = current_quoted_;
+  field.text = current_quoted_ ? std::move(current_) : std::string(Trim(current_));
+  record_.push_back(std::move(field));
+  current_.clear();
+  current_quoted_ = false;
+}
+
+void RecordScanner::EndRecord(std::vector<RawRecord>* records) {
+  EndField();
+  if (record_has_chars_) {
+    records->push_back(std::move(record_));
+  }
+  record_.clear();
+  record_has_chars_ = false;
+}
+
+void RecordScanner::Consume(std::string_view chunk, std::vector<RawRecord>* records) {
+  for (char c : chunk) {
+    if (pending_quote_) {
+      // A '"' inside a quoted field: doubled means one literal quote, any
+      // other byte means the quote closed and that byte is reprocessed.
+      pending_quote_ = false;
+      if (c == '"') {
+        current_.push_back('"');
+        continue;
+      }
+      in_quotes_ = false;
+    }
+    if (pending_cr_) {
+      // '\r' is part of a record terminator only when followed by '\n'
+      // (or end of input); otherwise it was a literal character.
+      pending_cr_ = false;
+      if (c != '\n') {
+        current_.push_back('\r');
+        record_has_chars_ = true;
+      }
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        pending_quote_ = true;
+      } else {
+        current_.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes_ = true;
+      current_quoted_ = true;
+      record_has_chars_ = true;
+    } else if (c == delimiter_) {
+      EndField();
+      record_has_chars_ = true;
+    } else if (c == '\n') {
+      EndRecord(records);
+    } else if (c == '\r') {
+      pending_cr_ = true;
+    } else {
+      current_.push_back(c);
+      record_has_chars_ = true;
+    }
+  }
+}
+
+Status RecordScanner::Finish(std::vector<RawRecord>* records) {
+  if (pending_quote_) {
+    pending_quote_ = false;
+    in_quotes_ = false;  // the '"' was a closing quote at end of input
+  }
+  if (in_quotes_) {
+    return InvalidArgumentError("CSV input ends inside a quoted field");
+  }
+  pending_cr_ = false;  // a trailing '\r' closes the record below
+  if (record_has_chars_ || !record_.empty() || !current_.empty()) {
+    EndRecord(records);
+  }
+  return OkStatus();
+}
+
+Result<Table> BuildTableFromRecords(const std::vector<RawRecord>& rows, size_t first_data_row,
+                                    const std::vector<std::string>& names,
+                                    const std::vector<bool>& numeric) {
+  size_t num_cols = names.size();
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (rows[r].size() != num_cols) {
+      return InternalError("BuildTableFromRecords: record " + std::to_string(r) + " has " +
+                           std::to_string(rows[r].size()) + " fields, expected " +
+                           std::to_string(num_cols));
+    }
+  }
+  TableBuilder builder;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (numeric[c]) {
+      std::vector<double> values;
+      std::vector<bool> valid;
+      values.reserve(rows.size() - first_data_row);
+      valid.reserve(rows.size() - first_data_row);
+      bool has_null = false;
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        std::optional<double> value = ParseDouble(rows[r][c].text);
+        values.push_back(value.value_or(0.0));
+        valid.push_back(value.has_value());
+        has_null = has_null || !value.has_value();
+      }
+      if (has_null) {
+        builder.AddNumericWithNulls(names[c], std::move(values), std::move(valid));
+      } else {
+        builder.AddNumeric(names[c], std::move(values));
+      }
+    } else {
+      // Categorical: empty cells become nulls (code -1).
+      std::vector<int32_t> codes;
+      std::vector<std::string> dictionary;
+      std::unordered_map<std::string, int32_t> index;
+      codes.reserve(rows.size() - first_data_row);
+      for (size_t r = first_data_row; r < rows.size(); ++r) {
+        const std::string& value = rows[r][c].text;
+        if (value.empty()) {
+          codes.push_back(-1);
+          continue;
+        }
+        auto [it, inserted] = index.emplace(value, static_cast<int32_t>(dictionary.size()));
+        if (inserted) {
+          dictionary.push_back(value);
+        }
+        codes.push_back(it->second);
+      }
+      builder.AddColumn(names[c],
+                        Column::CategoricalFromCodes(std::move(codes), std::move(dictionary)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace scoded::csv

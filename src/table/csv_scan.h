@@ -1,0 +1,73 @@
+#ifndef SCODED_TABLE_CSV_SCAN_H_
+#define SCODED_TABLE_CSV_SCAN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scoded::csv {
+
+/// One parsed cell: quoted fields keep their content verbatim (including
+/// whitespace and newlines); unquoted fields are whitespace-trimmed.
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+using RawRecord = std::vector<RawField>;
+
+/// Incremental RFC-4180 record scanner: the chunk-feedable form of the
+/// whole-buffer scan in csv.cc. Feed arbitrary byte chunks with Consume()
+/// — complete records are emitted as they close — then call Finish() once
+/// at end of input to flush the trailing record and detect an unterminated
+/// quote. Field/record semantics are identical to scanning the
+/// concatenated input in one pass: a quoted field may contain newlines,
+/// delimiters, and "" quote escapes; record terminators are '\n' or
+/// '\r\n' outside quotes; completely empty records (blank lines) are
+/// skipped. The two characters that need lookahead ('"' inside quotes,
+/// '\r' outside) are carried across chunk boundaries as pending state, so
+/// splitting the input at any byte offset cannot change the output.
+class RecordScanner {
+ public:
+  explicit RecordScanner(char delimiter = ',') : delimiter_(delimiter) {}
+
+  /// Scans `chunk`, appending every record completed within it to
+  /// `*records`.
+  void Consume(std::string_view chunk, std::vector<RawRecord>* records);
+
+  /// Ends the input: resolves pending lookahead, flushes a trailing
+  /// unterminated record, and fails if the input ends inside quotes.
+  Status Finish(std::vector<RawRecord>* records);
+
+ private:
+  void EndField();
+  void EndRecord(std::vector<RawRecord>* records);
+
+  char delimiter_;
+  std::string current_;
+  RawRecord record_;
+  bool current_quoted_ = false;
+  bool in_quotes_ = false;
+  bool record_has_chars_ = false;
+  bool pending_quote_ = false;  // saw '"' inside quotes; "" escape needs the next byte
+  bool pending_cr_ = false;     // saw '\r' outside quotes; terminator iff the next byte is '\n'
+};
+
+/// Builds a Table from scanned records with the column types already
+/// decided: `numeric[c]` forces column c numeric (non-empty cells must
+/// parse as doubles; empty cells are nulls) or categorical (empty cells
+/// are nulls, the dictionary is built in first-appearance order). Shared
+/// by the in-memory reader (which infers the flags from the full file) and
+/// the shard reader (which infers them in a streaming first pass and then
+/// applies them to every shard). Records must all have names.size()
+/// fields; rows before `first_data_row` are skipped.
+Result<Table> BuildTableFromRecords(const std::vector<RawRecord>& rows, size_t first_data_row,
+                                    const std::vector<std::string>& names,
+                                    const std::vector<bool>& numeric);
+
+}  // namespace scoded::csv
+
+#endif  // SCODED_TABLE_CSV_SCAN_H_

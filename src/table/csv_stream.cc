@@ -1,0 +1,168 @@
+#include "table/csv_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace scoded::csv {
+
+namespace {
+
+// First-pass state: consumes records one at a time, keeping only the
+// header names, running per-column type inference, and the record count.
+struct FirstPassState {
+  const ReadOptions* options = nullptr;
+  std::vector<std::string> names;
+  std::vector<bool> numeric;      // current inference verdict per column
+  std::vector<bool> any_value;    // column has at least one non-empty cell
+  size_t records_seen = 0;        // includes the header record
+  size_t data_rows = 0;
+
+  Status Accept(const RawRecord& record) {
+    size_t index = records_seen++;
+    if (index == 0) {
+      if (options->has_header) {
+        for (const RawField& name : record) {
+          names.push_back(name.text);
+        }
+      } else {
+        for (size_t i = 0; i < record.size(); ++i) {
+          names.push_back("c" + std::to_string(i));
+        }
+      }
+      numeric.assign(names.size(), options->infer_types);
+      any_value.assign(names.size(), false);
+      if (options->has_header) {
+        return OkStatus();
+      }
+    }
+    if (record.size() != names.size()) {
+      return InvalidArgumentError("CSV row " + std::to_string(index + 1) + " has " +
+                                  std::to_string(record.size()) + " fields, expected " +
+                                  std::to_string(names.size()));
+    }
+    ++data_rows;
+    for (size_t c = 0; c < record.size(); ++c) {
+      const std::string& cell = record[c].text;
+      if (cell.empty()) {
+        continue;
+      }
+      any_value[c] = true;
+      if (numeric[c] && !ParseDouble(cell).has_value()) {
+        numeric[c] = false;
+      }
+    }
+    return OkStatus();
+  }
+
+  void Finalize() {
+    // All-null columns default to categorical, matching csv::ReadString.
+    for (size_t c = 0; c < numeric.size(); ++c) {
+      if (!any_value[c]) {
+        numeric[c] = false;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ShardReader::ShardReader(std::string path, ShardReaderOptions options,
+                         std::vector<std::string> names, std::vector<bool> numeric,
+                         size_t num_data_rows)
+    : path_(std::move(path)),
+      options_(std::move(options)),
+      names_(std::move(names)),
+      numeric_(std::move(numeric)),
+      num_data_rows_(num_data_rows),
+      scanner_(options_.csv.delimiter) {}
+
+Result<ShardReader> ShardReader::Open(const std::string& path, const ShardReaderOptions& options) {
+  if (options.shard_rows == 0) {
+    return InvalidArgumentError("shard_rows must be positive");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open CSV file '" + path + "'");
+  }
+  size_t buffer_bytes = std::max<size_t>(1, options.buffer_bytes);
+  std::vector<char> buffer(buffer_bytes);
+  RecordScanner scanner(options.csv.delimiter);
+  FirstPassState state;
+  state.options = &options.csv;
+  std::vector<RawRecord> records;
+  bool eof = false;
+  while (!eof) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    std::streamsize got = in.gcount();
+    if (got > 0) {
+      scanner.Consume(std::string_view(buffer.data(), static_cast<size_t>(got)), &records);
+    }
+    if (in.eof() || got == 0) {
+      SCODED_RETURN_IF_ERROR(scanner.Finish(&records));
+      eof = true;
+    }
+    for (const RawRecord& record : records) {
+      SCODED_RETURN_IF_ERROR(state.Accept(record));
+    }
+    records.clear();
+  }
+  if (state.records_seen == 0) {
+    return InvalidArgumentError("CSV input is empty");
+  }
+  state.Finalize();
+  ShardReader reader(path, options, std::move(state.names), std::move(state.numeric),
+                     state.data_rows);
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) {
+    return NotFoundError("cannot open CSV file '" + path + "'");
+  }
+  return reader;
+}
+
+Status ShardReader::FillPending() {
+  pending_.clear();
+  next_pending_ = 0;
+  size_t buffer_bytes = std::max<size_t>(1, options_.buffer_bytes);
+  std::vector<char> buffer(buffer_bytes);
+  in_.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  std::streamsize got = in_.gcount();
+  if (got > 0) {
+    scanner_.Consume(std::string_view(buffer.data(), static_cast<size_t>(got)), &pending_);
+  }
+  if (in_.eof() || got == 0) {
+    SCODED_RETURN_IF_ERROR(scanner_.Finish(&pending_));
+    stream_done_ = true;
+  }
+  if (!header_skipped_ && options_.csv.has_header && !pending_.empty()) {
+    next_pending_ = 1;
+    header_skipped_ = true;
+  }
+  return OkStatus();
+}
+
+Result<std::optional<Table>> ShardReader::Next() {
+  std::vector<RawRecord> shard;
+  while (shard.size() < options_.shard_rows) {
+    if (next_pending_ < pending_.size()) {
+      shard.push_back(std::move(pending_[next_pending_++]));
+      continue;
+    }
+    if (stream_done_) {
+      break;
+    }
+    SCODED_RETURN_IF_ERROR(FillPending());
+  }
+  if (shard.empty()) {
+    return std::optional<Table>();
+  }
+  SCODED_ASSIGN_OR_RETURN(Table table, BuildTableFromRecords(shard, 0, names_, numeric_));
+  return std::optional<Table>(std::move(table));
+}
+
+Result<Table> ShardReader::EmptyTable() const {
+  return BuildTableFromRecords({}, 0, names_, numeric_);
+}
+
+}  // namespace scoded::csv

@@ -373,7 +373,7 @@ TEST(Theorem1Test, TopKViaPartitionOracleMatchesGreedyPrefix) {
   auto [table, dirty] = PlantedCorrelationTable(150, 25, 77);
   StatisticalConstraint sc = Independence({"x"}, {"y"});
   for (size_t k : {5u, 15u, 25u}) {
-    DrillDownResult via_oracle = TopKViaPartitionOracle(table, sc, k).value();
+    DrillDownResult via_oracle = TopKViaPartitionOracle(table, {sc, 0.05}, k).value();
     DrillDownOptions options;
     options.strategy = Strategy::kDirect;
     DrillDownResult direct = DrillDown(table, {sc, 0.05}, k, options).value();
@@ -381,10 +381,27 @@ TEST(Theorem1Test, TopKViaPartitionOracleMatchesGreedyPrefix) {
   }
 }
 
+TEST(Theorem1Test, OraclePropagatesCallerAlphaAndOptionsIntoFallback) {
+  // Regression: the greedy fallback used to run with a hardcoded
+  // ApproximateSc{sc, 0.05}, ignoring the caller's significance level and
+  // PartitionOptions. The reduction must hold at any alpha.
+  auto [table, dirty] = PlantedCorrelationTable(150, 25, 79);
+  StatisticalConstraint sc = Independence({"x"}, {"y"});
+  for (double alpha : {0.01, 0.3}) {
+    for (size_t k : {5u, 20u}) {
+      DrillDownResult via_oracle = TopKViaPartitionOracle(table, {sc, alpha}, k).value();
+      DrillDownOptions options;
+      options.strategy = Strategy::kDirect;
+      DrillDownResult direct = DrillDown(table, {sc, alpha}, k, options).value();
+      EXPECT_EQ(via_oracle.rows, direct.rows) << "alpha=" << alpha << " k=" << k;
+    }
+  }
+}
+
 TEST(Theorem1Test, OracleRejectsDependenceScAndOversizedK) {
   auto [table, dirty] = PlantedCorrelationTable(30, 5, 78);
-  EXPECT_FALSE(TopKViaPartitionOracle(table, Dependence({"x"}, {"y"}), 3).ok());
-  EXPECT_FALSE(TopKViaPartitionOracle(table, Independence({"x"}, {"y"}), 999).ok());
+  EXPECT_FALSE(TopKViaPartitionOracle(table, {Dependence({"x"}, {"y"}), 0.05}, 3).ok());
+  EXPECT_FALSE(TopKViaPartitionOracle(table, {Independence({"x"}, {"y"}), 0.05}, 999).ok());
 }
 
 TEST(ScodedFacadeTest, DrillDownAndRankDelegate) {

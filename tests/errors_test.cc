@@ -171,6 +171,22 @@ TEST(InjectErrorTest, RateZeroAndOne) {
   EXPECT_EQ(InjectImputationError(t, "A", options).value().dirty_rows.size(), 40u);
 }
 
+// Regression: an all-null categorical column has no mode, and the mode
+// lookup used to index an empty count vector. It must fail cleanly instead.
+TEST(ImputationErrorTest, AllNullCategoricalColumnIsRejected) {
+  TableBuilder builder;
+  builder.AddColumn("C", Column::CategoricalFromCodes(std::vector<int32_t>{-1, -1, -1},
+                                                      std::vector<std::string>{}));
+  builder.AddNumeric("A", {1.0, 2.0, 3.0});
+  Table t = std::move(builder).Build().value();
+  InjectionOptions options;
+  options.rate = 1.0;
+  Result<InjectionResult> r = InjectImputationError(t, "C", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-null category"), std::string::npos);
+  EXPECT_NE(r.status().message().find("C"), std::string::npos);
+}
+
 TEST(SortingErrorTest, CategoricalColumnSortsByCategoryName) {
   TableBuilder builder;
   builder.AddCategorical("C", {"delta", "alpha", "charlie", "bravo"});

@@ -27,12 +27,20 @@ TEST(MetricsTest, ExactValues) {
   EXPECT_NEAR(at5.recall, 2.0 / 3.0, 1e-12);
 }
 
-TEST(MetricsTest, ShortRankingPenalised) {
+// Regression: precision@k must divide by the number of guesses actually
+// made, min(k, |ranking|), not by k — a detector that returns one perfect
+// guess is not 25% precise at k=4.
+TEST(MetricsTest, ShortRankingPrecisionOverGuessesMade) {
   std::vector<size_t> ranking = {1};
   std::set<size_t> truth = {1, 2};
   PrecisionRecall at4 = EvaluateTopK(ranking, truth, 4);
-  EXPECT_DOUBLE_EQ(at4.precision, 0.25);
+  EXPECT_EQ(at4.hits, 1u);
+  EXPECT_DOUBLE_EQ(at4.precision, 1.0);
   EXPECT_DOUBLE_EQ(at4.recall, 0.5);
+  // A short ranking with a miss still counts the miss against precision.
+  PrecisionRecall miss = EvaluateTopK({1, 9}, truth, 4);
+  EXPECT_EQ(miss.hits, 1u);
+  EXPECT_DOUBLE_EQ(miss.precision, 0.5);
 }
 
 TEST(MetricsTest, EdgeCases) {

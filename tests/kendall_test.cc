@@ -204,5 +204,77 @@ TEST_P(TauBenefitsEquivalenceTest, SegmentTreeMatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(TieDensity, TauBenefitsEquivalenceTest,
                          ::testing::Values(1, 3, 10, 100000));
 
+void ExpectSameKendall(const KendallResult& a, const KendallResult& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.concordant, b.concordant);
+  EXPECT_EQ(a.discordant, b.discordant);
+  EXPECT_EQ(a.ties_x, b.ties_x);
+  EXPECT_EQ(a.ties_y, b.ties_y);
+  EXPECT_EQ(a.ties_xy, b.ties_xy);
+  EXPECT_EQ(a.s, b.s);
+  // Bit-identical by contract: the floats derive from the same integer
+  // counts through CompleteKendallResult.
+  EXPECT_EQ(a.tau_a, b.tau_a);
+  EXPECT_EQ(a.tau_b, b.tau_b);
+  EXPECT_EQ(a.var_s, b.var_s);
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.p_two_sided, b.p_two_sided);
+}
+
+// Property: the weighted-point form used by out-of-core shard summaries
+// matches KendallTau (and the naive reference) on any expansion of the
+// points, in any row order, with unsorted and duplicated points.
+TEST(KendallFromCountsTest, MatchesExpandedComputationExactly) {
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t m = static_cast<size_t>(rng.UniformInt(1, 40));
+    std::vector<WeightedPoint> points;
+    std::vector<double> x;
+    std::vector<double> y;
+    for (size_t i = 0; i < m; ++i) {
+      WeightedPoint p;
+      p.x = static_cast<double>(rng.UniformInt(0, 6));
+      p.y = static_cast<double>(rng.UniformInt(0, 6));
+      p.count = rng.UniformInt(1, 4);
+      for (int64_t c = 0; c < p.count; ++c) {
+        x.push_back(p.x);
+        y.push_back(p.y);
+      }
+      points.push_back(p);
+    }
+    // Shuffle the expanded rows (jointly): row order must not matter.
+    std::vector<size_t> order(x.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    rng.Shuffle(order);
+    std::vector<double> sx(x.size());
+    std::vector<double> sy(y.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      sx[i] = x[order[i]];
+      sy[i] = y[order[i]];
+    }
+    KendallResult expected = KendallTau(sx, sy);
+    ExpectSameKendall(expected, KendallTauFromCounts(points));
+    ExpectSameKendall(expected, KendallTauNaive(sx, sy));
+  }
+}
+
+TEST(KendallFromCountsTest, NanCoordinatesOrderAfterNumbers) {
+  double nan = std::nan("");
+  std::vector<WeightedPoint> points = {
+      {1.0, 2.0, 2}, {nan, 2.0, 1}, {3.0, nan, 2}, {nan, nan, 1}, {2.0, 1.0, 3},
+  };
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const WeightedPoint& p : points) {
+    for (int64_t c = 0; c < p.count; ++c) {
+      x.push_back(p.x);
+      y.push_back(p.y);
+    }
+  }
+  ExpectSameKendall(KendallTau(x, y), KendallTauFromCounts(points));
+}
+
 }  // namespace
 }  // namespace scoded

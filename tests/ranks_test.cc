@@ -88,5 +88,96 @@ TEST(QuantileBinsTest, EmptyInput) {
   EXPECT_TRUE(QuantileBins({}, 4).empty());
 }
 
+// Regression: NaN inputs used to feed raw `<` into std::sort (undefined
+// behaviour). The conventions are now explicit: one NaN group after all
+// numbers for ranks, the null code -1 for bins.
+TEST(NanHandlingTest, DenseRanksGroupNansAfterAllNumbers) {
+  double nan = std::nan("");
+  size_t distinct = 0;
+  std::vector<size_t> ranks = DenseRanks({3.0, nan, 1.0, nan, 2.0}, &distinct);
+  EXPECT_EQ(ranks, (std::vector<size_t>{2, 3, 0, 3, 1}));
+  EXPECT_EQ(distinct, 4u);  // {1, 2, 3} plus one NaN group
+}
+
+TEST(NanHandlingTest, AverageRanksPutNansInOneTrailingTieRun) {
+  double nan = std::nan("");
+  std::vector<double> ranks = AverageRanks({nan, 1.0, 2.0, nan});
+  EXPECT_EQ(ranks, (std::vector<double>{3.5, 1.0, 2.0, 3.5}));
+}
+
+TEST(NanHandlingTest, QuantileBinsMapNanToNullCode) {
+  double nan = std::nan("");
+  std::vector<int32_t> bins = QuantileBins({1.0, nan, 2.0, 3.0, 4.0}, 2);
+  EXPECT_EQ(bins[1], -1);
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}, size_t{4}}) {
+    EXPECT_GE(bins[i], 0);
+  }
+  // Cuts come from the non-NaN values only: same codes as without the NaN.
+  std::vector<int32_t> clean = QuantileBins({1.0, 2.0, 3.0, 4.0}, 2);
+  EXPECT_EQ(bins[0], clean[0]);
+  EXPECT_EQ(bins[2], clean[1]);
+  EXPECT_EQ(bins[3], clean[2]);
+  EXPECT_EQ(bins[4], clean[3]);
+}
+
+TEST(CheckedVariantsTest, RejectNanInputs) {
+  double nan = std::nan("");
+  EXPECT_FALSE(DenseRanksChecked({1.0, nan}).ok());
+  EXPECT_FALSE(AverageRanksChecked({nan}).ok());
+  EXPECT_FALSE(QuantileBinsChecked({1.0, nan, 2.0}, 2).ok());
+}
+
+TEST(CheckedVariantsTest, MatchUncheckedOnCleanInputs) {
+  std::vector<double> values = {4.0, 1.0, 4.0, 2.0, 3.0, 2.0};
+  size_t distinct_a = 0;
+  size_t distinct_b = 0;
+  Result<std::vector<size_t>> dense = DenseRanksChecked(values, &distinct_a);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(*dense, DenseRanks(values, &distinct_b));
+  EXPECT_EQ(distinct_a, distinct_b);
+  Result<std::vector<double>> average = AverageRanksChecked(values);
+  ASSERT_TRUE(average.ok());
+  EXPECT_EQ(*average, AverageRanks(values));
+  Result<std::vector<int32_t>> bins = QuantileBinsChecked(values, 3);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_EQ(*bins, QuantileBins(values, 3));
+}
+
+// The out-of-core contract: cuts from (value, count) pairs are bit-identical
+// to cuts from the expanded sorted sequence, and QuantileCodeOf reproduces
+// the codes QuantileBins assigns.
+TEST(QuantileCutsTest, CountsMatchSortedExpansion) {
+  std::vector<std::vector<std::pair<double, int64_t>>> cases = {
+      {},
+      {{2.5, 7}},
+      {{-1.0, 1}, {0.0, 3}, {0.5, 1}},
+      {{1.0, 4}, {2.0, 1}, {3.0, 9}, {7.0, 2}, {11.0, 5}},
+      {{-3.0, 100}, {4.0, 1}},
+  };
+  for (const auto& counts : cases) {
+    std::vector<double> sorted;
+    for (const auto& [value, count] : counts) {
+      sorted.insert(sorted.end(), static_cast<size_t>(count), value);
+    }
+    for (int bins = 1; bins <= 7; ++bins) {
+      EXPECT_EQ(QuantileCutsFromCounts(counts, bins), QuantileCutsFromSorted(sorted, bins));
+    }
+  }
+}
+
+TEST(QuantileCutsTest, CodeOfMatchesQuantileBins) {
+  std::vector<double> values = {5.0, 1.0, 3.0, 3.0, 9.0, 2.0, 8.0, 2.0, 7.0, 4.0};
+  for (int bins = 1; bins <= 5; ++bins) {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> cuts = QuantileCutsFromSorted(sorted, bins);
+    std::vector<int32_t> expected = QuantileBins(values, bins);
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(QuantileCodeOf(cuts, values[i]), expected[i]);
+    }
+  }
+  EXPECT_EQ(QuantileCodeOf({2.0, 3.0}, std::nan("")), -1);
+}
+
 }  // namespace
 }  // namespace scoded

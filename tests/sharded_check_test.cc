@@ -1,0 +1,165 @@
+#include "core/sharded_check.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/scoded.h"
+#include "table/csv.h"
+
+namespace scoded {
+namespace {
+
+// Renders the decision-relevant surface of a report the way `scoded check`
+// prints it, so "identical reports" means the string a user would see.
+std::string FormatReport(const ApproximateSc& asc, const ViolationReport& report) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)",
+                asc.sc.ToString().c_str(), report.violated ? "VIOLATED" : "holds", report.p_value,
+                report.test.statistic, std::string(TestMethodToString(report.test.method)).c_str(),
+                static_cast<long long>(report.test.n));
+  std::string out = line;
+  for (const ComponentResult& part : report.components) {
+    std::snprintf(line, sizeof(line), " | %s p=%.9g stat=%.9g dof=%lld n=%lld exact=%d su=%zu ss=%zu",
+                  part.component.ToString().c_str(), part.test.p_value, part.test.statistic,
+                  static_cast<long long>(part.test.dof), static_cast<long long>(part.test.n),
+                  part.test.used_exact ? 1 : 0, part.test.strata_used, part.test.strata_skipped);
+    out += line;
+  }
+  return out;
+}
+
+class ShardedCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/sharded_check_test.csv";
+    Rng rng(41);
+    std::ofstream out(path_);
+    ASSERT_TRUE(out.good());
+    out << "Model,Color,Price,Mileage\n";
+    const char* models[] = {"civic", "corolla", "focus", "golf", "a4", "i3"};
+    const char* colors[] = {"red", "blue", "white", "black"};
+    for (int i = 0; i < 1300; ++i) {
+      int64_t m = rng.UniformInt(0, 5);
+      int64_t c = rng.UniformInt(0, 9) < 4 ? m % 4 : rng.UniformInt(0, 3);
+      // ~2% nulls in each column; quoted value with a comma now and then to
+      // keep the RFC-4180 path honest.
+      if (rng.UniformInt(0, 49) == 0) {
+        out << "";
+      } else if (m == 5 && rng.UniformInt(0, 3) == 0) {
+        out << "\"i3, sport\"";
+      } else {
+        out << models[m];
+      }
+      out << ',';
+      if (rng.UniformInt(0, 49) == 1) {
+        out << "";
+      } else {
+        out << colors[c];
+      }
+      out << ',';
+      if (rng.UniformInt(0, 49) == 2) {
+        out << "";
+      } else {
+        out << (1000 + m * 250 + rng.UniformInt(0, 400));
+      }
+      out << ',';
+      out << rng.UniformInt(0, 120000) << '\n';
+    }
+    out.close();
+
+    constraints_.push_back({MustParse("Model _||_ Color"), 0.05});
+    constraints_.push_back({MustParse("Model !_||_ Price"), 0.3});
+    constraints_.push_back({MustParse("Price _||_ Mileage | Model"), 0.05});
+    constraints_.push_back({MustParse("Color, Model !_||_ Price"), 0.3});
+  }
+
+  static StatisticalConstraint MustParse(const std::string& text) {
+    Result<StatisticalConstraint> sc = ParseConstraint(text);
+    EXPECT_TRUE(sc.ok()) << sc.status().message();
+    return std::move(sc).value();
+  }
+
+  std::vector<std::string> InMemoryLines() {
+    Result<Table> table = csv::ReadFile(path_);
+    EXPECT_TRUE(table.ok()) << table.status().message();
+    Scoded scoded(std::move(table).value());
+    std::vector<std::string> lines;
+    for (const ApproximateSc& asc : constraints_) {
+      Result<ViolationReport> report = scoded.CheckViolation(asc);
+      EXPECT_TRUE(report.ok()) << report.status().message();
+      lines.push_back(FormatReport(asc, *report));
+    }
+    return lines;
+  }
+
+  std::vector<std::string> ShardedLines(size_t shard_rows, int threads) {
+    ShardedCheckOptions options;
+    options.reader.shard_rows = shard_rows;
+    options.threads = threads;
+    Result<ShardedCheckResult> result = ShardedCheckAll(path_, constraints_, options);
+    EXPECT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result->rows, uint64_t{1300});
+    EXPECT_EQ(result->shards, (1300 + shard_rows - 1) / shard_rows);
+    EXPECT_EQ(result->reports.size(), constraints_.size());
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < result->reports.size(); ++i) {
+      lines.push_back(FormatReport(constraints_[i], result->reports[i]));
+    }
+    return lines;
+  }
+
+  std::string path_;
+  std::vector<ApproximateSc> constraints_;
+};
+
+TEST_F(ShardedCheckTest, MatchesInMemorySingleThread) {
+  std::vector<std::string> expected = InMemoryLines();
+  std::vector<std::string> actual = ShardedLines(/*shard_rows=*/64, /*threads=*/1);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST_F(ShardedCheckTest, MatchesInMemoryFourThreads) {
+  std::vector<std::string> expected = InMemoryLines();
+  std::vector<std::string> actual = ShardedLines(/*shard_rows=*/64, /*threads=*/4);
+  EXPECT_EQ(expected, actual);
+}
+
+TEST_F(ShardedCheckTest, ShardSizeDoesNotChangeResults) {
+  std::vector<std::string> expected = ShardedLines(/*shard_rows=*/1300, /*threads=*/1);
+  for (size_t shard_rows : {37, 256, 5000}) {
+    EXPECT_EQ(expected, ShardedLines(shard_rows, /*threads=*/2)) << "shard_rows=" << shard_rows;
+  }
+}
+
+TEST_F(ShardedCheckTest, InconsistentSetIsRejectedBeforeStreaming) {
+  std::vector<ApproximateSc> bad;
+  bad.push_back({MustParse("Model _||_ Color, Price"), 0.05});
+  bad.push_back({MustParse("Model !_||_ Color"), 0.05});
+  Result<ShardedCheckResult> result = ShardedCheckAll(path_, bad, ShardedCheckOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("inconsistent"), std::string::npos);
+}
+
+TEST_F(ShardedCheckTest, BadAlphaIsRejected) {
+  std::vector<ApproximateSc> bad;
+  bad.push_back({MustParse("Model _||_ Color"), 1.5});
+  Result<ShardedCheckResult> result = ShardedCheckAll(path_, bad, ShardedCheckOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("alpha"), std::string::npos);
+}
+
+TEST_F(ShardedCheckTest, MissingFileSurfacesReaderError) {
+  Result<ShardedCheckResult> result =
+      ShardedCheckAll(path_ + ".nope", constraints_, ShardedCheckOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace scoded

@@ -1,0 +1,42 @@
+# Byte-for-byte acceptance for out-of-core checking: `scoded check` must
+# print exactly the same line (and exit with the same code) whether the CSV
+# is materialised in memory or streamed in shards, at 1 and 4 threads.
+# Driven as a ctest entry: cmake -DSCODED_BIN=... -DFIXTURE=... -P this_file.
+foreach(var SCODED_BIN FIXTURE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(constraints "Model _||_ Color" "Model !_||_ Price" "Price _||_ Mileage | Model")
+set(alphas "0.05" "0.3" "0.05")
+
+foreach(i RANGE 2)
+  list(GET constraints ${i} sc)
+  list(GET alphas ${i} alpha)
+  execute_process(
+    COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc ${sc} --alpha ${alpha} --shard-rows 0
+    OUTPUT_VARIABLE expected_out RESULT_VARIABLE expected_rc)
+  foreach(threads 1 4)
+    execute_process(
+      COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc ${sc} --alpha ${alpha}
+              --shard-rows 3 --threads ${threads}
+      OUTPUT_VARIABLE actual_out RESULT_VARIABLE actual_rc)
+    if(NOT "${actual_out}" STREQUAL "${expected_out}")
+      message(FATAL_ERROR "sharded output differs for '${sc}' at ${threads} threads:\n"
+                          "in-memory: ${expected_out}sharded:   ${actual_out}")
+    endif()
+    if(NOT "${actual_rc}" STREQUAL "${expected_rc}")
+      message(FATAL_ERROR "sharded exit code ${actual_rc} != in-memory ${expected_rc} for '${sc}'")
+    endif()
+  endforeach()
+  # The env-var path must behave exactly like the flag.
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env SCODED_SHARD_ROWS=3
+            ${SCODED_BIN} check --csv ${FIXTURE} --sc ${sc} --alpha ${alpha}
+    OUTPUT_VARIABLE env_out RESULT_VARIABLE env_rc)
+  if(NOT "${env_out}" STREQUAL "${expected_out}" OR NOT "${env_rc}" STREQUAL "${expected_rc}")
+    message(FATAL_ERROR "SCODED_SHARD_ROWS path differs for '${sc}':\n"
+                        "in-memory: ${expected_out}env:       ${env_out}")
+  endif()
+endforeach()

@@ -2,6 +2,12 @@
 //
 //   scoded profile     --csv FILE
 //   scoded check       --csv FILE --sc "A _||_ B" [--alpha 0.05]
+//                      [--shard-rows N]   (out-of-core: stream the CSV in
+//                      shards of N rows and fold mergeable summaries;
+//                      results are bit-identical to the in-memory check.
+//                      N=0 forces in-memory. Without the flag the
+//                      SCODED_SHARD_ROWS environment variable applies, and
+//                      files of 64 MiB or more shard automatically.)
 //   scoded drill       --csv FILE --sc "A !_||_ B" --k 50
 //                      [--strategy k|kc|auto] [--alpha 0.05]
 //   scoded partition   --csv FILE --sc "..." [--alpha 0.05]
@@ -43,8 +49,10 @@
 // checked constraint is violated, 1 any error. The violation exit code
 // makes `scoded check` usable as a data-quality gate in pipelines.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +62,7 @@
 #include "common/parallel.h"
 #include "constraints/graphoid.h"
 #include "core/scoded.h"
+#include "core/sharded_check.h"
 #include "core/stream_monitor.h"
 #include "discovery/fd_discovery.h"
 #include "discovery/pc.h"
@@ -88,7 +97,7 @@ int Usage() {
                "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|version> "
                "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
-               "[--out FILE]\n"
+               "[--out FILE] [--shard-rows N]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
                "[--log-level debug|info|warn|error] [--threads N]\n");
   return 1;
@@ -202,7 +211,71 @@ int RunProfile(const Args& args) {
   return 0;
 }
 
+// Shard size for `check`, resolved in precedence order: the --shard-rows
+// flag (0 = force in-memory) > the SCODED_SHARD_ROWS environment variable
+// > auto-enable with the default shard size for files of 64 MiB or more.
+// Returns 0 when the check should run in memory.
+Result<size_t> ResolveShardRows(const Args& args, const std::string& csv_path) {
+  Result<int64_t> flag = FlagInt(args, "shard-rows", -1);
+  if (!flag.ok()) {
+    return flag.status();
+  }
+  if (args.flags.count("shard-rows") > 0) {
+    if (*flag < 0) {
+      return InvalidArgumentError("--shard-rows expects a non-negative integer (0 = in-memory)");
+    }
+    return static_cast<size_t>(*flag);
+  }
+  const char* env = std::getenv("SCODED_SHARD_ROWS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long long value = std::strtoll(env, &end, 10);
+    if (end == nullptr || *end != '\0' || value < 0) {
+      return InvalidArgumentError(std::string("SCODED_SHARD_ROWS expects a non-negative "
+                                              "integer, got '") +
+                                  env + "'");
+    }
+    return static_cast<size_t>(value);
+  }
+  constexpr uintmax_t kAutoShardBytes = 64ull << 20;
+  std::ifstream probe(csv_path, std::ios::binary | std::ios::ate);
+  if (probe && static_cast<uintmax_t>(probe.tellg()) >= kAutoShardBytes) {
+    return size_t{65536};  // ShardReaderOptions default
+  }
+  return size_t{0};
+}
+
 int RunCheck(const Args& args) {
+  auto csv_path = args.flags.find("csv");
+  size_t shard_rows = 0;
+  if (csv_path != args.flags.end()) {
+    Result<size_t> resolved = ResolveShardRows(args, csv_path->second);
+    if (!resolved.ok()) {
+      return Fail(resolved.status());
+    }
+    shard_rows = *resolved;
+  }
+  if (shard_rows > 0) {
+    Result<ApproximateSc> asc = SingleConstraint(args);
+    if (!asc.ok()) {
+      return Fail(asc.status());
+    }
+    ShardedCheckOptions options;
+    options.reader.shard_rows = shard_rows;
+    Result<ShardedCheckResult> result =
+        ShardedCheckAll(csv_path->second, {*asc}, options);
+    if (!result.ok()) {
+      return Fail(result.status());
+    }
+    g_telemetry.Merge(result->telemetry);
+    const ViolationReport& report = result->reports[0];
+    std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
+                asc->sc.ToString().c_str(), report.violated ? "VIOLATED" : "holds",
+                report.p_value, report.test.statistic,
+                std::string(TestMethodToString(report.test.method)).c_str(),
+                static_cast<long long>(report.test.n));
+    return report.violated ? 2 : 0;
+  }
   Result<Table> table = LoadCsv(args);
   Result<ApproximateSc> asc = SingleConstraint(args);
   if (!table.ok() || !asc.ok()) {
