@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/timeseries.h"
 #include "stats/contingency.h"
 #include "stats/hypothesis.h"
 #include "stats/kendall.h"
@@ -167,6 +168,57 @@ void BM_StratifiedG(benchmark::State& state) {
 BENCHMARK(BM_StratifiedG)
     ->ArgsProduct({{16384, 65536}, {1, 2, 4}})
     ->ArgNames({"n", "threads"});
+
+// ---------------------------------------------------------------------------
+// Live-telemetry overhead. The same stratified kernels with the
+// time-series sampler ticking at its default 10 Hz versus obs idle: the
+// sampler is read-only over the hot-path atomics, so the /sampled rows
+// must stay within ~2% of the /idle rows (the acceptance bar for the
+// obs/timeseries layer). Not compiled in the SCODED_DISABLE_OBS build,
+// where there is no sampler to measure.
+// ---------------------------------------------------------------------------
+
+#if !defined(SCODED_OBS_DISABLED)
+
+void BM_StratifiedTauSampled(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 8);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  bool sampled = state.range(2) != 0;
+  if (sampled) {
+    (void)obs::Sampler::Global().Start();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceTest(table, 0, 1, {2}).value());
+  }
+  if (sampled) {
+    obs::Sampler::Global().Stop();
+  }
+  parallel::SetThreads(0);
+}
+BENCHMARK(BM_StratifiedTauSampled)
+    ->ArgsProduct({{65536}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "sampler"});
+
+void BM_StratifiedGSampled(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 9);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  bool sampled = state.range(2) != 0;
+  if (sampled) {
+    (void)obs::Sampler::Global().Start();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceTest(table, 3, 0, {2}).value());
+  }
+  if (sampled) {
+    obs::Sampler::Global().Stop();
+  }
+  parallel::SetThreads(0);
+}
+BENCHMARK(BM_StratifiedGSampled)
+    ->ArgsProduct({{65536}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "sampler"});
+
+#endif  // !SCODED_OBS_DISABLED
 
 }  // namespace
 

@@ -1,0 +1,202 @@
+#include "common/net.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace scoded::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status TcpConn::WriteAll(std::string_view data) {
+  if (!valid()) {
+    return FailedPreconditionError("write on closed connection");
+  }
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Result<std::string> TcpConn::ReadAll(size_t max_bytes) {
+  if (!valid()) {
+    return FailedPreconditionError("read on closed connection");
+  }
+  std::string out;
+  char buf[4096];
+  while (out.size() < max_bytes) {
+    size_t want = std::min(sizeof(buf), max_bytes - out.size());
+    ssize_t n = ::recv(fd_, buf, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(Errno("recv"));
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Result<std::string> TcpConn::ReadUntil(std::string_view delim, size_t max_bytes) {
+  if (!valid()) {
+    return FailedPreconditionError("read on closed connection");
+  }
+  std::string out;
+  char c = 0;
+  while (out.size() < max_bytes) {
+    ssize_t n = ::recv(fd_, &c, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return InternalError(Errno("recv"));
+    }
+    if (n == 0) {
+      break;
+    }
+    out.push_back(c);
+    if (out.size() >= delim.size() &&
+        std::string_view(out).substr(out.size() - delim.size()) == delim) {
+      break;
+    }
+  }
+  return out;
+}
+
+void TcpConn::ShutdownWrite() {
+  if (valid()) {
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+void TcpConn::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(Errno("socket"));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string message = Errno("bind");
+    ::close(fd);
+    return (errno == EADDRINUSE || errno == EACCES)
+               ? InvalidArgumentError("port " + std::to_string(port) +
+                                      " unavailable (" + message + ")")
+               : InternalError(message);
+  }
+  if (::listen(fd, /*backlog=*/16) != 0) {
+    std::string message = Errno("listen");
+    ::close(fd);
+    return InternalError(message);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    std::string message = Errno("getsockname");
+    ::close(fd);
+    return InternalError(message);
+  }
+  return TcpListener(fd, ntohs(bound.sin_port));
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  if (!valid()) {
+    return FailedPreconditionError("accept on closed listener");
+  }
+  for (;;) {
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      return TcpConn(client);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return InternalError(Errno("accept"));
+  }
+}
+
+void TcpListener::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConn> DialLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(Errno("socket"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    std::string message = Errno("connect");
+    ::close(fd);
+    return InternalError("127.0.0.1:" + std::to_string(port) + ": " + message);
+  }
+}
+
+}  // namespace scoded::net

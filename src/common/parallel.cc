@@ -27,6 +27,14 @@ constexpr int kMaxWorkers = 256;
 
 thread_local bool t_in_worker = false;
 
+// Live chunk occupancy, mirrored into the parallel.pool_* gauges so the
+// obs sampler (which must not depend on this library) sees queue depth.
+std::atomic<int64_t> g_inflight_chunks{0};
+
+obs::Gauge* PoolGauge(const char* name) {
+  return obs::Metrics::Global().FindOrCreateGauge(name);
+}
+
 int EnvThreads() {
   static const int env_threads = [] {
     const char* env = std::getenv("SCODED_THREADS");
@@ -90,6 +98,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.push_back(job);
+      PublishQueueGaugesLocked();
     }
     work_cv_.notify_all();
     // The submitting thread works too; while draining it counts as a
@@ -109,7 +118,21 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.erase(std::remove(queue_.begin(), queue_.end(), job), queue_.end());
+      PublishQueueGaugesLocked();
     }
+  }
+
+  /// Pool state for GetPoolStats(): everything the gauges publish, read
+  /// consistently under the queue mutex.
+  PoolStatsSnapshot Stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    PoolStatsSnapshot stats;
+    stats.configured_threads = Threads();
+    stats.workers = static_cast<int>(workers_.size());
+    stats.queued_jobs = static_cast<int64_t>(queue_.size());
+    stats.pending_chunks = PendingChunksLocked();
+    stats.inflight_chunks = g_inflight_chunks.load(std::memory_order_relaxed);
+    return stats;
   }
 
  private:
@@ -123,6 +146,26 @@ class ThreadPool {
     while (workers_.size() < target) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
+    PoolGauge("parallel.pool_workers")->Set(static_cast<double>(workers_.size()));
+  }
+
+  // Unclaimed chunks across queued jobs. Caller holds mu_.
+  int64_t PendingChunksLocked() const {
+    int64_t pending = 0;
+    for (const std::shared_ptr<Job>& job : queue_) {
+      size_t next = job->next.load(std::memory_order_relaxed);
+      if (next < job->num_chunks) {
+        pending += static_cast<int64_t>(job->num_chunks - next);
+      }
+    }
+    return pending;
+  }
+
+  // Caller holds mu_. Queue transitions are per fork/join call (coarse),
+  // so two relaxed gauge stores here cost nothing measurable.
+  void PublishQueueGaugesLocked() {
+    PoolGauge("parallel.pool_queued_jobs")->Set(static_cast<double>(queue_.size()));
+    PoolGauge("parallel.pool_pending_chunks")->Set(static_cast<double>(PendingChunksLocked()));
   }
 
   // Claims and executes chunks of `job` until none are left.
@@ -138,10 +181,15 @@ class ThreadPool {
       }
       tasks_counter->Add();
       wait_histogram->Observe(obs::NowMicros() - job->submit_us);
+      static obs::Gauge* const inflight_gauge = PoolGauge("parallel.pool_inflight_tasks");
+      inflight_gauge->Set(
+          static_cast<double>(g_inflight_chunks.fetch_add(1, std::memory_order_relaxed) + 1));
       {
         obs::ScopedSpan span("parallel/task");
         (*job->task)(chunk);
       }
+      inflight_gauge->Set(
+          static_cast<double>(g_inflight_chunks.fetch_sub(1, std::memory_order_relaxed) - 1));
       // acq_rel: the final increment observes every worker's slot writes,
       // and the submitting thread observes them via job->mu below.
       if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->num_chunks) {
@@ -163,6 +211,7 @@ class ThreadPool {
       if (job->next.load(std::memory_order_relaxed) >= job->num_chunks) {
         // Fully claimed: retire it from the queue and look again.
         queue_.pop_front();
+        PublishQueueGaugesLocked();
         continue;
       }
       lock.unlock();
@@ -170,6 +219,7 @@ class ThreadPool {
       lock.lock();
       if (!queue_.empty() && queue_.front() == job) {
         queue_.pop_front();
+        PublishQueueGaugesLocked();
       }
     }
   }
@@ -204,6 +254,8 @@ int Threads() {
 }
 
 bool InWorker() { return t_in_worker; }
+
+PoolStatsSnapshot GetPoolStats() { return ThreadPool::Global().Stats(); }
 
 namespace internal {
 

@@ -47,6 +47,22 @@ int Threads();
 /// True while the calling thread is a pool worker executing a task.
 bool InWorker();
 
+/// Point-in-time introspection of the global pool: threads configured,
+/// workers actually spawned, fork/join jobs sitting in the queue, chunks
+/// submitted but not yet claimed, and chunks executing right now. Safe
+/// from any thread, cheap (one mutex + relaxed loads). The pool also
+/// publishes these continuously as `parallel.pool_*` gauges in the obs
+/// metrics registry, so the time-series sampler and the /metrics endpoint
+/// observe live queue depth without calling into this header.
+struct PoolStatsSnapshot {
+  int configured_threads = 1;
+  int workers = 0;
+  int64_t queued_jobs = 0;
+  int64_t pending_chunks = 0;
+  int64_t inflight_chunks = 0;
+};
+PoolStatsSnapshot GetPoolStats();
+
 namespace internal {
 
 /// Runs `task(chunk)` for chunk in [0, num_chunks) on the global pool,

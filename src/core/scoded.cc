@@ -1,8 +1,10 @@
 #include "core/scoded.h"
 
+#include <atomic>
 #include <optional>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/encoding_cache.h"
 
@@ -62,6 +64,18 @@ Result<Scoded::BatchCheckResult> Scoded::CheckAll(
   if (span.active()) {
     span.Arg("constraints", static_cast<int64_t>(constraints.size()));
   }
+  // Live progress for the /metrics endpoint. constraints_checked is bumped
+  // from pool workers, so MaxWith keeps it monotone under races; min-p is
+  // folded serially below, in input order.
+  static obs::Gauge* const progress_constraints_total =
+      obs::Metrics::Global().FindOrCreateGauge("progress.constraints_total");
+  static obs::Gauge* const progress_constraints =
+      obs::Metrics::Global().FindOrCreateGauge("progress.constraints_checked");
+  static obs::Gauge* const progress_min_p =
+      obs::Metrics::Global().FindOrCreateGauge("progress.current_min_p");
+  progress_constraints_total->Set(static_cast<double>(constraints.size()));
+  progress_constraints->Set(0.0);
+  progress_min_p->Set(1.0);
   BatchCheckResult out;
   // Consistency over borrowed pointers: the constraints already live in
   // `constraints`, no per-SC copy needed.
@@ -85,11 +99,15 @@ Result<Scoded::BatchCheckResult> Scoded::CheckAll(
   // Check constraints in parallel; each writes its own slot, and the
   // fold below consumes the slots in input order, so reports, violation
   // counts and error selection match the serial run exactly.
+  std::atomic<int64_t> checked{0};
   std::vector<std::optional<Result<ViolationReport>>> slots =
       parallel::ParallelMap<std::optional<Result<ViolationReport>>>(
           constraints.size(), /*grain=*/1, [&](size_t i) {
-            return std::optional<Result<ViolationReport>>(
+            std::optional<Result<ViolationReport>> slot(
                 DetectViolation(table_, constraints[i], batch_options));
+            progress_constraints->MaxWith(
+                static_cast<double>(checked.fetch_add(1, std::memory_order_relaxed) + 1));
+            return slot;
           });
   out.reports.reserve(constraints.size());
   for (std::optional<Result<ViolationReport>>& slot : slots) {
@@ -99,6 +117,7 @@ Result<Scoded::BatchCheckResult> Scoded::CheckAll(
     ViolationReport& report = slot->value();
     out.violations += report.violated ? 1 : 0;
     out.telemetry.Merge(report.telemetry);
+    progress_min_p->MinWith(report.p_value);
     out.reports.push_back(std::move(report));
   }
   return out;

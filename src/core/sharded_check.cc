@@ -68,10 +68,36 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
       obs::Metrics::Global().FindOrCreateCounter("shard.rows");
   static obs::Counter* const shard_merges_counter =
       obs::Metrics::Global().FindOrCreateCounter("shard.merges");
+  // Live progress for the /metrics endpoint: a scrape mid-run answers
+  // "how far along" without touching the streaming state. MaxWith keeps
+  // each gauge monotone per run even if stores race a scrape.
+  static obs::Gauge* const progress_shards_total =
+      obs::Metrics::Global().FindOrCreateGauge("progress.shards_total");
+  static obs::Gauge* const progress_shards_done =
+      obs::Metrics::Global().FindOrCreateGauge("progress.shards_done");
+  static obs::Gauge* const progress_rows_total =
+      obs::Metrics::Global().FindOrCreateGauge("progress.rows_total");
+  static obs::Gauge* const progress_rows =
+      obs::Metrics::Global().FindOrCreateGauge("progress.rows_ingested");
+  static obs::Gauge* const progress_constraints_total =
+      obs::Metrics::Global().FindOrCreateGauge("progress.constraints_total");
+  static obs::Gauge* const progress_constraints =
+      obs::Metrics::Global().FindOrCreateGauge("progress.constraints_checked");
+  static obs::Gauge* const progress_min_p =
+      obs::Metrics::Global().FindOrCreateGauge("progress.current_min_p");
 
   SCODED_ASSIGN_OR_RETURN(csv::ShardReader reader,
                           csv::ShardReader::Open(path, options.reader));
   SCODED_ASSIGN_OR_RETURN(Table schema, reader.EmptyTable());
+  size_t shard_rows_limit = std::max<size_t>(1, options.reader.shard_rows);
+  progress_shards_total->Set(static_cast<double>(
+      (reader.num_data_rows() + shard_rows_limit - 1) / shard_rows_limit));
+  progress_rows_total->Set(static_cast<double>(reader.num_data_rows()));
+  progress_shards_done->Set(0.0);
+  progress_rows->Set(0.0);
+  progress_constraints_total->Set(static_cast<double>(constraints.size()));
+  progress_constraints->Set(0.0);
+  progress_min_p->Set(1.0);
 
   ShardedCheckResult out;
   // Consistency first, exactly as Scoded::CheckAll.
@@ -125,17 +151,27 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
   // hence every result, is thread-count independent.
   const size_t wave = std::max<size_t>(1, std::min<size_t>(parallel::Threads(), 4));
   uint64_t row_offset = 0;
+  size_t shards_read = 0;
   while (true) {
     std::vector<Table> shards;
     std::vector<uint64_t> offsets;
+    std::vector<size_t> indices;
     shards.reserve(wave);
     while (shards.size() < wave) {
+      obs::ScopedSpan read_span("core/shard_read");
       SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, reader.Next());
       if (!shard.has_value()) {
         break;
       }
+      if (read_span.active()) {
+        read_span.Arg("shard_index", static_cast<int64_t>(shards_read))
+            .Arg("rows", static_cast<int64_t>(shard->NumRows()))
+            .Arg("row_offset", static_cast<int64_t>(row_offset));
+      }
       offsets.push_back(row_offset);
+      indices.push_back(shards_read);
       row_offset += shard->NumRows();
+      ++shards_read;
       shards.push_back(std::move(*shard));
     }
     if (shards.empty()) {
@@ -144,13 +180,25 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
     obs::ScopedSpan wave_span("core/shard_summarize");
     if (wave_span.active()) {
       wave_span.Arg("shards", static_cast<int64_t>(shards.size()))
-          .Arg("components", static_cast<int64_t>(components.size()));
+          .Arg("components", static_cast<int64_t>(components.size()))
+          .Arg("first_shard_index", static_cast<int64_t>(indices.front()))
+          .Arg("rows_read",
+               static_cast<int64_t>(row_offset - offsets.front()));
     }
     size_t tasks = shards.size() * components.size();
     std::vector<PairwiseShardSummary> partials =
         parallel::ParallelMap<PairwiseShardSummary>(tasks, /*grain=*/1, [&](size_t t) {
           size_t s = t / components.size();
           size_t c = t % components.size();
+          // Per-(shard, component) span: --trace-out on an out-of-core
+          // run shows which shard and component each task covered.
+          obs::ScopedSpan task_span("core/shard_summarize_one");
+          if (task_span.active()) {
+            task_span.Arg("shard_index", static_cast<int64_t>(indices[s]))
+                .Arg("component", static_cast<int64_t>(c))
+                .Arg("rows", static_cast<int64_t>(shards[s].NumRows()))
+                .Arg("row_offset", static_cast<int64_t>(offsets[s]));
+          }
           return PairwiseShardSummary::FromShard(shards[s], components[c].spec, offsets[s]);
         });
     for (size_t t = 0; t < tasks; ++t) {
@@ -161,6 +209,8 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
     }
     shard_merges_counter->Add(static_cast<int64_t>(tasks));
     out.shards += shards.size();
+    progress_shards_done->MaxWith(static_cast<double>(out.shards));
+    progress_rows->MaxWith(static_cast<double>(row_offset));
   }
   out.rows = row_offset;
 
@@ -240,6 +290,8 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
     out.violations += report.violated ? 1 : 0;
     out.telemetry.Merge(report.telemetry);
     out.reports.push_back(std::move(report));
+    progress_constraints->MaxWith(static_cast<double>(i + 1));
+    progress_min_p->MinWith(decision_p);
   }
   return out;
 }

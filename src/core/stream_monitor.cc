@@ -1,5 +1,6 @@
 #include "core/stream_monitor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/parallel.h"
@@ -25,6 +26,15 @@ Status StreamMonitor::Append(const Table& batch) {
       obs::Metrics::Global().FindOrCreateCounter("core.monitor_stream_batches");
   static obs::Counter* const rows_counter =
       obs::Metrics::Global().FindOrCreateCounter("core.monitor_stream_rows");
+  // Live progress for the /metrics endpoint: rows ingested so far, the
+  // monitor fan-out width, and the smallest current p-value across the
+  // group — a mid-run scrape answers "how far along and how hot".
+  static obs::Gauge* const progress_rows =
+      obs::Metrics::Global().FindOrCreateGauge("progress.rows_ingested");
+  static obs::Gauge* const progress_monitors =
+      obs::Metrics::Global().FindOrCreateGauge("progress.monitors");
+  static obs::Gauge* const progress_min_p =
+      obs::Metrics::Global().FindOrCreateGauge("progress.current_min_p");
   // All-or-nothing across the group: every monitor validates the batch
   // before any monitor ingests it (each ScMonitor::Append additionally
   // validates before mutating, so the fan-out below cannot half-apply).
@@ -42,8 +52,16 @@ Status StreamMonitor::Append(const Table& batch) {
   records_ += batch.NumRows();
   // Deterministic fan-out: monitors are independent, each processes the
   // whole batch serially, so any thread count gives bit-identical state.
-  return parallel::ParallelForStatus(0, monitors_.size(), 1,
-                                     [&](size_t i) { return monitors_[i].Append(batch); });
+  Status status = parallel::ParallelForStatus(
+      0, monitors_.size(), 1, [&](size_t i) { return monitors_[i].Append(batch); });
+  progress_rows->Set(static_cast<double>(records_));
+  progress_monitors->Set(static_cast<double>(monitors_.size()));
+  double min_p = 1.0;
+  for (const ScMonitor& monitor : monitors_) {
+    min_p = std::min(min_p, monitor.CurrentPValue());
+  }
+  progress_min_p->Set(min_p);
+  return status;
 }
 
 std::vector<StreamMonitor::ConstraintState> StreamMonitor::States() const {

@@ -1,0 +1,221 @@
+#include "obs/export.h"
+
+#if !defined(SCODED_OBS_DISABLED)
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/timeseries.h"
+
+namespace scoded::obs {
+
+namespace {
+
+// Prometheus metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; registry names
+// use dots (stats.tests_executed). Map every non-alphanumeric to '_' and
+// prefix the namespace.
+std::string PromName(const std::string& name) {
+  std::string out = "scoded_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+void AppendValue(std::string* out, double value) {
+  char buf[64];
+  // %.17g round-trips doubles; integral values render without an exponent
+  // for readability (counts dominate the registry).
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out->append(buf);
+}
+
+void AppendHeader(std::string* out, const std::string& prom, const std::string& original,
+                  const char* type) {
+  out->append("# HELP ").append(prom).append(" SCODED metric ").append(original).append("\n");
+  out->append("# TYPE ").append(prom).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PromName(name) + "_total";
+    AppendHeader(&out, prom, name, "counter");
+    out.append(prom).append(" ");
+    AppendValue(&out, static_cast<double>(value));
+    out.append("\n");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PromName(name);
+    AppendHeader(&out, prom, name, "gauge");
+    out.append(prom).append(" ");
+    AppendValue(&out, value);
+    out.append("\n");
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    std::string prom = PromName(name);
+    AppendHeader(&out, prom, name, "histogram");
+    // Cumulative buckets up to the highest occupied one. Bucket b of the
+    // log2 histogram covers [2^(b-1), 2^b), so its inclusive upper bound
+    // is 2^b - 1 (bucket 0 holds exactly the zeros).
+    size_t top = 0;
+    for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (histogram.buckets[b] > 0) {
+        top = b;
+      }
+    }
+    int64_t cumulative = 0;
+    for (size_t b = 0; b <= top && b < histogram.buckets.size(); ++b) {
+      cumulative += histogram.buckets[b];
+      int64_t le = b == 0 ? 0 : (b >= 63 ? INT64_MAX : (int64_t{1} << b) - 1);
+      out.append(prom).append("_bucket{le=\"");
+      AppendValue(&out, static_cast<double>(le));
+      out.append("\"} ");
+      AppendValue(&out, static_cast<double>(cumulative));
+      out.append("\n");
+    }
+    out.append(prom).append("_bucket{le=\"+Inf\"} ");
+    AppendValue(&out, static_cast<double>(histogram.count));
+    out.append("\n");
+    out.append(prom).append("_sum ");
+    AppendValue(&out, static_cast<double>(histogram.sum));
+    out.append("\n");
+    out.append(prom).append("_count ");
+    AppendValue(&out, static_cast<double>(histogram.count));
+    out.append("\n");
+  }
+  return out;
+}
+
+std::string RenderGlobalPrometheusText() {
+  UpdateProcessGauges();
+  return RenderPrometheusText(Metrics::Global().Snapshot());
+}
+
+MetricsServer& MetricsServer::Global() {
+  static MetricsServer* server = new MetricsServer();  // leaked, like the registry
+  return *server;
+}
+
+Status MetricsServer::Start(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return FailedPreconditionError("metrics server already running on port " +
+                                   std::to_string(listener_.port()));
+  }
+  SCODED_ASSIGN_OR_RETURN(listener_, net::TcpListener::Bind(port));
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { ServeLoop(); });
+  return OkStatus();
+}
+
+void MetricsServer::Stop() {
+  uint16_t wake_port = 0;
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+    wake_port = listener_.port();
+    to_join = std::move(thread_);
+  }
+  // Self-connect to pop the accept loop out of its blocking accept; the
+  // loop re-checks stop_ after every connection.
+  if (Result<net::TcpConn> wake = net::DialLoopback(wake_port); wake.ok()) {
+    wake->Close();
+  }
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_.Close();
+  running_ = false;
+  stop_ = false;
+}
+
+bool MetricsServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint16_t MetricsServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listener_.port();
+}
+
+void MetricsServer::ServeLoop() {
+  for (;;) {
+    Result<net::TcpConn> conn = listener_.Accept();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) {
+        return;
+      }
+    }
+    if (!conn.ok()) {
+      return;  // listener closed out from under us
+    }
+    HandleConnection(std::move(conn).value());
+  }
+}
+
+void MetricsServer::HandleConnection(net::TcpConn conn) {
+  // Read the request head only; this server has no request bodies.
+  Result<std::string> head = conn.ReadUntil("\r\n\r\n", /*max_bytes=*/8192);
+  if (!head.ok()) {
+    return;
+  }
+  size_t method_end = head->find(' ');
+  size_t path_end = method_end == std::string::npos ? std::string::npos
+                                                    : head->find(' ', method_end + 1);
+  std::string method =
+      method_end == std::string::npos ? std::string() : head->substr(0, method_end);
+  std::string path = path_end == std::string::npos
+                         ? std::string()
+                         : head->substr(method_end + 1, path_end - method_end - 1);
+  // Ignore any query string: /metrics?foo=1 is still /metrics.
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = RenderGlobalPrometheusText();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/timeseries") {
+    content_type = "application/json";
+    body = Sampler::Global().TimeSeriesJson();
+  } else {
+    status = "404 Not Found";
+    body = "unknown path (routes: /metrics /healthz /timeseries)\n";
+  }
+
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  (void)conn.WriteAll(response);
+}
+
+}  // namespace scoded::obs
+
+#endif  // !SCODED_OBS_DISABLED

@@ -1,0 +1,95 @@
+#ifndef SCODED_OBS_EXPORT_H_
+#define SCODED_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+#if !defined(SCODED_OBS_DISABLED)
+#include <mutex>
+#include <thread>
+
+#include "common/net.h"
+#include "obs/metrics.h"
+#endif
+
+namespace scoded::obs {
+
+#if defined(SCODED_OBS_DISABLED)
+
+/// Compile-to-nothing server (SCODED_DISABLE_OBS): Start() fails with
+/// Unimplemented so `--metrics-port` is a loud error, never a silent
+/// endpoint that serves nothing.
+class MetricsServer {
+ public:
+  static MetricsServer& Global() {
+    static MetricsServer server;
+    return server;
+  }
+  Status Start(uint16_t) {
+    return UnimplementedError("metrics endpoint compiled out (SCODED_DISABLE_OBS)");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  uint16_t port() const { return 0; }
+};
+
+#else
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one HELP/TYPE pair per metric, names sanitised to
+/// `scoded_<name with non-alphanumerics replaced by '_'>`, counters
+/// suffixed `_total`, and the log2 histograms rendered as cumulative
+/// `_bucket{le="2^b-1"}` series ending in `le="+Inf"` plus `_sum`/`_count`.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Convenience: refreshes the process gauges then renders the global
+/// registry (what the /metrics endpoint serves).
+std::string RenderGlobalPrometheusText();
+
+/// Minimal embedded HTTP/1.0 endpoint over common/net — deliberately the
+/// first consumer of the networking brick the `scoded serve` roadmap item
+/// will build on. One accept loop on a background thread, one request per
+/// connection, close-delimited responses. Routes:
+///
+///   GET /metrics     Prometheus text exposition of the live registry
+///   GET /healthz     "ok" (liveness)
+///   GET /timeseries  JSON ring-buffer history from the Sampler
+///
+/// Every handler is read-only over atomics and sampler rings, so serving
+/// a scrape mid-run cannot perturb results.
+class MetricsServer {
+ public:
+  static MetricsServer& Global();
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read back via port()) and
+  /// starts the accept loop. Fails if already running or the port is
+  /// taken.
+  Status Start(uint16_t port);
+
+  /// Unblocks the accept loop, joins the thread, closes the listener.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const;
+  uint16_t port() const;
+
+ private:
+  MetricsServer() = default;
+
+  void ServeLoop();
+  void HandleConnection(net::TcpConn conn);
+
+  mutable std::mutex mu_;
+  std::thread thread_;
+  net::TcpListener listener_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+#endif  // SCODED_OBS_DISABLED
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_EXPORT_H_

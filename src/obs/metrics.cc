@@ -109,6 +109,31 @@ std::string Metrics::SnapshotJson() const {
   return json.str();
 }
 
+MetricsSnapshot Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.buckets.resize(Histogram::kBuckets + 1);
+    for (int b = 0; b <= Histogram::kBuckets; ++b) {
+      h.buckets[static_cast<size_t>(b)] = histogram->BucketCount(b);
+      h.count += h.buckets[static_cast<size_t>(b)];
+    }
+    h.sum = histogram->Sum();
+    snapshot.histograms.emplace_back(name, std::move(h));
+  }
+  return snapshot;
+}
+
 void Metrics::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace scoded::obs {
 
@@ -32,6 +34,25 @@ class Gauge {
   }
   double Value() const {
     return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  /// Raises the gauge to `value` if it is currently lower (CAS loop).
+  /// Progress gauges written from pool workers use this so a scraper never
+  /// observes the value move backwards when two workers race their Set.
+  void MaxWith(double value) {
+    int64_t desired = std::bit_cast<int64_t>(value);
+    int64_t current = bits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(current) < value &&
+           !bits_.compare_exchange_weak(current, desired, std::memory_order_relaxed)) {
+    }
+  }
+  /// Lowers the gauge to `value` if it is currently higher (for running
+  /// minima such as the smallest p-value seen so far; seed with Set first).
+  void MinWith(double value) {
+    int64_t desired = std::bit_cast<int64_t>(value);
+    int64_t current = bits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(current) > value &&
+           !bits_.compare_exchange_weak(current, desired, std::memory_order_relaxed)) {
+    }
   }
   void Reset() { Set(0.0); }
 
@@ -74,6 +95,25 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
 };
 
+/// Point-in-time copy of one histogram (relaxed per-bucket loads; exact
+/// whenever no Observe races the copy, internally consistent regardless).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  /// buckets[b] holds the count of samples in [2^(b-1), 2^b); buckets[0]
+  /// holds the zeros. Same layout as Histogram::BucketCount.
+  std::vector<int64_t> buckets;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+/// This is the substrate both exporters consume: the Prometheus renderer
+/// (obs/export.h) and the time-series sampler (obs/timeseries.h).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
 /// Process-wide registry of named instruments. Registration (FindOrCreate*)
 /// takes a mutex and allocates once per name; the returned pointer is
 /// stable for the process lifetime, so hot paths register once (function-
@@ -95,6 +135,9 @@ class Metrics {
   ///    "histograms":{"name":{"count":..,"sum":..,"mean":..,"p50":..,
   ///                          "p90":..,"p99":..},...}}
   std::string SnapshotJson() const;
+
+  /// Structured point-in-time copy of every instrument (names sorted).
+  MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered instrument (pointers stay valid). For tests
   /// and for scoping a CLI run's snapshot to that run.

@@ -1,0 +1,219 @@
+#include "obs/timeseries.h"
+
+#if !defined(SCODED_OBS_DISABLED)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace scoded::obs {
+
+namespace {
+
+// Parses "VmRSS:	  123456 kB" style lines out of /proc/self/status.
+// Returns -1 when the key is absent (non-procfs systems).
+int64_t StatusKb(const std::string& status_text, const char* key) {
+  size_t pos = status_text.find(key);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  pos += std::strlen(key);
+  return std::strtoll(status_text.c_str() + pos, nullptr, 10);
+}
+
+}  // namespace
+
+void UpdateProcessGauges() {
+  static Gauge* const rss = Metrics::Global().FindOrCreateGauge("process.rss_kb");
+  static Gauge* const hwm = Metrics::Global().FindOrCreateGauge("process.vm_hwm_kb");
+  static Gauge* const threads = Metrics::Global().FindOrCreateGauge("process.threads");
+  static Gauge* const cpu_user =
+      Metrics::Global().FindOrCreateGauge("process.cpu_user_seconds");
+  static Gauge* const cpu_sys =
+      Metrics::Global().FindOrCreateGauge("process.cpu_system_seconds");
+  static Gauge* const uptime =
+      Metrics::Global().FindOrCreateGauge("process.uptime_seconds");
+
+  uptime->Set(static_cast<double>(NowMicros()) / 1e6);
+
+  std::ifstream status_file("/proc/self/status");
+  if (status_file) {
+    std::ostringstream buffer;
+    buffer << status_file.rdbuf();
+    std::string text = buffer.str();
+    int64_t rss_kb = StatusKb(text, "VmRSS:");
+    int64_t hwm_kb = StatusKb(text, "VmHWM:");
+    int64_t nthreads = StatusKb(text, "Threads:");
+    if (rss_kb >= 0) {
+      rss->Set(static_cast<double>(rss_kb));
+    }
+    if (hwm_kb >= 0) {
+      // VmHWM only grows, but MaxWith also rides out the (observed on
+      // some kernels) transient dips after clear_refs resets.
+      hwm->MaxWith(static_cast<double>(hwm_kb));
+    }
+    if (nthreads >= 0) {
+      threads->Set(static_cast<double>(nthreads));
+    }
+  }
+
+  // /proc/self/stat: fields 14/15 are utime/stime in clock ticks. The
+  // comm field (2) can contain spaces but is parenthesised, so scan from
+  // the last ')'.
+  std::ifstream stat_file("/proc/self/stat");
+  if (stat_file) {
+    std::string line;
+    std::getline(stat_file, line);
+    size_t close = line.rfind(')');
+    if (close != std::string::npos) {
+      std::istringstream rest(line.substr(close + 1));
+      std::string field;
+      // After ')': state(3) ... utime is field 14, i.e. the 12th token here.
+      int64_t utime = -1;
+      int64_t stime = -1;
+      for (int i = 3; i <= 15 && (rest >> field); ++i) {
+        if (i == 14) {
+          utime = std::strtoll(field.c_str(), nullptr, 10);
+        } else if (i == 15) {
+          stime = std::strtoll(field.c_str(), nullptr, 10);
+        }
+      }
+      double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+      if (utime >= 0 && ticks > 0) {
+        cpu_user->Set(static_cast<double>(utime) / ticks);
+      }
+      if (stime >= 0 && ticks > 0) {
+        cpu_sys->Set(static_cast<double>(stime) / ticks);
+      }
+    }
+  }
+}
+
+Sampler& Sampler::Global() {
+  static Sampler* sampler = new Sampler();  // leaked: outlives all users
+  return *sampler;
+}
+
+Status Sampler::Start(const SamplerOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return OkStatus();
+    }
+    if (options.interval_ms <= 0) {
+      return InvalidArgumentError("sampler interval must be positive");
+    }
+    options_ = options;
+    running_ = true;
+    stop_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  SampleOnce();
+  return OkStatus();
+}
+
+void Sampler::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  stop_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Sampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [&] { return stop_; });
+      if (stop_) {
+        return;
+      }
+    }
+    SampleOnce();
+  }
+}
+
+void Sampler::Record(const std::string& name, const char* kind, int64_t t_us,
+                     double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, std::make_pair(kind, RingSeries(options_.capacity))).first;
+  }
+  it->second.second.Push(t_us, value);
+}
+
+void Sampler::SampleOnce() {
+  UpdateProcessGauges();
+  // Snapshot outside mu_: Metrics has its own lock and SampleOnce may be
+  // called concurrently with TimeSeriesJson from the HTTP thread.
+  MetricsSnapshot snapshot = Metrics::Global().Snapshot();
+  int64_t t_us = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot.counters) {
+    Record(name, "counter", t_us, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Record(name, "gauge", t_us, value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    Record(name + ".count", "histogram", t_us, static_cast<double>(histogram.count));
+    Record(name + ".sum", "histogram", t_us, static_cast<double>(histogram.sum));
+  }
+}
+
+std::string Sampler::TimeSeriesJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("interval_ms").Int(options_.interval_ms);
+  json.Key("capacity").Int(static_cast<int64_t>(options_.capacity));
+  json.Key("series").BeginArray();
+  for (const auto& [name, entry] : series_) {
+    json.BeginObject();
+    json.Key("name").String(name);
+    json.Key("kind").String(entry.first);
+    json.Key("points").BeginArray();
+    for (const TimePoint& point : entry.second.Points()) {
+      json.BeginArray().Double(static_cast<double>(point.t_us) / 1e3).Double(point.value);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+void Sampler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+}  // namespace scoded::obs
+
+#endif  // !SCODED_OBS_DISABLED

@@ -1,0 +1,158 @@
+#ifndef SCODED_OBS_TIMESERIES_H_
+#define SCODED_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+#if !defined(SCODED_OBS_DISABLED)
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#endif
+
+namespace scoded::obs {
+
+/// Sampler configuration. The defaults (10 Hz, 600 points) keep one
+/// minute of history per series at ~10 KiB a series — bounded regardless
+/// of run length, which is the point of the ring.
+struct SamplerOptions {
+  int64_t interval_ms = 100;
+  size_t capacity = 600;
+};
+
+#if defined(SCODED_OBS_DISABLED)
+
+/// Compile-to-nothing sampler (SCODED_DISABLE_OBS): no thread, no rings,
+/// no storage. Start() reports the build mode so callers fail loudly
+/// instead of silently serving nothing.
+class Sampler {
+ public:
+  static Sampler& Global() {
+    static Sampler sampler;
+    return sampler;
+  }
+  Status Start(const SamplerOptions& = {}) {
+    return UnimplementedError("time-series sampler compiled out (SCODED_DISABLE_OBS)");
+  }
+  void Stop() {}
+  bool running() const { return false; }
+  void SampleOnce() {}
+  std::string TimeSeriesJson() const { return "{\"series\":[]}"; }
+};
+
+inline void UpdateProcessGauges() {}
+
+#else
+
+/// One sampled point: microseconds since process start + the value then.
+struct TimePoint {
+  int64_t t_us = 0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of samples; pushing past capacity overwrites the
+/// oldest point. Not internally synchronised — the owning store locks.
+class RingSeries {
+ public:
+  explicit RingSeries(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+  void Push(int64_t t_us, double value) {
+    buf_[(head_ + size_) % buf_.size()] = {t_us, value};
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % buf_.size();
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+
+  /// Oldest-first copy of the live window.
+  std::vector<TimePoint> Points() const {
+    std::vector<TimePoint> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<TimePoint> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+/// Background time-series sampler: a thread that every `interval_ms`
+/// refreshes the process-resource gauges and snapshots every registered
+/// counter/gauge/histogram into per-name ring buffers. Strictly read-only
+/// over the hot-path atomics — it can never change results — and costs
+/// nothing until Start() is called (no thread, no storage).
+///
+/// Histograms contribute two series (`<name>.count`, `<name>.sum`);
+/// counters and gauges one each. New instruments registered mid-run pick
+/// up a ring at the next tick.
+class Sampler {
+ public:
+  static Sampler& Global();
+
+  /// Launches the sampler thread (idempotent while running). Takes an
+  /// immediate first sample so /timeseries is non-empty right away.
+  Status Start(const SamplerOptions& options = {});
+
+  /// Stops and joins the thread; the collected rings remain readable.
+  void Stop();
+
+  bool running() const;
+
+  /// One synchronous tick (what the thread does each interval). Public so
+  /// tests and the idle path can sample deterministically.
+  void SampleOnce();
+
+  /// {"interval_ms":..,"capacity":..,"series":[{"name":..,"kind":..,
+  ///   "points":[[t_ms, value],...]},...]} — t_ms is milliseconds since
+  /// process start, points oldest-first.
+  std::string TimeSeriesJson() const;
+
+  /// Drops every ring (tests; a stopped sampler keeps its history
+  /// otherwise).
+  void Clear();
+
+ private:
+  Sampler() = default;
+
+  void Loop();
+  void Record(const std::string& name, const char* kind, int64_t t_us, double value);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  SamplerOptions options_;
+  // name -> (kind, ring); kind is a static string ("counter", ...).
+  std::map<std::string, std::pair<const char*, RingSeries>> series_;
+};
+
+/// Refreshes the process-resource gauges in the global registry from
+/// /proc/self: `process.rss_kb`, `process.vm_hwm_kb` (peak RSS),
+/// `process.cpu_user_seconds`, `process.cpu_system_seconds`,
+/// `process.threads`, `process.uptime_seconds`. Called by every sampler
+/// tick and by the /metrics endpoint, so scrapes see live values even
+/// when the sampler is not running. No-op (gauges stay 0) on systems
+/// without procfs.
+void UpdateProcessGauges();
+
+#endif  // SCODED_OBS_DISABLED
+
+}  // namespace scoded::obs
+
+#endif  // SCODED_OBS_TIMESERIES_H_

@@ -1,0 +1,478 @@
+// Tests for the live-telemetry layer: the Prometheus text renderer (pinned
+// by a committed golden file), the time-series sampler and its ring
+// buffers, the embedded /metrics HTTP endpoint, and the common/net socket
+// helper they are built on. The obs-disabled build compiles a reduced
+// suite asserting the stubs fail loudly.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+#if !defined(SCODED_OBS_DISABLED)
+#include "common/fileio.h"
+#include "common/net.h"
+#endif
+
+namespace scoded {
+namespace {
+
+#if defined(SCODED_OBS_DISABLED)
+
+// ------------------------------------------------- compiled-out behaviour
+//
+// The stubs must fail loudly: a --metrics-port user on an obs-disabled
+// build gets an Unimplemented error, never a silently dead endpoint.
+
+TEST(ExportDisabledTest, ServerStartReportsUnimplemented) {
+  Status status = obs::MetricsServer::Global().Start(0);
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(obs::MetricsServer::Global().running());
+  EXPECT_EQ(obs::MetricsServer::Global().port(), 0);
+  obs::MetricsServer::Global().Stop();  // no-op, must not crash
+}
+
+TEST(ExportDisabledTest, SamplerStartReportsUnimplemented) {
+  Status status = obs::Sampler::Global().Start();
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(obs::Sampler::Global().running());
+  obs::Sampler::Global().SampleOnce();  // no-op
+  obs::Sampler::Global().Stop();        // no-op
+  EXPECT_EQ(obs::Sampler::Global().TimeSeriesJson(), "{\"series\":[]}");
+}
+
+#else  // !SCODED_OBS_DISABLED
+
+// ------------------------------------------------------------- rendering
+
+// A deterministic registry exercising every rendering rule: dot-to-
+// underscore sanitisation, the counter `_total` suffix, integral vs
+// fractional gauge formatting, and log2 histogram buckets (zeros in
+// bucket 0, value v in bucket bit_width(v) with inclusive bound 2^b - 1).
+obs::MetricsSnapshot GoldenSnapshot() {
+  obs::Metrics metrics;
+  metrics.FindOrCreateCounter("core.shards_read")->Add(42);
+  metrics.FindOrCreateCounter("stats.tests_executed")->Add(7);
+  metrics.FindOrCreateGauge("progress.current_min_p")->Set(0.03125);
+  metrics.FindOrCreateGauge("progress.rows_ingested")->Set(123456);
+  metrics.FindOrCreateGauge("test.negative-rate")->Set(-2.5);
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("core.shard_rows_us");
+  histogram->Observe(0);
+  histogram->Observe(1);
+  histogram->Observe(1);
+  histogram->Observe(3);
+  histogram->Observe(100);
+  histogram->Observe(1000000);
+  return metrics.Snapshot();
+}
+
+TEST(PrometheusRenderTest, MatchesGoldenFile) {
+  std::string rendered = obs::RenderPrometheusText(GoldenSnapshot());
+  if (std::getenv("SCODED_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(WriteTextFile(SCODED_EXPORT_GOLDEN, rendered).ok());
+    GTEST_SKIP() << "regenerated " << SCODED_EXPORT_GOLDEN;
+  }
+  Result<std::string> golden = ReadTextFile(SCODED_EXPORT_GOLDEN);
+  ASSERT_TRUE(golden.ok()) << golden.status().message()
+                           << " (rerun with SCODED_REGEN_GOLDEN=1 to create)";
+  EXPECT_EQ(rendered, *golden)
+      << "Prometheus exposition drifted from the committed golden; if the "
+         "change is intentional rerun with SCODED_REGEN_GOLDEN=1 and commit.";
+}
+
+TEST(PrometheusRenderTest, CounterNamesSanitisedAndSuffixed) {
+  obs::Metrics metrics;
+  metrics.FindOrCreateCounter("stats.tests_executed")->Add(3);
+  std::string text = obs::RenderPrometheusText(metrics.Snapshot());
+  EXPECT_NE(text.find("# HELP scoded_stats_tests_executed_total "
+                      "SCODED metric stats.tests_executed\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE scoded_stats_tests_executed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scoded_stats_tests_executed_total 3\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulativeLog2) {
+  obs::Metrics metrics;
+  obs::Histogram* histogram = metrics.FindOrCreateHistogram("test.hist");
+  histogram->Observe(0);   // bucket 0 (le 0)
+  histogram->Observe(1);   // bucket 1 (le 1)
+  histogram->Observe(3);   // bucket 2 (le 3)
+  histogram->Observe(3);   // bucket 2 again
+  histogram->Observe(100); // bucket 7 (le 127)
+  std::string text = obs::RenderPrometheusText(metrics.Snapshot());
+  // Cumulative counts: 1 at le=0, 2 at le=1, 4 at le=3, empty buckets
+  // rendered too (cumulative stays flat), 5 at le=127, then +Inf.
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"3\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"7\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"127\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_sum 107\n"), std::string::npos);
+  EXPECT_NE(text.find("scoded_test_hist_count 5\n"), std::string::npos);
+  // Buckets past the highest occupied one are elided.
+  EXPECT_EQ(text.find("le=\"255\""), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, FractionalGaugeRoundTrips) {
+  obs::Metrics metrics;
+  metrics.FindOrCreateGauge("test.g")->Set(0.1);
+  std::string text = obs::RenderPrometheusText(metrics.Snapshot());
+  // Anchor past the HELP/TYPE lines to the sample line itself.
+  size_t pos = text.find("\nscoded_test_g ");
+  ASSERT_NE(pos, std::string::npos);
+  double parsed = std::strtod(text.c_str() + pos + std::string("\nscoded_test_g ").size(),
+                              nullptr);
+  EXPECT_EQ(parsed, 0.1);  // %.17g round-trips exactly
+}
+
+// ------------------------------------------------------------ ring buffer
+
+TEST(RingSeriesTest, WrapsOverwritingOldest) {
+  obs::RingSeries ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.Push(i, static_cast<double>(i * 10));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  std::vector<obs::TimePoint> points = ring.Points();
+  ASSERT_EQ(points.size(), 3u);
+  // Oldest-first window over the last three pushes: t = 2, 3, 4.
+  EXPECT_EQ(points[0].t_us, 2);
+  EXPECT_EQ(points[1].t_us, 3);
+  EXPECT_EQ(points[2].t_us, 4);
+  EXPECT_EQ(points[2].value, 40.0);
+}
+
+TEST(RingSeriesTest, PartiallyFilledKeepsInsertionOrder) {
+  obs::RingSeries ring(8);
+  ring.Push(1, 1.0);
+  ring.Push(2, 2.0);
+  std::vector<obs::TimePoint> points = ring.Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t_us, 1);
+  EXPECT_EQ(points[1].t_us, 2);
+}
+
+// --------------------------------------------------------------- sampler
+
+// Object member access with a loud failure instead of a silent default.
+const JsonValue& Member(const JsonValue& value, std::string_view key) {
+  static const JsonValue kNull;
+  const JsonValue* found = value.Find(key);
+  EXPECT_NE(found, nullptr) << "missing JSON member: " << key;
+  return found == nullptr ? kNull : *found;
+}
+
+TEST(SamplerTest, SampleOncePopulatesProcessAndRegistrySeries) {
+  obs::Metrics::Global().FindOrCreateCounter("test.sampler_counter")->Add(5);
+  obs::Sampler::Global().Clear();
+  obs::Sampler::Global().SampleOnce();
+  std::string json = obs::Sampler::Global().TimeSeriesJson();
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message() << "\n" << json;
+  const JsonValue& series = Member(*parsed, "series");
+  bool saw_rss = false;
+  bool saw_counter = false;
+  for (const JsonValue& entry : series.array) {
+    const std::string& name = Member(entry, "name").string_value;
+    if (name == "process.rss_kb") {
+      saw_rss = true;
+      const JsonValue& points = Member(entry, "points");
+      ASSERT_FALSE(points.array.empty());
+      // [t_ms, value]; a live process has a positive RSS.
+      EXPECT_GT(points.array.back().array.at(1).number, 0.0);
+      EXPECT_EQ(Member(entry, "kind").string_value, "gauge");
+    }
+    if (name == "test.sampler_counter") {
+      saw_counter = true;
+      EXPECT_EQ(Member(entry, "kind").string_value, "counter");
+      const JsonValue& points = Member(entry, "points");
+      ASSERT_FALSE(points.array.empty());
+      EXPECT_GE(points.array.back().array.at(1).number, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_rss);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(SamplerTest, StartStopCollectsTicks) {
+  obs::Sampler::Global().Clear();
+  obs::SamplerOptions options;
+  options.interval_ms = 5;
+  options.capacity = 16;
+  ASSERT_TRUE(obs::Sampler::Global().Start(options).ok());
+  EXPECT_TRUE(obs::Sampler::Global().running());
+  // Double Start while running is idempotent, not an error.
+  EXPECT_TRUE(obs::Sampler::Global().Start(options).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  obs::Sampler::Global().Stop();
+  EXPECT_FALSE(obs::Sampler::Global().running());
+  Result<JsonValue> parsed = ParseJson(obs::Sampler::Global().TimeSeriesJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Member(*parsed, "interval_ms").number, 5.0);
+  EXPECT_EQ(Member(*parsed, "capacity").number, 16.0);
+  const JsonValue& series = Member(*parsed, "series");
+  ASSERT_FALSE(series.array.empty());
+  // Multiple ticks happened, capacity bounds the window.
+  for (const JsonValue& entry : series.array) {
+    size_t n = Member(entry, "points").array.size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 16u);
+  }
+  // Stop is idempotent; a stopped sampler keeps its history.
+  obs::Sampler::Global().Stop();
+}
+
+TEST(SamplerTest, ConcurrentWritersDoNotDisturbSampling) {
+  // Hammer counters and a histogram from several threads while the
+  // sampler snapshots at its fastest cadence; the total must stay exact
+  // and the sampler's final tick must observe it. (The TSan CI leg runs
+  // this test too, which is the real point.)
+  obs::Metrics::Global().FindOrCreateCounter("test.hammer")->Reset();
+  obs::Sampler::Global().Clear();
+  obs::SamplerOptions options;
+  options.interval_ms = 1;
+  ASSERT_TRUE(obs::Sampler::Global().Start(options).ok());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      obs::Counter* counter = obs::Metrics::Global().FindOrCreateCounter("test.hammer");
+      obs::Histogram* histogram =
+          obs::Metrics::Global().FindOrCreateHistogram("test.hammer_us");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Add();
+        histogram->Observe(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  obs::Sampler::Global().SampleOnce();  // deterministic final tick
+  obs::Sampler::Global().Stop();
+  EXPECT_EQ(obs::Metrics::Global().FindOrCreateCounter("test.hammer")->Value(),
+            int64_t{kThreads} * kIncrements);
+  Result<JsonValue> parsed = ParseJson(obs::Sampler::Global().TimeSeriesJson());
+  ASSERT_TRUE(parsed.ok());
+  bool saw_final = false;
+  for (const JsonValue& entry : Member(*parsed, "series").array) {
+    if (Member(entry, "name").string_value == "test.hammer") {
+      const JsonValue& points = Member(entry, "points");
+      ASSERT_FALSE(points.array.empty());
+      EXPECT_EQ(points.array.back().array.at(1).number,
+                static_cast<double>(int64_t{kThreads} * kIncrements));
+      saw_final = true;
+    }
+  }
+  EXPECT_TRUE(saw_final);
+}
+
+TEST(SamplerTest, UpdateProcessGaugesPublishesRss) {
+  obs::UpdateProcessGauges();
+  obs::MetricsSnapshot snapshot = obs::Metrics::Global().Snapshot();
+  double rss = 0.0;
+  double uptime = -1.0;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "process.rss_kb") {
+      rss = value;
+    }
+    if (name == "process.uptime_seconds") {
+      uptime = value;
+    }
+  }
+  EXPECT_GT(rss, 0.0);
+  EXPECT_GE(uptime, 0.0);
+}
+
+// ------------------------------------------------------------- net helper
+
+TEST(NetTest, BindDialRoundTrip) {
+  Result<net::TcpListener> listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  EXPECT_GT(listener->port(), 0);
+  std::thread server([&listener] {
+    Result<net::TcpConn> conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    Result<std::string> got = conn->ReadUntil("\n", 128);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(conn->WriteAll("pong:" + *got).ok());
+  });
+  Result<net::TcpConn> client = net::DialLoopback(listener->port());
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  ASSERT_TRUE(client->WriteAll("ping\n").ok());
+  client->ShutdownWrite();
+  Result<std::string> reply = client->ReadAll(128);
+  server.join();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "pong:ping\n");
+}
+
+TEST(NetTest, DialRefusedPortFails) {
+  // Bind then close to get a port that is (momentarily) guaranteed free.
+  Result<net::TcpListener> listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  uint16_t port = listener->port();
+  listener->Close();
+  Result<net::TcpConn> conn = net::DialLoopback(port);
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(NetTest, BusyPortReportsError) {
+  Result<net::TcpListener> first = net::TcpListener::Bind(0);
+  ASSERT_TRUE(first.ok());
+  Result<net::TcpListener> second = net::TcpListener::Bind(first->port());
+  EXPECT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find(std::to_string(first->port())),
+            std::string::npos);
+}
+
+// --------------------------------------------------------- HTTP endpoint
+
+std::string HttpGet(uint16_t port, const std::string& request) {
+  Result<net::TcpConn> conn = net::DialLoopback(port);
+  EXPECT_TRUE(conn.ok());
+  if (!conn.ok()) {
+    return std::string();
+  }
+  EXPECT_TRUE(conn->WriteAll(request).ok());
+  Result<std::string> response = conn->ReadAll(1 << 20);
+  EXPECT_TRUE(response.ok());
+  return response.ok() ? *response : std::string();
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(MetricsServerTest, ServesMetricsHealthzAndTimeseries) {
+  obs::Metrics::Global().FindOrCreateCounter("test.server_counter")->Add(9);
+  ASSERT_TRUE(obs::MetricsServer::Global().Start(0).ok());
+  EXPECT_TRUE(obs::MetricsServer::Global().running());
+  uint16_t port = obs::MetricsServer::Global().port();
+  ASSERT_GT(port, 0);
+
+  std::string metrics =
+      HttpGet(port, "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("scoded_test_server_counter_total"), std::string::npos);
+  // The endpoint refreshes process gauges on every scrape.
+  EXPECT_NE(metrics.find("scoded_process_rss_kb"), std::string::npos);
+
+  std::string healthz = HttpGet(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(Body(healthz), "ok\n");
+
+  // Query strings are ignored in routing.
+  std::string with_query = HttpGet(port, "GET /healthz?probe=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(with_query.find("200 OK"), std::string::npos);
+
+  std::string timeseries = HttpGet(port, "GET /timeseries HTTP/1.0\r\n\r\n");
+  EXPECT_NE(timeseries.find("application/json"), std::string::npos);
+  Result<JsonValue> parsed = ParseJson(Body(timeseries));
+  EXPECT_TRUE(parsed.ok()) << Body(timeseries);
+
+  std::string missing = HttpGet(port, "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  std::string post = HttpGet(port, "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.0 405 Method Not Allowed"), std::string::npos);
+
+  // Second Start while running fails with the bound port in the message.
+  Status again = obs::MetricsServer::Global().Start(0);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+
+  obs::MetricsServer::Global().Stop();
+  EXPECT_FALSE(obs::MetricsServer::Global().running());
+  obs::MetricsServer::Global().Stop();  // idempotent
+
+  // The server restarts cleanly after a Stop.
+  ASSERT_TRUE(obs::MetricsServer::Global().Start(0).ok());
+  uint16_t port2 = obs::MetricsServer::Global().port();
+  std::string healthz2 = HttpGet(port2, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(healthz2.find("200 OK"), std::string::npos);
+  obs::MetricsServer::Global().Stop();
+}
+
+TEST(MetricsServerTest, ConcurrentScrapesWhileCountersMove) {
+  ASSERT_TRUE(obs::MetricsServer::Global().Start(0).ok());
+  uint16_t port = obs::MetricsServer::Global().port();
+  std::atomic<bool> done{false};
+  std::thread writer([&done] {
+    obs::Counter* counter = obs::Metrics::Global().FindOrCreateCounter("test.scrape_race");
+    while (!done.load(std::memory_order_relaxed)) {
+      counter->Add();
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    std::string response = HttpGet(port, "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+  }
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+  obs::MetricsServer::Global().Stop();
+}
+
+// ------------------------------------------------------- gauge monotones
+
+TEST(GaugeTest, MaxWithNeverLowers) {
+  obs::Metrics metrics;
+  obs::Gauge* gauge = metrics.FindOrCreateGauge("test.max");
+  gauge->MaxWith(5.0);
+  EXPECT_EQ(gauge->Value(), 5.0);
+  gauge->MaxWith(3.0);
+  EXPECT_EQ(gauge->Value(), 5.0);
+  gauge->MaxWith(7.5);
+  EXPECT_EQ(gauge->Value(), 7.5);
+}
+
+TEST(GaugeTest, MinWithNeverRaises) {
+  obs::Metrics metrics;
+  obs::Gauge* gauge = metrics.FindOrCreateGauge("test.min");
+  gauge->Set(1.0);
+  gauge->MinWith(0.25);
+  EXPECT_EQ(gauge->Value(), 0.25);
+  gauge->MinWith(0.5);
+  EXPECT_EQ(gauge->Value(), 0.25);
+}
+
+TEST(GaugeTest, ConcurrentMaxWithIsMonotone) {
+  obs::Metrics metrics;
+  obs::Gauge* gauge = metrics.FindOrCreateGauge("test.race_max");
+  constexpr int kThreads = 8;
+  constexpr int kSteps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge, t] {
+      for (int i = 0; i < kSteps; ++i) {
+        gauge->MaxWith(static_cast<double>(t * kSteps + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(gauge->Value(), static_cast<double>((kThreads - 1) * kSteps + kSteps - 1));
+}
+
+#endif  // SCODED_OBS_DISABLED
+
+}  // namespace
+}  // namespace scoded

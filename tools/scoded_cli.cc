@@ -37,6 +37,16 @@
 //                      + collapsed stacks)
 //   --log-level LVL    debug|info|warn|error|off (overrides SCODED_LOG);
 //                      diagnostics are JSONL records on stderr
+//   --metrics-port N   serve live telemetry over HTTP on 127.0.0.1:N for
+//                      the duration of the command (0 = ephemeral port,
+//                      logged at startup): GET /metrics is a Prometheus
+//                      text exposition of every counter/gauge/histogram
+//                      plus process RSS/CPU/thread-pool gauges, /healthz
+//                      a liveness probe, /timeseries the JSON ring-buffer
+//                      history recorded by a 10 Hz background sampler.
+//                      Read-only over atomics: results are byte-identical
+//                      with or without the flag. Without the flag the
+//                      SCODED_METRICS_PORT environment variable applies.
 //
 // Execution (any subcommand):
 //   --threads N        worker threads for batch checking, stratified
@@ -68,10 +78,12 @@
 #include "discovery/pc.h"
 #include "eval/report.h"
 #include "obs/build_info.h"
+#include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "repair/cell_repair.h"
 #include "stats/descriptive.h"
@@ -99,7 +111,7 @@ int Usage() {
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
                "[--out FILE] [--shard-rows N]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
-               "[--log-level debug|info|warn|error] [--threads N]\n");
+               "[--log-level debug|info|warn|error] [--threads N] [--metrics-port N]\n");
   return 1;
 }
 
@@ -711,6 +723,42 @@ int main(int argc, char** argv) {
   if (args.flags.count("profile") > 0) {
     obs::EnableProfiler();
   }
+  // Live telemetry endpoint: --metrics-port wins over SCODED_METRICS_PORT.
+  // Started before dispatch so a scrape observes the whole run; everything
+  // it serves is read-only over atomics, so the command's output is
+  // byte-identical with or without it.
+  bool metrics_endpoint = false;
+  {
+    std::string port_text;
+    auto metrics_port = args.flags.find("metrics-port");
+    if (metrics_port != args.flags.end()) {
+      port_text = metrics_port->second;
+    } else if (const char* env = std::getenv("SCODED_METRICS_PORT")) {
+      if (*env != '\0') {
+        port_text = env;
+      }
+    }
+    if (!port_text.empty()) {
+      char* end = nullptr;
+      long port = std::strtol(port_text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        return FailMessage("--metrics-port expects a port in [0, 65535], got '" + port_text +
+                           "'");
+      }
+      Status status = obs::MetricsServer::Global().Start(static_cast<uint16_t>(port));
+      if (!status.ok()) {
+        return Fail(status);
+      }
+      if (Status sampler = obs::Sampler::Global().Start(); !sampler.ok()) {
+        obs::MetricsServer::Global().Stop();
+        return Fail(sampler);
+      }
+      metrics_endpoint = true;
+      obs::LogInfo("metrics endpoint listening",
+                   {{"port", static_cast<int64_t>(obs::MetricsServer::Global().port())},
+                    {"paths", "/metrics /healthz /timeseries"}});
+    }
+  }
   int rc = 1;
   {
     obs::PhaseTimer timer(&g_telemetry, "cli/main");
@@ -718,6 +766,13 @@ int main(int argc, char** argv) {
       timer.span().Arg("command", args.command);
     }
     rc = Dispatch(args);
+  }
+  if (metrics_endpoint) {
+    // Final tick so /timeseries captured the end state, then tear down
+    // before the observability artefacts are written.
+    obs::Sampler::Global().SampleOnce();
+    obs::Sampler::Global().Stop();
+    obs::MetricsServer::Global().Stop();
   }
   return EmitObservability(args, rc);
 }
