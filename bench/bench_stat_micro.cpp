@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/flightrec.h"
 #include "obs/timeseries.h"
 #include "stats/contingency.h"
 #include "stats/hypothesis.h"
@@ -217,6 +218,52 @@ void BM_StratifiedGSampled(benchmark::State& state) {
 BENCHMARK(BM_StratifiedGSampled)
     ->ArgsProduct({{65536}, {1, 4}, {0, 1}})
     ->ArgNames({"n", "threads", "sampler"});
+
+// ---------------------------------------------------------------------------
+// Flight-recorder overhead. The same stratified kernels with the journal
+// armed (spans and heartbeats land in the per-thread lock-free rings)
+// versus disarmed. The journal is a handful of relaxed atomic stores per
+// span, so the /flightrec rows must stay within ~2% of the disarmed rows
+// (the acceptance bar for the obs/flightrec layer).
+// ---------------------------------------------------------------------------
+
+void BM_StratifiedTauJournal(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 8);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  bool armed = state.range(2) != 0;
+  if (armed) {
+    (void)obs::ArmFlightRecorder();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceTest(table, 0, 1, {2}).value());
+  }
+  if (armed) {
+    obs::DisarmFlightRecorder();
+  }
+  parallel::SetThreads(0);
+}
+BENCHMARK(BM_StratifiedTauJournal)
+    ->ArgsProduct({{65536}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "flightrec"});
+
+void BM_StratifiedGJournal(benchmark::State& state) {
+  Table table = StratifiedTable(static_cast<size_t>(state.range(0)), 9);
+  parallel::SetThreads(static_cast<int>(state.range(1)));
+  bool armed = state.range(2) != 0;
+  if (armed) {
+    (void)obs::ArmFlightRecorder();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceTest(table, 3, 0, {2}).value());
+  }
+  if (armed) {
+    obs::DisarmFlightRecorder();
+  }
+  parallel::SetThreads(0);
+}
+BENCHMARK(BM_StratifiedGJournal)
+    ->ArgsProduct({{65536}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "flightrec"});
 
 #endif  // !SCODED_OBS_DISABLED
 

@@ -23,7 +23,7 @@ Status WriteTextFile(const std::string& path, std::string_view contents) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status(StatusCode::kNotFound,
-                  "cannot open " + path + " for writing: " + std::strerror(errno));
+                  "cannot open " + path + " for writing: " + ErrnoMessage(errno));
   }
   size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
   int close_error = std::fclose(f);
@@ -37,7 +37,7 @@ Result<std::string> ReadTextFile(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status(StatusCode::kNotFound,
-                  "cannot open " + path + " for reading: " + std::strerror(errno));
+                  "cannot open " + path + " for reading: " + ErrnoMessage(errno));
   }
   std::string out;
   char buffer[1 << 14];

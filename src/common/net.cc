@@ -14,7 +14,7 @@ namespace scoded::net {
 namespace {
 
 std::string Errno(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  return std::string(what) + ": " + ErrnoMessage(errno);
 }
 
 }  // namespace

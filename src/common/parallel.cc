@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -180,6 +181,9 @@ class ThreadPool {
         return;
       }
       tasks_counter->Add();
+      // Heartbeat at claim time: a task that then hangs leaves the claim
+      // as the last beat, which is exactly what the watchdog should see.
+      obs::Heartbeat("parallel.chunk", static_cast<int64_t>(chunk));
       wait_histogram->Observe(obs::NowMicros() - job->submit_us);
       static obs::Gauge* const inflight_gauge = PoolGauge("parallel.pool_inflight_tasks");
       inflight_gauge->Set(

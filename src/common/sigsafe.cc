@@ -1,0 +1,163 @@
+#include "common/sigsafe.h"
+
+#include <csignal>
+#include <cmath>
+#include <unistd.h>
+
+#if defined(__GLIBC__) || __has_include(<execinfo.h>)
+#define SCODED_HAVE_EXECINFO 1
+#include <execinfo.h>
+#endif
+
+namespace scoded::sigsafe {
+
+void Writer::Char(char c) {
+  if (len_ == sizeof(buf_)) {
+    Flush();
+  }
+  buf_[len_++] = c;
+}
+
+void Writer::Str(const char* s) {
+  if (s == nullptr) {
+    return;
+  }
+  for (; *s != '\0'; ++s) {
+    Char(*s);
+  }
+}
+
+void Writer::StrN(const char* s, size_t max) {
+  if (s == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < max && s[i] != '\0'; ++i) {
+    Char(s[i]);
+  }
+}
+
+void Writer::Dec(int64_t v) {
+  if (v < 0) {
+    Char('-');
+    // Negate in unsigned space so INT64_MIN does not overflow.
+    Udec(~static_cast<uint64_t>(v) + 1);
+    return;
+  }
+  Udec(static_cast<uint64_t>(v));
+}
+
+void Writer::Udec(uint64_t v) {
+  char digits[20];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) {
+    Char(digits[--n]);
+  }
+}
+
+void Writer::Hex(uint64_t v) {
+  static const char kHex[] = "0123456789abcdef";
+  char digits[16];
+  size_t n = 0;
+  do {
+    digits[n++] = kHex[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  Str("0x");
+  while (n > 0) {
+    Char(digits[--n]);
+  }
+}
+
+void Writer::Fixed(double v) {
+  if (std::isnan(v)) {
+    Str("nan");
+    return;
+  }
+  if (v < 0) {
+    Char('-');
+    v = -v;
+  }
+  if (std::isinf(v)) {
+    Str("inf");
+    return;
+  }
+  // Saturate instead of invoking UB on doubles beyond int64 range; gauges
+  // are counts and seconds, so the clamp never fires in practice.
+  if (v >= 9.0e18) {
+    Str(">9.0e18");
+    return;
+  }
+  uint64_t whole = static_cast<uint64_t>(v);
+  uint64_t frac = static_cast<uint64_t>((v - static_cast<double>(whole)) * 1e6 + 0.5);
+  if (frac >= 1000000) {
+    frac -= 1000000;
+    ++whole;
+  }
+  Udec(whole);
+  Char('.');
+  for (uint64_t scale = 100000; scale > 0; scale /= 10) {
+    Char(static_cast<char>('0' + (frac / scale) % 10));
+  }
+}
+
+void Writer::Flush() {
+  size_t off = 0;
+  while (off < len_) {
+    ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+    if (n <= 0) {
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  len_ = 0;
+}
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGQUIT:
+      return "SIGQUIT";
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGINT:
+      return "SIGINT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+void WarmUpBacktrace() {
+#if defined(SCODED_HAVE_EXECINFO)
+  void* frames[4];
+  (void)backtrace(frames, 4);
+#endif
+}
+
+void WriteBacktrace(int fd, int skip_frames) {
+#if defined(SCODED_HAVE_EXECINFO)
+  void* frames[64];
+  int depth = backtrace(frames, 64);
+  if (skip_frames < 0 || skip_frames >= depth) {
+    skip_frames = 0;
+  }
+  backtrace_symbols_fd(frames + skip_frames, depth - skip_frames, fd);
+#else
+  Writer w(fd);
+  w.Str("(backtrace unavailable on this platform)\n");
+#endif
+}
+
+}  // namespace scoded::sigsafe

@@ -1,0 +1,54 @@
+#ifndef SCODED_COMMON_SIGSAFE_H_
+#define SCODED_COMMON_SIGSAFE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scoded::sigsafe {
+
+/// Formats text into a fixed stack buffer and flushes it with write(2)
+/// only — every member is safe to call from a signal handler (no malloc,
+/// no stdio, no locks). Output is best-effort: write errors are ignored,
+/// because the writer runs when the process is already dying.
+class Writer {
+ public:
+  explicit Writer(int fd) : fd_(fd) {}
+  ~Writer() { Flush(); }
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void Char(char c);
+  /// Appends a NUL-terminated string.
+  void Str(const char* s);
+  /// Appends at most `max` bytes of `s`, stopping at the first NUL. Use for
+  /// buffers that may hold torn (concurrently written) data.
+  void StrN(const char* s, size_t max);
+  void Dec(int64_t v);
+  void Udec(uint64_t v);
+  void Hex(uint64_t v);
+  /// Fixed-point rendering with six fractional digits; nan/inf spelled out.
+  void Fixed(double v);
+  void Flush();
+
+ private:
+  int fd_;
+  size_t len_ = 0;
+  char buf_[768];
+};
+
+/// "SIGSEGV" for SIGSEGV and friends; "UNKNOWN" for anything unnamed here.
+const char* SignalName(int signo);
+
+/// Forces the lazy initialisation inside backtrace(3) (libgcc dlopen and
+/// unwind-table setup) to happen now, outside signal context. Call once
+/// before relying on WriteBacktrace from a handler.
+void WarmUpBacktrace();
+
+/// Writes the calling thread's symbolised backtrace to `fd`, skipping the
+/// innermost `skip_frames` frames. Async-signal-safe after WarmUpBacktrace.
+void WriteBacktrace(int fd, int skip_frames);
+
+}  // namespace scoded::sigsafe
+
+#endif  // SCODED_COMMON_SIGSAFE_H_

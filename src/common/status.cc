@@ -1,6 +1,30 @@
 #include "common/status.h"
 
+#include <cstring>
+
 namespace scoded {
+
+namespace {
+
+// strerror_r comes in two shapes: the XSI variant returns an int and fills
+// the caller's buffer; the GNU variant (what glibc gives C++ builds, which
+// predefine _GNU_SOURCE) returns a char* that may point at a static string
+// instead of the buffer. Overload resolution on the return type handles
+// whichever one this libc declared.
+const char* StrerrorResult(int rc, const char* buffer) {
+  return rc == 0 ? buffer : "Unknown error";
+}
+const char* StrerrorResult(const char* result, const char* /*buffer*/) {
+  return result != nullptr ? result : "Unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int errno_value) {
+  char buffer[256];
+  buffer[0] = '\0';
+  return StrerrorResult(strerror_r(errno_value, buffer, sizeof(buffer)), buffer);
+}
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {

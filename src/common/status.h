@@ -63,6 +63,11 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+/// Thread-safe replacement for `strerror(errno)`: renders `errno_value`
+/// via strerror_r (coping with both the XSI and the GNU variant), never
+/// touching the shared static buffer that strerror(3) may hand out.
+std::string ErrnoMessage(int errno_value);
+
 /// Convenience factories mirroring the code enum.
 Status OkStatus();
 Status InvalidArgumentError(std::string message);

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/parallel.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/encoding_cache.h"
@@ -105,8 +106,9 @@ Result<Scoded::BatchCheckResult> Scoded::CheckAll(
           constraints.size(), /*grain=*/1, [&](size_t i) {
             std::optional<Result<ViolationReport>> slot(
                 DetectViolation(table_, constraints[i], batch_options));
-            progress_constraints->MaxWith(
-                static_cast<double>(checked.fetch_add(1, std::memory_order_relaxed) + 1));
+            int64_t done = checked.fetch_add(1, std::memory_order_relaxed) + 1;
+            progress_constraints->MaxWith(static_cast<double>(done));
+            obs::Heartbeat("core.constraint_checked", done);
             return slot;
           });
   out.reports.reserve(constraints.size());

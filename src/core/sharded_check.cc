@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/shard_stats.h"
@@ -172,6 +173,7 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
       indices.push_back(shards_read);
       row_offset += shard->NumRows();
       ++shards_read;
+      obs::Heartbeat("core.shard_read", static_cast<int64_t>(shards_read));
       shards.push_back(std::move(*shard));
     }
     if (shards.empty()) {
@@ -211,6 +213,7 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
     out.shards += shards.size();
     progress_shards_done->MaxWith(static_cast<double>(out.shards));
     progress_rows->MaxWith(static_cast<double>(row_offset));
+    obs::Heartbeat("core.shards_done", static_cast<int64_t>(out.shards));
   }
   out.rows = row_offset;
 
@@ -292,6 +295,7 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
     out.reports.push_back(std::move(report));
     progress_constraints->MaxWith(static_cast<double>(i + 1));
     progress_min_p->MinWith(decision_p);
+    obs::Heartbeat("core.constraint_checked", static_cast<int64_t>(i + 1));
   }
   return out;
 }

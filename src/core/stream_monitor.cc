@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 
 namespace scoded {
@@ -61,6 +62,7 @@ Status StreamMonitor::Append(const Table& batch) {
     min_p = std::min(min_p, monitor.CurrentPValue());
   }
   progress_min_p->Set(min_p);
+  obs::Heartbeat("core.stream_append", static_cast<int64_t>(records_));
   return status;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/json.h"
 #include "common/status.h"
+#include "obs/flightrec.h"
 #include "obs/trace.h"
 
 namespace scoded::obs {
@@ -80,11 +81,12 @@ void SetMinLogLevel(LogLevel level) {
 
 std::string FormatLogRecord(LogLevel level, std::string_view msg,
                             std::initializer_list<LogField> fields, uint64_t span_id,
-                            int64_t ts_us) {
+                            int64_t ts_us, uint32_t tid) {
   JsonWriter json;
   json.BeginObject();
   json.Key("ts_us").Int(ts_us);
   json.Key("level").String(LogLevelName(level));
+  json.Key("tid").Uint(tid);
   if (span_id != 0) {
     json.Key("span").Uint(span_id);
   }
@@ -115,7 +117,9 @@ void LogAt(LogLevel level, std::string_view msg,
   if (!LogEnabled(level) || level == LogLevel::kOff) {
     return;
   }
-  std::string line = FormatLogRecord(level, msg, fields, CurrentSpanId(), NowMicros());
+  std::string line =
+      FormatLogRecord(level, msg, fields, CurrentSpanId(), NowMicros(), CurrentTid());
+  flightrec_internal::JournalLog(LogLevelName(level).data(), msg);
   std::lock_guard<std::mutex> lock(SinkMutex());
   std::fprintf(stderr, "%s\n", line.c_str());
 }

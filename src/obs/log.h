@@ -13,11 +13,13 @@ namespace scoded::obs {
 
 /// Leveled, structured (JSONL-to-stderr) logging. One line per record:
 ///
-///   {"ts_us":1234,"level":"warn","span":7,"msg":"...","key":value,...}
+///   {"ts_us":1234,"level":"warn","tid":2,"span":7,"msg":"...","key":value,...}
 ///
-/// `span` is the id of the innermost active trace/profile span on the
-/// logging thread (omitted when none), so log lines can be joined against
-/// --trace-out / --profile output. The minimum level comes from the
+/// `tid` is the logging thread's dense id (the same id used by trace
+/// events and flight-recorder thread dumps) and `span` the id of the
+/// innermost active trace/profile span on that thread (omitted when
+/// none), so log lines can be joined against --trace-out / --profile
+/// output and against crash-report journals. The minimum level comes from the
 /// SCODED_LOG environment variable (debug|info|warn|error|off) and can be
 /// overridden programmatically (the CLI's --log-level flag). Default: info.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
@@ -65,7 +67,7 @@ struct LogField {
 /// exposed so tests can check the wire format without capturing stderr.
 std::string FormatLogRecord(LogLevel level, std::string_view msg,
                             std::initializer_list<LogField> fields, uint64_t span_id,
-                            int64_t ts_us);
+                            int64_t ts_us, uint32_t tid);
 
 /// Emits one record to stderr if `level` clears the minimum. Writes are
 /// serialized under a mutex so concurrent records never interleave.

@@ -47,6 +47,32 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+namespace internal {
+
+InstrumentDirEntry g_instrument_dir[kInstrumentDirCapacity];
+std::atomic<size_t> g_instrument_dir_count{0};
+
+}  // namespace internal
+
+namespace {
+
+// Called under the registry mutex (single writer); readers acquire-load
+// the count from signal context. Instruments beyond the directory's
+// capacity still work — they are just invisible to crash reports.
+void PublishInstrument(const char* name, internal::InstrumentKind kind,
+                       const void* instrument) {
+  using internal::g_instrument_dir;
+  using internal::g_instrument_dir_count;
+  size_t i = g_instrument_dir_count.load(std::memory_order_relaxed);
+  if (i >= internal::kInstrumentDirCapacity) {
+    return;
+  }
+  g_instrument_dir[i] = {name, kind, instrument};
+  g_instrument_dir_count.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace
+
 Metrics& Metrics::Global() {
   static Metrics* metrics = new Metrics();  // leaked: outlives all users
   return *metrics;
@@ -57,6 +83,8 @@ Counter* Metrics::FindOrCreateCounter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    PublishInstrument(it->first.c_str(), internal::InstrumentKind::kCounter,
+                      it->second.get());
   }
   return it->second.get();
 }
@@ -66,6 +94,8 @@ Gauge* Metrics::FindOrCreateGauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    PublishInstrument(it->first.c_str(), internal::InstrumentKind::kGauge,
+                      it->second.get());
   }
   return it->second.get();
 }
@@ -75,6 +105,8 @@ Histogram* Metrics::FindOrCreateHistogram(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    PublishInstrument(it->first.c_str(), internal::InstrumentKind::kHistogram,
+                      it->second.get());
   }
   return it->second.get();
 }

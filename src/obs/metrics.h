@@ -150,6 +150,29 @@ class Metrics {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+namespace internal {
+
+/// Append-only, lock-free mirror of every registered instrument, readable
+/// from a signal handler: the flight recorder's crash writer cannot take
+/// the registry mutex, so each FindOrCreate* publishes its new instrument
+/// here with a release store of the count. `name` points at the registry
+/// map's key (node-stable), `instrument` at the process-lifetime atomic
+/// object; a reader that acquire-loads the count sees fully written
+/// entries and may then read the instruments with relaxed loads.
+enum class InstrumentKind : uint8_t { kCounter, kGauge, kHistogram };
+
+struct InstrumentDirEntry {
+  const char* name;
+  InstrumentKind kind;
+  const void* instrument;
+};
+
+inline constexpr size_t kInstrumentDirCapacity = 1024;
+extern InstrumentDirEntry g_instrument_dir[kInstrumentDirCapacity];
+extern std::atomic<size_t> g_instrument_dir_count;
+
+}  // namespace internal
+
 }  // namespace scoded::obs
 
 #endif  // SCODED_OBS_METRICS_H_

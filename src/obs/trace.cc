@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/fileio.h"
+#include "obs/flightrec.h"
 #include "obs/profiler.h"
 
 namespace scoded::obs {
@@ -66,12 +67,14 @@ void RemoveSpanSink(uint32_t bit) {
 
 void PushSpanFrame(const char* name) {
   t_span_stack.push_back(SpanFrame{name, NextSpanId(), 0});
+  flightrec_internal::JournalSpanBegin(name);
 }
 
 void FinishSpanFrame(uint32_t sinks, const char* name, int64_t start_us,
                      std::string args_json) {
   int64_t end_us = NowMicros();
   int64_t dur_us = end_us - start_us;
+  flightrec_internal::JournalSpanEnd(name, dur_us);
   int64_t child_us = 0;
   if (!t_span_stack.empty()) {
     // RAII spans nest strictly, so the top frame is this span's.

@@ -33,6 +33,11 @@ namespace internal {
 /// profiler existed.
 inline constexpr uint32_t kTraceSink = 1u;
 inline constexpr uint32_t kProfileSink = 2u;
+/// Set while the flight recorder is armed: spans then push frames (and
+/// journal begin/end events) even when neither the tracer nor the
+/// profiler is collecting, so a crash report can show every thread's
+/// live span stack.
+inline constexpr uint32_t kJournalSink = 4u;
 extern std::atomic<uint32_t> g_span_sinks;
 
 inline uint32_t SpanSinks() { return g_span_sinks.load(std::memory_order_relaxed); }

@@ -1,3 +1,5 @@
+#include <cerrno>
+
 #include <algorithm>
 #include <set>
 
@@ -24,6 +26,19 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(s.message(), "bad input");
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, ErrnoMessageMatchesKnownErrnos) {
+  // The exact wording is libc's business; non-empty and distinct per errno
+  // is what callers rely on when stitching messages together.
+  std::string enoent = ErrnoMessage(ENOENT);
+  std::string eacces = ErrnoMessage(EACCES);
+  EXPECT_FALSE(enoent.empty());
+  EXPECT_FALSE(eacces.empty());
+  EXPECT_NE(enoent, eacces);
+  EXPECT_EQ(enoent, "No such file or directory");
+  // Bogus errno values still come back as printable text.
+  EXPECT_FALSE(ErrnoMessage(999999).empty());
 }
 
 TEST(StatusTest, OkCodeDropsMessage) {

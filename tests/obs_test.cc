@@ -389,11 +389,12 @@ TEST(LogTest, FormatLogRecordIsParseableJsonWithFlattenedFields) {
   std::string record = obs::FormatLogRecord(
       obs::LogLevel::kWarn, "load \"failed\"",
       {{"path", "a/b.csv"}, {"rows", 128}, {"ratio", 0.5}, {"retry", true}},
-      /*span_id=*/7, /*ts_us=*/123456);
+      /*span_id=*/7, /*ts_us=*/123456, /*tid=*/3);
   Result<JsonValue> parsed = ParseJson(record);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\nrecord: " << record;
   EXPECT_EQ(parsed->Find("ts_us")->number, 123456.0);
   EXPECT_EQ(parsed->Find("level")->string_value, "warn");
+  EXPECT_EQ(parsed->Find("tid")->number, 3.0);
   EXPECT_EQ(parsed->Find("span")->number, 7.0);
   EXPECT_EQ(parsed->Find("msg")->string_value, "load \"failed\"");
   EXPECT_EQ(parsed->Find("path")->string_value, "a/b.csv");
@@ -405,11 +406,12 @@ TEST(LogTest, FormatLogRecordIsParseableJsonWithFlattenedFields) {
 }
 
 TEST(LogTest, SpanIdZeroIsOmitted) {
-  std::string record =
-      obs::FormatLogRecord(obs::LogLevel::kInfo, "no span", {}, /*span_id=*/0, 1);
+  std::string record = obs::FormatLogRecord(obs::LogLevel::kInfo, "no span", {},
+                                            /*span_id=*/0, 1, /*tid=*/0);
   Result<JsonValue> parsed = ParseJson(record);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->Find("span"), nullptr);
+  EXPECT_NE(parsed->Find("tid"), nullptr);
 }
 
 TEST(LogTest, ParseLogLevelAcceptsTheDocumentedNamesOnly) {

@@ -150,7 +150,7 @@ TEST(ProfilerTest, SpanIdsVisibleToLoggingInsideSpans) {
     uint64_t id = obs::CurrentSpanId();
     EXPECT_NE(id, 0u);
     std::string record = obs::FormatLogRecord(obs::LogLevel::kInfo, "inside", {},
-                                              obs::CurrentSpanId(), 1);
+                                              obs::CurrentSpanId(), 1, obs::CurrentTid());
     EXPECT_NE(record.find("\"span\":" + std::to_string(id)), std::string::npos);
   }
   EXPECT_EQ(obs::CurrentSpanId(), 0u);

@@ -23,6 +23,13 @@
 //   scoded fds         --csv FILE [--max-g3 0.25]  (approximate FDs +
 //                      their Prop. 2 DSC translations)
 //   scoded consistency --sc "..." [--sc "..." ...]
+//   scoded top         --port N [--interval-ms 500] [--iterations K]
+//                      (attach to a running scoded's --metrics-port and
+//                      render a live dashboard: rows/s, shards done,
+//                      current min-p, an RSS sparkline. Exits cleanly when
+//                      the monitored run finishes.)
+//   scoded inspect     FILE  (pretty-print the crash/stall reports the
+//                      flight recorder wrote; exit 1 on malformed input)
 //   scoded version     (build identity: git describe, build type, obs mode)
 //
 // Observability (any subcommand):
@@ -47,6 +54,20 @@
 //                      Read-only over atomics: results are byte-identical
 //                      with or without the flag. Without the flag the
 //                      SCODED_METRICS_PORT environment variable applies.
+//   --flight-recorder-events N
+//                      per-thread flight-recorder ring capacity (default
+//                      256; 0 disables). The recorder is armed by default:
+//                      fatal signals and std::terminate leave a crash
+//                      report, SIGQUIT dumps a stall report while the run
+//                      continues. Reports land in SCODED_CRASH_DIR (or the
+//                      current directory) as scoded-{crash,stall}-PID.report;
+//                      inspect them with `scoded inspect`. Without the flag
+//                      SCODED_FLIGHT_RECORDER_EVENTS applies. Forensic-only:
+//                      results are byte-identical with or without it.
+//   --watchdog-secs T  start a watchdog thread that dumps a stall report
+//                      when no heartbeat arrives for T seconds while the
+//                      pool still reports pending work (0 = off, default).
+//                      Without the flag SCODED_WATCHDOG_SECS applies.
 //
 // Execution (any subcommand):
 //   --threads N        worker threads for batch checking, stratified
@@ -59,16 +80,22 @@
 // checked constraint is violated, 1 any error. The violation exit code
 // makes `scoded check` usable as a data-quality gate in pipelines.
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fileio.h"
 #include "common/json.h"
+#include "common/net.h"
 #include "common/parallel.h"
 #include "constraints/graphoid.h"
 #include "core/scoded.h"
@@ -79,6 +106,7 @@
 #include "eval/report.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flightrec.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -102,16 +130,18 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
   std::vector<std::string> constraints;  // repeated --sc
+  std::vector<std::string> positional;   // e.g. the FILE of `scoded inspect FILE`
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|version> "
+               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|top|inspect|version> "
                "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
-               "[--out FILE] [--shard-rows N]\n"
+               "[--out FILE] [--shard-rows N] [--port N] [--interval-ms MS]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
-               "[--log-level debug|info|warn|error] [--threads N] [--metrics-port N]\n");
+               "[--log-level debug|info|warn|error] [--threads N] [--metrics-port N]\n"
+               "              [--flight-recorder-events N] [--watchdog-secs T]\n");
   return 1;
 }
 
@@ -134,7 +164,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) {
-      return false;
+      // Bare operands (`scoded inspect FILE`); commands that take none
+      // report the usage error themselves with better context.
+      out->positional.push_back(std::move(flag));
+      continue;
     }
     // --stats / --profile may appear valueless (output goes to stderr) or
     // with a FILE.
@@ -592,6 +625,225 @@ int RunConsistency(const Args& args) {
   return 2;
 }
 
+// ----------------------------------------------------------------------
+// scoded top — live attach to a running scoded's --metrics-port endpoint.
+
+// One-shot HTTP/1.0 GET against the loopback metrics endpoint; returns the
+// response body.
+Result<std::string> FetchHttp(uint16_t port, const std::string& path) {
+  SCODED_ASSIGN_OR_RETURN(net::TcpConn conn, net::DialLoopback(port));
+  SCODED_RETURN_IF_ERROR(
+      conn.WriteAll("GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n"));
+  conn.ShutdownWrite();
+  SCODED_ASSIGN_OR_RETURN(std::string response, conn.ReadAll(4u << 20));
+  size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos) {
+    return InternalError("GET " + path + ": malformed HTTP response");
+  }
+  if (response.find(" 200 ") >= line_end) {
+    return InternalError("GET " + path + ": " + response.substr(0, line_end));
+  }
+  size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return InternalError("GET " + path + ": missing header terminator");
+  }
+  return response.substr(body + 4);
+}
+
+// Parses the Prometheus text exposition into name -> value. Histogram
+// bucket lines carry labels and land under their full `name{le="..."}`
+// key, which the dashboard simply never looks up.
+std::map<std::string, double> ParseMetricsText(const std::string& body) {
+  std::map<std::string, double> values;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = body.size();
+    }
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      continue;
+    }
+    char* end = nullptr;
+    double value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    values[line.substr(0, space)] = value;
+  }
+  return values;
+}
+
+// Values of one named series from the /timeseries JSON document.
+std::vector<double> SeriesValues(const JsonValue& doc, std::string_view name) {
+  std::vector<double> values;
+  const JsonValue* series = doc.Find("series");
+  if (series == nullptr || !series->is_array()) {
+    return values;
+  }
+  for (const JsonValue& entry : series->array) {
+    const JsonValue* entry_name = entry.Find("name");
+    if (entry_name == nullptr || entry_name->string_value != name) {
+      continue;
+    }
+    const JsonValue* points = entry.Find("points");
+    if (points != nullptr && points->is_array()) {
+      for (const JsonValue& point : points->array) {
+        if (point.is_array() && point.array.size() == 2) {
+          values.push_back(point.array[1].number);
+        }
+      }
+    }
+    break;
+  }
+  return values;
+}
+
+// Renders the last `width` values as a min-max normalised unicode
+// sparkline (▁..█).
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                         "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return std::string();
+  }
+  size_t begin = values.size() > width ? values.size() - width : 0;
+  double lo = values[begin];
+  double hi = values[begin];
+  for (size_t i = begin; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (size_t i = begin; i < values.size(); ++i) {
+    size_t level = hi > lo ? static_cast<size_t>((values[i] - lo) / (hi - lo) * 7.0 + 0.5) : 0;
+    out += kBlocks[std::min<size_t>(level, 7)];
+  }
+  return out;
+}
+
+int RunTop(const Args& args) {
+  std::string port_text;
+  if (auto it = args.flags.find("port"); it != args.flags.end()) {
+    port_text = it->second;
+  } else if (const char* env = std::getenv("SCODED_METRICS_PORT")) {
+    if (*env != '\0') {
+      port_text = env;
+    }
+  }
+  if (port_text.empty()) {
+    return FailMessage("scoded top requires --port N (or SCODED_METRICS_PORT)");
+  }
+  char* end = nullptr;
+  long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return FailMessage("--port expects a port in [1, 65535], got '" + port_text + "'");
+  }
+  Result<int64_t> interval_ms = FlagInt(args, "interval-ms", 500);
+  Result<int64_t> iterations = FlagInt(args, "iterations", 0);
+  if (!interval_ms.ok() || !iterations.ok()) {
+    return Fail(!interval_ms.ok() ? interval_ms.status() : iterations.status());
+  }
+  if (*interval_ms <= 0) {
+    return FailMessage("--interval-ms must be positive");
+  }
+  const bool tty = isatty(STDOUT_FILENO) != 0;
+  constexpr int kRenderLines = 8;
+  double prev_rows = -1.0;
+  int64_t prev_t_us = 0;
+  int64_t frames = 0;
+  for (int64_t i = 0; *iterations == 0 || i < *iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(*interval_ms));
+    }
+    Result<std::string> metrics = FetchHttp(static_cast<uint16_t>(port), "/metrics");
+    if (!metrics.ok()) {
+      if (frames == 0) {
+        // Never connected: the endpoint probably does not exist — error out.
+        return Fail(metrics.status());
+      }
+      // The monitored run finished and closed its endpoint: a clean exit.
+      std::printf("scoded top: endpoint on port %ld is gone; run finished\n", port);
+      return 0;
+    }
+    std::map<std::string, double> m = ParseMetricsText(*metrics);
+    auto value = [&m](const char* name, double fallback) {
+      auto it = m.find(name);
+      return it == m.end() ? fallback : it->second;
+    };
+    double rows = value("scoded_progress_rows_ingested", 0.0);
+    int64_t now_us = obs::NowMicros();
+    double rate = 0.0;
+    if (prev_rows >= 0.0 && now_us > prev_t_us) {
+      rate = std::max(0.0, (rows - prev_rows) /
+                               (static_cast<double>(now_us - prev_t_us) / 1e6));
+    }
+    prev_rows = rows;
+    prev_t_us = now_us;
+    std::vector<double> rss;
+    if (Result<std::string> ts = FetchHttp(static_cast<uint16_t>(port), "/timeseries");
+        ts.ok()) {
+      if (Result<JsonValue> doc = ParseJson(*ts); doc.ok()) {
+        rss = SeriesValues(*doc, "process.rss_kb");
+      }
+    }
+    if (tty && frames > 0) {
+      std::printf("\x1b[%dA", kRenderLines);
+    }
+    ++frames;
+    const char* clear = tty ? "\x1b[K" : "";
+    std::printf("scoded top - 127.0.0.1:%ld (frame %lld)%s\n", port,
+                static_cast<long long>(frames), clear);
+    std::printf("  rows ingested   %-14.0f %10.1f rows/s%s\n", rows, rate, clear);
+    std::printf("  shards          %.0f / %.0f%s\n",
+                value("scoded_progress_shards_done", 0.0),
+                value("scoded_progress_shards_total", 0.0), clear);
+    std::printf("  constraints     %.0f / %.0f%s\n",
+                value("scoded_progress_constraints_checked", 0.0),
+                value("scoded_progress_constraints_total", 0.0), clear);
+    std::printf("  current min-p   %.6g%s\n", value("scoded_progress_current_min_p", 1.0),
+                clear);
+    std::printf("  tests executed  %.0f%s\n",
+                value("scoded_stats_tests_executed_total", 0.0), clear);
+    std::printf("  pool            pending %.0f, inflight %.0f, workers %.0f%s\n",
+                value("scoded_parallel_pool_pending_chunks", 0.0),
+                value("scoded_parallel_pool_inflight_tasks", 0.0),
+                value("scoded_parallel_pool_workers", 0.0), clear);
+    std::printf("  rss             %.0f KiB  %s%s\n", value("scoded_process_rss_kb", 0.0),
+                Sparkline(rss, 40).c_str(), clear);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+// scoded inspect FILE — pretty-print flight-recorder crash/stall reports.
+int RunInspect(const Args& args) {
+  if (args.positional.size() != 1) {
+    return FailMessage("scoded inspect expects exactly one report FILE");
+  }
+  Result<std::string> text = ReadTextFile(args.positional[0]);
+  if (!text.ok()) {
+    return Fail(text.status());
+  }
+  Result<std::vector<obs::FlightReport>> reports = obs::ParseFlightReports(*text);
+  if (!reports.ok()) {
+    return Fail(reports.status());
+  }
+  for (size_t i = 0; i < reports->size(); ++i) {
+    if (i > 0) {
+      std::printf("\n");
+    }
+    std::fputs(obs::RenderFlightReport((*reports)[i]).c_str(), stdout);
+  }
+  return 0;
+}
+
 int RunVersion() {
   obs::BuildInfo info = obs::GetBuildInfo();
   std::printf("scoded %s\n", std::string(info.git_describe).c_str());
@@ -602,6 +854,10 @@ int RunVersion() {
 }
 
 int Dispatch(const Args& args) {
+  // Only `inspect` takes bare operands; anywhere else they are typos.
+  if (!args.positional.empty() && args.command != "inspect") {
+    return Usage();
+  }
   if (args.command == "profile") {
     return RunProfile(args);
   }
@@ -631,6 +887,12 @@ int Dispatch(const Args& args) {
   }
   if (args.command == "consistency") {
     return RunConsistency(args);
+  }
+  if (args.command == "top") {
+    return RunTop(args);
+  }
+  if (args.command == "inspect") {
+    return RunInspect(args);
   }
   if (args.command == "version") {
     return RunVersion();
@@ -759,6 +1021,79 @@ int main(int argc, char** argv) {
                     {"paths", "/metrics /healthz /timeseries"}});
     }
   }
+  // Flight recorder: armed by default so a crash or stall of any run leaves
+  // a diagnosable report. --flight-recorder-events wins over the
+  // SCODED_FLIGHT_RECORDER_EVENTS environment variable; 0 disables. The
+  // journal is forensic-only, so command output is byte-identical with or
+  // without it.
+  {
+    int64_t events = 256;
+    bool explicit_request = false;
+    if (args.flags.count("flight-recorder-events") > 0) {
+      Result<int64_t> flag = FlagInt(args, "flight-recorder-events", events);
+      if (!flag.ok() || *flag < 0) {
+        return FailMessage("--flight-recorder-events expects a non-negative integer");
+      }
+      events = *flag;
+      explicit_request = true;
+    } else if (const char* env = std::getenv("SCODED_FLIGHT_RECORDER_EVENTS")) {
+      if (*env != '\0') {
+        char* end = nullptr;
+        long long value = std::strtoll(env, &end, 10);
+        if (end == nullptr || *end != '\0' || value < 0) {
+          return FailMessage(std::string("SCODED_FLIGHT_RECORDER_EVENTS expects a "
+                                         "non-negative integer, got '") +
+                             env + "'");
+        }
+        events = value;
+        explicit_request = true;
+      }
+    }
+    if (events > 0) {
+      obs::FlightRecorderOptions options;
+      options.events_per_thread = static_cast<size_t>(events);
+      if (const char* dir = std::getenv("SCODED_CRASH_DIR"); dir != nullptr && *dir != '\0') {
+        options.report_dir = dir;
+      }
+      if (Status status = obs::ArmFlightRecorder(options); !status.ok()) {
+        if (explicit_request) {
+          return Fail(status);
+        }
+        // Default-on is best effort: an obs-disabled build or an unwritable
+        // report directory downgrades to running without the recorder.
+        obs::LogDebug("flight recorder not armed", {{"reason", status.message()}});
+      }
+    }
+  }
+  // Watchdog: dumps a stall report when the run stops making progress.
+  // --watchdog-secs wins over SCODED_WATCHDOG_SECS; absent or 0 = off.
+  {
+    Result<double> flag = FlagDouble(args, "watchdog-secs", 0.0);
+    if (!flag.ok()) {
+      return Fail(flag.status());
+    }
+    double stall_seconds = *flag;
+    if (args.flags.count("watchdog-secs") == 0) {
+      if (const char* env = std::getenv("SCODED_WATCHDOG_SECS")) {
+        if (*env != '\0') {
+          char* end = nullptr;
+          double value = std::strtod(env, &end);
+          if (end == nullptr || *end != '\0') {
+            return FailMessage(std::string("SCODED_WATCHDOG_SECS expects a number, got '") +
+                               env + "'");
+          }
+          stall_seconds = value;
+        }
+      }
+    }
+    if (stall_seconds > 0.0) {
+      obs::WatchdogOptions options;
+      options.stall_seconds = stall_seconds;
+      if (Status status = obs::StartWatchdog(options); !status.ok()) {
+        return Fail(status);
+      }
+    }
+  }
   int rc = 1;
   {
     obs::PhaseTimer timer(&g_telemetry, "cli/main");
@@ -774,5 +1109,9 @@ int main(int argc, char** argv) {
     obs::Sampler::Global().Stop();
     obs::MetricsServer::Global().Stop();
   }
+  // Disarm last: restores signal handlers and unlinks report files that
+  // were never written, so a clean run leaves no droppings.
+  obs::StopWatchdog();
+  obs::DisarmFlightRecorder();
   return EmitObservability(args, rc);
 }
