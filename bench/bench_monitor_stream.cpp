@@ -36,14 +36,14 @@ Table NumericPrototype() {
 }
 
 // One-shot timings at these stream lengths are dominated by scheduler and
-// cache noise; each measurement repeats kReps times and keeps the minimum,
-// the standard estimator for the true (noise-free) cost.
+// cache noise; each measurement runs through bench::BestOf — one discarded
+// cold-cache warm-up, then kReps timed repeats keeping the minimum, the
+// standard estimator for the true (noise-free) cost.
 constexpr int kReps = 3;
 
 // Appends `total` correlated rows one by one and returns ns per append.
 double IndexedAppendNs(size_t total) {
-  double best = 0.0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  return bench::BestOf(kReps, [total] {
     Rng rng(7);
     ApproximateSc asc{ParseConstraint("x !_||_ y").value(), 0.3};
     ScMonitor monitor = ScMonitor::Create(NumericPrototype(), asc).value();
@@ -52,17 +52,14 @@ double IndexedAppendNs(size_t total) {
       double v = rng.Normal();
       (void)monitor.AppendNumeric(v, v + rng.Normal(0.0, 0.5));
     }
-    double ns = Ms(start) * 1e6 / static_cast<double>(total);
-    if (rep == 0 || ns < best) best = ns;
-  }
-  return best;
+    return Ms(start) * 1e6 / static_cast<double>(total);
+  });
 }
 
 // The seed's append: scan every previous point for its pair weight.
 double NaiveAppendNs(size_t total) {
-  double best = 0.0;
   int64_t s = 0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  double best = bench::BestOf(kReps, [total, &s] {
     Rng rng(7);
     std::vector<double> xs;
     std::vector<double> ys;
@@ -79,9 +76,8 @@ double NaiveAppendNs(size_t total) {
       xs.push_back(x);
       ys.push_back(y);
     }
-    double ns = Ms(start) * 1e6 / static_cast<double>(total);
-    if (rep == 0 || ns < best) best = ns;
-  }
+    return Ms(start) * 1e6 / static_cast<double>(total);
+  });
   if (s == 0x7fffffff) {
     std::printf("impossible\n");  // keep `s` observable
   }

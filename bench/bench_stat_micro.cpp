@@ -1,20 +1,38 @@
-// Micro-benchmarks (google-benchmark) of the statistical kernels that
-// determine SCODED's throughput: Kendall τ (naive vs O(n log n)), the
-// Algorithm 2 segment-tree benefit initialisation, the G-test, raw
-// segment-tree vs Fenwick-tree index operations, and the stratified
-// conditional tests at 1 vs N pool threads (the per-stratum fan-out of
-// the parallel execution layer).
+// Micro-benchmarks of the statistical kernels that determine SCODED's
+// throughput, in two parts:
+//
+//  1. Width-specialised SIMD kernel sections (always run, recorded into
+//     BENCH_stat_micro.json for the benchdiff gate): compressed-columnar
+//     contingency accumulate at u8/u16/u32 lane widths, the τ rank/merge
+//     passes (dense ranks + inversion count), and word-level wavelet
+//     popcounts vs the per-bit descent baseline — each timed under
+//     SCODED_SIMD=off and under the best CPU-supported path, with the
+//     speedup recorded per kernel family.
+//  2. The google-benchmark suite (skipped under --kernels-only): Kendall
+//     τ (naive vs O(n log n)), the Algorithm 2 segment-tree benefit
+//     initialisation, the G-test, raw segment-tree vs Fenwick-tree index
+//     operations, and the stratified conditional tests at 1 vs N pool
+//     threads (the per-stratum fan-out of the parallel execution layer).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/flightrec.h"
 #include "obs/timeseries.h"
+#include "stats/colcodec.h"
 #include "stats/contingency.h"
 #include "stats/hypothesis.h"
 #include "stats/kendall.h"
+#include "stats/ranks.h"
 #include "stats/segment_tree.h"
+#include "stats/simd.h"
 #include "table/table.h"
 
 namespace {
@@ -267,6 +285,215 @@ BENCHMARK(BM_StratifiedGJournal)
 
 #endif  // !SCODED_OBS_DISABLED
 
+// ---------------------------------------------------------------------------
+// SIMD kernel sections. Each family is timed twice through bench::BestOf
+// (one discarded cold-cache warm-up, then best of kKernelReps): once with
+// the dispatch forced to the scalar reference (the SCODED_SIMD=off
+// behaviour) and once on the best path this CPU supports. The recorded
+// `*_speedup` values are what the perf acceptance bar reads; the section
+// wall-clocks feed the benchdiff regression gate.
+// ---------------------------------------------------------------------------
+
+constexpr int kKernelReps = 5;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<int32_t> RandomCategorical(size_t n, size_t cardinality, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> codes(n);
+  for (int32_t& c : codes) {
+    c = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(cardinality) - 1));
+  }
+  return codes;
+}
+
+// Times one full contingency accumulate over pre-encoded columns under
+// the currently forced dispatch path.
+double ContingencyMs(const CompressedCodes& x, const CompressedCodes& y) {
+  std::vector<int64_t> counts(x.cardinality() * y.cardinality());
+  auto start = std::chrono::steady_clock::now();
+  simd::Active().contingency(x, y, counts.data());
+  double ms = MsSince(start);
+  if (counts[0] == -1) {
+    std::printf("impossible\n");  // keep the accumulate observable
+  }
+  return ms;
+}
+
+// Runs `measure` under the forced path and returns its best-of timing.
+template <typename Fn>
+double ForcedMs(simd::Path path, Fn&& measure) {
+  SCODED_CHECK(simd::ForcePath(path));
+  return bench::BestOf(kKernelReps, measure);
+}
+
+// Records the off/fast pair plus their ratio under `label`.
+double RecordSpeedup(const std::string& label, double off_ms, double fast_ms) {
+  double speedup = fast_ms > 0.0 ? off_ms / fast_ms : 0.0;
+  std::printf("%-32s scalar %8.2f ms   simd %8.2f ms   speedup %.2fx\n", label.c_str(), off_ms,
+              fast_ms, speedup);
+  bench::RecordValue(label + "_scalar_ms", off_ms);
+  bench::RecordValue(label + "_simd_ms", fast_ms);
+  bench::RecordValue(label + "_speedup", speedup);
+  return speedup;
+}
+
+void RunKernelBenchmarks() {
+  const simd::Path best = simd::BestSupportedPath();
+  std::printf("dispatch: scalar baseline vs best supported path '%s'\n", simd::PathName(best));
+
+  bench::PrintTitle("kernels: contingency accumulate by lane width");
+  {
+    struct Config {
+      const char* label;
+      size_t n;
+      size_t cx;
+      size_t cy;
+    };
+    // Widths follow the cardinalities: <=256 -> u8, <=65536 -> u16, else
+    // u32 (mixed-width pairs exercise the portable blocked fallback).
+    const Config configs[] = {
+        {"contingency_u8_10x10", 1u << 20, 10, 10},
+        {"contingency_u8_256x256", 1u << 20, 256, 256},
+        {"contingency_u16_300x300", 1u << 20, 300, 300},
+        {"contingency_u32_mixed", 1u << 19, 100000, 8},
+    };
+    double family = 0.0;
+    for (const Config& config : configs) {
+      CompressedCodes x =
+          CompressedCodes::Encode(RandomCategorical(config.n, config.cx, 21), config.cx);
+      CompressedCodes y =
+          CompressedCodes::Encode(RandomCategorical(config.n, config.cy, 22), config.cy);
+      double off = ForcedMs(simd::Path::kScalar, [&] { return ContingencyMs(x, y); });
+      double fast = ForcedMs(best, [&] { return ContingencyMs(x, y); });
+      family = std::max(family, RecordSpeedup(config.label, off, fast));
+    }
+    bench::RecordValue("family_contingency_speedup", family);
+  }
+
+  bench::PrintTitle("kernels: tau rank/merge passes");
+  {
+    const size_t n = 1u << 20;
+    Rng rng(23);
+    std::vector<double> values(n);
+    for (double& v : values) {
+      // A third of the values collide so the dense-rank pass sees real
+      // tie groups, as τ columns do.
+      v = (rng.UniformInt(0, 2) == 0) ? static_cast<double>(rng.UniformInt(0, 999))
+                                      : rng.Normal();
+    }
+    std::vector<size_t> ranks(n);
+    auto rank_ms = [&] {
+      auto start = std::chrono::steady_clock::now();
+      size_t distinct = simd::Active().dense_ranks(values.data(), n, ranks.data());
+      double ms = MsSince(start);
+      if (distinct == 0) {
+        std::printf("impossible\n");
+      }
+      return ms;
+    };
+    double rank_off = ForcedMs(simd::Path::kScalar, rank_ms);
+    double rank_fast = ForcedMs(best, rank_ms);
+    double rank_speedup = RecordSpeedup("tau_dense_ranks_1m", rank_off, rank_fast);
+
+    std::vector<uint32_t> sequence(n);
+    for (size_t i = 0; i < n; ++i) {
+      sequence[i] = static_cast<uint32_t>(ranks[i]);
+    }
+    std::vector<uint32_t> work(n);
+    std::vector<uint32_t> scratch(n);
+    auto merge_ms = [&] {
+      work = sequence;  // the kernel permutes its input in place
+      auto start = std::chrono::steady_clock::now();
+      int64_t inversions = simd::Active().count_inversions(work.data(), scratch.data(), n);
+      double ms = MsSince(start);
+      if (inversions == -1) {
+        std::printf("impossible\n");
+      }
+      return ms;
+    };
+    double merge_off = ForcedMs(simd::Path::kScalar, merge_ms);
+    double merge_fast = ForcedMs(best, merge_ms);
+    double merge_speedup = RecordSpeedup("tau_count_inversions_1m", merge_off, merge_fast);
+    // The family headline weighs the passes as τ runs them: one rank pass
+    // plus one merge pass per tested pair.
+    bench::RecordValue("family_tau_rank_merge_speedup",
+                       (rank_off + merge_off) / (rank_fast + merge_fast));
+    (void)rank_speedup;
+    (void)merge_speedup;
+  }
+
+  bench::PrintTitle("kernels: wavelet quadrant popcounts");
+  {
+    // The ConcordanceIndex workload: PrefixCounts probes against a
+    // bit-packed wavelet matrix. Rank directories devolve to popcounts
+    // over word runs — word-level popcount vs the scalar per-bit descent
+    // is the whole difference. The matrix captures its popcount fn at
+    // construction, so each path gets its own build.
+    const size_t m = 65536;
+    const size_t probes = 200000;
+    Rng rng(29);
+    std::vector<uint32_t> codes(m);
+    for (uint32_t& c : codes) {
+      c = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(m) - 1));
+    }
+    std::vector<std::pair<size_t, uint32_t>> queries(probes);
+    for (auto& qp : queries) {
+      qp.first = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(m)));
+      qp.second = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(m) - 1));
+    }
+    auto probe_ms = [&] {
+      WaveletMatrix wm(codes, m);
+      int64_t sink = 0;
+      auto start = std::chrono::steady_clock::now();
+      for (const auto& qp : queries) {
+        int64_t lt;
+        int64_t eq;
+        wm.PrefixCounts(qp.first, qp.second, &lt, &eq);
+        sink += lt + eq;
+      }
+      double ms = MsSince(start);
+      if (sink == -1) {
+        std::printf("impossible\n");
+      }
+      return ms;
+    };
+    double off = ForcedMs(simd::Path::kScalar, probe_ms);
+    double fast = ForcedMs(best, probe_ms);
+    double speedup = RecordSpeedup("wavelet_prefix_counts_200k", off, fast);
+    bench::RecordValue("family_wavelet_popcount_speedup", speedup);
+  }
+
+  // Hand the dispatch back to the environment for anything that follows.
+  simd::ResetPathFromEnvironment();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool kernels_only = false;
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (argv[i] != nullptr && std::strcmp(argv[i], "--kernels-only") == 0) {
+      kernels_only = true;
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  scoded::bench::Init("stat_micro");
+  RunKernelBenchmarks();
+  if (kernels_only) {
+    return 0;
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@
 //   SCODED_BENCH_TRACE=FILE   also record a Chrome trace and write it to
 //                             FILE at exit (for profile-vs-trace checks)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -200,6 +201,24 @@ inline void PrintTitle(const std::string& title) {
 /// section of the JSON artefact.
 inline void RecordValue(const std::string& label, double value) {
   Reporter::Global().RecordValue(label, value);
+}
+
+/// Best-of-N measurement. Runs `measure` once as a cold-cache warm-up
+/// whose result is discarded — the first execution pays page faults,
+/// instruction-cache misses, and allocator growth that no steady-state
+/// run sees, so folding it into the minimum only adds noise when N is
+/// small — then `reps` more times and returns the smallest returned
+/// value (the standard estimator of the true, noise-free cost).
+/// `measure` returns its own reading so callers can keep setup outside
+/// the timed region.
+template <typename Fn>
+inline double BestOf(int reps, Fn&& measure) {
+  (void)measure();  // cold-cache warm-up, discarded
+  double best = measure();
+  for (int rep = 1; rep < reps; ++rep) {
+    best = std::min(best, measure());
+  }
+  return best;
 }
 
 /// Runs every detector once (ranking up to max(ks)) and prints an

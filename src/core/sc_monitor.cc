@@ -6,6 +6,7 @@
 #include "common/math.h"
 #include "obs/metrics.h"
 #include "stats/kendall.h"
+#include "stats/simd.h"
 
 namespace scoded {
 
@@ -208,11 +209,14 @@ void ScMonitor::AddNumericPair(Stratum& stratum, double x, double y) {
     // indexed give the S increment in amortised O(log^2 n_stratum).
     stratum.s += stratum.index.InsertAndScore(x, y);
   } else {
-    // Bounded-memory mode: exact pair scan against the live window.
-    for (const auto& [px, py] : stratum.window) {
-      stratum.s += PairWeight(x, y, px, py);
-    }
-    stratum.window.emplace_back(x, y);
+    // Bounded-memory mode: exact pair scan against the live window via
+    // the dispatched kernel (the signed sum is exactly Σ PairWeight).
+    int64_t s = 0;
+    int64_t nonzero = 0;
+    simd::Active().pair_sign_scan(stratum.window.x_data(), stratum.window.y_data(),
+                                  stratum.window.size(), x, y, &s, &nonzero);
+    stratum.s += s;
+    stratum.window.push_back(x, y);
   }
   BumpTieGroup(stratum.x_counts, x, +1, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
   BumpTieGroup(stratum.y_counts, y, +1, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
@@ -243,12 +247,14 @@ void ScMonitor::EvictOldest() {
     // Per-stratum windows preserve arrival order, so the globally oldest
     // observation is the front of its stratum's deque.
     SCODED_CHECK(!stratum.window.empty());
-    SCODED_CHECK(stratum.window.front().first == entry.x &&
-                 stratum.window.front().second == entry.y);
+    SCODED_CHECK(stratum.window.front_x() == entry.x &&
+                 stratum.window.front_y() == entry.y);
     stratum.window.pop_front();
-    for (const auto& [px, py] : stratum.window) {
-      stratum.s -= PairWeight(entry.x, entry.y, px, py);
-    }
+    int64_t s = 0;
+    int64_t nonzero = 0;
+    simd::Active().pair_sign_scan(stratum.window.x_data(), stratum.window.y_data(),
+                                  stratum.window.size(), entry.x, entry.y, &s, &nonzero);
+    stratum.s -= s;
     BumpTieGroup(stratum.x_counts, entry.x, -1, &stratum.x_t1, &stratum.x_t2, &stratum.x_t3);
     BumpTieGroup(stratum.y_counts, entry.y, -1, &stratum.y_t1, &stratum.y_t2, &stratum.y_t3);
     --stratum.pairs;

@@ -102,6 +102,35 @@ class ScMonitor {
  private:
   ScMonitor() = default;
 
+  // Bounded-memory pair window as two parallel contiguous arrays with a
+  // lazily compacted head, so the per-append Kendall scan runs through the
+  // dispatched pair_sign_scan kernel over flat doubles instead of walking
+  // a deque's chunked storage.
+  struct PairWindow {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    size_t head = 0;
+
+    size_t size() const { return xs.size() - head; }
+    bool empty() const { return size() == 0; }
+    double front_x() const { return xs[head]; }
+    double front_y() const { return ys[head]; }
+    const double* x_data() const { return xs.data() + head; }
+    const double* y_data() const { return ys.data() + head; }
+    void push_back(double x, double y) {
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+    void pop_front() {
+      ++head;
+      if (head >= 64 && head * 2 >= xs.size()) {
+        xs.erase(xs.begin(), xs.begin() + static_cast<ptrdiff_t>(head));
+        ys.erase(ys.begin(), ys.begin() + static_cast<ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+  };
+
   struct Stratum {
     // --- categorical state ---
     std::map<std::pair<int32_t, int32_t>, int64_t> cells;
@@ -114,8 +143,8 @@ class ScMonitor {
     // --- numeric (τ) state ---
     int64_t pairs = 0;  // live numeric observations
     int64_t s = 0;
-    ConcordanceIndex index;                         // unbounded mode
-    std::deque<std::pair<double, double>> window;   // bounded-memory mode
+    ConcordanceIndex index;  // unbounded mode
+    PairWindow window;       // bounded-memory mode
     // Tie groups need only exact-value lookup (the τ variance uses the
     // maintained sums), so hash maps keep appends O(1) here.
     std::unordered_map<double, int64_t> x_counts;

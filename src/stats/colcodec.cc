@@ -1,0 +1,129 @@
+#include "stats/colcodec.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace scoded {
+
+const char* CodeWidthName(CodeWidth width) {
+  switch (width) {
+    case CodeWidth::kU8:
+      return "u8";
+    case CodeWidth::kU16:
+      return "u16";
+    case CodeWidth::kU32:
+      return "u32";
+  }
+  return "?";
+}
+
+CodeWidth CompressedCodes::WidthFor(size_t cardinality) {
+  if (cardinality <= (1u << 8)) {
+    return CodeWidth::kU8;
+  }
+  if (cardinality <= (1u << 16)) {
+    return CodeWidth::kU16;
+  }
+  return CodeWidth::kU32;
+}
+
+CompressedCodes CompressedCodes::Encode(const std::vector<int32_t>& codes, size_t cardinality) {
+  CompressedCodes out;
+  out.size_ = codes.size();
+  out.cardinality_ = cardinality;
+  out.width_ = WidthFor(cardinality);
+  const size_t n = codes.size();
+  out.data_.assign(n * static_cast<size_t>(out.width_), 0);
+
+  bool any_null = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (codes[i] < 0) {
+      any_null = true;
+      break;
+    }
+  }
+  if (any_null) {
+    out.valid_.assign((n + 63) / 64, 0);
+  }
+
+  uint8_t* d8 = out.data_.data();
+  uint16_t* d16 = reinterpret_cast<uint16_t*>(out.data_.data());
+  uint32_t* d32 = reinterpret_cast<uint32_t*>(out.data_.data());
+  for (size_t i = 0; i < n; ++i) {
+    int32_t code = codes[i];
+    if (code < 0) {
+      continue;  // null: code slot stays 0, valid bit stays 0
+    }
+    SCODED_DCHECK(static_cast<size_t>(code) < cardinality);
+    if (any_null) {
+      out.valid_[i >> 6] |= 1ull << (i & 63);
+    }
+    switch (out.width_) {
+      case CodeWidth::kU8:
+        d8[i] = static_cast<uint8_t>(code);
+        break;
+      case CodeWidth::kU16:
+        d16[i] = static_cast<uint16_t>(code);
+        break;
+      case CodeWidth::kU32:
+        d32[i] = static_cast<uint32_t>(code);
+        break;
+    }
+  }
+  return out;
+}
+
+uint32_t CompressedCodes::CodeAt(size_t row) const {
+  SCODED_DCHECK(row < size_);
+  switch (width_) {
+    case CodeWidth::kU8:
+      return data_[row];
+    case CodeWidth::kU16:
+      return data_u16()[row];
+    case CodeWidth::kU32:
+      return data_u32()[row];
+  }
+  return 0;
+}
+
+std::vector<int32_t> CompressedCodes::Decode() const {
+  std::vector<int32_t> out(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out[i] = IsValid(i) ? static_cast<int32_t>(CodeAt(i)) : -1;
+  }
+  return out;
+}
+
+size_t CompressedCodes::CountValid() const {
+  if (valid_.empty()) {
+    return size_;
+  }
+  size_t count = 0;
+  for (uint64_t word : valid_) {
+    count += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+namespace {
+
+class NarrowestWidthCodecImpl : public ColumnCodec {
+ public:
+  CompressedCodes Encode(const std::vector<int32_t>& codes, size_t cardinality) const override {
+    return CompressedCodes::Encode(codes, cardinality);
+  }
+  std::vector<int32_t> Decode(const CompressedCodes& packed) const override {
+    return packed.Decode();
+  }
+  const char* Name() const override { return "narrowest-width"; }
+};
+
+}  // namespace
+
+const ColumnCodec& NarrowestWidthCodec() {
+  static const NarrowestWidthCodecImpl codec;
+  return codec;
+}
+
+}  // namespace scoded

@@ -1,0 +1,102 @@
+#ifndef SCODED_STATS_COLCODEC_H_
+#define SCODED_STATS_COLCODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace scoded {
+
+/// Integer lane width of a compressed code vector. Values are the byte
+/// widths so `static_cast<size_t>(width)` is the per-code storage cost.
+enum class CodeWidth : uint8_t {
+  kU8 = 1,
+  kU16 = 2,
+  kU32 = 4,
+};
+
+const char* CodeWidthName(CodeWidth width);
+
+/// Dictionary codes stored in the narrowest unsigned lane that fits the
+/// cardinality (u8 for <= 256 categories, u16 for <= 65536, u32 beyond),
+/// plus a bit-packed validity mask. This is the columnar substrate the
+/// SIMD kernels in stats/simd.h operate on: narrow lanes quadruple the
+/// number of codes per vector register and the word-packed mask lets the
+/// kernels skip null handling for 64 rows at a time.
+///
+/// Layout contract:
+///  - codes are stored little-endian in a contiguous byte buffer; null
+///    rows hold code 0 (kernels must consult the mask, and decode
+///    restores -1);
+///  - the validity mask is one bit per row (bit i of word i/64, LSB
+///    first), 1 = valid. Bits at positions >= size() in the last word are
+///    zero. A column with no nulls stores no mask at all and
+///    `valid_words()` returns nullptr, meaning "all valid".
+class CompressedCodes {
+ public:
+  CompressedCodes() = default;
+
+  /// Packs `codes` (negative = null, else 0 <= code < cardinality) into
+  /// the narrowest width that fits `cardinality`.
+  static CompressedCodes Encode(const std::vector<int32_t>& codes, size_t cardinality);
+
+  /// Expands back to the int32 representation (-1 for nulls). Inverse of
+  /// Encode for in-range inputs.
+  std::vector<int32_t> Decode() const;
+
+  size_t size() const { return size_; }
+  size_t cardinality() const { return cardinality_; }
+  CodeWidth width() const { return width_; }
+  bool has_nulls() const { return !valid_.empty(); }
+
+  /// Code at `row` widened to u32; 0 for null rows (check IsValid).
+  uint32_t CodeAt(size_t row) const;
+  bool IsValid(size_t row) const {
+    return valid_.empty() || ((valid_[row >> 6] >> (row & 63)) & 1u) != 0;
+  }
+
+  const uint8_t* data_u8() const { return data_.data(); }
+  const uint16_t* data_u16() const { return reinterpret_cast<const uint16_t*>(data_.data()); }
+  const uint32_t* data_u32() const { return reinterpret_cast<const uint32_t*>(data_.data()); }
+
+  /// Bit-packed validity words, or nullptr when every row is valid.
+  const uint64_t* valid_words() const { return valid_.empty() ? nullptr : valid_.data(); }
+  size_t num_valid_words() const { return valid_.size(); }
+
+  /// Number of valid (non-null) rows.
+  size_t CountValid() const;
+
+  /// Bytes held by the packed codes + mask (for obs/memory accounting).
+  size_t MemoryBytes() const { return data_.size() + valid_.size() * sizeof(uint64_t); }
+
+  /// Narrowest lane that can hold codes in [0, cardinality).
+  static CodeWidth WidthFor(size_t cardinality);
+
+ private:
+  size_t size_ = 0;
+  size_t cardinality_ = 0;
+  CodeWidth width_ = CodeWidth::kU8;
+  std::vector<uint8_t> data_;    // size_ * width_ bytes, little-endian lanes
+  std::vector<uint64_t> valid_;  // empty when all rows valid
+};
+
+/// Pluggable encode/decode strategy. The default narrowest-width codec is
+/// what the kernel layer ships with; alternative codecs (e.g. RLE or
+/// delta schemes for sorted stratum keys) can be swapped in behind the
+/// same interface without touching call sites.
+class ColumnCodec {
+ public:
+  virtual ~ColumnCodec() = default;
+  virtual CompressedCodes Encode(const std::vector<int32_t>& codes,
+                                 size_t cardinality) const = 0;
+  virtual std::vector<int32_t> Decode(const CompressedCodes& packed) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// The default codec: narrowest fitting lane + bit-packed null mask.
+const ColumnCodec& NarrowestWidthCodec();
+
+}  // namespace scoded
+
+#endif  // SCODED_STATS_COLCODEC_H_

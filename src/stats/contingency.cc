@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "stats/simd.h"
 #include "table/group_by.h"
 
 namespace scoded {
@@ -18,14 +19,29 @@ ContingencyTable::ContingencyTable(const std::vector<int32_t>& x_codes,
                                    size_t y_cardinality)
     : ContingencyTable(x_cardinality, y_cardinality) {
   SCODED_CHECK(x_codes.size() == y_codes.size());
-  for (size_t i = 0; i < x_codes.size(); ++i) {
-    int32_t x = x_codes[i];
-    int32_t y = y_codes[i];
-    if (x < 0 || y < 0) {
-      continue;  // skip rows with nulls
+  simd::Active().contingency(CompressedCodes::Encode(x_codes, x_cardinality),
+                             CompressedCodes::Encode(y_codes, y_cardinality), counts_.data());
+  DeriveMarginalsFromCounts();
+}
+
+ContingencyTable::ContingencyTable(const CompressedCodes& x_codes, const CompressedCodes& y_codes)
+    : ContingencyTable(x_codes.cardinality(), y_codes.cardinality()) {
+  SCODED_CHECK(x_codes.size() == y_codes.size());
+  simd::Active().contingency(x_codes, y_codes, counts_.data());
+  DeriveMarginalsFromCounts();
+}
+
+void ContingencyTable::DeriveMarginalsFromCounts() {
+  total_ = 0;
+  for (size_t x = 0; x < nx_; ++x) {
+    int64_t row_total = 0;
+    const int64_t* row = counts_.data() + x * ny_;
+    for (size_t y = 0; y < ny_; ++y) {
+      row_total += row[y];
+      col_marginals_[y] += row[y];
     }
-    SCODED_DCHECK(static_cast<size_t>(x) < nx_ && static_cast<size_t>(y) < ny_);
-    Adjust(static_cast<size_t>(x), static_cast<size_t>(y), 1);
+    row_marginals_[x] = row_total;
+    total_ += row_total;
   }
 }
 

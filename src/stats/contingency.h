@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/colcodec.h"
 #include "table/table.h"
 
 namespace scoded {
@@ -18,6 +19,11 @@ class ContingencyTable {
   /// is negative (null) are skipped.
   ContingencyTable(const std::vector<int32_t>& x_codes, const std::vector<int32_t>& y_codes,
                    size_t x_cardinality, size_t y_cardinality);
+
+  /// Builds from two compressed code columns (row-aligned) via the
+  /// dispatched accumulate kernel — the hot path for the G-test when the
+  /// encodings come packed out of the ColumnEncodingCache.
+  ContingencyTable(const CompressedCodes& x_codes, const CompressedCodes& y_codes);
 
   /// Builds from two categorical columns of `table`, restricted to `rows`.
   static ContingencyTable FromColumns(const Column& x, const Column& y,
@@ -71,6 +77,10 @@ class ContingencyTable {
 
  private:
   ContingencyTable(size_t nx, size_t ny);
+
+  /// Rebuilds marginals and total from counts_ (kernel paths fill the
+  /// joint counts only).
+  void DeriveMarginalsFromCounts();
 
   size_t nx_;
   size_t ny_;

@@ -29,14 +29,31 @@ inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
   return hash;
 }
 
+// splitmix64-style finalizer: diffuses every input bit across the whole
+// word so truncated/prefix-related FNV states cannot survive as related
+// signatures.
+inline uint64_t Avalanche(uint64_t hash) {
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
 }  // namespace
 
 uint64_t ColumnEncodingCache::RowsSignature(const std::vector<size_t>& rows) {
+  // The length is mixed both before and after the elements: plain FNV-1a
+  // over the indices alone gives a set and its extensions a shared
+  // running state, so e.g. {r0..rk} is a hash prefix of {r0..rk, rk+1}.
+  // Closing with the length (and avalanching) breaks that relation.
   uint64_t hash = FnvMix(kFnvOffset, static_cast<uint64_t>(rows.size()));
   for (size_t row : rows) {
     hash = FnvMix(hash, static_cast<uint64_t>(row));
   }
-  return hash;
+  hash = FnvMix(hash, static_cast<uint64_t>(rows.size()));
+  return Avalanche(hash);
 }
 
 size_t ColumnEncodingCache::KeyHash::operator()(const Key& key) const {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "stats/colcodec.h"
 #include "table/column.h"
 
 namespace scoded {
@@ -52,6 +53,10 @@ class ColumnEncodingCache {
   struct Encoding {
     std::vector<int32_t> codes;
     size_t cardinality = 0;
+    /// The same codes packed into the narrowest lane + bit-packed null
+    /// mask (stats/colcodec.h), built once per cache entry so every
+    /// G-test over a shared encoding feeds the SIMD kernels directly.
+    CompressedCodes packed;
   };
 
   explicit ColumnEncodingCache(size_t max_entries = 1 << 16)
@@ -60,8 +65,11 @@ class ColumnEncodingCache {
   ColumnEncodingCache(const ColumnEncodingCache&) = delete;
   ColumnEncodingCache& operator=(const ColumnEncodingCache&) = delete;
 
-  /// 64-bit FNV-1a signature of a row subset. Callers encoding several
-  /// columns over the same rows should compute it once and reuse it.
+  /// 64-bit signature of a row subset: FNV-1a over the row indices with
+  /// the count mixed in both before and after the elements (so a set and
+  /// its prefix extension can never share a running state), then an
+  /// avalanche finalizer. Callers encoding several columns over the same
+  /// rows should compute it once and reuse it.
   static uint64_t RowsSignature(const std::vector<size_t>& rows);
 
   /// Returns the cached categorical encoding of `column` over the row set

@@ -11,27 +11,11 @@
 #include "obs/trace.h"
 #include "stats/ranks.h"
 #include "stats/segment_tree.h"
+#include "stats/simd.h"
 
 namespace scoded {
 
 namespace {
-
-// Number of pairs within runs of equal values: Σ t(t-1)/2.
-int64_t TiedPairs(std::vector<double> values) {
-  std::sort(values.begin(), values.end());
-  int64_t pairs = 0;
-  size_t i = 0;
-  while (i < values.size()) {
-    size_t j = i;
-    while (j + 1 < values.size() && values[j + 1] == values[i]) {
-      ++j;
-    }
-    int64_t t = static_cast<int64_t>(j - i + 1);
-    pairs += t * (t - 1) / 2;
-    i = j + 1;
-  }
-  return pairs;
-}
 
 // Collects run lengths of equal values (for the tie-corrected variance).
 std::vector<int64_t> TieGroupSizes(std::vector<double> values) {
@@ -77,37 +61,6 @@ std::vector<double> RanksAsDoubles(const std::vector<double>& values) {
     out[i] = static_cast<double>(ranks[i]);
   }
   return out;
-}
-
-// Merge-sort inversion count of `values` (pairs i<j with values[i] > values[j]).
-int64_t CountInversions(std::vector<double>& values, std::vector<double>& scratch, size_t lo,
-                        size_t hi) {
-  if (hi - lo <= 1) {
-    return 0;
-  }
-  size_t mid = lo + (hi - lo) / 2;
-  int64_t inversions =
-      CountInversions(values, scratch, lo, mid) + CountInversions(values, scratch, mid, hi);
-  size_t a = lo;
-  size_t b = mid;
-  size_t out = lo;
-  while (a < mid && b < hi) {
-    if (values[a] <= values[b]) {
-      scratch[out++] = values[a++];
-    } else {
-      inversions += static_cast<int64_t>(mid - a);
-      scratch[out++] = values[b++];
-    }
-  }
-  while (a < mid) {
-    scratch[out++] = values[a++];
-  }
-  while (b < hi) {
-    scratch[out++] = values[b++];
-  }
-  std::copy(scratch.begin() + static_cast<ptrdiff_t>(lo), scratch.begin() + static_cast<ptrdiff_t>(hi),
-            values.begin() + static_cast<ptrdiff_t>(lo));
-  return inversions;
 }
 
 }  // namespace
@@ -234,9 +187,16 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
     return y[a] < y[b];
   });
 
-  // Pairs tied on x, on (x, y) jointly, and on y.
+  const simd::Kernels& kernels = simd::Active();
+
+  // Pairs tied on x and on (x, y) jointly, plus the x tie-group sizes for
+  // the variance correction. The runs of the (x, y) sort visit equal x
+  // values in ascending-x order — the same order a sort of x alone would —
+  // so the collected group sizes match the historical TieGroupSizes(x)
+  // element for element (CompleteKendallResult folds them in order).
   int64_t n1 = 0;
   int64_t n3 = 0;
+  std::vector<int64_t> x_ties;
   {
     size_t i = 0;
     while (i < n) {
@@ -246,6 +206,9 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
       }
       int64_t t = static_cast<int64_t>(j - i + 1);
       n1 += t * (t - 1) / 2;
+      if (t > 1) {
+        x_ties.push_back(t);
+      }
       // joint ties within this x-run
       size_t a = i;
       while (a <= j) {
@@ -260,17 +223,35 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
       i = j + 1;
     }
   }
-  int64_t n2 = TiedPairs(y);
+
+  // Y marginal via the dispatched rank kernel: dense ranks index the y tie
+  // counts in ascending-y order (again matching TieGroupSizes(y)).
+  std::vector<size_t> y_rank(n);
+  size_t y_distinct = kernels.dense_ranks(y.data(), n, y_rank.data());
+  std::vector<int64_t> y_counts(y_distinct, 0);
+  for (size_t i = 0; i < n; ++i) {
+    y_counts[y_rank[i]] += 1;
+  }
+  int64_t n2 = 0;
+  std::vector<int64_t> y_ties;
+  for (int64_t count : y_counts) {
+    n2 += count * (count - 1) / 2;
+    if (count > 1) {
+      y_ties.push_back(count);
+    }
+  }
 
   // Inversions of y in (x, y)-sorted order = discordant pairs: within an
   // x-run y ascends (no inversions); across runs equal y values do not
   // invert; everything counted has distinct x and strictly decreasing y.
-  std::vector<double> y_sorted(n);
+  // Ranks replace the raw doubles (order-isomorphic, so the inversion
+  // count is unchanged) to feed the u32 merge kernel.
+  std::vector<uint32_t> y_seq(n);
   for (size_t i = 0; i < n; ++i) {
-    y_sorted[i] = y[order[i]];
+    y_seq[i] = static_cast<uint32_t>(y_rank[order[i]]);
   }
-  std::vector<double> scratch(n);
-  int64_t discordant = CountInversions(y_sorted, scratch, 0, n);
+  std::vector<uint32_t> scratch(n);
+  int64_t discordant = kernels.count_inversions(y_seq.data(), scratch.data(), n);
 
   int64_t n0 = static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1) / 2;
   result.discordant = discordant;
@@ -279,7 +260,7 @@ KendallResult KendallTau(const std::vector<double>& x, const std::vector<double>
   result.ties_x = n1 - n3;
   result.ties_y = n2 - n3;
   result.s = result.concordant - result.discordant;
-  CompleteKendallResult(result, TieGroupSizes(x), TieGroupSizes(y));
+  CompleteKendallResult(result, x_ties, y_ties);
   return result;
 }
 

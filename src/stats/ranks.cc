@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "stats/simd.h"
 
 namespace scoded {
 
@@ -17,17 +18,14 @@ bool ContainsNan(const std::vector<double>& values) {
 }  // namespace
 
 std::vector<size_t> DenseRanks(const std::vector<double>& values, size_t* num_distinct) {
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end(), NanAwareLess());
-  sorted.erase(std::unique(sorted.begin(), sorted.end(), NanAwareEqual), sorted.end());
+  // Dispatched: the scalar kernel is the historical sort + unique +
+  // lower_bound formulation, the vector tiers use a radix rank pass. All
+  // tiers produce the identical rank vector (ranks depend only on the
+  // order/equality structure of the values).
   std::vector<size_t> ranks(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    ranks[i] = static_cast<size_t>(
-        std::lower_bound(sorted.begin(), sorted.end(), values[i], NanAwareLess()) -
-        sorted.begin());
-  }
+  size_t distinct = simd::Active().dense_ranks(values.data(), values.size(), ranks.data());
   if (num_distinct != nullptr) {
-    *num_distinct = sorted.size();
+    *num_distinct = distinct;
   }
   return ranks;
 }

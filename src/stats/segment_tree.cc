@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "stats/simd.h"
 
 namespace scoded {
 
@@ -186,7 +187,7 @@ void VersionedPrefixCounter::CountLessPair(int32_t version, size_t p1, size_t p2
 }
 
 WaveletMatrix::WaveletMatrix(const std::vector<uint32_t>& codes, size_t domain)
-    : size_(codes.size()), domain_(domain) {
+    : size_(codes.size()), domain_(domain), popcount_(simd::Active().popcount_word) {
   level_count_ = 0;
   while ((size_t{1} << level_count_) < domain_) {
     ++level_count_;
@@ -215,7 +216,7 @@ WaveletMatrix::WaveletMatrix(const std::vector<uint32_t>& codes, size_t domain)
     uint32_t ones_before = 0;
     for (size_t w = 0; w < words; ++w) {
       level.rank[w] = ones_before;
-      ones_before += static_cast<uint32_t>(__builtin_popcountll(level.bits[w]));
+      ones_before += static_cast<uint32_t>(popcount_(level.bits[w]));
     }
     level.rank[words] = ones_before;
     size_t zero_at = 0;
@@ -231,12 +232,12 @@ WaveletMatrix::WaveletMatrix(const std::vector<uint32_t>& codes, size_t domain)
   }
 }
 
-int64_t WaveletMatrix::Rank1(const Level& level, size_t pos) {
+int64_t WaveletMatrix::Rank1(const Level& level, size_t pos) const {
   size_t w = pos >> 6;
   size_t r = pos & 63;
   int64_t count = level.rank[w];
   if (r != 0) {
-    count += __builtin_popcountll(level.bits[w] & (~uint64_t{0} >> (64 - r)));
+    count += popcount_(level.bits[w] & (~uint64_t{0} >> (64 - r)));
   }
   return count;
 }
@@ -370,16 +371,13 @@ void ConcordanceIndex::ScoreBlock(const Block& block, double x, double y, Quadra
 
 ConcordanceIndex::Quadrants ConcordanceIndex::Score(double x, double y) const {
   Quadrants q;
-  // Branchless buffer scan (the comparisons vectorise): sign(dx)*sign(dy)
-  // is +1 concordant, -1 discordant, 0 for ties on either axis.
+  // Dispatched buffer scan: sign(dx)*sign(dy) is +1 concordant, -1
+  // discordant, 0 for ties on either axis. Both sums are exact integers,
+  // so every kernel tier returns the same quadrants.
   int64_t s = 0;
   int64_t nonzero = 0;
-  for (size_t i = 0; i < buffer_x_.size(); ++i) {
-    int dx = (x > buffer_x_[i]) - (x < buffer_x_[i]);
-    int dy = (y > buffer_y_[i]) - (y < buffer_y_[i]);
-    s += dx * dy;
-    nonzero += (dx * dy) != 0;
-  }
+  simd::Active().pair_sign_scan(buffer_x_.data(), buffer_y_.data(), buffer_x_.size(), x, y, &s,
+                                &nonzero);
   q.concordant = (nonzero + s) / 2;
   q.discordant = (nonzero - s) / 2;
   for (const Block& block : blocks_) {

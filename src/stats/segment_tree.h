@@ -162,11 +162,15 @@ class WaveletMatrix {
     size_t zeros = 0;            // total zero bits (start of the one-partition)
   };
 
-  static int64_t Rank1(const Level& level, size_t pos);
+  int64_t Rank1(const Level& level, size_t pos) const;
 
   size_t size_ = 0;
   size_t domain_ = 0;
   int level_count_ = 0;
+  // Dispatched popcount, captured at construction so a matrix stays on one
+  // kernel path for its whole lifetime (scalar = per-bit descent, vector
+  // tiers = the whole-word instruction).
+  int (*popcount_)(uint64_t) = nullptr;
   std::vector<Level> levels_;  // most-significant bit first
 };
 

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "stats/colcodec.h"
 #include "stats/ranks.h"
+#include "stats/simd.h"
 #include "stats/stratified.h"
 
 namespace scoded {
@@ -83,6 +85,56 @@ void PairwiseShardSummary::Accumulate(const Table& shard, uint64_t row_offset) {
     }
   }
   size_t num_rows = shard.NumRows();
+  // Dense kernel fast path for the unconditional categorical×categorical
+  // shape: map nulls onto one extra bucket per role, accumulate the whole
+  // shard through the dispatched contingency_first kernel, and fold the
+  // dense grid into the cell map. Behaviour matches the row loop exactly —
+  // the kernel records each cell's first row within the shard, which is
+  // what try_emplace in row order would have kept. The grid is bounded
+  // both absolutely and relative to the shard so tiny shards over large
+  // accumulated dictionaries never pay an O(cells) sweep.
+  constexpr size_t kDenseCellCap = size_t{1} << 18;
+  if (num_roles == 2 && role_types_[0] == ColumnType::kCategorical &&
+      role_types_[1] == ColumnType::kCategorical && num_rows > 0 && num_rows < UINT32_MAX) {
+    const size_t nx = dicts_[0].values.size();
+    const size_t nyv = dicts_[1].values.size();
+    const size_t cells = (nx + 1) * (nyv + 1);
+    if (cells <= kDenseCellCap && cells <= 4 * num_rows + 64) {
+      const Column& cx = *cols[0];
+      const Column& cy = *cols[1];
+      std::vector<int32_t> x_codes(num_rows);
+      std::vector<int32_t> y_codes(num_rows);
+      for (size_t row = 0; row < num_rows; ++row) {
+        x_codes[row] = cx.IsNull(row) ? static_cast<int32_t>(nx)
+                                      : translate[0][static_cast<size_t>(cx.CodeAt(row))];
+        y_codes[row] = cy.IsNull(row) ? static_cast<int32_t>(nyv)
+                                      : translate[1][static_cast<size_t>(cy.CodeAt(row))];
+      }
+      CompressedCodes packed_x = CompressedCodes::Encode(x_codes, nx + 1);
+      CompressedCodes packed_y = CompressedCodes::Encode(y_codes, nyv + 1);
+      std::vector<int64_t> counts(cells, 0);
+      std::vector<uint32_t> first(cells, UINT32_MAX);
+      simd::Active().contingency_first(packed_x, packed_y, counts.data(), first.data());
+      std::vector<int64_t> key(2);
+      for (size_t xi = 0; xi <= nx; ++xi) {
+        for (size_t yi = 0; yi <= nyv; ++yi) {
+          size_t cell = xi * (nyv + 1) + yi;
+          if (counts[cell] == 0) {
+            continue;
+          }
+          key[0] = xi == nx ? kNullCell : static_cast<int64_t>(xi);
+          key[1] = yi == nyv ? kNullCell : static_cast<int64_t>(yi);
+          auto [it, inserted] = cells_.try_emplace(key);
+          if (inserted) {
+            it->second.first_row = row_offset + first[cell];
+          }
+          it->second.count += counts[cell];
+        }
+      }
+      rows_ += static_cast<int64_t>(num_rows);
+      return;
+    }
+  }
   std::vector<int64_t> key(num_roles);
   for (size_t row = 0; row < num_rows; ++row) {
     for (size_t r = 0; r < num_roles; ++r) {

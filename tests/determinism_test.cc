@@ -3,7 +3,15 @@
 // at threads = 1 (fully serial: the pre-parallel code path), 4, and the
 // hardware concurrency, and every output — p-values, statistics, removal
 // orders, skeleton adjacency, separating sets — must match exactly.
+//
+// The SIMD kernel dispatch extends the same contract along a second axis:
+// every SCODED_SIMD value this host supports (off, sse2, avx2), crossed
+// with thread counts 1 and 4, must reproduce the scalar/serial baseline
+// bit for bit — for in-memory CheckAll, out-of-core ShardedCheckAll, and
+// the streaming monitors in both unbounded and windowed modes.
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -12,7 +20,10 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/scoded.h"
+#include "core/sharded_check.h"
+#include "core/stream_monitor.h"
 #include "discovery/pc.h"
+#include "stats/simd.h"
 #include "table/table.h"
 
 namespace scoded {
@@ -157,6 +168,214 @@ TEST(DeterminismTest, PcSkeletonIsThreadCountInvariant) {
     EXPECT_EQ(text, baseline_text) << "threads=" << threads;
     EXPECT_EQ(result.telemetry.tests_executed, baseline.telemetry.tests_executed)
         << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD-path determinism. Paths are selected the way deployments select
+// them — through the SCODED_SIMD environment variable — so these also
+// cover the env-var parsing and re-resolution plumbing.
+// ---------------------------------------------------------------------------
+
+// SCODED_SIMD values this host can honour (unsupported tiers are clamped
+// by the dispatcher, which would silently re-test the same path).
+std::vector<const char*> SimdEnvValues() {
+  std::vector<const char*> values = {"off"};
+  if (simd::Path::kSse2 <= simd::BestSupportedPath()) {
+    values.push_back("sse2");
+  }
+  if (simd::Path::kAvx2 <= simd::BestSupportedPath()) {
+    values.push_back("avx2");
+  }
+  return values;
+}
+
+// Applies one SCODED_SIMD value for the current scope, restoring the
+// ambient environment (and dispatch) on destruction.
+struct SimdEnvGuard {
+  explicit SimdEnvGuard(const char* value) {
+    ::setenv("SCODED_SIMD", value, 1);
+    simd::ResetPathFromEnvironment();
+  }
+  ~SimdEnvGuard() {
+    ::unsetenv("SCODED_SIMD");
+    simd::ResetPathFromEnvironment();
+  }
+};
+
+TEST(SimdDeterminismTest, CheckAllIsPathAndThreadInvariant) {
+  std::vector<ApproximateSc> constraints = {
+      {Independence({"model"}, {"color"}), 0.05},
+      {Dependence({"model"}, {"price"}), 0.05},
+      {Dependence({"price"}, {"mileage"}), 0.05},
+      {Independence({"model"}, {"mileage"}, {"price"}), 0.01},
+  };
+  Scoded::BatchCheckResult baseline;
+  {
+    SimdEnvGuard simd_guard("off");
+    ThreadsGuard threads_guard(1);
+    Scoded system(MakeTable());
+    baseline = system.CheckAll(constraints).value();
+  }
+  for (const char* simd_value : SimdEnvValues()) {
+    for (int threads : {1, 4}) {
+      SimdEnvGuard simd_guard(simd_value);
+      ThreadsGuard threads_guard(threads);
+      Scoded system(MakeTable());
+      Scoded::BatchCheckResult result = system.CheckAll(constraints).value();
+      ASSERT_EQ(result.reports.size(), baseline.reports.size());
+      EXPECT_EQ(result.violations, baseline.violations)
+          << "simd=" << simd_value << " threads=" << threads;
+      for (size_t i = 0; i < result.reports.size(); ++i) {
+        EXPECT_EQ(result.reports[i].violated, baseline.reports[i].violated)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+        EXPECT_EQ(result.reports[i].p_value, baseline.reports[i].p_value)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+        EXPECT_EQ(result.reports[i].test.statistic, baseline.reports[i].test.statistic)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDeterminismTest, ShardedCheckAllIsPathAndThreadInvariant) {
+  std::string path = ::testing::TempDir() + "/simd_determinism_sharded.csv";
+  {
+    Rng rng(4321);
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "Model,Color,Price,Mileage\n";
+    const char* models[] = {"civic", "corolla", "focus", "golf"};
+    const char* colors[] = {"red", "blue", "white"};
+    for (int i = 0; i < 500; ++i) {
+      int64_t m = rng.UniformInt(0, 3);
+      double p = 10.0 + 3.0 * static_cast<double>(m) + rng.Normal(0.0, 1.0);
+      if (rng.UniformInt(0, 39) == 0) {
+        out << ',';  // null Model
+      } else {
+        out << models[m] << ',';
+      }
+      out << colors[rng.UniformInt(0, 2)] << ',' << p << ','
+          << 100.0 - 4.0 * p + rng.Normal(0.0, 2.0) << '\n';
+    }
+  }
+  std::vector<ApproximateSc> constraints = {
+      {ParseConstraint("Model _||_ Color").value(), 0.05},
+      {ParseConstraint("Model !_||_ Price").value(), 0.3},
+      {ParseConstraint("Price _||_ Mileage | Model").value(), 0.05},
+  };
+  ShardedCheckOptions options;
+  options.reader.shard_rows = 64;
+  ShardedCheckResult baseline;
+  {
+    SimdEnvGuard simd_guard("off");
+    ThreadsGuard threads_guard(1);
+    baseline = ShardedCheckAll(path, constraints, options).value();
+  }
+  ASSERT_EQ(baseline.reports.size(), constraints.size());
+  for (const char* simd_value : SimdEnvValues()) {
+    for (int threads : {1, 4}) {
+      SimdEnvGuard simd_guard(simd_value);
+      ThreadsGuard threads_guard(threads);
+      ShardedCheckResult result = ShardedCheckAll(path, constraints, options).value();
+      EXPECT_EQ(result.violations, baseline.violations)
+          << "simd=" << simd_value << " threads=" << threads;
+      EXPECT_EQ(result.shards, baseline.shards);
+      EXPECT_EQ(result.rows, baseline.rows);
+      ASSERT_EQ(result.reports.size(), baseline.reports.size());
+      for (size_t i = 0; i < result.reports.size(); ++i) {
+        EXPECT_EQ(result.reports[i].violated, baseline.reports[i].violated)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+        EXPECT_EQ(result.reports[i].p_value, baseline.reports[i].p_value)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+        EXPECT_EQ(result.reports[i].test.statistic, baseline.reports[i].test.statistic)
+            << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SimdDeterminismTest, StreamMonitorIsPathAndThreadInvariant) {
+  // 6 batches of 70 rows against a numeric and a categorical constraint,
+  // in unbounded (window 0) and windowed (window 64: evictions exercise
+  // the pair-scan kernel on both sides) modes.
+  auto make_batch = [](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> price;
+    std::vector<double> mileage;
+    std::vector<std::string> model;
+    std::vector<std::string> color;
+    const char* models[] = {"civic", "corolla", "focus"};
+    const char* colors[] = {"red", "blue"};
+    for (int i = 0; i < 70; ++i) {
+      double p = 10.0 + rng.Normal(0.0, 2.0);
+      price.push_back(p);
+      mileage.push_back(100.0 - 4.0 * p + rng.Normal(0.0, 2.0));
+      model.push_back(models[rng.UniformInt(0, 2)]);
+      color.push_back(colors[rng.UniformInt(0, 1)]);
+    }
+    TableBuilder builder;
+    builder.AddNumeric("price", price);
+    builder.AddNumeric("mileage", mileage);
+    builder.AddCategorical("model", model);
+    builder.AddCategorical("color", color);
+    return std::move(builder).Build().value();
+  };
+  std::vector<ApproximateSc> constraints = {
+      {ParseConstraint("price !_||_ mileage").value(), 0.3},
+      {ParseConstraint("model _||_ color").value(), 0.05},
+      {ParseConstraint("price !_||_ mileage | model").value(), 0.3},
+  };
+  for (size_t window : {size_t{0}, size_t{64}}) {
+    StreamMonitorOptions options;
+    options.monitor.window = window;
+    struct MonitorState {
+      double statistic;
+      double p_value;
+      bool violated;
+      size_t occupancy;
+    };
+    std::vector<MonitorState> baseline;
+    {
+      SimdEnvGuard simd_guard("off");
+      ThreadsGuard threads_guard(1);
+      StreamMonitor stream = StreamMonitor::Create(make_batch(1), constraints, options).value();
+      for (uint64_t seed = 1; seed <= 6; ++seed) {
+        ASSERT_TRUE(stream.Append(make_batch(seed)).ok());
+      }
+      for (size_t i = 0; i < stream.NumMonitors(); ++i) {
+        baseline.push_back({stream.monitor(i).CurrentStatistic(),
+                            stream.monitor(i).CurrentPValue(), stream.monitor(i).Violated(),
+                            stream.monitor(i).WindowOccupancy()});
+      }
+    }
+    for (const char* simd_value : SimdEnvValues()) {
+      for (int threads : {1, 4}) {
+        SimdEnvGuard simd_guard(simd_value);
+        ThreadsGuard threads_guard(threads);
+        StreamMonitor stream =
+            StreamMonitor::Create(make_batch(1), constraints, options).value();
+        for (uint64_t seed = 1; seed <= 6; ++seed) {
+          ASSERT_TRUE(stream.Append(make_batch(seed)).ok());
+        }
+        ASSERT_EQ(stream.NumMonitors(), baseline.size());
+        for (size_t i = 0; i < baseline.size(); ++i) {
+          EXPECT_EQ(stream.monitor(i).CurrentStatistic(), baseline[i].statistic)
+              << "simd=" << simd_value << " threads=" << threads << " window=" << window
+              << " monitor=" << i;
+          EXPECT_EQ(stream.monitor(i).CurrentPValue(), baseline[i].p_value)
+              << "simd=" << simd_value << " threads=" << threads << " window=" << window
+              << " monitor=" << i;
+          EXPECT_EQ(stream.monitor(i).Violated(), baseline[i].violated)
+              << "simd=" << simd_value << " threads=" << threads << " window=" << window
+              << " monitor=" << i;
+          EXPECT_EQ(stream.monitor(i).WindowOccupancy(), baseline[i].occupancy)
+              << "simd=" << simd_value << " threads=" << threads << " window=" << window
+              << " monitor=" << i;
+        }
+      }
+    }
   }
 }
 

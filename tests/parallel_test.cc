@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <vector>
@@ -195,6 +196,56 @@ TEST(ColumnEncodingCacheTest, MemoisesCodesPerKey) {
       cache.GetOrComputeCodes(color, ColumnEncodingCache::RowsSignature(subset), 4, compute);
   EXPECT_EQ(computes, 3);
   EXPECT_NE(first.get(), fourth.get());
+}
+
+TEST(ColumnEncodingCacheTest, RowsSignatureSeparatesPrefixRelatedSets) {
+  // Regression: plain FNV-1a over the row indices alone leaves a set and
+  // its extensions with a shared running hash state — {r0..rk} is
+  // literally a streaming prefix of {r0..rk, rk+1} — so two different
+  // stratum row sets that share a prefix were one multiplication apart.
+  // Mixing the length on both sides (and avalanching) must give every
+  // prefix pair an unrelated signature.
+  std::vector<size_t> rows{1, 2, 3};
+  std::vector<size_t> extended{1, 2, 3, 4};
+  uint64_t sig = ColumnEncodingCache::RowsSignature(rows);
+  uint64_t extended_sig = ColumnEncodingCache::RowsSignature(extended);
+  EXPECT_NE(sig, extended_sig);
+
+  // The empty set and {0} hash identically under FNV-1a when the length
+  // is not mixed in (index 0 contributes eight zero bytes but the
+  // offset-basis state only changes through the multiply chain): the two
+  // must now differ.
+  EXPECT_NE(ColumnEncodingCache::RowsSignature({}), ColumnEncodingCache::RowsSignature({0}));
+  // Same shared-state shape one level up: {0} vs {0, 0}-style paddings.
+  EXPECT_NE(ColumnEncodingCache::RowsSignature({0}),
+            ColumnEncodingCache::RowsSignature({0, 0}));
+
+  // Low-entropy inputs must not produce clustered signatures: all
+  // pairwise-distinct small sets stay pairwise distinct, and the high
+  // 32 bits carry entropy (the unordered_map bucket index is taken from
+  // the low bits of a further mix, but a degenerate upper half would
+  // betray a missing avalanche).
+  std::vector<std::vector<size_t>> sets = {
+      {}, {0}, {1}, {0, 1}, {1, 0}, {0, 1, 2}, {2, 1, 0}, {0, 0}, {1, 1}, {42}, {42, 43}};
+  std::vector<uint64_t> sigs;
+  for (const auto& set : sets) {
+    sigs.push_back(ColumnEncodingCache::RowsSignature(set));
+  }
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    for (size_t j = i + 1; j < sigs.size(); ++j) {
+      EXPECT_NE(sigs[i], sigs[j]) << "set " << i << " vs set " << j;
+    }
+  }
+  size_t distinct_upper = 0;
+  std::vector<uint32_t> seen;
+  for (uint64_t s : sigs) {
+    uint32_t upper = static_cast<uint32_t>(s >> 32);
+    if (std::find(seen.begin(), seen.end(), upper) == seen.end()) {
+      seen.push_back(upper);
+      ++distinct_upper;
+    }
+  }
+  EXPECT_GT(distinct_upper, sigs.size() / 2);
 }
 
 TEST(ColumnEncodingCacheTest, CodesAndKeysDoNotCollide) {
