@@ -84,6 +84,23 @@ JsonWriter& JsonWriter::Double(double value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::DoubleFull(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::SetAsciiOutput(bool ascii) {
+  ascii_output_ = ascii;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Bool(bool value) {
   MaybeComma();
   out_ += value ? "true" : "false";
@@ -102,33 +119,94 @@ JsonWriter& JsonWriter::Raw(std::string_view json) {
   return *this;
 }
 
+namespace {
+
+// Emits a \uXXXX escape; code points beyond the BMP become the UTF-16
+// surrogate pair RFC 8259 prescribes (one raw \u of the supplementary
+// value would be rejected by any conforming parser, including ours).
+void AppendUnicodeEscape(std::string* out, uint32_t code) {
+  char buffer[16];
+  if (code >= 0x10000) {
+    uint32_t v = code - 0x10000;
+    std::snprintf(buffer, sizeof(buffer), "\\u%04x\\u%04x", 0xD800 + (v >> 10),
+                  0xDC00 + (v & 0x3FF));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "\\u%04x", code);
+  }
+  *out += buffer;
+}
+
+// Decodes the UTF-8 sequence starting at value[*i] and advances past it.
+// Malformed input (stray continuation byte, truncated sequence, overlong
+// form landing in the surrogate range) consumes one byte and decodes as
+// U+FFFD so the writer always produces valid JSON.
+uint32_t DecodeUtf8(std::string_view value, size_t* i) {
+  constexpr uint32_t kReplacement = 0xFFFD;
+  unsigned char lead = static_cast<unsigned char>(value[*i]);
+  size_t len = lead < 0x80 ? 1 : lead < 0xC2 ? 0 : lead < 0xE0 ? 2 : lead < 0xF0 ? 3
+               : lead < 0xF5 ? 4 : 0;
+  if (len == 0 || *i + len > value.size()) {
+    ++*i;
+    return kReplacement;
+  }
+  uint32_t code = len == 1 ? lead : lead & (0x7F >> len);
+  for (size_t k = 1; k < len; ++k) {
+    unsigned char cont = static_cast<unsigned char>(value[*i + k]);
+    if ((cont & 0xC0) != 0x80) {
+      ++*i;
+      return kReplacement;
+    }
+    code = (code << 6) | (cont & 0x3F);
+  }
+  // Reject overlong encodings and surrogate-range/out-of-range values.
+  static constexpr uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMinForLen[len] || (code >= 0xD800 && code <= 0xDFFF) || code > 0x10FFFF) {
+    ++*i;
+    return kReplacement;
+  }
+  *i += len;
+  return code;
+}
+
+}  // namespace
+
 void JsonWriter::Escape(std::string_view value) {
   out_.push_back('"');
-  for (char c : value) {
+  for (size_t i = 0; i < value.size();) {
+    char c = value[i];
     switch (c) {
       case '"':
         out_ += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out_ += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out_ += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         out_ += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         out_ += "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out_ += buffer;
-        } else {
-          out_.push_back(c);
-        }
+        break;
+    }
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      AppendUnicodeEscape(&out_, byte);
+      ++i;
+    } else if (byte < 0x80 || !ascii_output_) {
+      out_.push_back(c);
+      ++i;
+    } else {
+      AppendUnicodeEscape(&out_, DecodeUtf8(value, &i));
     }
   }
   out_.push_back('"');
@@ -254,6 +332,46 @@ class JsonParser {
     return OkStatus();
   }
 
+  Status ParseHexQuad(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    *out = code;
+    return OkStatus();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) {
       return Error("expected '\"'");
@@ -294,35 +412,28 @@ class JsonParser {
           out->push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return Error("truncated \\u escape");
-          }
           uint32_t code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<uint32_t>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<uint32_t>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<uint32_t>(h - 'A' + 10);
-            } else {
-              return Error("invalid \\u escape digit");
+          SCODED_RETURN_IF_ERROR(ParseHexQuad(&code));
+          // RFC 8259 section 7: code points outside the BMP arrive as a
+          // UTF-16 surrogate pair of \u escapes. Combine the pair into the
+          // supplementary code point; a surrogate half on its own has no
+          // UTF-8 encoding (emitting it byte-wise would be CESU-8), so
+          // unpaired surrogates are a parse error, not mojibake.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Error("high surrogate \\u escape not followed by a low surrogate");
             }
+            pos_ += 2;
+            uint32_t low = 0;
+            SCODED_RETURN_IF_ERROR(ParseHexQuad(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("high surrogate \\u escape paired with a non-surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate \\u escape");
           }
-          // Encode the BMP code point as UTF-8 (surrogate pairs are not
-          // combined; the writer never emits them).
-          if (code < 0x80) {
-            out->push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
+          AppendUtf8(code, out);
           break;
         }
         default:

@@ -36,8 +36,18 @@ class JsonWriter {
   JsonWriter& Int(int64_t value);
   JsonWriter& Uint(uint64_t value);
   JsonWriter& Double(double value);
+  /// As Double but with full round-trip precision (%.17g): parsing the
+  /// emitted token recovers the exact bit pattern. Used by the wire layer,
+  /// where a streamed p-value must equal the locally computed one.
+  JsonWriter& DoubleFull(double value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+
+  /// ASCII-only output mode: when enabled, every code point above U+007F is
+  /// emitted as a \uXXXX escape — non-BMP code points as a UTF-16 surrogate
+  /// pair, per RFC 8259 — and malformed UTF-8 input bytes become U+FFFD.
+  /// Off by default (raw UTF-8 pass-through, also valid JSON).
+  JsonWriter& SetAsciiOutput(bool ascii);
 
   /// Splices pre-rendered JSON in as one value. The caller guarantees
   /// `json` is itself valid JSON (e.g. the output of another JsonWriter).
@@ -53,6 +63,7 @@ class JsonWriter {
   // Whether the next emission at the current nesting level needs a comma.
   std::string need_comma_stack_ = "0";  // one char per depth: '0' or '1'
   bool after_key_ = false;
+  bool ascii_output_ = false;
 };
 
 /// Parsed JSON value: a small DOM used to read back machine-readable

@@ -7,6 +7,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace scoded::net {
@@ -15,6 +16,26 @@ namespace {
 
 std::string Errno(const char* what) {
   return std::string(what) + ": " + ErrnoMessage(errno);
+}
+
+// With SO_RCVTIMEO/SO_SNDTIMEO armed, a timed-out blocking call fails with
+// EAGAIN/EWOULDBLOCK — surface it as a deadline, not a generic I/O error.
+bool ErrnoIsTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+Status SetSocketTimeout(int fd, int optname, int millis) {
+  if (fd < 0) {
+    return FailedPreconditionError("timeout on closed connection");
+  }
+  if (millis < 0) {
+    return InvalidArgumentError("timeout must be non-negative");
+  }
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return InternalError(Errno("setsockopt"));
+  }
+  return OkStatus();
 }
 
 }  // namespace
@@ -28,6 +49,14 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
   return *this;
 }
 
+Status TcpConn::SetRecvTimeout(int millis) {
+  return SetSocketTimeout(fd_, SO_RCVTIMEO, millis);
+}
+
+Status TcpConn::SetSendTimeout(int millis) {
+  return SetSocketTimeout(fd_, SO_SNDTIMEO, millis);
+}
+
 Status TcpConn::WriteAll(std::string_view data) {
   if (!valid()) {
     return FailedPreconditionError("write on closed connection");
@@ -39,6 +68,13 @@ Status TcpConn::WriteAll(std::string_view data) {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (ErrnoIsTimeout(errno)) {
+        return DeadlineExceededError("send deadline exceeded after " +
+                                     std::to_string(sent) + " bytes");
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return UnavailableError(Errno("send"));
       }
       return InternalError(Errno("send"));
     }
@@ -60,12 +96,49 @@ Result<std::string> TcpConn::ReadAll(size_t max_bytes) {
       if (errno == EINTR) {
         continue;
       }
+      if (ErrnoIsTimeout(errno)) {
+        return DeadlineExceededError("recv deadline exceeded after " +
+                                     std::to_string(out.size()) + " bytes");
+      }
       return InternalError(Errno("recv"));
     }
     if (n == 0) {
       break;
     }
     out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Result<std::string> TcpConn::ReadExact(size_t n) {
+  if (!valid()) {
+    return FailedPreconditionError("read on closed connection");
+  }
+  std::string out;
+  out.reserve(n);
+  char buf[4096];
+  while (out.size() < n) {
+    size_t want = std::min(sizeof(buf), n - out.size());
+    ssize_t got = ::recv(fd_, buf, want, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (ErrnoIsTimeout(errno)) {
+        return DeadlineExceededError("recv deadline exceeded after " +
+                                     std::to_string(out.size()) + " of " +
+                                     std::to_string(n) + " bytes");
+      }
+      return InternalError(Errno("recv"));
+    }
+    if (got == 0) {
+      if (out.empty()) {
+        return UnavailableError("connection closed");
+      }
+      return DataLossError("connection closed after " + std::to_string(out.size()) +
+                           " of " + std::to_string(n) + " bytes");
+    }
+    out.append(buf, static_cast<size_t>(got));
   }
   return out;
 }
@@ -81,6 +154,10 @@ Result<std::string> TcpConn::ReadUntil(std::string_view delim, size_t max_bytes)
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (ErrnoIsTimeout(errno)) {
+        return DeadlineExceededError("recv deadline exceeded after " +
+                                     std::to_string(out.size()) + " bytes");
       }
       return InternalError(Errno("recv"));
     }

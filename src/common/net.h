@@ -33,7 +33,19 @@ class TcpConn {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Writes all of `data`, retrying on short writes and EINTR.
+  /// Arms a receive deadline: any single blocking read that makes no
+  /// progress for `millis` fails with kDeadlineExceeded instead of hanging
+  /// forever on a silent peer (SO_RCVTIMEO). 0 disarms.
+  Status SetRecvTimeout(int millis);
+
+  /// The send-side counterpart (SO_SNDTIMEO): a peer that never drains its
+  /// receive buffer turns an eternal blocking send into kDeadlineExceeded.
+  Status SetSendTimeout(int millis);
+
+  /// Writes all of `data`, retrying on short writes and EINTR. A peer that
+  /// hung up yields an error (kUnavailable, EPIPE via MSG_NOSIGNAL) rather
+  /// than killing the process with SIGPIPE; an armed send deadline yields
+  /// kDeadlineExceeded.
   Status WriteAll(std::string_view data);
 
   /// Reads at most `max_bytes` and returns what arrived before the peer
@@ -41,9 +53,16 @@ class TcpConn {
   /// data.
   Result<std::string> ReadAll(size_t max_bytes);
 
+  /// Reads exactly `n` bytes, assembling short reads. The peer closing
+  /// before `n` bytes arrived is kUnavailable when nothing arrived yet
+  /// (clean end-of-stream) and kDataLoss mid-message (a truncated frame).
+  Result<std::string> ReadExact(size_t n);
+
   /// Reads until `delim` is seen (the returned string includes it), the
-  /// peer closes, or `max_bytes` arrived. Used to capture an HTTP request
-  /// head without trusting the peer to be terse.
+  /// peer closes, or `max_bytes` arrived (in which case the result simply
+  /// lacks the delimiter — callers treat that as an oversized request).
+  /// Used to capture an HTTP request head without trusting the peer to be
+  /// terse.
   Result<std::string> ReadUntil(std::string_view delim, size_t max_bytes);
 
   /// Half-closes the write side so the peer sees EOF while we can still

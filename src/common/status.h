@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal = 6,
   kAlreadyExists = 7,
   kDataLoss = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -78,6 +81,9 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status AlreadyExistsError(std::string message);
 Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace scoded
 

@@ -172,9 +172,27 @@ void MetricsServer::ServeLoop() {
 }
 
 void MetricsServer::HandleConnection(net::TcpConn conn) {
+  // Per-connection deadlines: without them a client that connects and then
+  // never writes (or never drains its receive buffer) parks this
+  // single-threaded accept loop forever, starving /metrics, /healthz, and
+  // `scoded top` for every other scraper.
+  (void)conn.SetRecvTimeout(conn_deadline_millis_);
+  (void)conn.SetSendTimeout(conn_deadline_millis_);
   // Read the request head only; this server has no request bodies.
-  Result<std::string> head = conn.ReadUntil("\r\n\r\n", /*max_bytes=*/8192);
+  Result<std::string> head = conn.ReadUntil("\r\n\r\n", /*max_bytes=*/kMaxRequestHead);
   if (!head.ok()) {
+    if (head.status().code() == StatusCode::kDeadlineExceeded) {
+      WriteSimpleResponse(conn, "408 Request Timeout", "request head not received in time\n");
+    }
+    return;
+  }
+  // ReadUntil returning without the delimiter means the peer either sent an
+  // oversized head or closed mid-request; only the former deserves a reply.
+  if (head->size() >= kMaxRequestHead &&
+      head->find("\r\n\r\n") == std::string::npos) {
+    WriteSimpleResponse(conn, "431 Request Header Fields Too Large",
+                        "request head exceeds " + std::to_string(kMaxRequestHead) +
+                            " bytes\n");
     return;
   }
   size_t method_end = head->find(' ');
@@ -211,6 +229,15 @@ void MetricsServer::HandleConnection(net::TcpConn conn) {
 
   std::string response = "HTTP/1.0 " + status +
                          "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  (void)conn.WriteAll(response);
+}
+
+void MetricsServer::WriteSimpleResponse(net::TcpConn& conn, std::string_view status,
+                                        std::string body) {
+  std::string response = "HTTP/1.0 " + std::string(status) +
+                         "\r\nContent-Type: text/plain; charset=utf-8" +
                          "\r\nContent-Length: " + std::to_string(body.size()) +
                          "\r\nConnection: close\r\n\r\n" + body;
   (void)conn.WriteAll(response);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -33,6 +34,7 @@ class MetricsServer {
   void Stop() {}
   bool running() const { return false; }
   uint16_t port() const { return 0; }
+  void set_conn_deadline_millis(int) {}
 };
 
 #else
@@ -61,7 +63,17 @@ std::string RenderGlobalPrometheusText();
 /// a scrape mid-run cannot perturb results.
 class MetricsServer {
  public:
+  /// Per-connection read/write deadline. A client that connects and never
+  /// writes must not park the accept loop: it gets a 408 and is dropped.
+  static constexpr int kConnDeadlineMillis = 5000;
+  /// Upper bound on the request head; anything longer gets a 431.
+  static constexpr size_t kMaxRequestHead = 8192;
+
   static MetricsServer& Global();
+
+  /// Overrides the per-connection deadline (before Start; tests shrink it
+  /// so a stalled-client check does not wait out the production value).
+  void set_conn_deadline_millis(int millis) { conn_deadline_millis_ = millis; }
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral; read back via port()) and
   /// starts the accept loop. Fails if already running or the port is
@@ -80,12 +92,15 @@ class MetricsServer {
 
   void ServeLoop();
   void HandleConnection(net::TcpConn conn);
+  static void WriteSimpleResponse(net::TcpConn& conn, std::string_view status,
+                                  std::string body);
 
   mutable std::mutex mu_;
   std::thread thread_;
   net::TcpListener listener_;
   bool running_ = false;
   bool stop_ = false;
+  int conn_deadline_millis_ = kConnDeadlineMillis;
 };
 
 #endif  // SCODED_OBS_DISABLED

@@ -1,0 +1,46 @@
+#include "serve/framing.h"
+
+namespace scoded::serve {
+
+Status WriteFrame(net::TcpConn& conn, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgumentError("frame payload of " + std::to_string(payload.size()) +
+                                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                                "-byte frame limit");
+  }
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>((n >> 24) & 0xFF), static_cast<char>((n >> 16) & 0xFF),
+                    static_cast<char>((n >> 8) & 0xFF), static_cast<char>(n & 0xFF)};
+  // One send for the common case: prefix and payload in a single buffer
+  // avoids a tinygram of 4 bytes preceding every message.
+  std::string frame;
+  frame.reserve(sizeof(prefix) + payload.size());
+  frame.append(prefix, sizeof(prefix));
+  frame.append(payload);
+  return conn.WriteAll(frame);
+}
+
+Result<std::string> ReadFrame(net::TcpConn& conn, uint32_t max_bytes) {
+  SCODED_ASSIGN_OR_RETURN(std::string prefix, conn.ReadExact(4));
+  uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) << 24) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 8) |
+               static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (n > max_bytes) {
+    return InvalidArgumentError("frame announces " + std::to_string(n) +
+                                " bytes, above the " + std::to_string(max_bytes) +
+                                "-byte limit");
+  }
+  if (n == 0) {
+    return std::string();
+  }
+  Result<std::string> payload = conn.ReadExact(n);
+  if (!payload.ok() && payload.status().code() == StatusCode::kUnavailable) {
+    // EOF between prefix and payload is still a truncated frame.
+    return DataLossError("connection closed after frame prefix (expected " +
+                         std::to_string(n) + " payload bytes)");
+  }
+  return payload;
+}
+
+}  // namespace scoded::serve

@@ -1,0 +1,42 @@
+#ifndef SCODED_SERVE_FRAMING_H_
+#define SCODED_SERVE_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/net.h"
+#include "common/result.h"
+
+namespace scoded::serve {
+
+/// Wire framing for the scoded serve protocol: every message is a 4-byte
+/// big-endian unsigned payload length followed by that many bytes of UTF-8
+/// JSON. Length-prefixing (rather than newline- or HTTP-delimiting) keeps
+/// the reader allocation-exact, makes oversized payloads rejectable before
+/// a single payload byte is read, and needs no escaping rules beyond
+/// JSON's own.
+
+/// Hard ceiling on a single frame's payload. Large enough for a multi-MiB
+/// CSV in a `check` request, small enough that a hostile length prefix
+/// cannot make the server allocate without bound.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Writes one frame (length prefix + payload). Fails with
+/// kInvalidArgument when `payload` exceeds kMaxFrameBytes, otherwise
+/// propagates the socket error (kUnavailable on a hung-up peer,
+/// kDeadlineExceeded under an armed send deadline).
+Status WriteFrame(net::TcpConn& conn, std::string_view payload);
+
+/// Reads one frame and returns its payload. Error mapping:
+///  * kUnavailable    — the peer closed before any prefix byte (clean
+///                      end-of-stream; the normal way a client departs);
+///  * kDataLoss       — the peer closed mid-prefix or mid-payload (a
+///                      truncated frame);
+///  * kInvalidArgument— the prefix announces more than `max_bytes`;
+///  * kDeadlineExceeded — an armed receive deadline expired.
+Result<std::string> ReadFrame(net::TcpConn& conn, uint32_t max_bytes = kMaxFrameBytes);
+
+}  // namespace scoded::serve
+
+#endif  // SCODED_SERVE_FRAMING_H_

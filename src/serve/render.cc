@@ -1,0 +1,52 @@
+#include "serve/render.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "stats/hypothesis.h"
+
+namespace scoded::serve {
+
+namespace {
+
+// printf into a std::string, resizing to fit (constraint names have no
+// length bound, so a fixed buffer would silently truncate).
+std::string Sprintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), format, args);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace
+
+std::string CheckResultLine(const ApproximateSc& asc, const ViolationReport& report) {
+  return Sprintf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
+                 asc.sc.ToString().c_str(), report.violated ? "VIOLATED" : "holds",
+                 report.p_value, report.test.statistic,
+                 std::string(TestMethodToString(report.test.method)).c_str(),
+                 static_cast<long long>(report.test.n));
+}
+
+std::string MonitorHeaderLine() {
+  return Sprintf("%-12s %-28s %-12s %-10s %s\n", "rows", "constraint", "statistic",
+                 "p-value", "state");
+}
+
+std::string MonitorStateLine(const StreamMonitor::ConstraintState& state) {
+  return Sprintf("%-12zu %-28s %-12.4g %-10.4g %s\n", state.records,
+                 state.constraint.c_str(), state.statistic, state.p_value,
+                 state.violated ? "VIOLATED" : "ok");
+}
+
+}  // namespace scoded::serve

@@ -1,0 +1,29 @@
+#ifndef SCODED_SERVE_RENDER_H_
+#define SCODED_SERVE_RENDER_H_
+
+#include <string>
+
+#include "core/approximate_sc.h"
+#include "core/stream_monitor.h"
+#include "core/violation.h"
+
+namespace scoded::serve {
+
+/// The human-readable lines the CLI prints for `check` and `monitor`,
+/// factored out so the daemon renders them server-side and the remote
+/// client's output is byte-identical to the local commands. Every function
+/// returns the full line including the trailing newline.
+
+/// `scoded check` verdict line:
+///   "<sc>: holds (p = ..., statistic = ..., method = ..., n = ...)\n"
+std::string CheckResultLine(const ApproximateSc& asc, const ViolationReport& report);
+
+/// `scoded monitor` column header.
+std::string MonitorHeaderLine();
+
+/// One `scoded monitor` state row.
+std::string MonitorStateLine(const StreamMonitor::ConstraintState& state);
+
+}  // namespace scoded::serve
+
+#endif  // SCODED_SERVE_RENDER_H_

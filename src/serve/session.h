@@ -1,0 +1,80 @@
+#ifndef SCODED_SERVE_SESSION_H_
+#define SCODED_SERVE_SESSION_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/approximate_sc.h"
+#include "core/stream_monitor.h"
+#include "table/schema.h"
+
+namespace scoded::serve {
+
+/// Capacity policy for a daemon's session table.
+struct SessionLimits {
+  /// Concurrent open sessions; opening beyond this fails with
+  /// kResourceExhausted (backpressure, not queueing — the client decides
+  /// whether to retry or shed load).
+  size_t max_sessions = 64;
+  /// A session untouched for this long is evicted on the next sweep.
+  /// 0 disables idle eviction.
+  int64_t idle_evict_millis = 15 * 60 * 1000;
+};
+
+/// The daemon's multi-tenant session registry: monotonically numbered
+/// sessions, each wrapping one StreamMonitor. Thread-safe; the table lock
+/// covers only registry bookkeeping while each session has its own mutex,
+/// so a long Append in one session never blocks requests against others.
+class SessionTable {
+ public:
+  explicit SessionTable(SessionLimits limits = {}) : limits_(limits) {}
+
+  /// Creates a session whose monitor enforces `constraints` over streams
+  /// with `schema`. Fails with kResourceExhausted at capacity and
+  /// propagates constraint-validation errors from StreamMonitor::Create.
+  Result<std::string> Open(const Schema& schema,
+                           const std::vector<ApproximateSc>& constraints,
+                           StreamMonitorOptions options);
+
+  /// Runs `fn` with exclusive access to the session's monitor and bumps
+  /// its idle clock. kNotFound for unknown (or already evicted) ids.
+  Status With(const std::string& id, const std::function<Status(StreamMonitor&)>& fn);
+
+  /// Removes a session. kNotFound when absent.
+  Status Close(const std::string& id);
+
+  /// Evicts every session idle past the limit; returns how many went.
+  size_t EvictIdle();
+
+  /// Closes everything (daemon shutdown).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  struct Session {
+    std::mutex mu;
+    StreamMonitor monitor;
+    std::chrono::steady_clock::time_point last_used;
+
+    explicit Session(StreamMonitor m)
+        : monitor(std::move(m)), last_used(std::chrono::steady_clock::now()) {}
+  };
+
+  void PublishGauges() const;  // callers hold mu_
+
+  SessionLimits limits_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace scoded::serve
+
+#endif  // SCODED_SERVE_SESSION_H_

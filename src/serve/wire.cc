@@ -1,0 +1,216 @@
+#include "serve/wire.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace scoded::serve {
+
+namespace {
+
+Result<double> ParseNonFiniteToken(const std::string& token) {
+  if (token == "nan") {
+    return std::nan("");
+  }
+  if (token == "inf") {
+    return HUGE_VAL;
+  }
+  if (token == "-inf") {
+    return -HUGE_VAL;
+  }
+  return InvalidArgumentError("unknown numeric token '" + token +
+                              "' (expected nan, inf, or -inf)");
+}
+
+Result<Column> ParseNumericColumn(const JsonValue& column) {
+  const JsonValue* values = column.Find("values");
+  if (values == nullptr || !values->is_array()) {
+    return InvalidArgumentError("numeric column is missing its values array");
+  }
+  std::vector<double> out;
+  std::vector<bool> valid;
+  out.reserve(values->array.size());
+  valid.reserve(values->array.size());
+  bool any_null = false;
+  for (const JsonValue& cell : values->array) {
+    if (cell.is_null()) {
+      out.push_back(std::nan(""));
+      valid.push_back(false);
+      any_null = true;
+    } else if (cell.is_number()) {
+      out.push_back(cell.number);
+      valid.push_back(true);
+    } else if (cell.is_string()) {
+      SCODED_ASSIGN_OR_RETURN(double parsed, ParseNonFiniteToken(cell.string_value));
+      out.push_back(parsed);
+      valid.push_back(true);
+    } else {
+      return InvalidArgumentError("numeric cell must be a number, null, or non-finite token");
+    }
+  }
+  return any_null ? Column::NumericWithNulls(std::move(out), std::move(valid))
+                  : Column::Numeric(std::move(out));
+}
+
+Result<Column> ParseCategoricalColumn(const JsonValue& column) {
+  const JsonValue* codes = column.Find("codes");
+  const JsonValue* dict = column.Find("dict");
+  if (codes == nullptr || !codes->is_array() || dict == nullptr || !dict->is_array()) {
+    return InvalidArgumentError("categorical column needs codes and dict arrays");
+  }
+  std::vector<std::string> dictionary;
+  dictionary.reserve(dict->array.size());
+  for (const JsonValue& entry : dict->array) {
+    if (!entry.is_string()) {
+      return InvalidArgumentError("categorical dictionary entries must be strings");
+    }
+    dictionary.push_back(entry.string_value);
+  }
+  std::vector<int32_t> out;
+  out.reserve(codes->array.size());
+  for (const JsonValue& cell : codes->array) {
+    if (!cell.is_number()) {
+      return InvalidArgumentError("categorical codes must be integers");
+    }
+    int64_t code = static_cast<int64_t>(cell.number);
+    if (static_cast<double>(code) != cell.number || code < -1 ||
+        code >= static_cast<int64_t>(dictionary.size())) {
+      return InvalidArgumentError("categorical code out of range for its dictionary");
+    }
+    out.push_back(static_cast<int32_t>(code));
+  }
+  return Column::CategoricalFromCodes(std::move(out), std::move(dictionary));
+}
+
+}  // namespace
+
+void WriteSchemaJson(const Schema& schema, JsonWriter& json) {
+  json.BeginArray();
+  for (const Field& field : schema.fields()) {
+    json.BeginObject();
+    json.Key("name").String(field.name);
+    json.Key("type").String(ColumnTypeToString(field.type));
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+Result<Schema> ParseSchemaJson(const JsonValue& value) {
+  if (!value.is_array()) {
+    return InvalidArgumentError("schema must be an array of {name, type} objects");
+  }
+  std::vector<Field> fields;
+  fields.reserve(value.array.size());
+  for (const JsonValue& entry : value.array) {
+    const JsonValue* name = entry.Find("name");
+    const JsonValue* type = entry.Find("type");
+    if (name == nullptr || !name->is_string() || type == nullptr || !type->is_string()) {
+      return InvalidArgumentError("schema entries need string name and type members");
+    }
+    ColumnType column_type;
+    if (type->string_value == "numeric") {
+      column_type = ColumnType::kNumeric;
+    } else if (type->string_value == "categorical") {
+      column_type = ColumnType::kCategorical;
+    } else {
+      return InvalidArgumentError("unknown column type '" + type->string_value +
+                                  "' (expected numeric or categorical)");
+    }
+    fields.push_back({name->string_value, column_type});
+  }
+  return Schema(std::move(fields));
+}
+
+Result<Table> EmptyTableForSchema(const Schema& schema) {
+  TableBuilder builder;
+  for (const Field& field : schema.fields()) {
+    if (field.type == ColumnType::kNumeric) {
+      builder.AddNumeric(field.name, {});
+    } else {
+      builder.AddCategorical(field.name, {});
+    }
+  }
+  return std::move(builder).Build();
+}
+
+void WriteBatchJson(const Table& batch, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("rows").Uint(batch.NumRows());
+  json.Key("columns").BeginArray();
+  for (size_t c = 0; c < batch.NumColumns(); ++c) {
+    const Column& column = batch.column(c);
+    json.BeginObject();
+    json.Key("name").String(batch.schema().field(c).name);
+    json.Key("type").String(ColumnTypeToString(column.type()));
+    if (column.type() == ColumnType::kNumeric) {
+      json.Key("values").BeginArray();
+      for (size_t row = 0; row < column.size(); ++row) {
+        if (column.IsNull(row)) {
+          json.Null();
+        } else {
+          double value = column.NumericAt(row);
+          if (std::isfinite(value)) {
+            json.DoubleFull(value);
+          } else if (std::isnan(value)) {
+            json.String("nan");
+          } else {
+            json.String(value > 0 ? "inf" : "-inf");
+          }
+        }
+      }
+      json.EndArray();
+    } else {
+      json.Key("codes").BeginArray();
+      for (size_t row = 0; row < column.size(); ++row) {
+        json.Int(column.CodeAt(row));
+      }
+      json.EndArray();
+      json.Key("dict").BeginArray();
+      for (const std::string& category : column.dictionary()) {
+        json.String(category);
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+Result<Table> ParseBatchJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return InvalidArgumentError("batch must be an object");
+  }
+  const JsonValue* columns = value.Find("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    return InvalidArgumentError("batch is missing its columns array");
+  }
+  TableBuilder builder;
+  for (const JsonValue& column : columns->array) {
+    const JsonValue* name = column.Find("name");
+    const JsonValue* type = column.Find("type");
+    if (name == nullptr || !name->is_string() || type == nullptr || !type->is_string()) {
+      return InvalidArgumentError("batch columns need string name and type members");
+    }
+    if (type->string_value == "numeric") {
+      SCODED_ASSIGN_OR_RETURN(Column parsed, ParseNumericColumn(column));
+      builder.AddColumn(name->string_value, std::move(parsed));
+    } else if (type->string_value == "categorical") {
+      SCODED_ASSIGN_OR_RETURN(Column parsed, ParseCategoricalColumn(column));
+      builder.AddColumn(name->string_value, std::move(parsed));
+    } else {
+      return InvalidArgumentError("unknown column type '" + type->string_value + "'");
+    }
+  }
+  SCODED_ASSIGN_OR_RETURN(Table batch, std::move(builder).Build());
+  const JsonValue* rows = value.Find("rows");
+  if (rows != nullptr && rows->is_number() &&
+      static_cast<size_t>(rows->number) != batch.NumRows()) {
+    return InvalidArgumentError("batch rows field disagrees with its column lengths");
+  }
+  return batch;
+}
+
+}  // namespace scoded::serve

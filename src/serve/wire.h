@@ -1,0 +1,44 @@
+#ifndef SCODED_SERVE_WIRE_H_
+#define SCODED_SERVE_WIRE_H_
+
+#include "common/json.h"
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace scoded::serve {
+
+/// JSON encoding of schemas and row batches for the serve protocol.
+///
+/// The encoding is exact, not approximate: a batch decoded on the server
+/// is bit-identical to the one the client gathered, so a streamed
+/// session's statistics match a local `scoded monitor` run to the last
+/// bit. Concretely:
+///  * numeric cells travel at %.17g (JsonWriter::DoubleFull), which
+///    round-trips every finite double through strtod; non-finite values
+///    travel as the strings "nan"/"inf"/"-inf"; nulls as JSON null;
+///  * categorical columns travel as dictionary codes plus the dictionary
+///    itself, preserving code assignment and first-appearance order
+///    (re-encoding the strings server-side could not preserve nulls).
+
+/// Appends `schema` as a JSON array value: [{"name": ..., "type":
+/// "numeric"|"categorical"}, ...].
+void WriteSchemaJson(const Schema& schema, JsonWriter& json);
+
+/// Parses the array produced by WriteSchemaJson.
+Result<Schema> ParseSchemaJson(const JsonValue& value);
+
+/// Builds a zero-row table with `schema` — the prototype a StreamMonitor
+/// validates constraints against before any rows exist.
+Result<Table> EmptyTableForSchema(const Schema& schema);
+
+/// Appends `batch` as a JSON object value:
+///   {"rows": N, "columns": [{"name", "type", ...payload}, ...]}
+void WriteBatchJson(const Table& batch, JsonWriter& json);
+
+/// Parses the object produced by WriteBatchJson back into a Table.
+Result<Table> ParseBatchJson(const JsonValue& value);
+
+}  // namespace scoded::serve
+
+#endif  // SCODED_SERVE_WIRE_H_

@@ -1,0 +1,281 @@
+// Edge cases of the common/net socket helpers and the hardened obs
+// metrics endpoint: short reads, partial sends, EINTR, peer hang-ups
+// (EPIPE), oversized request heads, socket deadlines, and the
+// stalled-client starvation fix.
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/net.h"
+#include "obs/export.h"
+
+namespace scoded {
+namespace {
+
+using net::DialLoopback;
+using net::TcpConn;
+using net::TcpListener;
+
+// A connected loopback socket pair: client dialed into server.
+struct ConnPair {
+  TcpConn client;
+  TcpConn server;
+};
+
+void MakeConnectedPair(ConnPair* pair) {
+  Result<TcpListener> listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread acceptor([&] {
+    Result<TcpConn> accepted = listener->Accept();
+    if (accepted.ok()) {
+      pair->server = std::move(accepted).value();
+    }
+  });
+  Result<TcpConn> client = DialLoopback(listener->port());
+  acceptor.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  pair->client = std::move(client).value();
+  ASSERT_TRUE(pair->server.valid());
+}
+
+std::string Pattern(size_t n) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('a' + (i % 26)));
+  }
+  return out;
+}
+
+TEST(NetEdgeTest, ReadExactAssemblesShortReads) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+
+  const std::string message = Pattern(10000);
+  // Dribble the payload in 97-byte writes with pauses, so the reader sees
+  // many short reads and must assemble them.
+  std::thread writer([&] {
+    for (size_t off = 0; off < message.size(); off += 97) {
+      ASSERT_TRUE(pair.server.WriteAll(message.substr(off, 97)).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  Result<std::string> got = pair.client.ReadExact(message.size());
+  writer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, message);
+}
+
+TEST(NetEdgeTest, ReadExactReportsCleanEofAsUnavailable) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+  pair.server.Close();
+
+  Result<std::string> got = pair.client.ReadExact(16);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetEdgeTest, ReadExactReportsMidMessageEofAsDataLoss) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+  ASSERT_TRUE(pair.server.WriteAll("abc").ok());
+  pair.server.Close();
+
+  Result<std::string> got = pair.client.ReadExact(16);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(NetEdgeTest, WriteAllCompletesPartialSendsThroughTinyBuffers) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+
+  // Shrink the send buffer so a 256 KiB write cannot complete in one
+  // send() and WriteAll must loop through many partial completions while
+  // the reader drains concurrently.
+  int tiny = 4096;
+  ::setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+
+  const std::string message = Pattern(256 << 10);
+  std::thread writer([&] { ASSERT_TRUE(pair.client.WriteAll(message).ok()); });
+  Result<std::string> got = pair.server.ReadExact(message.size());
+  writer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), message.size());
+  EXPECT_EQ(*got, message);
+}
+
+// EINTR injection: a no-op handler installed WITHOUT SA_RESTART makes
+// every signal delivery abort the blocking recv with EINTR, which the
+// helpers must transparently retry.
+std::atomic<int> g_sigusr1_count{0};
+void CountSigusr1(int) { g_sigusr1_count.fetch_add(1); }
+
+TEST(NetEdgeTest, ReadExactRetriesEintr) {
+  struct sigaction action {};
+  action.sa_handler = CountSigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction saved {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+
+  Result<std::string> got = InternalError("not run");
+  std::thread reader([&] { got = pair.client.ReadExact(64); });
+  // Pepper the blocked reader with signals, then send the payload.
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pair.server.WriteAll(Pattern(64)).ok());
+  reader.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 64u);
+  EXPECT_GT(g_sigusr1_count.load(), 0);
+  sigaction(SIGUSR1, &saved, nullptr);
+}
+
+TEST(NetEdgeTest, WriteToHungUpPeerFailsWithUnavailableNotSigpipe) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+  pair.server.Close();  // peer hangs up
+
+  // The first write may land in the kernel buffer; keep writing until the
+  // RST surfaces. MSG_NOSIGNAL means the process survives (no SIGPIPE) and
+  // the caller sees kUnavailable.
+  Status status = OkStatus();
+  const std::string chunk = Pattern(64 * 1024);
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = pair.client.WriteAll(chunk);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST(NetEdgeTest, RecvDeadlineFailsWithDeadlineExceeded) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+
+  ASSERT_TRUE(pair.client.SetRecvTimeout(50).ok());
+  Result<std::string> got = pair.client.ReadExact(1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+      << got.status().ToString();
+
+  // ReadUntil honors the same deadline.
+  Result<std::string> until = pair.client.ReadUntil("\r\n\r\n", 1024);
+  ASSERT_FALSE(until.ok());
+  EXPECT_EQ(until.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetEdgeTest, SetTimeoutRejectsBadArguments) {
+  TcpConn closed;
+  EXPECT_EQ(closed.SetRecvTimeout(100).code(), StatusCode::kFailedPrecondition);
+
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+  EXPECT_EQ(pair.client.SetRecvTimeout(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(pair.client.SetSendTimeout(0).ok());  // 0 disarms
+}
+
+TEST(NetEdgeTest, ReadUntilStopsAtMaxBytesWithoutDelimiter) {
+  ConnPair pair;
+  ASSERT_NO_FATAL_FAILURE(MakeConnectedPair(&pair));
+
+  ASSERT_TRUE(pair.server.WriteAll(Pattern(4096)).ok());
+  Result<std::string> got = pair.client.ReadUntil("\r\n\r\n", 1024);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->size(), 1024u);
+  EXPECT_EQ(got->find("\r\n\r\n"), std::string::npos);
+}
+
+#if !defined(SCODED_OBS_DISABLED)
+
+Result<std::string> HttpGet(uint16_t port, const std::string& path) {
+  SCODED_ASSIGN_OR_RETURN(TcpConn conn, DialLoopback(port));
+  SCODED_RETURN_IF_ERROR(conn.SetRecvTimeout(10000));
+  SCODED_RETURN_IF_ERROR(
+      conn.WriteAll("GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n"));
+  conn.ShutdownWrite();
+  return conn.ReadAll(4u << 20);
+}
+
+// The starvation bug this PR fixes: a client that connects and never
+// writes used to park the single-threaded accept loop forever, starving
+// every later scrape. With per-connection deadlines the stalled client is
+// cut loose (408) and /metrics stays responsive.
+TEST(MetricsServerHardeningTest, StalledClientDoesNotStarveMetrics) {
+  obs::MetricsServer& server = obs::MetricsServer::Global();
+  ASSERT_FALSE(server.running());
+  server.set_conn_deadline_millis(200);
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  // A never-writing connection, held open for the whole test.
+  Result<TcpConn> stalled = DialLoopback(port);
+  ASSERT_TRUE(stalled.ok());
+  // Give the accept loop a moment to pick it up and block on its head.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> healthz = HttpGet(port, "/healthz");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(healthz.ok()) << healthz.status().ToString();
+  EXPECT_NE(healthz->find("200 OK"), std::string::npos);
+  // Served once the stalled client timed out — well under the old forever.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            5000);
+
+  // The stalled client itself got a 408 before the close.
+  ASSERT_TRUE(stalled->SetRecvTimeout(10000).ok());
+  Result<std::string> stalled_response = stalled->ReadAll(4096);
+  ASSERT_TRUE(stalled_response.ok()) << stalled_response.status().ToString();
+  EXPECT_NE(stalled_response->find("408 Request Timeout"), std::string::npos);
+
+  server.Stop();
+  server.set_conn_deadline_millis(obs::MetricsServer::kConnDeadlineMillis);
+}
+
+TEST(MetricsServerHardeningTest, OversizedRequestHeadGets431) {
+  obs::MetricsServer& server = obs::MetricsServer::Global();
+  ASSERT_FALSE(server.running());
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+
+  Result<TcpConn> conn = DialLoopback(port);
+  ASSERT_TRUE(conn.ok());
+  // A request head that never terminates, exactly at the 8 KiB cap (so the
+  // server consumes every byte we sent — no unread input means its close
+  // is a FIN, not an RST that would eat the 431 on the way back).
+  std::string huge = "GET /metrics HTTP/1.0\r\nX-Filler: ";
+  huge += Pattern(obs::MetricsServer::kMaxRequestHead);
+  huge.resize(obs::MetricsServer::kMaxRequestHead);
+  ASSERT_TRUE(conn->WriteAll(huge).ok());
+  ASSERT_TRUE(conn->SetRecvTimeout(10000).ok());
+  Result<std::string> response = conn->ReadAll(4096);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find("431 Request Header Fields Too Large"), std::string::npos);
+
+  // And the endpoint still serves the next well-formed request.
+  Result<std::string> healthz = HttpGet(port, "/healthz");
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_NE(healthz->find("200 OK"), std::string::npos);
+
+  server.Stop();
+}
+
+#endif  // !SCODED_OBS_DISABLED
+
+}  // namespace
+}  // namespace scoded

@@ -2,6 +2,7 @@
 // telemetry, the JSON parser they rely on, and an end-to-end check that
 // the CLI's --stats/--trace-out surface real numbers.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -381,6 +382,83 @@ TEST(JsonParserTest, WriterOutputParsesBack) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->Find("esc")->string_value, "tab\there \"and\" backslash\\");
   EXPECT_EQ(parsed->Find("nums")->array[2].number, static_cast<double>(1u << 30));
+}
+
+TEST(JsonParserTest, SurrogatePairsCombineIntoOneCodePoint) {
+  // U+1F600 (the grinning-face emoji) travels as the surrogate pair
+  // \ud83d\ude00 and must decode to one 4-byte UTF-8 sequence, never to
+  // two 3-byte CESU-8 halves.
+  Result<JsonValue> parsed = ParseJson(R"("\ud83d\ude00")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value, "\xF0\x9F\x98\x80");
+
+  // Mixed BMP and astral content.
+  parsed = ParseJson(R"("x\ud83d\ude00y\u00e9")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value, "x\xF0\x9F\x98\x80y\xC3\xA9");
+}
+
+TEST(JsonParserTest, LoneSurrogatesAreRejected) {
+  // A high surrogate with no continuation, followed by non-escape text.
+  EXPECT_FALSE(ParseJson(R"("\ud83dxyz")").ok());
+  // A high surrogate at end of string.
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());
+  // A high surrogate followed by a non-surrogate escape.
+  EXPECT_FALSE(ParseJson(R"("\ud83d\u0041")").ok());
+  // Two high surrogates in a row.
+  EXPECT_FALSE(ParseJson(R"("\ud83d\ud83d")").ok());
+  // A bare low surrogate.
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());
+}
+
+TEST(JsonParserTest, AsciiWriterEscapesNonBmpAsSurrogatePairs) {
+  JsonWriter json;
+  json.SetAsciiOutput(true);
+  json.String("A\xC3\xA9\xF0\x9F\x98\x80");  // "Aé😀"
+  EXPECT_EQ(json.str(), R"("A\u00e9\ud83d\ude00")");
+
+  // The escaped form parses back to the original UTF-8 bytes: a full
+  // writer→parser round trip through the astral plane.
+  Result<JsonValue> parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value, "A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, AsciiWriterReplacesMalformedUtf8) {
+  JsonWriter json;
+  json.SetAsciiOutput(true);
+  // A lone continuation byte, an overlong encoding of '/', and a
+  // truncated 4-byte lead: every malformed byte becomes U+FFFD instead of
+  // leaking corrupt output (the overlong C0 AF is two bad bytes, as is the
+  // truncated F0 9F).
+  json.String("a\x80" "b\xC0\xAF" "c\xF0\x9F");
+  Result<JsonValue> parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << " in " << json.str();
+  EXPECT_EQ(parsed->string_value,
+            "a\xEF\xBF\xBD"
+            "b\xEF\xBF\xBD\xEF\xBF\xBD"
+            "c\xEF\xBF\xBD\xEF\xBF\xBD");
+}
+
+TEST(JsonParserTest, NonAsciiPassesThroughRawByDefault) {
+  JsonWriter json;
+  json.String("Aé😀");
+  EXPECT_EQ(json.str(), "\"Aé😀\"");
+  Result<JsonValue> parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value, "Aé😀");
+}
+
+TEST(JsonParserTest, DoubleFullRoundTripsExactValues) {
+  const double values[] = {0.1, 1.0 / 3.0, 5e-324, 1e308, -0.0, 12345.6789};
+  for (double value : values) {
+    JsonWriter json;
+    json.DoubleFull(value);
+    Result<JsonValue> parsed = ParseJson(json.str());
+    ASSERT_TRUE(parsed.ok()) << json.str();
+    EXPECT_EQ(parsed->number, value) << json.str();
+    EXPECT_EQ(std::signbit(parsed->number), std::signbit(value)) << json.str();
+  }
 }
 
 // ------------------------------------------------------ structured logging

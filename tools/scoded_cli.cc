@@ -23,6 +23,18 @@
 //   scoded fds         --csv FILE [--max-g3 0.25]  (approximate FDs +
 //                      their Prop. 2 DSC translations)
 //   scoded consistency --sc "..." [--sc "..." ...]
+//   scoded serve       [--port N] [--max-sessions M] [--idle-secs S]
+//                      [--handlers H]   (daemon: host monitor sessions and
+//                      one-shot checks over length-prefixed JSON frames on
+//                      127.0.0.1; port 0 = ephemeral, printed at startup.
+//                      SIGTERM/SIGINT drain sessions and exit cleanly.)
+//   scoded client ping    --port N
+//   scoded client check   --port N --csv FILE --sc "..." [--alpha A]
+//   scoded client monitor --port N --csv FILE --sc C1 [--sc C2 ...]
+//                      [--alpha A] [--batch 100] [--window W]
+//                      (stream the CSV into a daemon session batch by
+//                      batch; output is byte-identical to the local
+//                      `scoded check` / `scoded monitor` commands)
 //   scoded top         --port N [--interval-ms 500] [--iterations K]
 //                      (attach to a running scoded's --metrics-port and
 //                      render a live dashboard: rows/s, shards done,
@@ -84,6 +96,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -114,6 +127,9 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "repair/cell_repair.h"
+#include "serve/client.h"
+#include "serve/render.h"
+#include "serve/server.h"
 #include "stats/descriptive.h"
 #include "table/csv.h"
 
@@ -135,10 +151,12 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|top|inspect|version> "
+               "usage: scoded <profile|check|drill|partition|repair|monitor|report|discover|fds|consistency|serve|client|top|inspect|version> "
                "[--csv FILE] [--sc CONSTRAINT]... [--alpha A] [--k K]\n"
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
                "[--out FILE] [--shard-rows N] [--port N] [--interval-ms MS]\n"
+               "              [--max-sessions M] [--idle-secs S] [--handlers H] "
+               "[--batch B] [--window W]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
                "[--log-level debug|info|warn|error] [--threads N] [--metrics-port N]\n"
                "              [--flight-recorder-events N] [--watchdog-secs T]\n");
@@ -314,11 +332,7 @@ int RunCheck(const Args& args) {
     }
     g_telemetry.Merge(result->telemetry);
     const ViolationReport& report = result->reports[0];
-    std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
-                asc->sc.ToString().c_str(), report.violated ? "VIOLATED" : "holds",
-                report.p_value, report.test.statistic,
-                std::string(TestMethodToString(report.test.method)).c_str(),
-                static_cast<long long>(report.test.n));
+    std::fputs(serve::CheckResultLine(*asc, report).c_str(), stdout);
     return report.violated ? 2 : 0;
   }
   Result<Table> table = LoadCsv(args);
@@ -332,11 +346,7 @@ int RunCheck(const Args& args) {
     return Fail(report.status());
   }
   g_telemetry.Merge(report->telemetry);
-  std::printf("%s: %s (p = %.6g, statistic = %.4g, method = %s, n = %lld)\n",
-              asc->sc.ToString().c_str(), report->violated ? "VIOLATED" : "holds",
-              report->p_value, report->test.statistic,
-              std::string(TestMethodToString(report->test.method)).c_str(),
-              static_cast<long long>(report->test.n));
+  std::fputs(serve::CheckResultLine(*asc, *report).c_str(), stdout);
   return report->violated ? 2 : 0;
 }
 
@@ -513,8 +523,7 @@ int RunMonitor(const Args& args) {
   if (!stream.ok()) {
     return Fail(stream.status());
   }
-  std::printf("%-12s %-28s %-12s %-10s %s\n", "rows", "constraint", "statistic", "p-value",
-              "state");
+  std::fputs(serve::MonitorHeaderLine().c_str(), stdout);
   for (size_t start = 0; start < table->NumRows(); start += batch) {
     std::vector<size_t> rows;
     for (size_t i = start; i < std::min(start + batch, table->NumRows()); ++i) {
@@ -525,8 +534,7 @@ int RunMonitor(const Args& args) {
       return Fail(status);
     }
     for (const StreamMonitor::ConstraintState& state : stream->States()) {
-      std::printf("%-12zu %-28s %-12.4g %-10.4g %s\n", state.records, state.constraint.c_str(),
-                  state.statistic, state.p_value, state.violated ? "VIOLATED" : "ok");
+      std::fputs(serve::MonitorStateLine(state).c_str(), stdout);
     }
   }
   g_telemetry.Merge(stream->AggregateTelemetry());
@@ -822,6 +830,242 @@ int RunTop(const Args& args) {
   return 0;
 }
 
+// ----------------------------------------------------------------------
+// scoded serve / scoded client — the streaming constraint-checking daemon
+// and its CLI-side counterpart (src/serve).
+
+// SIGTERM/SIGINT request an orderly drain: the handler only flips a flag,
+// the serve loop notices and tears the daemon down through the normal
+// shutdown path (sessions drained, no crash report left behind).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+int RunServe(const Args& args) {
+  Result<int64_t> port = FlagInt(args, "port", 0);
+  Result<int64_t> max_sessions = FlagInt(args, "max-sessions", 64);
+  Result<int64_t> idle_secs = FlagInt(args, "idle-secs", 900);
+  Result<int64_t> handlers = FlagInt(args, "handlers", 4);
+  if (!port.ok() || !max_sessions.ok() || !idle_secs.ok() || !handlers.ok()) {
+    return Fail(!port.ok() ? port.status()
+                           : !max_sessions.ok() ? max_sessions.status()
+                                                : !idle_secs.ok() ? idle_secs.status()
+                                                                  : handlers.status());
+  }
+  if (*port < 0 || *port > 65535) {
+    return FailMessage("--port expects a port in [0, 65535]");
+  }
+  if (*max_sessions <= 0) {
+    return FailMessage("--max-sessions must be positive");
+  }
+  if (*idle_secs < 0) {
+    return FailMessage("--idle-secs must be non-negative (0 = never evict)");
+  }
+  if (*handlers <= 0) {
+    return FailMessage("--handlers must be positive");
+  }
+  serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(*port);
+  options.handler_threads = static_cast<size_t>(*handlers);
+  options.sessions.max_sessions = static_cast<size_t>(*max_sessions);
+  options.sessions.idle_evict_millis = *idle_secs * 1000;
+  serve::Server server(options);
+  if (Status status = server.Start(); !status.ok()) {
+    return Fail(status);
+  }
+  // The bound port goes to stdout (not just the log) so scripts starting
+  // the daemon with --port 0 can discover where it landed.
+  std::printf("scoded serve listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  obs::LogInfo("serve daemon listening",
+               {{"port", static_cast<int64_t>(server.port())},
+                {"max_sessions", *max_sessions},
+                {"idle_secs", *idle_secs}});
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  g_telemetry.Merge(server.TelemetrySnapshot());
+  std::printf("scoded serve: shut down cleanly\n");
+  return 0;
+}
+
+Result<uint16_t> ClientPort(const Args& args) {
+  Result<int64_t> port = FlagInt(args, "port", 0);
+  if (!port.ok()) {
+    return port.status();
+  }
+  if (*port <= 0 || *port > 65535) {
+    return InvalidArgumentError("scoded client requires --port N in [1, 65535]");
+  }
+  return static_cast<uint16_t>(*port);
+}
+
+int RunClientPing(const Args& args) {
+  Result<uint16_t> port = ClientPort(args);
+  if (!port.ok()) {
+    return Fail(port.status());
+  }
+  Result<serve::Client> client = serve::Client::Connect(*port);
+  if (!client.ok()) {
+    return Fail(client.status());
+  }
+  Result<JsonValue> pong = client->Ping();
+  if (!pong.ok()) {
+    return Fail(pong.status());
+  }
+  const JsonValue* sessions = pong->Find("sessions");
+  std::printf("pong from 127.0.0.1:%u (sessions = %lld)\n", *port,
+              sessions != nullptr && sessions->is_number()
+                  ? static_cast<long long>(sessions->number)
+                  : 0LL);
+  return 0;
+}
+
+// Remote one-shot check: the raw CSV bytes go to the daemon, which parses
+// them with the same reader as `scoded check` and returns the rendered
+// verdict line — output and exit code byte-match the local command.
+int RunClientCheck(const Args& args) {
+  Result<uint16_t> port = ClientPort(args);
+  if (!port.ok()) {
+    return Fail(port.status());
+  }
+  auto csv_path = args.flags.find("csv");
+  if (csv_path == args.flags.end()) {
+    return FailMessage("--csv FILE is required for client check");
+  }
+  if (args.constraints.size() != 1) {
+    return FailMessage("exactly one --sc CONSTRAINT is required for client check");
+  }
+  Result<double> alpha = FlagDouble(args, "alpha", 0.05);
+  if (!alpha.ok()) {
+    return Fail(alpha.status());
+  }
+  Result<std::string> csv_text = ReadTextFile(csv_path->second);
+  if (!csv_text.ok()) {
+    return Fail(csv_text.status());
+  }
+  Result<serve::Client> client = serve::Client::Connect(*port);
+  if (!client.ok()) {
+    return Fail(client.status());
+  }
+  Result<JsonValue> response = client->Check(*csv_text, args.constraints[0], *alpha);
+  if (!response.ok()) {
+    return Fail(response.status());
+  }
+  const JsonValue* line = response->Find("line");
+  const JsonValue* violated = response->Find("violated");
+  if (line == nullptr || !line->is_string() || violated == nullptr ||
+      !violated->is_bool()) {
+    return FailMessage("malformed check response from daemon");
+  }
+  std::fputs(line->string_value.c_str(), stdout);
+  return violated->bool_value ? 2 : 0;
+}
+
+// Remote monitor: parse the CSV locally, open a session carrying the
+// parsed schema, stream the rows batch by batch, and print the rendered
+// state rows the daemon returns — byte-identical to `scoded monitor` over
+// the same file.
+int RunClientMonitor(const Args& args) {
+  Result<uint16_t> port = ClientPort(args);
+  if (!port.ok()) {
+    return Fail(port.status());
+  }
+  Result<Table> table = LoadCsv(args);
+  if (!table.ok()) {
+    return Fail(table.status());
+  }
+  if (args.constraints.empty()) {
+    return FailMessage("at least one --sc CONSTRAINT is required");
+  }
+  Result<double> alpha = FlagDouble(args, "alpha", 0.05);
+  Result<int64_t> batch_flag = FlagInt(args, "batch", 100);
+  Result<int64_t> window_flag = FlagInt(args, "window", 0);
+  if (!alpha.ok() || !batch_flag.ok() || !window_flag.ok()) {
+    return Fail(!alpha.ok() ? alpha.status()
+                            : !batch_flag.ok() ? batch_flag.status() : window_flag.status());
+  }
+  if (*batch_flag <= 0) {
+    return FailMessage("--batch must be positive");
+  }
+  if (*window_flag < 0) {
+    return FailMessage("--window must be non-negative (0 = unbounded)");
+  }
+  size_t batch = static_cast<size_t>(*batch_flag);
+  std::vector<ApproximateSc> constraints;
+  for (const std::string& text : args.constraints) {
+    Result<StatisticalConstraint> sc = ParseConstraint(text);
+    if (!sc.ok()) {
+      return Fail(sc.status());
+    }
+    constraints.push_back({std::move(sc).value(), *alpha});
+  }
+  Result<serve::Client> client = serve::Client::Connect(*port);
+  if (!client.ok()) {
+    return Fail(client.status());
+  }
+  Result<std::string> session =
+      client->OpenSession(table->schema(), constraints, static_cast<size_t>(*window_flag));
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+  std::fputs(serve::MonitorHeaderLine().c_str(), stdout);
+  bool any_violated = false;
+  for (size_t start = 0; start < table->NumRows(); start += batch) {
+    std::vector<size_t> rows;
+    for (size_t i = start; i < std::min(start + batch, table->NumRows()); ++i) {
+      rows.push_back(i);
+    }
+    Result<size_t> appended = client->AppendBatch(*session, table->Gather(rows));
+    if (!appended.ok()) {
+      return Fail(appended.status());
+    }
+    Result<JsonValue> state = client->Query(*session);
+    if (!state.ok()) {
+      return Fail(state.status());
+    }
+    const JsonValue* states = state->Find("states");
+    if (states == nullptr || !states->is_array()) {
+      return FailMessage("malformed query response from daemon");
+    }
+    for (const JsonValue& entry : states->array) {
+      const JsonValue* line = entry.Find("line");
+      if (line == nullptr || !line->is_string()) {
+        return FailMessage("malformed query response from daemon");
+      }
+      std::fputs(line->string_value.c_str(), stdout);
+    }
+    if (const JsonValue* v = state->Find("any_violated"); v != nullptr && v->is_bool()) {
+      any_violated = v->bool_value;
+    }
+  }
+  if (Status closed = client->CloseSession(*session); !closed.ok()) {
+    return Fail(closed);
+  }
+  return any_violated ? 2 : 0;
+}
+
+int RunClient(const Args& args) {
+  if (args.positional.size() != 1) {
+    return FailMessage("scoded client expects one action: ping, check, or monitor");
+  }
+  const std::string& action = args.positional[0];
+  if (action == "ping") {
+    return RunClientPing(args);
+  }
+  if (action == "check") {
+    return RunClientCheck(args);
+  }
+  if (action == "monitor") {
+    return RunClientMonitor(args);
+  }
+  return FailMessage("unknown client action '" + action +
+                     "' (expected ping, check, or monitor)");
+}
+
 // scoded inspect FILE — pretty-print flight-recorder crash/stall reports.
 int RunInspect(const Args& args) {
   if (args.positional.size() != 1) {
@@ -854,8 +1098,9 @@ int RunVersion() {
 }
 
 int Dispatch(const Args& args) {
-  // Only `inspect` takes bare operands; anywhere else they are typos.
-  if (!args.positional.empty() && args.command != "inspect") {
+  // Only `inspect` and `client` take bare operands; anywhere else they are
+  // typos.
+  if (!args.positional.empty() && args.command != "inspect" && args.command != "client") {
     return Usage();
   }
   if (args.command == "profile") {
@@ -887,6 +1132,12 @@ int Dispatch(const Args& args) {
   }
   if (args.command == "consistency") {
     return RunConsistency(args);
+  }
+  if (args.command == "serve") {
+    return RunServe(args);
+  }
+  if (args.command == "client") {
+    return RunClient(args);
   }
   if (args.command == "top") {
     return RunTop(args);
