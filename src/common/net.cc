@@ -6,6 +6,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -247,6 +248,31 @@ Result<TcpConn> TcpListener::Accept() {
   }
 }
 
+Result<TcpConn> TcpListener::AcceptWithTimeout(int millis) {
+  if (!valid()) {
+    return FailedPreconditionError("accept on closed listener");
+  }
+  if (millis < 0) {
+    return InvalidArgumentError("timeout must be non-negative");
+  }
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    int ready = ::poll(&pfd, 1, millis);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;  // restart with the full timeout; close enough for a bound wait
+      }
+      return InternalError(Errno("poll"));
+    }
+    if (ready == 0) {
+      return DeadlineExceededError("no connection within " + std::to_string(millis) + " ms");
+    }
+    return Accept();
+  }
+}
+
 void TcpListener::Close() {
   if (valid()) {
     ::close(fd_);
@@ -274,6 +300,14 @@ Result<TcpConn> DialLoopback(uint16_t port) {
     ::close(fd);
     return InternalError("127.0.0.1:" + std::to_string(port) + ": " + message);
   }
+}
+
+Result<std::pair<TcpConn, TcpConn>> SocketPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return InternalError(Errno("socketpair"));
+  }
+  return std::make_pair(TcpConn(fds[0]), TcpConn(fds[1]));
 }
 
 }  // namespace scoded::net

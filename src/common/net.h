@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -103,6 +104,12 @@ class TcpListener {
   /// Blocks until a client connects. Fails once the listener is closed.
   Result<TcpConn> Accept();
 
+  /// Accept() with a deadline: fails with kDeadlineExceeded when no client
+  /// connects within `millis` (poll + accept), so a caller waiting for a
+  /// spawned process to dial back never hangs on a process that died
+  /// before connecting.
+  Result<TcpConn> AcceptWithTimeout(int millis);
+
   void Close();
 
  private:
@@ -115,6 +122,12 @@ class TcpListener {
 /// Connects to 127.0.0.1:`port` (the counterpart of TcpListener::Bind;
 /// also the wake-up device that unblocks a server stuck in Accept()).
 Result<TcpConn> DialLoopback(uint16_t port);
+
+/// A connected pair of local stream sockets (socketpair). Everything a
+/// TcpConn offers — deadlines, half-close, exact reads — works on both
+/// ends, so in-process and fork/exec peers can speak a framed protocol
+/// exactly as they would over TCP.
+Result<std::pair<TcpConn, TcpConn>> SocketPair();
 
 }  // namespace scoded::net
 

@@ -73,6 +73,31 @@ std::optional<int64_t> ParseInt(std::string_view input) {
   return value;
 }
 
+Result<int64_t> ParseCheckedInt(std::string_view input, int64_t min_value, int64_t max_value,
+                                std::string_view what) {
+  std::string_view trimmed = Trim(input);
+  auto bad = [&](std::string_view why) {
+    return InvalidArgumentError(std::string(what) + " expects an integer in [" +
+                                std::to_string(min_value) + ", " + std::to_string(max_value) +
+                                "], got '" + std::string(input) + "' (" + std::string(why) + ")");
+  };
+  if (trimmed.empty()) {
+    return bad("empty");
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return bad("out of range");
+  }
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+    return bad("not an integer");
+  }
+  if (value < min_value || value > max_value) {
+    return bad("out of range");
+  }
+  return value;
+}
+
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }

@@ -1,10 +1,13 @@
 #ifndef SCODED_COMMON_STRING_UTIL_H_
 #define SCODED_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace scoded {
 
@@ -23,6 +26,16 @@ std::optional<double> ParseDouble(std::string_view input);
 
 /// Parses a 64-bit integer; returns nullopt on malformed input.
 std::optional<int64_t> ParseInt(std::string_view input);
+
+/// Strict integer parse for flag and environment values: trims ASCII
+/// whitespace, then rejects empty input, trailing junk ("8080garbage"),
+/// out-of-range values, and overflow (from_chars ERANGE — no silent
+/// saturation) with a kInvalidArgument whose message names the value via
+/// `what` (e.g. "--workers" or "SCODED_SHARD_ROWS"). The one checked
+/// parser every CLI integer goes through, replacing the five
+/// slightly-different getenv+strtol copies it consolidated.
+Result<int64_t> ParseCheckedInt(std::string_view input, int64_t min_value, int64_t max_value,
+                                std::string_view what);
 
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);

@@ -41,18 +41,157 @@ void RecordTestMetrics(const TestResult& test) {
   (test.method == TestMethod::kTauTest ? tests_tau : tests_g)->Add();
 }
 
-// One decomposed singleton component and its streaming state.
-struct ComponentState {
-  size_t constraint_index = 0;
-  StatisticalConstraint component;
-  PairwiseShardSummary::Spec spec;
-  PairwiseShardSummary summary;
-  TestResult result;
-  bool needs_row_pass = false;
-  std::vector<PermutationStratum> permutation_strata;
-};
-
 }  // namespace
+
+Result<ShardedCheckPlan> PrepareShardedCheck(const Table& schema,
+                                             const std::vector<ApproximateSc>& constraints,
+                                             const TestOptions& test) {
+  ShardedCheckPlan plan;
+  // Consistency first, exactly as Scoded::CheckAll.
+  std::vector<const StatisticalConstraint*> scs;
+  scs.reserve(constraints.size());
+  for (const ApproximateSc& asc : constraints) {
+    scs.push_back(&asc.sc);
+  }
+  SCODED_ASSIGN_OR_RETURN(plan.consistency, CheckConsistency(scs));
+  if (!plan.consistency.consistent) {
+    return InvalidArgumentError(
+        "constraint set is inconsistent; resolve the conflicts before enforcement: " +
+        (plan.consistency.conflicts.empty() ? std::string() : plan.consistency.conflicts[0]));
+  }
+
+  // Decompose and bind every component up front, preserving the error
+  // order of the in-memory path: per constraint, the alpha check precedes
+  // the component bindings.
+  plan.component_range.resize(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const ApproximateSc& asc = constraints[i];
+    if (asc.alpha < 0.0 || asc.alpha > 1.0) {
+      return InvalidArgumentError("alpha must lie in [0, 1]");
+    }
+    std::vector<StatisticalConstraint> singles = DecomposeToSingletons(asc.sc);
+    plan.component_range[i] = {plan.components.size(),
+                               plan.components.size() + singles.size()};
+    for (StatisticalConstraint& single : singles) {
+      SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(single, schema));
+      ShardedComponent state;
+      state.constraint_index = i;
+      state.component = std::move(single);
+      state.spec = {bound.x[0], bound.y[0], bound.z};
+      if (test.numeric_method == NumericMethod::kSpearman && bound.z.empty() &&
+          schema.column(static_cast<size_t>(bound.x[0])).type() == ColumnType::kNumeric &&
+          schema.column(static_cast<size_t>(bound.y[0])).type() == ColumnType::kNumeric) {
+        // Fail before streaming anything; PairwiseShardSummary::Finish
+        // would refuse this component anyway.
+        return UnimplementedError(
+            "sharded checking does not support numeric_method=Spearman; "
+            "use Kendall's tau or the in-memory path");
+      }
+      state.summary = PairwiseShardSummary(schema, state.spec);
+      plan.components.push_back(std::move(state));
+    }
+  }
+  return plan;
+}
+
+Result<ShardedCheckResult> FinishShardedCheck(const std::string& path,
+                                              const std::vector<ApproximateSc>& constraints,
+                                              const ShardedCheckOptions& options,
+                                              ShardedCheckPlan plan, size_t shards,
+                                              uint64_t rows) {
+  static obs::Gauge* const progress_constraints =
+      obs::Metrics::Global().FindOrCreateGauge("progress.constraints_checked");
+  static obs::Gauge* const progress_min_p =
+      obs::Metrics::Global().FindOrCreateGauge("progress.current_min_p");
+
+  ShardedCheckResult out;
+  out.consistency = std::move(plan.consistency);
+  out.shards = shards;
+  out.rows = rows;
+  std::vector<ShardedComponent>& components = plan.components;
+
+  // Finish every component; components whose G-test needs the permutation
+  // fallback get their row-order code vectors from a second pass.
+  bool any_row_pass = false;
+  for (ShardedComponent& state : components) {
+    SCODED_ASSIGN_OR_RETURN(PairwiseShardSummary::FinishOutcome outcome,
+                            state.summary.Finish(options.test));
+    state.result = outcome.result;
+    state.needs_row_pass = outcome.needs_row_pass;
+    if (state.needs_row_pass) {
+      state.permutation_strata.resize(state.summary.NumPermutationStrata());
+      any_row_pass = true;
+    }
+  }
+  if (any_row_pass) {
+    obs::ScopedSpan pass_span("core/shard_permutation_pass");
+    SCODED_ASSIGN_OR_RETURN(csv::ShardReader second,
+                            csv::ShardReader::Open(path, options.reader));
+    while (true) {
+      SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, second.Next());
+      if (!shard.has_value()) {
+        break;
+      }
+      for (ShardedComponent& state : components) {
+        if (state.needs_row_pass) {
+          state.summary.CollectPermutationCodes(*shard, &state.permutation_strata);
+        }
+      }
+    }
+    for (ShardedComponent& state : components) {
+      if (!state.needs_row_pass) {
+        continue;
+      }
+      state.result.p_value = GPermutationFallbackPValue(
+          state.permutation_strata, options.test.permutation_fallback_iterations,
+          options.test.permutation_seed);
+      state.result.used_exact = true;
+      state.permutation_strata.clear();
+      state.permutation_strata.shrink_to_fit();
+    }
+  }
+
+  // Assemble one ViolationReport per constraint exactly as DetectViolation
+  // does from its per-component test results.
+  out.reports.reserve(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const ApproximateSc& asc = constraints[i];
+    ViolationReport report;
+    report.alpha = asc.alpha;
+    obs::PhaseTimer timer(&report.telemetry, "core/detect_violation");
+    bool is_independence = asc.sc.is_independence();
+    double decision_p = 1.0;
+    bool have_component = false;
+    auto [begin, end] = plan.component_range[i];
+    for (size_t c = begin; c < end; ++c) {
+      ShardedComponent& state = components[c];
+      const TestResult& test = state.result;
+      if (!have_component || test.p_value < decision_p) {
+        decision_p = test.p_value;
+        report.test = test;
+        have_component = true;
+      }
+      ++report.telemetry.tests_executed;
+      report.telemetry.rows_scanned += test.n;
+      (test.used_exact ? report.telemetry.exact_tests : report.telemetry.asymptotic_tests) += 1;
+      report.telemetry.strata_used += static_cast<int64_t>(test.strata_used);
+      report.telemetry.strata_skipped += static_cast<int64_t>(test.strata_skipped);
+      report.components.push_back(ComponentResult{state.component, test});
+      RecordTestMetrics(test);
+    }
+    report.telemetry.AddCount("components", static_cast<int64_t>(end - begin));
+    report.p_value = decision_p;
+    report.violated = is_independence ? (decision_p < asc.alpha) : (decision_p > asc.alpha);
+    timer.Stop();
+    out.violations += report.violated ? 1 : 0;
+    out.telemetry.Merge(report.telemetry);
+    out.reports.push_back(std::move(report));
+    progress_constraints->MaxWith(static_cast<double>(i + 1));
+    progress_min_p->MinWith(decision_p);
+    obs::Heartbeat("core.constraint_checked", static_cast<int64_t>(i + 1));
+  }
+  return out;
+}
 
 Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
                                            const std::vector<ApproximateSc>& constraints,
@@ -100,51 +239,9 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
   progress_constraints->Set(0.0);
   progress_min_p->Set(1.0);
 
-  ShardedCheckResult out;
-  // Consistency first, exactly as Scoded::CheckAll.
-  std::vector<const StatisticalConstraint*> scs;
-  scs.reserve(constraints.size());
-  for (const ApproximateSc& asc : constraints) {
-    scs.push_back(&asc.sc);
-  }
-  SCODED_ASSIGN_OR_RETURN(out.consistency, CheckConsistency(scs));
-  if (!out.consistency.consistent) {
-    return InvalidArgumentError(
-        "constraint set is inconsistent; resolve the conflicts before enforcement: " +
-        (out.consistency.conflicts.empty() ? std::string() : out.consistency.conflicts[0]));
-  }
-
-  // Decompose and bind every component up front, preserving the error
-  // order of the in-memory path: per constraint, the alpha check precedes
-  // the component bindings.
-  std::vector<ComponentState> components;
-  std::vector<std::pair<size_t, size_t>> component_range(constraints.size());
-  for (size_t i = 0; i < constraints.size(); ++i) {
-    const ApproximateSc& asc = constraints[i];
-    if (asc.alpha < 0.0 || asc.alpha > 1.0) {
-      return InvalidArgumentError("alpha must lie in [0, 1]");
-    }
-    std::vector<StatisticalConstraint> singles = DecomposeToSingletons(asc.sc);
-    component_range[i] = {components.size(), components.size() + singles.size()};
-    for (StatisticalConstraint& single : singles) {
-      SCODED_ASSIGN_OR_RETURN(BoundConstraint bound, BindConstraint(single, schema));
-      ComponentState state;
-      state.constraint_index = i;
-      state.component = std::move(single);
-      state.spec = {bound.x[0], bound.y[0], bound.z};
-      if (options.test.numeric_method == NumericMethod::kSpearman && bound.z.empty() &&
-          schema.column(static_cast<size_t>(bound.x[0])).type() == ColumnType::kNumeric &&
-          schema.column(static_cast<size_t>(bound.y[0])).type() == ColumnType::kNumeric) {
-        // Fail before streaming anything; PairwiseShardSummary::Finish
-        // would refuse this component anyway.
-        return UnimplementedError(
-            "sharded checking does not support numeric_method=Spearman; "
-            "use Kendall's tau or the in-memory path");
-      }
-      state.summary = PairwiseShardSummary(schema, state.spec);
-      components.push_back(std::move(state));
-    }
-  }
+  SCODED_ASSIGN_OR_RETURN(ShardedCheckPlan plan,
+                          PrepareShardedCheck(schema, constraints, options.test));
+  std::vector<ShardedComponent>& components = plan.components;
 
   // Stream the file in waves: read up to `wave` shards serially, summarise
   // every (shard, component) pair on the pool, then fold the partial
@@ -153,6 +250,7 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
   const size_t wave = std::max<size_t>(1, std::min<size_t>(parallel::Threads(), 4));
   uint64_t row_offset = 0;
   size_t shards_read = 0;
+  size_t shards_done = 0;
   while (true) {
     std::vector<Table> shards;
     std::vector<uint64_t> offsets;
@@ -210,94 +308,14 @@ Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
       shard_rows_counter->Add(static_cast<int64_t>(shard.NumRows()));
     }
     shard_merges_counter->Add(static_cast<int64_t>(tasks));
-    out.shards += shards.size();
-    progress_shards_done->MaxWith(static_cast<double>(out.shards));
+    shards_done += shards.size();
+    progress_shards_done->MaxWith(static_cast<double>(shards_done));
     progress_rows->MaxWith(static_cast<double>(row_offset));
-    obs::Heartbeat("core.shards_done", static_cast<int64_t>(out.shards));
-  }
-  out.rows = row_offset;
-
-  // Finish every component; components whose G-test needs the permutation
-  // fallback get their row-order code vectors from a second pass.
-  bool any_row_pass = false;
-  for (ComponentState& state : components) {
-    SCODED_ASSIGN_OR_RETURN(PairwiseShardSummary::FinishOutcome outcome,
-                            state.summary.Finish(options.test));
-    state.result = outcome.result;
-    state.needs_row_pass = outcome.needs_row_pass;
-    if (state.needs_row_pass) {
-      state.permutation_strata.resize(state.summary.NumPermutationStrata());
-      any_row_pass = true;
-    }
-  }
-  if (any_row_pass) {
-    obs::ScopedSpan pass_span("core/shard_permutation_pass");
-    SCODED_ASSIGN_OR_RETURN(csv::ShardReader second,
-                            csv::ShardReader::Open(path, options.reader));
-    while (true) {
-      SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, second.Next());
-      if (!shard.has_value()) {
-        break;
-      }
-      for (ComponentState& state : components) {
-        if (state.needs_row_pass) {
-          state.summary.CollectPermutationCodes(*shard, &state.permutation_strata);
-        }
-      }
-    }
-    for (ComponentState& state : components) {
-      if (!state.needs_row_pass) {
-        continue;
-      }
-      state.result.p_value = GPermutationFallbackPValue(
-          state.permutation_strata, options.test.permutation_fallback_iterations,
-          options.test.permutation_seed);
-      state.result.used_exact = true;
-      state.permutation_strata.clear();
-      state.permutation_strata.shrink_to_fit();
-    }
+    obs::Heartbeat("core.shards_done", static_cast<int64_t>(shards_done));
   }
 
-  // Assemble one ViolationReport per constraint exactly as DetectViolation
-  // does from its per-component test results.
-  out.reports.reserve(constraints.size());
-  for (size_t i = 0; i < constraints.size(); ++i) {
-    const ApproximateSc& asc = constraints[i];
-    ViolationReport report;
-    report.alpha = asc.alpha;
-    obs::PhaseTimer timer(&report.telemetry, "core/detect_violation");
-    bool is_independence = asc.sc.is_independence();
-    double decision_p = 1.0;
-    bool have_component = false;
-    auto [begin, end] = component_range[i];
-    for (size_t c = begin; c < end; ++c) {
-      ComponentState& state = components[c];
-      const TestResult& test = state.result;
-      if (!have_component || test.p_value < decision_p) {
-        decision_p = test.p_value;
-        report.test = test;
-        have_component = true;
-      }
-      ++report.telemetry.tests_executed;
-      report.telemetry.rows_scanned += test.n;
-      (test.used_exact ? report.telemetry.exact_tests : report.telemetry.asymptotic_tests) += 1;
-      report.telemetry.strata_used += static_cast<int64_t>(test.strata_used);
-      report.telemetry.strata_skipped += static_cast<int64_t>(test.strata_skipped);
-      report.components.push_back(ComponentResult{state.component, test});
-      RecordTestMetrics(test);
-    }
-    report.telemetry.AddCount("components", static_cast<int64_t>(end - begin));
-    report.p_value = decision_p;
-    report.violated = is_independence ? (decision_p < asc.alpha) : (decision_p > asc.alpha);
-    timer.Stop();
-    out.violations += report.violated ? 1 : 0;
-    out.telemetry.Merge(report.telemetry);
-    out.reports.push_back(std::move(report));
-    progress_constraints->MaxWith(static_cast<double>(i + 1));
-    progress_min_p->MinWith(decision_p);
-    obs::Heartbeat("core.constraint_checked", static_cast<int64_t>(i + 1));
-  }
-  return out;
+  return FinishShardedCheck(path, constraints, options, std::move(plan), shards_done,
+                            row_offset);
 }
 
 }  // namespace scoded

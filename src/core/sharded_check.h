@@ -2,6 +2,7 @@
 #define SCODED_CORE_SHARDED_CHECK_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +11,7 @@
 #include "core/violation.h"
 #include "obs/telemetry.h"
 #include "stats/hypothesis.h"
+#include "stats/shard_stats.h"
 #include "table/csv_stream.h"
 
 namespace scoded {
@@ -55,6 +57,45 @@ struct ShardedCheckResult {
 Result<ShardedCheckResult> ShardedCheckAll(const std::string& path,
                                            const std::vector<ApproximateSc>& constraints,
                                            const ShardedCheckOptions& options = {});
+
+/// One decomposed singleton component mid-stream: its summary accumulates
+/// shard statistics until FinishShardedCheck turns it into a test result.
+struct ShardedComponent {
+  size_t constraint_index = 0;
+  StatisticalConstraint component;
+  PairwiseShardSummary::Spec spec;
+  PairwiseShardSummary summary;
+  TestResult result;
+  bool needs_row_pass = false;
+  std::vector<PermutationStratum> permutation_strata;
+};
+
+/// The summarisation-independent front half of a sharded check, shared by
+/// the single-process and distributed (coordinator/worker) checkers:
+/// consistency, alpha validation, decomposition to singletons, constraint
+/// binding against `schema` (a zero-row table with the file's schema, e.g.
+/// ShardReader::EmptyTable()), and the Spearman pre-refusal. Component i
+/// of constraint j lives at components[component_range[j].first ...).
+struct ShardedCheckPlan {
+  ConsistencyReport consistency;
+  std::vector<ShardedComponent> components;
+  std::vector<std::pair<size_t, size_t>> component_range;
+};
+
+Result<ShardedCheckPlan> PrepareShardedCheck(const Table& schema,
+                                             const std::vector<ApproximateSc>& constraints,
+                                             const TestOptions& test);
+
+/// The shared back half: finishes every component summary (re-streaming
+/// `path` for components whose G-test fell back to the permutation null),
+/// assembles one ViolationReport per constraint exactly as DetectViolation
+/// would, and publishes the per-constraint progress gauges. `shards` and
+/// `rows` report how much input the caller streamed.
+Result<ShardedCheckResult> FinishShardedCheck(const std::string& path,
+                                              const std::vector<ApproximateSc>& constraints,
+                                              const ShardedCheckOptions& options,
+                                              ShardedCheckPlan plan, size_t shards,
+                                              uint64_t rows);
 
 }  // namespace scoded
 

@@ -1,0 +1,285 @@
+#include "distributed/worker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/framing.h"
+#include "serve/wire.h"
+#include "stats/shard_stats.h"
+#include "table/csv_stream.h"
+
+namespace scoded::dist {
+
+namespace {
+
+struct SummarizeRequest {
+  std::string path;
+  csv::ShardReaderOptions reader;
+  std::vector<PairwiseShardSummary::Spec> specs;
+  uint64_t begin = 0;  // shard indices [begin, end)
+  uint64_t end = 0;
+};
+
+Result<uint64_t> MemberUint(const JsonValue& parent, const std::string& name) {
+  const JsonValue* value = parent.Find(name);
+  if (value == nullptr || !value->is_number() || value->number < 0 ||
+      static_cast<double>(static_cast<uint64_t>(value->number)) != value->number) {
+    return InvalidArgumentError("summarize request needs a non-negative integer '" + name + "'");
+  }
+  return static_cast<uint64_t>(value->number);
+}
+
+Result<SummarizeRequest> ParseSummarizeRequest(const JsonValue& request) {
+  SummarizeRequest out;
+  const JsonValue* path = request.Find("path");
+  if (path == nullptr || !path->is_string()) {
+    return InvalidArgumentError("summarize request needs a string 'path'");
+  }
+  out.path = path->string_value;
+  const JsonValue* reader = request.Find("reader");
+  if (reader == nullptr || !reader->is_object()) {
+    return InvalidArgumentError("summarize request needs a 'reader' object");
+  }
+  SCODED_ASSIGN_OR_RETURN(uint64_t shard_rows, MemberUint(*reader, "shard_rows"));
+  SCODED_ASSIGN_OR_RETURN(uint64_t buffer_bytes, MemberUint(*reader, "buffer_bytes"));
+  out.reader.shard_rows = static_cast<size_t>(shard_rows);
+  out.reader.buffer_bytes = static_cast<size_t>(buffer_bytes);
+  const JsonValue* delimiter = reader->Find("delimiter");
+  if (delimiter == nullptr || !delimiter->is_string() || delimiter->string_value.size() != 1) {
+    return InvalidArgumentError("reader options need a one-character 'delimiter'");
+  }
+  out.reader.csv.delimiter = delimiter->string_value[0];
+  const JsonValue* has_header = reader->Find("has_header");
+  const JsonValue* infer_types = reader->Find("infer_types");
+  if (has_header == nullptr || !has_header->is_bool() || infer_types == nullptr ||
+      !infer_types->is_bool()) {
+    return InvalidArgumentError("reader options need boolean 'has_header' and 'infer_types'");
+  }
+  out.reader.csv.has_header = has_header->bool_value;
+  out.reader.csv.infer_types = infer_types->bool_value;
+  const JsonValue* specs = request.Find("specs");
+  if (specs == nullptr || !specs->is_array()) {
+    return InvalidArgumentError("summarize request needs a 'specs' array");
+  }
+  out.specs.reserve(specs->array.size());
+  for (const JsonValue& spec : specs->array) {
+    const JsonValue* x = spec.Find("x");
+    const JsonValue* y = spec.Find("y");
+    const JsonValue* z = spec.Find("z");
+    if (x == nullptr || !x->is_number() || y == nullptr || !y->is_number() || z == nullptr ||
+        !z->is_array()) {
+      return InvalidArgumentError("component specs need numeric x, y and a z array");
+    }
+    PairwiseShardSummary::Spec parsed;
+    parsed.x_col = static_cast<int>(x->number);
+    parsed.y_col = static_cast<int>(y->number);
+    parsed.z_cols.reserve(z->array.size());
+    for (const JsonValue& col : z->array) {
+      if (!col.is_number()) {
+        return InvalidArgumentError("component spec z entries must be numeric");
+      }
+      parsed.z_cols.push_back(static_cast<int>(col.number));
+    }
+    out.specs.push_back(std::move(parsed));
+  }
+  SCODED_ASSIGN_OR_RETURN(out.begin, MemberUint(request, "begin"));
+  SCODED_ASSIGN_OR_RETURN(out.end, MemberUint(request, "end"));
+  if (out.end < out.begin) {
+    return InvalidArgumentError("summarize range is inverted");
+  }
+  return out;
+}
+
+// Column-bound checks the PairwiseShardSummary constructor would enforce
+// with a process-fatal SCODED_CHECK; a worker fed a bad spec must reply
+// with an error instead.
+Status ValidateSpec(const PairwiseShardSummary::Spec& spec, const Table& schema) {
+  auto ok = [&](int col) { return col >= 0 && static_cast<size_t>(col) < schema.NumColumns(); };
+  if (!ok(spec.x_col) || !ok(spec.y_col) || spec.x_col == spec.y_col) {
+    return InvalidArgumentError("component spec has invalid x/y columns");
+  }
+  for (int z : spec.z_cols) {
+    if (!ok(z) || z == spec.x_col || z == spec.y_col) {
+      return InvalidArgumentError("component spec has invalid conditioning columns");
+    }
+  }
+  return OkStatus();
+}
+
+// One streaming pass reused across summarize requests. The coordinator
+// hands a worker ascending shard ranges in the common case, so advancing
+// an already open reader turns per-task cost into the range's own bytes —
+// re-opening would re-run the whole first pass and re-skip from row 0 for
+// every task. Any mismatch (different file or options, a backward range
+// after a retry) falls back to a fresh open; any reader error invalidates
+// the cache so the next request starts clean.
+struct ReaderCache {
+  std::string path;
+  csv::ShardReaderOptions options;
+  std::optional<csv::ShardReader> reader;
+  uint64_t next_shard = 0;  // first shard index Next() would yield
+  uint64_t row_offset = 0;  // global data rows consumed so far
+
+  bool CanServe(const SummarizeRequest& req) const {
+    return reader.has_value() && next_shard <= req.begin && path == req.path &&
+           options.shard_rows == req.reader.shard_rows &&
+           options.buffer_bytes == req.reader.buffer_bytes &&
+           options.csv.delimiter == req.reader.csv.delimiter &&
+           options.csv.has_header == req.reader.csv.has_header &&
+           options.csv.infer_types == req.reader.csv.infer_types;
+  }
+};
+
+Result<std::string> HandleSummarize(const JsonValue& request, ReaderCache& cache) {
+  SCODED_ASSIGN_OR_RETURN(SummarizeRequest req, ParseSummarizeRequest(request));
+  obs::ScopedSpan span("dist/worker_summarize");
+  if (span.active()) {
+    span.Arg("begin", static_cast<int64_t>(req.begin))
+        .Arg("end", static_cast<int64_t>(req.end))
+        .Arg("specs", static_cast<int64_t>(req.specs.size()));
+  }
+  if (!cache.CanServe(req)) {
+    cache.reader.reset();
+    SCODED_ASSIGN_OR_RETURN(csv::ShardReader opened, csv::ShardReader::Open(req.path, req.reader));
+    cache.path = req.path;
+    cache.options = req.reader;
+    cache.reader.emplace(std::move(opened));
+    cache.next_shard = 0;
+    cache.row_offset = 0;
+  }
+  csv::ShardReader& reader = *cache.reader;
+  SCODED_ASSIGN_OR_RETURN(Table schema, reader.EmptyTable());
+  size_t shard_rows = std::max<size_t>(1, req.reader.shard_rows);
+  uint64_t num_shards = (reader.num_data_rows() + shard_rows - 1) / shard_rows;
+  if (req.end > num_shards) {
+    return InvalidArgumentError("summarize range ends at shard " + std::to_string(req.end) +
+                                " but the file has " + std::to_string(num_shards) +
+                                " shards — changed since the coordinator read it?");
+  }
+  std::vector<PairwiseShardSummary> summaries;
+  summaries.reserve(req.specs.size());
+  for (const PairwiseShardSummary::Spec& spec : req.specs) {
+    SCODED_RETURN_IF_ERROR(ValidateSpec(spec, schema));
+    summaries.emplace_back(schema, spec);
+  }
+  // Skip to the range start, tracking the true global row offset (every
+  // shard before the last is full, but counting is cheaper to trust than
+  // to assume).
+  while (cache.next_shard < req.begin) {
+    SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, reader.Next());
+    if (!shard.has_value()) {
+      return DataLossError("file ran out before shard " + std::to_string(req.begin));
+    }
+    cache.row_offset += shard->NumRows();
+    ++cache.next_shard;
+  }
+  static obs::Counter* const worker_rows =
+      obs::Metrics::Global().FindOrCreateCounter("dist.worker_rows");
+  static obs::Counter* const worker_shards =
+      obs::Metrics::Global().FindOrCreateCounter("dist.worker_shards");
+  uint64_t range_rows = 0;
+  for (uint64_t index = req.begin; index < req.end; ++index) {
+    SCODED_ASSIGN_OR_RETURN(std::optional<Table> shard, reader.Next());
+    if (!shard.has_value()) {
+      return DataLossError("file ran out at shard " + std::to_string(index));
+    }
+    for (PairwiseShardSummary& summary : summaries) {
+      summary.Accumulate(*shard, cache.row_offset);
+    }
+    cache.row_offset += shard->NumRows();
+    ++cache.next_shard;
+    range_rows += shard->NumRows();
+    worker_rows->Add(static_cast<int64_t>(shard->NumRows()));
+    worker_shards->Add();
+    obs::Heartbeat("dist.worker_shard", static_cast<int64_t>(index));
+  }
+  if (cache.next_shard == num_shards) {
+    // Range reached the end of the file: drain the reader so its
+    // second-pass byte/row accounting runs — a file rewritten mid-run
+    // surfaces as kDataLoss here instead of a silently wrong summary.
+    SCODED_ASSIGN_OR_RETURN(std::optional<Table> extra, reader.Next());
+    if (extra.has_value()) {
+      return DataLossError("file has more shards than the first pass saw");
+    }
+    cache.reader.reset();
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("shards").Uint(req.end - req.begin);
+  json.Key("rows").String(std::to_string(range_rows));
+  json.Key("summaries").BeginArray();
+  for (const PairwiseShardSummary& summary : summaries) {
+    serve::WriteShardSummaryJson(summary.ToSnapshot(), json);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string ErrorEnvelope(const Status& status) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(false);
+  json.Key("code").String(StatusCodeToString(status.code()));
+  json.Key("message").String(status.message());
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace
+
+Status ServeWorker(net::TcpConn& conn) {
+  ReaderCache cache;
+  for (;;) {
+    Result<std::string> frame = serve::ReadFrame(conn);
+    if (!frame.ok()) {
+      // A departed coordinator is the normal end of a worker's life.
+      return frame.status().code() == StatusCode::kUnavailable ? OkStatus() : frame.status();
+    }
+    Result<JsonValue> request = ParseJson(*frame);
+    std::string op;
+    if (request.ok()) {
+      const JsonValue* op_value = request->Find("op");
+      if (op_value != nullptr && op_value->is_string()) {
+        op = op_value->string_value;
+      }
+    }
+    std::string reply;
+    bool shutdown = false;
+    if (!request.ok()) {
+      reply = ErrorEnvelope(request.status());
+    } else if (op == "ping" || op == "shutdown") {
+      JsonWriter json;
+      json.BeginObject();
+      json.Key("ok").Bool(true);
+      json.EndObject();
+      reply = json.str();
+      shutdown = op == "shutdown";
+    } else if (op == "summarize") {
+      Result<std::string> response = HandleSummarize(*request, cache);
+      if (!response.ok()) {
+        cache.reader.reset();  // a failed request leaves the pass position unknown
+        reply = ErrorEnvelope(response.status());
+      } else {
+        reply = *response;
+      }
+    } else {
+      reply = ErrorEnvelope(InvalidArgumentError("unknown op '" + op + "'"));
+    }
+    SCODED_RETURN_IF_ERROR(serve::WriteFrame(conn, reply));
+    if (shutdown) {
+      return OkStatus();
+    }
+  }
+}
+
+}  // namespace scoded::dist

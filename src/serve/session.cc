@@ -53,10 +53,25 @@ Status SessionTable::With(const std::string& id,
       return NotFoundError("unknown session '" + id + "'");
     }
     session = it->second;
+    // Pin before running the handler: stamping last_used here and nothing
+    // else would let EvictIdle() reap a session whose single request runs
+    // longer than the idle limit (the append would succeed into an
+    // already-evicted monitor and the next request would get NotFound).
+    ++session->inflight;
+  }
+  Status status;
+  {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    status = fn(session->monitor);
+  }
+  {
+    // Unpin and only now bump the idle clock, so idleness is measured from
+    // the end of the last request, not its start.
+    std::lock_guard<std::mutex> lock(mu_);
+    --session->inflight;
     session->last_used = std::chrono::steady_clock::now();
   }
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  return fn(session->monitor);
+  return status;
 }
 
 Status SessionTable::Close(const std::string& id) {
@@ -79,7 +94,7 @@ size_t SessionTable::EvictIdle() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t evicted = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second->last_used < cutoff) {
+    if (it->second->inflight == 0 && it->second->last_used < cutoff) {
       it = sessions_.erase(it);
       ++evicted;
     } else {

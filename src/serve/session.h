@@ -62,6 +62,11 @@ class SessionTable {
     std::mutex mu;
     StreamMonitor monitor;
     std::chrono::steady_clock::time_point last_used;
+    /// Requests currently executing inside With(). Guarded by the table's
+    /// mu_ (not the session mu): the eviction sweep must read it under the
+    /// same lock that removes sessions, so an in-flight request pins its
+    /// session even when the handler runs longer than the idle limit.
+    int inflight = 0;
 
     explicit Session(StreamMonitor m)
         : monitor(std::move(m)), last_used(std::chrono::steady_clock::now()) {}

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "common/string_util.h"
 
 namespace scoded::serve {
 
@@ -84,7 +87,159 @@ Result<Column> ParseCategoricalColumn(const JsonValue& column) {
   return Column::CategoricalFromCodes(std::move(out), std::move(dictionary));
 }
 
+// One 64-bit wire integer: a decimal string, full int64 range (cell keys
+// use INT64_MIN as the null sentinel and negative values for double bit
+// patterns with the sign bit set).
+Result<int64_t> ParseWireInt64(const JsonValue& cell, std::string_view what) {
+  if (!cell.is_string()) {
+    return InvalidArgumentError(std::string(what) + " must be a decimal string");
+  }
+  return ParseCheckedInt(cell.string_value, INT64_MIN, INT64_MAX, what);
+}
+
+Result<std::vector<int64_t>> ParseWireInt64Array(const JsonValue& parent, const std::string& name) {
+  const JsonValue* array = parent.Find(name);
+  if (array == nullptr || !array->is_array()) {
+    return InvalidArgumentError("shard summary is missing its " + name + " array");
+  }
+  std::vector<int64_t> out;
+  out.reserve(array->array.size());
+  for (const JsonValue& cell : array->array) {
+    SCODED_ASSIGN_OR_RETURN(int64_t value, ParseWireInt64(cell, name + " entry"));
+    out.push_back(value);
+  }
+  return out;
+}
+
+Result<int> ParseColumnIndex(const JsonValue& cell, std::string_view what) {
+  if (!cell.is_number() || static_cast<double>(static_cast<int>(cell.number)) != cell.number) {
+    return InvalidArgumentError(std::string(what) + " must be an integer column index");
+  }
+  return static_cast<int>(cell.number);
+}
+
 }  // namespace
+
+void WriteShardSummaryJson(const PairwiseShardSummary::Snapshot& snapshot, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("spec").BeginObject();
+  json.Key("x").Int(snapshot.spec.x_col);
+  json.Key("y").Int(snapshot.spec.y_col);
+  json.Key("z").BeginArray();
+  for (int z : snapshot.spec.z_cols) {
+    json.Int(z);
+  }
+  json.EndArray();
+  json.EndObject();
+  json.Key("types").BeginArray();
+  for (ColumnType type : snapshot.role_types) {
+    json.String(ColumnTypeToString(type));
+  }
+  json.EndArray();
+  json.Key("dicts").BeginArray();
+  for (const std::vector<std::string>& dict : snapshot.dicts) {
+    json.BeginArray();
+    for (const std::string& value : dict) {
+      json.String(value);
+    }
+    json.EndArray();
+  }
+  json.EndArray();
+  json.Key("rows").String(std::to_string(snapshot.rows));
+  json.Key("keys").BeginArray();
+  for (int64_t key : snapshot.keys) {
+    json.String(std::to_string(key));
+  }
+  json.EndArray();
+  json.Key("counts").BeginArray();
+  for (int64_t count : snapshot.counts) {
+    json.String(std::to_string(count));
+  }
+  json.EndArray();
+  json.Key("first_rows").BeginArray();
+  for (uint64_t row : snapshot.first_rows) {
+    json.String(std::to_string(row));
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+Result<PairwiseShardSummary::Snapshot> ParseShardSummaryJson(const JsonValue& value) {
+  if (!value.is_object()) {
+    return InvalidArgumentError("shard summary must be an object");
+  }
+  PairwiseShardSummary::Snapshot snapshot;
+  const JsonValue* spec = value.Find("spec");
+  if (spec == nullptr || !spec->is_object()) {
+    return InvalidArgumentError("shard summary is missing its spec object");
+  }
+  const JsonValue* x = spec->Find("x");
+  const JsonValue* y = spec->Find("y");
+  const JsonValue* z = spec->Find("z");
+  if (x == nullptr || y == nullptr || z == nullptr || !z->is_array()) {
+    return InvalidArgumentError("shard summary spec needs x, y, and a z array");
+  }
+  SCODED_ASSIGN_OR_RETURN(snapshot.spec.x_col, ParseColumnIndex(*x, "spec x"));
+  SCODED_ASSIGN_OR_RETURN(snapshot.spec.y_col, ParseColumnIndex(*y, "spec y"));
+  snapshot.spec.z_cols.reserve(z->array.size());
+  for (const JsonValue& cell : z->array) {
+    SCODED_ASSIGN_OR_RETURN(int col, ParseColumnIndex(cell, "spec z entry"));
+    snapshot.spec.z_cols.push_back(col);
+  }
+  const JsonValue* types = value.Find("types");
+  if (types == nullptr || !types->is_array()) {
+    return InvalidArgumentError("shard summary is missing its types array");
+  }
+  snapshot.role_types.reserve(types->array.size());
+  for (const JsonValue& cell : types->array) {
+    if (!cell.is_string()) {
+      return InvalidArgumentError("shard summary types must be strings");
+    }
+    if (cell.string_value == "numeric") {
+      snapshot.role_types.push_back(ColumnType::kNumeric);
+    } else if (cell.string_value == "categorical") {
+      snapshot.role_types.push_back(ColumnType::kCategorical);
+    } else {
+      return InvalidArgumentError("unknown role type '" + cell.string_value + "'");
+    }
+  }
+  const JsonValue* dicts = value.Find("dicts");
+  if (dicts == nullptr || !dicts->is_array()) {
+    return InvalidArgumentError("shard summary is missing its dicts array");
+  }
+  snapshot.dicts.reserve(dicts->array.size());
+  for (const JsonValue& dict : dicts->array) {
+    if (!dict.is_array()) {
+      return InvalidArgumentError("shard summary dictionaries must be arrays");
+    }
+    std::vector<std::string> values;
+    values.reserve(dict.array.size());
+    for (const JsonValue& entry : dict.array) {
+      if (!entry.is_string()) {
+        return InvalidArgumentError("shard summary dictionary entries must be strings");
+      }
+      values.push_back(entry.string_value);
+    }
+    snapshot.dicts.push_back(std::move(values));
+  }
+  const JsonValue* rows = value.Find("rows");
+  if (rows == nullptr) {
+    return InvalidArgumentError("shard summary is missing its rows field");
+  }
+  SCODED_ASSIGN_OR_RETURN(snapshot.rows, ParseWireInt64(*rows, "rows"));
+  SCODED_ASSIGN_OR_RETURN(snapshot.keys, ParseWireInt64Array(value, "keys"));
+  SCODED_ASSIGN_OR_RETURN(snapshot.counts, ParseWireInt64Array(value, "counts"));
+  SCODED_ASSIGN_OR_RETURN(std::vector<int64_t> first_rows,
+                          ParseWireInt64Array(value, "first_rows"));
+  snapshot.first_rows.reserve(first_rows.size());
+  for (int64_t row : first_rows) {
+    if (row < 0) {
+      return InvalidArgumentError("shard summary first_rows must be non-negative");
+    }
+    snapshot.first_rows.push_back(static_cast<uint64_t>(row));
+  }
+  return snapshot;
+}
 
 void WriteSchemaJson(const Schema& schema, JsonWriter& json) {
   json.BeginArray();

@@ -3,6 +3,7 @@
 
 #include "common/json.h"
 #include "common/result.h"
+#include "stats/shard_stats.h"
 #include "table/schema.h"
 #include "table/table.h"
 
@@ -38,6 +39,20 @@ void WriteBatchJson(const Table& batch, JsonWriter& json);
 
 /// Parses the object produced by WriteBatchJson back into a Table.
 Result<Table> ParseBatchJson(const JsonValue& value);
+
+/// Appends a PairwiseShardSummary snapshot as a JSON object value:
+///   {"spec": {"x", "y", "z": []}, "types": [...], "dicts": [[...], ...],
+///    "rows": "N", "keys": [...], "counts": [...], "first_rows": [...]}
+/// Every 64-bit integer (cell keys — which carry full double bit patterns
+/// for numeric roles — counts, first-row indices, the row total) travels
+/// as a decimal string: JSON numbers are doubles and lose exactness past
+/// 2^53, and the whole point of shipping summaries instead of statistics
+/// is that no float folding crosses the wire.
+void WriteShardSummaryJson(const PairwiseShardSummary::Snapshot& snapshot, JsonWriter& json);
+
+/// Parses the object produced by WriteShardSummaryJson. Structural checks
+/// only; PairwiseShardSummary::FromSnapshot revalidates against the schema.
+Result<PairwiseShardSummary::Snapshot> ParseShardSummaryJson(const JsonValue& value);
 
 }  // namespace scoded::serve
 

@@ -196,6 +196,101 @@ void PairwiseShardSummary::Merge(const PairwiseShardSummary& other) {
   rows_ += other.rows_;
 }
 
+PairwiseShardSummary::Snapshot PairwiseShardSummary::ToSnapshot() const {
+  SCODED_CHECK(valid_);
+  Snapshot snapshot;
+  snapshot.spec = spec_;
+  snapshot.role_types = role_types_;
+  snapshot.dicts.reserve(dicts_.size());
+  for (const Dict& dict : dicts_) {
+    snapshot.dicts.push_back(dict.values);
+  }
+  snapshot.keys.reserve(cells_.size() * role_cols_.size());
+  snapshot.counts.reserve(cells_.size());
+  snapshot.first_rows.reserve(cells_.size());
+  for (const auto& [key, entry] : cells_) {
+    snapshot.keys.insert(snapshot.keys.end(), key.begin(), key.end());
+    snapshot.counts.push_back(entry.count);
+    snapshot.first_rows.push_back(entry.first_row);
+  }
+  snapshot.rows = rows_;
+  return snapshot;
+}
+
+Result<PairwiseShardSummary> PairwiseShardSummary::FromSnapshot(const Table& schema,
+                                                                const Snapshot& snapshot) {
+  const Spec& spec = snapshot.spec;
+  auto column_ok = [&](int col) {
+    return col >= 0 && static_cast<size_t>(col) < schema.NumColumns();
+  };
+  if (!column_ok(spec.x_col) || !column_ok(spec.y_col) || spec.x_col == spec.y_col) {
+    return InvalidArgumentError("snapshot spec has invalid x/y columns");
+  }
+  for (int z : spec.z_cols) {
+    if (!column_ok(z) || z == spec.x_col || z == spec.y_col) {
+      return InvalidArgumentError("snapshot spec has invalid conditioning columns");
+    }
+  }
+  PairwiseShardSummary summary(schema, spec);
+  const size_t num_roles = summary.role_cols_.size();
+  if (snapshot.role_types != summary.role_types_) {
+    return InvalidArgumentError("snapshot role types do not match the schema");
+  }
+  if (snapshot.dicts.size() != num_roles) {
+    return InvalidArgumentError("snapshot has " + std::to_string(snapshot.dicts.size()) +
+                                " dictionaries, expected " + std::to_string(num_roles));
+  }
+  for (size_t r = 0; r < num_roles; ++r) {
+    if (summary.role_types_[r] != ColumnType::kCategorical) {
+      if (!snapshot.dicts[r].empty()) {
+        return InvalidArgumentError("snapshot has a dictionary for a numeric role");
+      }
+      continue;
+    }
+    Dict& dict = summary.dicts_[r];
+    for (const std::string& value : snapshot.dicts[r]) {
+      int32_t before = static_cast<int32_t>(dict.values.size());
+      if (summary.Intern(dict, value) != before) {
+        return InvalidArgumentError("snapshot dictionary has duplicate value '" + value + "'");
+      }
+    }
+  }
+  const size_t num_cells = snapshot.counts.size();
+  if (snapshot.first_rows.size() != num_cells ||
+      snapshot.keys.size() != num_cells * num_roles) {
+    return InvalidArgumentError("snapshot cell arrays have inconsistent sizes");
+  }
+  int64_t total = 0;
+  std::vector<int64_t> key(num_roles);
+  for (size_t cell = 0; cell < num_cells; ++cell) {
+    for (size_t r = 0; r < num_roles; ++r) {
+      int64_t k = snapshot.keys[cell * num_roles + r];
+      if (k != kNullCell && summary.role_types_[r] == ColumnType::kCategorical &&
+          (k < 0 || static_cast<size_t>(k) >= summary.dicts_[r].values.size())) {
+        return InvalidArgumentError("snapshot cell key is outside its dictionary");
+      }
+      key[r] = k;
+    }
+    int64_t count = snapshot.counts[cell];
+    if (count <= 0) {
+      return InvalidArgumentError("snapshot cell count must be positive");
+    }
+    auto [it, inserted] = summary.cells_.try_emplace(key);
+    if (!inserted) {
+      return InvalidArgumentError("snapshot repeats a cell key");
+    }
+    it->second.count = count;
+    it->second.first_row = snapshot.first_rows[cell];
+    total += count;
+  }
+  if (snapshot.rows < 0 || total != snapshot.rows) {
+    return InvalidArgumentError("snapshot cell counts sum to " + std::to_string(total) +
+                                " but claim " + std::to_string(snapshot.rows) + " rows");
+  }
+  summary.rows_ = snapshot.rows;
+  return summary;
+}
+
 int64_t PairwiseShardSummary::StratumKeyOfCell(size_t z_role, int64_t raw) const {
   if (raw == kNullCell) {
     return kNullCell;

@@ -81,6 +81,33 @@ class PairwiseShardSummary {
   /// row already in `this` (merge in file order).
   void Merge(const PairwiseShardSummary& other);
 
+  /// A self-contained, exactly-restorable image of a summary: everything is
+  /// integers and dictionary strings (numeric cell values travel as the
+  /// canonical bit pattern of the double), so a summary can cross a process
+  /// or wire boundary and Merge/Finish on the far side bit-identically.
+  /// Cells are flattened in key order, `keys` holding num_roles entries per
+  /// cell (z..., x, y layout, same as the in-memory map key).
+  struct Snapshot {
+    Spec spec;
+    std::vector<ColumnType> role_types;  // z..., x, y
+    std::vector<std::vector<std::string>> dicts;  // per role; empty for numeric
+    std::vector<int64_t> keys;        // num_cells * num_roles, flattened
+    std::vector<int64_t> counts;      // per cell, > 0
+    std::vector<uint64_t> first_rows; // per cell, global row index
+    int64_t rows = 0;
+  };
+
+  /// Exports the folded state. Valid any time before Finish().
+  Snapshot ToSnapshot() const;
+
+  /// Rebuilds a summary from a snapshot against `schema` (any table with
+  /// the file's schema). Every structural invariant is re-validated —
+  /// column bounds, role types, dictionary uniqueness, categorical key
+  /// ranges, positive counts, sum(counts) == rows — so a corrupted or
+  /// adversarial wire payload fails with kInvalidArgument instead of
+  /// poisoning the fold.
+  static Result<PairwiseShardSummary> FromSnapshot(const Table& schema, const Snapshot& snapshot);
+
   /// Data rows folded in so far (including rows with nulls).
   int64_t rows() const { return rows_; }
   /// Distinct joint cells held — the summary's memory footprint driver.

@@ -70,12 +70,13 @@ struct FirstPassState {
 
 ShardReader::ShardReader(std::string path, ShardReaderOptions options,
                          std::vector<std::string> names, std::vector<bool> numeric,
-                         size_t num_data_rows)
+                         size_t num_data_rows, uint64_t total_bytes)
     : path_(std::move(path)),
       options_(std::move(options)),
       names_(std::move(names)),
       numeric_(std::move(numeric)),
       num_data_rows_(num_data_rows),
+      total_bytes_(total_bytes),
       scanner_(options_.csv.delimiter) {}
 
 Result<ShardReader> ShardReader::Open(const std::string& path, const ShardReaderOptions& options) {
@@ -93,10 +94,12 @@ Result<ShardReader> ShardReader::Open(const std::string& path, const ShardReader
   state.options = &options.csv;
   std::vector<RawRecord> records;
   bool eof = false;
+  uint64_t total_bytes = 0;
   while (!eof) {
     in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
     std::streamsize got = in.gcount();
     if (got > 0) {
+      total_bytes += static_cast<uint64_t>(got);
       scanner.Consume(std::string_view(buffer.data(), static_cast<size_t>(got)), &records);
     }
     if (in.eof() || got == 0) {
@@ -113,7 +116,7 @@ Result<ShardReader> ShardReader::Open(const std::string& path, const ShardReader
   }
   state.Finalize();
   ShardReader reader(path, options, std::move(state.names), std::move(state.numeric),
-                     state.data_rows);
+                     state.data_rows, total_bytes);
   reader.in_.open(path, std::ios::binary);
   if (!reader.in_) {
     return NotFoundError("cannot open CSV file '" + path + "'");
@@ -129,6 +132,7 @@ Status ShardReader::FillPending() {
   in_.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   std::streamsize got = in_.gcount();
   if (got > 0) {
+    bytes_read_ += static_cast<uint64_t>(got);
     scanner_.Consume(std::string_view(buffer.data(), static_cast<size_t>(got)), &pending_);
   }
   if (in_.eof() || got == 0) {
@@ -155,8 +159,20 @@ Result<std::optional<Table>> ShardReader::Next() {
     SCODED_RETURN_IF_ERROR(FillPending());
   }
   if (shard.empty()) {
+    // Exhausted: the second pass must have seen exactly the file the first
+    // pass typed. A concurrent truncation, append, or rewrite shows up as
+    // a byte- or row-count mismatch here rather than as silently
+    // mis-shaped shards.
+    if (bytes_read_ != total_bytes_ || rows_yielded_ != num_data_rows_) {
+      return DataLossError(
+          "CSV file '" + path_ + "' changed between passes: first pass saw " +
+          std::to_string(num_data_rows_) + " data rows in " + std::to_string(total_bytes_) +
+          " bytes, second pass saw " + std::to_string(rows_yielded_) + " rows in " +
+          std::to_string(bytes_read_) + " bytes");
+    }
     return std::optional<Table>();
   }
+  rows_yielded_ += shard.size();
   SCODED_ASSIGN_OR_RETURN(Table table, BuildTableFromRecords(shard, 0, names_, numeric_));
   return std::optional<Table>(std::move(table));
 }

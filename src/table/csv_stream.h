@@ -34,6 +34,13 @@ struct ShardReaderOptions {
 /// (first-appearance order within the shard); callers that need global
 /// codes remap them (see PairwiseShardSummary in stats/shard_stats.h).
 ///
+/// The two passes assume the file does not change in between. That
+/// assumption is verified, not trusted: the final Next() compares the
+/// second pass's byte and data-row totals against the first pass's and
+/// fails with kDataLoss on any mismatch, so a concurrent truncation or
+/// append surfaces as an error instead of silently mis-shaped shards
+/// (rows typed under one inference but materialised from another file).
+///
 /// Peak memory is O(buffer_bytes + shard_rows * row width), independent of
 /// the file size.
 class ShardReader {
@@ -57,7 +64,7 @@ class ShardReader {
 
  private:
   ShardReader(std::string path, ShardReaderOptions options, std::vector<std::string> names,
-              std::vector<bool> numeric, size_t num_data_rows);
+              std::vector<bool> numeric, size_t num_data_rows, uint64_t total_bytes);
 
   /// Reads one chunk from the stream into pending_, running Finish() at
   /// end of input. Sets stream_done_ when the input is exhausted.
@@ -68,6 +75,7 @@ class ShardReader {
   std::vector<std::string> names_;
   std::vector<bool> numeric_;
   size_t num_data_rows_ = 0;
+  uint64_t total_bytes_ = 0;  // bytes the first pass consumed
 
   std::ifstream in_;
   RecordScanner scanner_;
@@ -75,6 +83,8 @@ class ShardReader {
   size_t next_pending_ = 0;
   bool header_skipped_ = false;
   bool stream_done_ = false;
+  uint64_t bytes_read_ = 0;   // bytes the second pass consumed so far
+  size_t rows_yielded_ = 0;   // data rows handed out by Next() so far
 };
 
 }  // namespace scoded::csv

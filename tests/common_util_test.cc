@@ -1,6 +1,7 @@
 #include <cerrno>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -186,6 +187,37 @@ TEST(StringUtilTest, ParseInt) {
   EXPECT_EQ(ParseInt(" -17 ").value(), -17);
   EXPECT_FALSE(ParseInt("3.5").has_value());
   EXPECT_FALSE(ParseInt("").has_value());
+}
+
+TEST(StringUtilTest, ParseCheckedIntAcceptsInRangeIntegers) {
+  EXPECT_EQ(ParseCheckedInt("42", 0, 100, "--k").value(), 42);
+  EXPECT_EQ(ParseCheckedInt(" -17 ", -100, 0, "--k").value(), -17);
+  EXPECT_EQ(ParseCheckedInt("0", 0, 0, "--k").value(), 0);
+  EXPECT_EQ(ParseCheckedInt("9223372036854775807", INT64_MIN, INT64_MAX, "cell").value(),
+            INT64_MAX);
+  EXPECT_EQ(ParseCheckedInt("-9223372036854775808", INT64_MIN, INT64_MAX, "cell").value(),
+            INT64_MIN);
+}
+
+TEST(StringUtilTest, ParseCheckedIntRejectsJunkAndOverflow) {
+  for (const char* bad : {"", "   ", "3.5", "42x", "x42", "4 2", "0x10",
+                          "9223372036854775808", "--", "nope"}) {
+    Result<int64_t> parsed = ParseCheckedInt(bad, INT64_MIN, INT64_MAX, "--flag");
+    EXPECT_FALSE(parsed.ok()) << "input: '" << bad << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(StringUtilTest, ParseCheckedIntEnforcesTheRangeAndNamesTheSetting) {
+  Result<int64_t> high = ParseCheckedInt("70000", 0, 65535, "--port");
+  ASSERT_FALSE(high.ok());
+  EXPECT_NE(high.status().message().find("--port"), std::string::npos)
+      << high.status().message();
+  EXPECT_NE(high.status().message().find("65535"), std::string::npos)
+      << high.status().message();
+  Result<int64_t> low = ParseCheckedInt("-1", 0, 65535, "SCODED_SHARD_ROWS");
+  ASSERT_FALSE(low.ok());
+  EXPECT_NE(low.status().message().find("SCODED_SHARD_ROWS"), std::string::npos);
 }
 
 TEST(StringUtilTest, StartsWithAndToLower) {

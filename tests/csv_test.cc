@@ -3,8 +3,11 @@
 #include <cstdio>
 #include <cstdint>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "table/csv_stream.h"
 
 #include <gtest/gtest.h>
 
@@ -220,6 +223,90 @@ TEST(CsvWriteTest, RandomizedRoundTripProperty) {
     }
   }
   EXPECT_EQ(WriteString(back), text);
+}
+
+// ---------------------------------------------------------------------------
+// ShardReader change detection: the reader's two passes verify, rather than
+// trust, that the file stayed put in between.
+
+namespace {
+
+void WriteRows(const std::string& path, int rows, const char* tag) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out << "name,score\n";
+  for (int i = 0; i < rows; ++i) {
+    out << tag << i % 7 << ',' << i * 3 << '\n';
+  }
+}
+
+// Drains the reader and returns the terminal status (OK when the file
+// streamed to a clean end-of-input).
+Status Drain(ShardReader& reader) {
+  for (int guard = 0; guard < 1000; ++guard) {
+    Result<std::optional<Table>> shard = reader.Next();
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    if (!shard->has_value()) {
+      return OkStatus();
+    }
+  }
+  return InternalError("reader never terminated");
+}
+
+}  // namespace
+
+TEST(ShardReaderChangeDetectionTest, UnchangedFileStreamsCleanly) {
+  std::string path = ::testing::TempDir() + "/shard_reader_stable.csv";
+  WriteRows(path, 50, "row");
+  ShardReaderOptions options;
+  options.shard_rows = 8;
+  options.buffer_bytes = 64;  // small chunks: pass 2 reads the disk lazily
+  Result<ShardReader> reader = ShardReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  EXPECT_TRUE(Drain(*reader).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ShardReaderChangeDetectionTest, TruncationBetweenPassesIsDataLoss) {
+  std::string path = ::testing::TempDir() + "/shard_reader_truncated.csv";
+  WriteRows(path, 50, "row");
+  ShardReaderOptions options;
+  options.shard_rows = 8;
+  options.buffer_bytes = 64;
+  Result<ShardReader> reader = ShardReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  WriteRows(path, 10, "row");  // rewritten shorter after the first pass
+  Status status = Drain(*reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("changed between passes"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(ShardReaderChangeDetectionTest, AppendBetweenPassesIsDataLoss) {
+  std::string path = ::testing::TempDir() + "/shard_reader_appended.csv";
+  WriteRows(path, 50, "row");
+  ShardReaderOptions options;
+  options.shard_rows = 8;
+  options.buffer_bytes = 64;
+  Result<ShardReader> reader = ShardReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  {
+    std::ofstream out(path, std::ios::app);
+    ASSERT_TRUE(out.good());
+    for (int i = 0; i < 20; ++i) {
+      out << "extra" << i % 5 << ',' << i << '\n';
+    }
+  }
+  Status status = Drain(*reader);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("changed between passes"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -10,8 +10,10 @@
 // bit for bit — for in-memory CheckAll, out-of-core ShardedCheckAll, and
 // the streaming monitors in both unbounded and windowed modes.
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@
 #include "core/sharded_check.h"
 #include "core/stream_monitor.h"
 #include "discovery/pc.h"
+#include "distributed/coordinator.h"
+#include "distributed/substrate.h"
 #include "stats/simd.h"
 #include "table/table.h"
 
@@ -290,6 +294,86 @@ TEST(SimdDeterminismTest, ShardedCheckAllIsPathAndThreadInvariant) {
             << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
         EXPECT_EQ(result.reports[i].test.statistic, baseline.reports[i].test.statistic)
             << "simd=" << simd_value << " threads=" << threads << " sc=" << i;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed determinism: the coordinator/worker path extends the same
+// contract along a third axis — worker count crossed with transport must
+// reproduce the single-process sharded baseline bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(DistributedDeterminismTest, WorkerCountAndTransportInvariant) {
+  std::string path = ::testing::TempDir() + "/distributed_determinism.csv";
+  {
+    Rng rng(8642);
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "Model,Color,Price,Mileage\n";
+    const char* models[] = {"civic", "corolla", "focus", "golf"};
+    const char* colors[] = {"red", "blue", "white"};
+    for (int i = 0; i < 500; ++i) {
+      int64_t m = rng.UniformInt(0, 3);
+      double p = 10.0 + 3.0 * static_cast<double>(m) + rng.Normal(0.0, 1.0);
+      if (rng.UniformInt(0, 39) == 0) {
+        out << ',';  // null Model
+      } else {
+        out << models[m] << ',';
+      }
+      out << colors[rng.UniformInt(0, 2)] << ',' << p << ','
+          << 100.0 - 4.0 * p + rng.Normal(0.0, 2.0) << '\n';
+    }
+  }
+  std::vector<ApproximateSc> constraints = {
+      {ParseConstraint("Model _||_ Color").value(), 0.05},
+      {ParseConstraint("Model !_||_ Price").value(), 0.3},
+      {ParseConstraint("Price _||_ Mileage | Model").value(), 0.05},
+  };
+  ShardedCheckOptions base;
+  base.reader.shard_rows = 64;
+  ShardedCheckResult baseline;
+  {
+    ThreadsGuard threads_guard(1);
+    baseline = ShardedCheckAll(path, constraints, base).value();
+  }
+  ASSERT_EQ(baseline.reports.size(), constraints.size());
+
+  struct Transport {
+    const char* name;
+    std::unique_ptr<dist::Substrate> substrate;
+  };
+  std::vector<Transport> transports;
+  transports.push_back({"in-process", std::make_unique<dist::InProcessSubstrate>()});
+#ifdef SCODED_CLI_BIN
+  transports.push_back({"fork", std::make_unique<dist::ForkExecSubstrate>(
+                                    SCODED_CLI_BIN, std::vector<std::string>{"worker"})});
+  transports.push_back({"tcp", std::make_unique<dist::TcpSubstrate>(
+                                   SCODED_CLI_BIN, std::vector<std::string>{"worker"})});
+#endif
+  for (Transport& transport : transports) {
+    for (int workers : {1, 2, 4}) {
+      dist::DistributedCheckOptions options;
+      options.base = base;
+      options.workers = workers;
+      Result<ShardedCheckResult> result =
+          dist::DistributedCheckAll(path, constraints, *transport.substrate, options);
+      ASSERT_TRUE(result.ok()) << transport.name << " workers=" << workers << ": "
+                               << result.status().message();
+      EXPECT_EQ(result->violations, baseline.violations)
+          << transport.name << " workers=" << workers;
+      EXPECT_EQ(result->shards, baseline.shards);
+      EXPECT_EQ(result->rows, baseline.rows);
+      ASSERT_EQ(result->reports.size(), baseline.reports.size());
+      for (size_t i = 0; i < result->reports.size(); ++i) {
+        EXPECT_EQ(result->reports[i].violated, baseline.reports[i].violated)
+            << transport.name << " workers=" << workers << " sc=" << i;
+        EXPECT_EQ(result->reports[i].p_value, baseline.reports[i].p_value)
+            << transport.name << " workers=" << workers << " sc=" << i;
+        EXPECT_EQ(result->reports[i].test.statistic, baseline.reports[i].test.statistic)
+            << transport.name << " workers=" << workers << " sc=" << i;
       }
     }
   }

@@ -1,0 +1,55 @@
+# Byte-for-byte acceptance for distributed checking: `scoded check
+# --workers N` must print exactly the same line (and exit with the same
+# code) as the single-process sharded check, for N in {1,2,4} crossed with
+# both transports and 1/4 coordinator threads.
+# Driven as a ctest entry: cmake -DSCODED_BIN=... -DFIXTURE=... -P this_file.
+foreach(var SCODED_BIN FIXTURE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(constraints "Model _||_ Color" "Model !_||_ Price" "Price _||_ Mileage | Model")
+set(alphas "0.05" "0.3" "0.05")
+
+# Full worker x transport x thread matrix on the first constraint; the
+# remaining constraints ride one representative configuration each.
+execute_process(
+  COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc "Model _||_ Color" --alpha 0.05 --shard-rows 3
+  OUTPUT_VARIABLE expected_out RESULT_VARIABLE expected_rc)
+foreach(workers 1 2 4)
+  foreach(transport fork tcp)
+    foreach(threads 1 4)
+      execute_process(
+        COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc "Model _||_ Color" --alpha 0.05
+                --shard-rows 3 --workers ${workers} --worker-transport ${transport}
+                --threads ${threads}
+        OUTPUT_VARIABLE actual_out RESULT_VARIABLE actual_rc)
+      if(NOT "${actual_out}" STREQUAL "${expected_out}")
+        message(FATAL_ERROR "distributed output differs at workers=${workers} "
+                            "transport=${transport} threads=${threads}:\n"
+                            "single:      ${expected_out}distributed: ${actual_out}")
+      endif()
+      if(NOT "${actual_rc}" STREQUAL "${expected_rc}")
+        message(FATAL_ERROR "distributed exit code ${actual_rc} != single-process "
+                            "${expected_rc} at workers=${workers} transport=${transport}")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+foreach(i 1 2)
+  list(GET constraints ${i} sc)
+  list(GET alphas ${i} alpha)
+  execute_process(
+    COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc ${sc} --alpha ${alpha} --shard-rows 3
+    OUTPUT_VARIABLE expected_out RESULT_VARIABLE expected_rc)
+  execute_process(
+    COMMAND ${SCODED_BIN} check --csv ${FIXTURE} --sc ${sc} --alpha ${alpha}
+            --shard-rows 3 --workers 2
+    OUTPUT_VARIABLE actual_out RESULT_VARIABLE actual_rc)
+  if(NOT "${actual_out}" STREQUAL "${expected_out}" OR NOT "${actual_rc}" STREQUAL "${expected_rc}")
+    message(FATAL_ERROR "distributed output differs for '${sc}':\n"
+                        "single:      ${expected_out}distributed: ${actual_out}")
+  endif()
+endforeach()

@@ -5,6 +5,7 @@
 // check's verdict line is byte-identical to `scoded check`.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -456,6 +457,50 @@ TEST(ServeSessionTest, IdleSessionsAreEvicted) {
   EXPECT_EQ(table.size(), 0u);
   Status gone = table.With(*id, [](StreamMonitor&) { return OkStatus(); });
   EXPECT_EQ(gone.code(), StatusCode::kNotFound);
+}
+
+// Regression: a session whose handler runs longer than the idle limit used
+// to be evictable mid-request — the sweep compared last_used (stamped on
+// entry) against an aggressive limit and destroyed the monitor under the
+// handler's feet. An in-flight request must pin its session.
+TEST(ServeSessionTest, InFlightRequestPinsSessionAgainstEviction) {
+  serve::SessionLimits limits;
+  limits.idle_evict_millis = 1;  // aggressive: any observable pause is "idle"
+  serve::SessionTable table(limits);
+  Table cars = CarsTable();
+  Result<std::string> id =
+      table.Open(cars.schema(), {MustConstraint("Model _||_ Color", 0.05)}, {});
+  ASSERT_TRUE(id.ok());
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::thread request([&] {
+    Status slow = table.With(*id, [&](StreamMonitor&) {
+      entered = true;
+      while (!release) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return OkStatus();
+    });
+    EXPECT_TRUE(slow.ok()) << slow.ToString();
+  });
+  while (!entered) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The handler is now parked well past the idle limit; sweeps must skip it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(table.EvictIdle(), 0u);
+  EXPECT_EQ(table.size(), 1u);
+  release = true;
+  request.join();
+
+  // Completion restamps the idle clock, so the session is immediately
+  // usable — and only a genuine idle stretch evicts it.
+  Status touch = table.With(*id, [](StreamMonitor&) { return OkStatus(); });
+  EXPECT_TRUE(touch.ok()) << touch.ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(table.EvictIdle(), 1u);
+  EXPECT_EQ(table.size(), 0u);
 }
 
 TEST(ServeSessionTest, ZeroIdleLimitDisablesEviction) {

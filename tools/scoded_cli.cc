@@ -8,6 +8,13 @@
 //                      N=0 forces in-memory. Without the flag the
 //                      SCODED_SHARD_ROWS environment variable applies, and
 //                      files of 64 MiB or more shard automatically.)
+//                      [--workers N] [--worker-transport fork|tcp]
+//                      (distributed: a coordinator spawns N local worker
+//                      processes, assigns each a contiguous range of shards,
+//                      and folds their exact integer summaries in file
+//                      order — output is byte-identical to the
+//                      single-process sharded check at any worker count.
+//                      Workers that die or stall are retried on survivors.)
 //   scoded drill       --csv FILE --sc "A !_||_ B" --k 50
 //                      [--strategy k|kc|auto] [--alpha 0.05]
 //   scoded partition   --csv FILE --sc "..." [--alpha 0.05]
@@ -42,6 +49,9 @@
 //                      the monitored run finishes.)
 //   scoded inspect     FILE  (pretty-print the crash/stall reports the
 //                      flight recorder wrote; exit 1 on malformed input)
+//   scoded worker      --fd N | --connect-port N  (internal: one member of
+//                      a `check --workers` fleet; spawned by the
+//                      coordinator, never run by hand)
 //   scoded version     (build identity: git describe, build type, obs mode)
 //
 // Observability (any subcommand):
@@ -102,6 +112,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -110,6 +121,7 @@
 #include "common/json.h"
 #include "common/net.h"
 #include "common/parallel.h"
+#include "common/string_util.h"
 #include "constraints/graphoid.h"
 #include "core/scoded.h"
 #include "core/sharded_check.h"
@@ -127,6 +139,9 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "repair/cell_repair.h"
+#include "distributed/coordinator.h"
+#include "distributed/substrate.h"
+#include "distributed/worker.h"
 #include "serve/client.h"
 #include "serve/render.h"
 #include "serve/server.h"
@@ -156,7 +171,7 @@ int Usage() {
                "              [--strategy k|kc|auto] [--max-removal F] [--max-cond L] "
                "[--out FILE] [--shard-rows N] [--port N] [--interval-ms MS]\n"
                "              [--max-sessions M] [--idle-secs S] [--handlers H] "
-               "[--batch B] [--window W]\n"
+               "[--batch B] [--window W] [--workers N] [--worker-transport fork|tcp]\n"
                "              [--trace-out FILE] [--stats [FILE]] [--profile [FILE]] "
                "[--log-level debug|info|warn|error] [--threads N] [--metrics-port N]\n"
                "              [--flight-recorder-events N] [--watchdog-secs T]\n");
@@ -236,6 +251,16 @@ Result<int64_t> FlagInt(const Args& args, const std::string& name, int64_t fallb
   return value;
 }
 
+// As FlagInt, but range-checked through the shared strict parser.
+Result<int64_t> FlagCheckedInt(const Args& args, const std::string& name, int64_t fallback,
+                               int64_t min_value, int64_t max_value) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) {
+    return fallback;
+  }
+  return ParseCheckedInt(it->second, min_value, max_value, "--" + name);
+}
+
 Result<Table> LoadCsv(const Args& args) {
   auto it = args.flags.find("csv");
   if (it == args.flags.end()) {
@@ -291,13 +316,8 @@ Result<size_t> ResolveShardRows(const Args& args, const std::string& csv_path) {
   }
   const char* env = std::getenv("SCODED_SHARD_ROWS");
   if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    long long value = std::strtoll(env, &end, 10);
-    if (end == nullptr || *end != '\0' || value < 0) {
-      return InvalidArgumentError(std::string("SCODED_SHARD_ROWS expects a non-negative "
-                                              "integer, got '") +
-                                  env + "'");
-    }
+    SCODED_ASSIGN_OR_RETURN(
+        int64_t value, ParseCheckedInt(env, 0, INT64_MAX, "SCODED_SHARD_ROWS"));
     return static_cast<size_t>(value);
   }
   constexpr uintmax_t kAutoShardBytes = 64ull << 20;
@@ -317,6 +337,56 @@ int RunCheck(const Args& args) {
       return Fail(resolved.status());
     }
     shard_rows = *resolved;
+  }
+  Result<int64_t> workers = FlagCheckedInt(args, "workers", 0, 0, 1024);
+  if (!workers.ok()) {
+    return Fail(workers.status());
+  }
+  if (*workers > 0) {
+    // Coordinator/worker mode: same statistics, same bytes on stdout, the
+    // summarisation fanned out over a local worker fleet.
+    if (csv_path == args.flags.end()) {
+      return Fail(InvalidArgumentError("--workers requires --csv FILE"));
+    }
+    Result<ApproximateSc> asc = SingleConstraint(args);
+    if (!asc.ok()) {
+      return Fail(asc.status());
+    }
+    std::string transport = "fork";
+    if (auto it = args.flags.find("worker-transport"); it != args.flags.end()) {
+      transport = it->second;
+      if (transport != "fork" && transport != "tcp") {
+        return Fail(InvalidArgumentError("--worker-transport expects fork or tcp, got '" +
+                                         transport + "'"));
+      }
+    }
+    dist::DistributedCheckOptions options;
+    // Workers imply sharding; without an explicit shard size use the
+    // reader's default rather than the in-memory path.
+    options.base.reader.shard_rows =
+        shard_rows > 0 ? shard_rows : csv::ShardReaderOptions{}.shard_rows;
+    options.workers = static_cast<int>(*workers);
+    Result<std::string> exe = dist::SelfExePath();
+    if (!exe.ok()) {
+      return Fail(exe.status());
+    }
+    std::unique_ptr<dist::Substrate> substrate;
+    if (transport == "fork") {
+      substrate = std::make_unique<dist::ForkExecSubstrate>(
+          *exe, std::vector<std::string>{"worker"});
+    } else {
+      substrate = std::make_unique<dist::TcpSubstrate>(
+          *exe, std::vector<std::string>{"worker"});
+    }
+    Result<ShardedCheckResult> result =
+        dist::DistributedCheckAll(csv_path->second, {*asc}, *substrate, options);
+    if (!result.ok()) {
+      return Fail(result.status());
+    }
+    g_telemetry.Merge(result->telemetry);
+    const ViolationReport& report = result->reports[0];
+    std::fputs(serve::CheckResultLine(*asc, report).c_str(), stdout);
+    return report.violated ? 2 : 0;
   }
   if (shard_rows > 0) {
     Result<ApproximateSc> asc = SingleConstraint(args);
@@ -748,11 +818,11 @@ int RunTop(const Args& args) {
   if (port_text.empty()) {
     return FailMessage("scoded top requires --port N (or SCODED_METRICS_PORT)");
   }
-  char* end = nullptr;
-  long port = std::strtol(port_text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
-    return FailMessage("--port expects a port in [1, 65535], got '" + port_text + "'");
+  Result<int64_t> port_value = ParseCheckedInt(port_text, 1, 65535, "--port");
+  if (!port_value.ok()) {
+    return Fail(port_value.status());
   }
+  long port = static_cast<long>(*port_value);
   Result<int64_t> interval_ms = FlagInt(args, "interval-ms", 500);
   Result<int64_t> iterations = FlagInt(args, "iterations", 0);
   if (!interval_ms.ok() || !iterations.ok()) {
@@ -1097,6 +1167,39 @@ int RunVersion() {
   return 0;
 }
 
+// `scoded worker`: one member of a `check --workers N` fleet. Never run by
+// hand — the coordinator spawns it with either an inherited socketpair
+// descriptor (--fd, fork transport) or a loopback port to dial
+// (--connect-port, tcp transport) and it serves summarize requests until
+// the coordinator hangs up.
+int RunWorker(const Args& args) {
+  bool has_fd = args.flags.count("fd") > 0;
+  bool has_port = args.flags.count("connect-port") > 0;
+  if (has_fd == has_port) {
+    return FailMessage("scoded worker requires exactly one of --fd N or --connect-port N");
+  }
+  net::TcpConn conn;
+  if (has_fd) {
+    Result<int64_t> fd = FlagCheckedInt(args, "fd", -1, 3, INT32_MAX);
+    if (!fd.ok()) {
+      return Fail(fd.status());
+    }
+    conn = net::TcpConn(static_cast<int>(*fd));
+  } else {
+    Result<int64_t> port = FlagCheckedInt(args, "connect-port", 0, 1, 65535);
+    if (!port.ok()) {
+      return Fail(port.status());
+    }
+    Result<net::TcpConn> dialed = net::DialLoopback(static_cast<uint16_t>(*port));
+    if (!dialed.ok()) {
+      return Fail(dialed.status());
+    }
+    conn = std::move(*dialed);
+  }
+  Status served = dist::ServeWorker(conn);
+  return served.ok() ? 0 : Fail(served);
+}
+
 int Dispatch(const Args& args) {
   // Only `inspect` and `client` take bare operands; anywhere else they are
   // typos.
@@ -1147,6 +1250,9 @@ int Dispatch(const Args& args) {
   }
   if (args.command == "version") {
     return RunVersion();
+  }
+  if (args.command == "worker") {
+    return RunWorker(args);
   }
   return Usage();
 }
@@ -1252,13 +1358,11 @@ int main(int argc, char** argv) {
       }
     }
     if (!port_text.empty()) {
-      char* end = nullptr;
-      long port = std::strtol(port_text.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
-        return FailMessage("--metrics-port expects a port in [0, 65535], got '" + port_text +
-                           "'");
+      Result<int64_t> port = ParseCheckedInt(port_text, 0, 65535, "--metrics-port");
+      if (!port.ok()) {
+        return Fail(port.status());
       }
-      Status status = obs::MetricsServer::Global().Start(static_cast<uint16_t>(port));
+      Status status = obs::MetricsServer::Global().Start(static_cast<uint16_t>(*port));
       if (!status.ok()) {
         return Fail(status);
       }
@@ -1289,14 +1393,12 @@ int main(int argc, char** argv) {
       explicit_request = true;
     } else if (const char* env = std::getenv("SCODED_FLIGHT_RECORDER_EVENTS")) {
       if (*env != '\0') {
-        char* end = nullptr;
-        long long value = std::strtoll(env, &end, 10);
-        if (end == nullptr || *end != '\0' || value < 0) {
-          return FailMessage(std::string("SCODED_FLIGHT_RECORDER_EVENTS expects a "
-                                         "non-negative integer, got '") +
-                             env + "'");
+        Result<int64_t> value =
+            ParseCheckedInt(env, 0, INT64_MAX, "SCODED_FLIGHT_RECORDER_EVENTS");
+        if (!value.ok()) {
+          return Fail(value.status());
         }
-        events = value;
+        events = *value;
         explicit_request = true;
       }
     }
@@ -1327,13 +1429,14 @@ int main(int argc, char** argv) {
     if (args.flags.count("watchdog-secs") == 0) {
       if (const char* env = std::getenv("SCODED_WATCHDOG_SECS")) {
         if (*env != '\0') {
-          char* end = nullptr;
-          double value = std::strtod(env, &end);
-          if (end == nullptr || *end != '\0') {
+          // The one non-integer knob; the shared strict double parser
+          // applies the same no-trailing-junk rule.
+          std::optional<double> value = ParseDouble(env);
+          if (!value.has_value()) {
             return FailMessage(std::string("SCODED_WATCHDOG_SECS expects a number, got '") +
                                env + "'");
           }
-          stall_seconds = value;
+          stall_seconds = *value;
         }
       }
     }
